@@ -1,0 +1,34 @@
+//! Criterion micro-benchmarks of the flat one-pass baselines (Hashing, LDG,
+//! Fennel) — the running-time relationships underlying Fig. 2c/2f: Hashing is
+//! orders of magnitude faster than Fennel/LDG, whose cost grows with `k`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oms_core::{Fennel, Hashing, Ldg, OnePassConfig, StreamingPartitioner};
+use oms_gen::random_geometric_graph;
+use std::time::Duration;
+
+fn bench_baselines(c: &mut Criterion) {
+    let graph = random_geometric_graph(20_000, 7);
+    let cfg = OnePassConfig::default();
+    let mut group = c.benchmark_group("one_pass_baselines");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+
+    for k in [64u32, 512] {
+        group.bench_with_input(BenchmarkId::new("hashing", k), &k, |b, &k| {
+            b.iter(|| Hashing::new(k, cfg).partition_graph(&graph).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("ldg", k), &k, |b, &k| {
+            b.iter(|| Ldg::new(k, cfg).partition_graph(&graph).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("fennel", k), &k, |b, &k| {
+            b.iter(|| Fennel::new(k, cfg).partition_graph(&graph).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks of the online multi-section algorithm:
+//! nh-OMS vs. the flat Fennel baseline (the complexity separation of
+//! Theorem 4 vs. `O(m + nk)`), OMS on the paper's hierarchy, and the hybrid
+//! Fennel/Hashing configuration (Theorem 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oms_core::{
+    Fennel, HierarchySpec, OmsConfig, OnePassConfig, OnlineMultiSection, StreamingPartitioner,
+};
+use oms_gen::random_geometric_graph;
+use std::time::Duration;
+
+fn bench_oms(c: &mut Criterion) {
+    let graph = random_geometric_graph(20_000, 11);
+    let mut group = c.benchmark_group("online_multisection");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+
+    for k in [256u32, 1024] {
+        group.bench_with_input(BenchmarkId::new("nh-oms", k), &k, |b, &k| {
+            let oms = OnlineMultiSection::flat(k, OmsConfig::default()).unwrap();
+            b.iter(|| oms.partition_graph(&graph).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("fennel", k), &k, |b, &k| {
+            b.iter(|| {
+                Fennel::new(k, OnePassConfig::default())
+                    .partition_graph(&graph)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("oms-hierarchy", k), &k, |b, &k| {
+            let r = (k / 64).max(2);
+            let hierarchy = HierarchySpec::new(vec![4, 16, r]).unwrap();
+            let oms = OnlineMultiSection::with_hierarchy(hierarchy, OmsConfig::default());
+            b.iter(|| oms.partition_graph(&graph).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("oms-hybrid", k), &k, |b, &k| {
+            let r = (k / 64).max(2);
+            let hierarchy = HierarchySpec::new(vec![4, 16, r]).unwrap();
+            let oms = OnlineMultiSection::with_hierarchy(
+                hierarchy,
+                OmsConfig::default().hashing_bottom_layers(2),
+            );
+            b.iter(|| oms.partition_graph(&graph).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oms);
+criterion_main!(benches);

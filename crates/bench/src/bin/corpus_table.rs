@@ -1,0 +1,34 @@
+//! Regenerates Table 1: the benchmark corpus with basic properties.
+//!
+//! ```text
+//! cargo run --release -p oms-bench --bin corpus_table -- --scale 0.1
+//! ```
+
+use oms_bench::BenchArgs;
+use oms_gen::scaled_corpus;
+use oms_metrics::Table;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let out_dir = args.ensure_out_dir();
+
+    let mut table = Table::new(
+        &format!("Table 1 — synthetic corpus (scale {})", args.scale),
+        &["graph", "n", "m", "type", "max degree", "avg degree"],
+    );
+    for (name, class, graph) in scaled_corpus(args.scale, 42) {
+        table.add_row(vec![
+            name,
+            graph.num_nodes().to_string(),
+            graph.num_edges().to_string(),
+            class.name().to_string(),
+            graph.max_degree().to_string(),
+            format!("{:.2}", graph.average_degree()),
+        ]);
+    }
+    print!("{}", table.to_text());
+    let csv_path = out_dir.join("table1_corpus.csv");
+    if table.write_csv(&csv_path).is_ok() {
+        println!("\nwrote {}", csv_path.display());
+    }
+}

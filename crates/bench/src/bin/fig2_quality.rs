@@ -1,0 +1,155 @@
+//! Regenerates Fig. 2a/2b (solution quality as improvement over Hashing,
+//! grouped by k) and Fig. 2d/2e (quality performance profiles).
+//!
+//! * mapping objective: Hashing, Fennel (identity mapping), OMS and the
+//!   offline recursive multi-section (IntMap/KaMinPar stand-in) on the
+//!   topology `S = 4:16:r`, `D = 1:10:100`, `k = 64·r`;
+//! * edge-cut objective: Hashing, Fennel, nh-OMS and the multilevel
+//!   partitioner for the same `k` values.
+//!
+//! ```text
+//! cargo run --release -p oms-bench --bin fig2_quality -- --scale 0.05
+//! ```
+
+use oms_bench::runners::paper_topology;
+use oms_bench::{mapping_suite, partitioning_suite, quality_corpus, BenchArgs};
+use oms_metrics::{geometric_mean, improvement_percent, PerformanceProfile, Table};
+use std::collections::BTreeMap;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let out_dir = args.ensure_out_dir();
+    let corpus = quality_corpus(args.scale, 42);
+    let include_in_memory = !args.rest.iter().any(|a| a == "--no-in-memory");
+
+    // ---------------- Fig. 2a + 2d: process mapping ----------------------
+    let mut mapping_by_k: BTreeMap<u32, BTreeMap<String, Vec<f64>>> = BTreeMap::new();
+    let mut mapping_profile = PerformanceProfile::new();
+    for &k in &args.k_values() {
+        let r = (k / 64).max(2);
+        let topology = paper_topology(r);
+        for (name, graph) in &corpus {
+            for result in mapping_suite(name, graph, &topology, args.reps, include_in_memory) {
+                mapping_by_k
+                    .entry(topology.num_pes())
+                    .or_default()
+                    .entry(result.algorithm.clone())
+                    .or_default()
+                    .push(result.mapping_cost as f64);
+                mapping_profile.record(
+                    &result.algorithm,
+                    &format!("{name}-k{}", topology.num_pes()),
+                    result.mapping_cost as f64,
+                );
+            }
+        }
+    }
+
+    let mut fig2a = Table::new(
+        "Fig. 2a — mapping improvement over Hashing [%] (geometric means per k)",
+        &["k", "oms", "fennel", "rms (IntMap-like)"],
+    );
+    for (k, per_algo) in &mapping_by_k {
+        let mean = |a: &str| geometric_mean(per_algo.get(a).map(|v| v.as_slice()).unwrap_or(&[]));
+        let hashing = mean("hashing");
+        let row_value = |a: &str| {
+            if per_algo.contains_key(a) {
+                format!("{:+.1}", improvement_percent(mean(a), hashing))
+            } else {
+                "-".to_string()
+            }
+        };
+        fig2a.add_row(vec![
+            k.to_string(),
+            row_value("oms"),
+            row_value("fennel"),
+            row_value("rms"),
+        ]);
+    }
+    print!("{}", fig2a.to_text());
+
+    let taus = [1.0, 1.05, 1.1, 1.25, 1.5, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+    let mut fig2d = Table::new(
+        "Fig. 2d — mapping performance profile (fraction of instances ≤ τ · best)",
+        &["algorithm", "τ=1", "τ=1.5", "τ=2", "τ=4", "τ=16", "τ=128"],
+    );
+    for (alg, curve) in mapping_profile.curves(&taus) {
+        fig2d.add_row(vec![
+            alg,
+            format!("{:.2}", curve[0]),
+            format!("{:.2}", curve[4]),
+            format!("{:.2}", curve[5]),
+            format!("{:.2}", curve[6]),
+            format!("{:.2}", curve[9]),
+            format!("{:.2}", curve[11]),
+        ]);
+    }
+    print!("\n{}", fig2d.to_text());
+
+    // ---------------- Fig. 2b + 2e: edge-cut ------------------------------
+    let mut cut_by_k: BTreeMap<u32, BTreeMap<String, Vec<f64>>> = BTreeMap::new();
+    let mut cut_profile = PerformanceProfile::new();
+    for &k in &args.k_values() {
+        for (name, graph) in &corpus {
+            for result in partitioning_suite(name, graph, k, args.reps, include_in_memory) {
+                cut_by_k
+                    .entry(k)
+                    .or_default()
+                    .entry(result.algorithm.clone())
+                    .or_default()
+                    .push(result.edge_cut.max(1) as f64);
+                cut_profile.record(
+                    &result.algorithm,
+                    &format!("{name}-k{k}"),
+                    result.edge_cut.max(1) as f64,
+                );
+            }
+        }
+    }
+
+    let mut fig2b = Table::new(
+        "Fig. 2b — edge-cut improvement over Hashing [%] (geometric means per k)",
+        &["k", "nh-oms", "fennel", "multilevel (KaMinPar-like)"],
+    );
+    for (k, per_algo) in &cut_by_k {
+        let mean = |a: &str| geometric_mean(per_algo.get(a).map(|v| v.as_slice()).unwrap_or(&[]));
+        let hashing = mean("hashing");
+        let row_value = |a: &str| {
+            if per_algo.contains_key(a) {
+                format!("{:+.1}", improvement_percent(mean(a), hashing))
+            } else {
+                "-".to_string()
+            }
+        };
+        fig2b.add_row(vec![
+            k.to_string(),
+            row_value("nh-oms"),
+            row_value("fennel"),
+            row_value("multilevel"),
+        ]);
+    }
+    print!("\n{}", fig2b.to_text());
+
+    let mut fig2e = Table::new(
+        "Fig. 2e — edge-cut performance profile (fraction of instances ≤ τ · best)",
+        &["algorithm", "τ=1", "τ=1.5", "τ=2", "τ=4", "τ=16", "τ=128"],
+    );
+    for (alg, curve) in cut_profile.curves(&taus) {
+        fig2e.add_row(vec![
+            alg,
+            format!("{:.2}", curve[0]),
+            format!("{:.2}", curve[4]),
+            format!("{:.2}", curve[5]),
+            format!("{:.2}", curve[6]),
+            format!("{:.2}", curve[9]),
+            format!("{:.2}", curve[11]),
+        ]);
+    }
+    print!("\n{}", fig2e.to_text());
+
+    fig2a.write_csv(&out_dir.join("fig2a_mapping_improvement.csv")).ok();
+    fig2b.write_csv(&out_dir.join("fig2b_cut_improvement.csv")).ok();
+    fig2d.write_csv(&out_dir.join("fig2d_mapping_profile.csv")).ok();
+    fig2e.write_csv(&out_dir.join("fig2e_cut_profile.csv")).ok();
+    println!("\nwrote CSVs to {}", out_dir.display());
+}

@@ -1,0 +1,96 @@
+//! Regenerates Fig. 2c (running-time speedup over Fennel, grouped by k) and
+//! Fig. 2f (running-time performance profile).
+//!
+//! ```text
+//! cargo run --release -p oms-bench --bin fig2_runtime -- --scale 0.05
+//! ```
+
+use oms_bench::runners::paper_topology;
+use oms_bench::{mapping_suite, partitioning_suite, quality_corpus, BenchArgs};
+use oms_metrics::{geometric_mean, speedup, PerformanceProfile, Table};
+use std::collections::BTreeMap;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let out_dir = args.ensure_out_dir();
+    let corpus = quality_corpus(args.scale, 42);
+    let include_in_memory = !args.rest.iter().any(|a| a == "--no-in-memory");
+
+    // Collect running times per algorithm per k (partitioning suite gives the
+    // flat algorithms + nh-OMS; the mapping suite adds hierarchical OMS).
+    let mut time_by_k: BTreeMap<u32, BTreeMap<String, Vec<f64>>> = BTreeMap::new();
+    let mut profile = PerformanceProfile::new();
+
+    for &k in &args.k_values() {
+        let topology = paper_topology((k / 64).max(2));
+        for (name, graph) in &corpus {
+            let mut results = partitioning_suite(name, graph, k, args.reps, include_in_memory);
+            // Only OMS (hierarchical) from the mapping suite; the others are
+            // already covered.
+            results.extend(
+                mapping_suite(name, graph, &topology, args.reps, false)
+                    .into_iter()
+                    .filter(|r| r.algorithm == "oms"),
+            );
+            for result in results {
+                time_by_k
+                    .entry(k)
+                    .or_default()
+                    .entry(result.algorithm.clone())
+                    .or_default()
+                    .push(result.seconds);
+                profile.record(
+                    &result.algorithm,
+                    &format!("{name}-k{k}"),
+                    result.seconds.max(1e-9),
+                );
+            }
+        }
+    }
+
+    let mut fig2c = Table::new(
+        "Fig. 2c — speedup over Fennel (geometric-mean running times per k)",
+        &["k", "hashing", "nh-oms", "oms", "multilevel"],
+    );
+    for (k, per_algo) in &time_by_k {
+        let mean = |a: &str| geometric_mean(per_algo.get(a).map(|v| v.as_slice()).unwrap_or(&[]));
+        let fennel = mean("fennel");
+        let cell = |a: &str| {
+            if per_algo.contains_key(a) {
+                format!("{:.1}x", speedup(mean(a), fennel))
+            } else {
+                "-".to_string()
+            }
+        };
+        fig2c.add_row(vec![
+            k.to_string(),
+            cell("hashing"),
+            cell("nh-oms"),
+            cell("oms"),
+            cell("multilevel"),
+        ]);
+    }
+    print!("{}", fig2c.to_text());
+
+    let taus = [1.0, 2.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0];
+    let mut fig2f = Table::new(
+        "Fig. 2f — running-time performance profile (fraction of instances ≤ τ · fastest)",
+        &["algorithm", "τ=1", "τ=4", "τ=16", "τ=64", "τ=1024", "τ=4096"],
+    );
+    for (alg, curve) in profile.curves(&taus) {
+        fig2f.add_row(vec![
+            alg,
+            format!("{:.2}", curve[0]),
+            format!("{:.2}", curve[2]),
+            format!("{:.2}", curve[3]),
+            format!("{:.2}", curve[4]),
+            format!("{:.2}", curve[6]),
+            format!("{:.2}", curve[7]),
+        ]);
+    }
+    print!("\n{}", fig2f.to_text());
+
+    fig2c.write_csv(&out_dir.join("fig2c_speedup_over_fennel.csv")).ok();
+    fig2f.write_csv(&out_dir.join("fig2f_runtime_profile.csv")).ok();
+    println!("\nwrote CSVs to {}", out_dir.display());
+}

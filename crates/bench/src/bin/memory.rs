@@ -1,0 +1,61 @@
+//! Regenerates the §4.1 memory-requirements comparison: the streaming
+//! algorithms need `O(n + k)` memory (assignments plus block weights,
+//! streaming the graph from disk), whereas the in-memory baselines hold the
+//! whole CSR graph.
+//!
+//! ```text
+//! cargo run --release -p oms-bench --bin memory -- --scale 0.2
+//! ```
+
+use oms_bench::{scalability_corpus, BenchArgs};
+use oms_core::MultisectionTree;
+use oms_metrics::memory::current_rss_bytes;
+use oms_metrics::{graph_memory_bytes, streaming_memory_bytes, Table};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let out_dir = args.ensure_out_dir();
+    let k = args.ks.first().copied().unwrap_or(8192);
+    // The paper measures three large graphs; take the three largest corpus
+    // instances.
+    let mut corpus = scalability_corpus(args.scale, 42);
+    corpus.truncate(3);
+
+    let mut table = Table::new(
+        &format!("Memory requirements [MiB], k = {k}"),
+        &[
+            "graph",
+            "n",
+            "m",
+            "hashing (stream)",
+            "fennel (stream)",
+            "oms / nh-oms (stream)",
+            "multilevel (in-memory)",
+        ],
+    );
+    for (name, graph) in &corpus {
+        let tree = MultisectionTree::flat(k, 4);
+        let hashing = streaming_memory_bytes(graph.num_nodes(), 0);
+        let fennel = streaming_memory_bytes(graph.num_nodes(), k as usize);
+        let oms = streaming_memory_bytes(graph.num_nodes(), tree.num_nodes());
+        let in_memory = graph_memory_bytes(graph, k as usize);
+        table.add_row(vec![
+            name.clone(),
+            graph.num_nodes().to_string(),
+            graph.num_edges().to_string(),
+            format!("{:.1}", hashing.total_mib()),
+            format!("{:.1}", fennel.total_mib()),
+            format!("{:.1}", oms.total_mib()),
+            format!("{:.1}", in_memory.total_mib()),
+        ]);
+    }
+    print!("{}", table.to_text());
+    if let Some(rss) = current_rss_bytes() {
+        println!(
+            "\nprocess RSS after generating the corpus: {:.1} MiB",
+            rss as f64 / (1024.0 * 1024.0)
+        );
+    }
+    table.write_csv(&out_dir.join("memory_requirements.csv")).ok();
+    println!("wrote CSVs to {}", out_dir.display());
+}

@@ -1,0 +1,141 @@
+//! Regenerates Table 2 (average running time and speedup vs. thread count)
+//! and Fig. 3 (per-graph speedup/time curves) for `k = 8192` (configurable
+//! with `--k`).
+//!
+//! Algorithms: parallel Hashing, parallel Fennel, parallel nh-OMS, parallel
+//! OMS (hierarchy `4:16:r` with `64·r = k`) and the multilevel baseline.
+//!
+//! ```text
+//! cargo run --release -p oms-bench --bin scalability -- --scale 0.1 --k 1024
+//! cargo run --release -p oms-bench --bin scalability -- --per-graph
+//! ```
+
+use oms_bench::{scalability_corpus, BenchArgs};
+use oms_core::parallel::{hashing_parallel, onepass_parallel, FlatScorer};
+use oms_core::{HierarchySpec, OmsConfig, OnePassConfig, OnlineMultiSection};
+use oms_graph::CsrGraph;
+use oms_metrics::{geometric_mean, measure_repeated, Table};
+use oms_multilevel::{MultilevelConfig, MultilevelPartitioner};
+use std::collections::BTreeMap;
+
+const ALGOS: &[&str] = &["hashing", "nh-oms", "oms", "fennel", "multilevel"];
+
+fn run(algorithm: &str, graph: &CsrGraph, k: u32, threads: usize, reps: usize) -> f64 {
+    let one_pass = OnePassConfig::default();
+    let (_, secs) = match algorithm {
+        "hashing" => measure_repeated(reps, || {
+            hashing_parallel(graph, k, one_pass, threads).unwrap()
+        }),
+        "fennel" => measure_repeated(reps, || {
+            onepass_parallel(graph, k, FlatScorer::Fennel, one_pass, threads).unwrap()
+        }),
+        "nh-oms" => {
+            let oms = OnlineMultiSection::flat(k, OmsConfig::default()).unwrap();
+            measure_repeated(reps, || oms.partition_graph_parallel(graph, threads).unwrap())
+        }
+        "oms" => {
+            let r = (k / 64).max(2);
+            let hierarchy = HierarchySpec::new(vec![4, 16, r]).unwrap();
+            let oms = OnlineMultiSection::with_hierarchy(hierarchy, OmsConfig::default());
+            measure_repeated(reps, || oms.partition_graph_parallel(graph, threads).unwrap())
+        }
+        "multilevel" => {
+            let ml = MultilevelPartitioner::new(k, MultilevelConfig::default());
+            measure_repeated(reps, || ml.partition_with_threads(graph, threads).unwrap())
+        }
+        other => panic!("unknown algorithm {other}"),
+    };
+    secs
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let out_dir = args.ensure_out_dir();
+    let per_graph = args.rest.iter().any(|a| a == "--per-graph");
+    let k = args.ks.first().copied().unwrap_or(1024);
+    let corpus = scalability_corpus(args.scale, 42);
+    let threads = args.thread_values();
+
+    // algorithm → thread count → per-graph times
+    let mut times: BTreeMap<&str, BTreeMap<usize, Vec<(String, f64)>>> = BTreeMap::new();
+    for &algo in ALGOS {
+        for &t in &threads {
+            for (name, graph) in &corpus {
+                let secs = run(algo, graph, k, t, args.reps);
+                times
+                    .entry(algo)
+                    .or_default()
+                    .entry(t)
+                    .or_default()
+                    .push((name.clone(), secs));
+            }
+        }
+    }
+
+    // ---- Table 2: average running time and speedup per thread count ------
+    let mut table2 = Table::new(
+        &format!("Table 2 — average running time [s] and speedup, k = {k}"),
+        &[
+            "threads",
+            "hashing RT",
+            "hashing SU",
+            "nh-oms RT",
+            "nh-oms SU",
+            "oms RT",
+            "oms SU",
+            "fennel RT",
+            "fennel SU",
+            "multilevel RT",
+            "multilevel SU",
+        ],
+    );
+    let mean_time = |algo: &str, t: usize| -> f64 {
+        geometric_mean(
+            &times[algo][&t]
+                .iter()
+                .map(|(_, secs)| *secs)
+                .collect::<Vec<_>>(),
+        )
+    };
+    for &t in &threads {
+        let mut row = vec![t.to_string()];
+        for &algo in ALGOS {
+            let rt = mean_time(algo, t);
+            let base = mean_time(algo, threads[0]);
+            row.push(format!("{rt:.3}"));
+            row.push(format!("{:.1}", base / rt.max(1e-12)));
+        }
+        table2.add_row(row);
+    }
+    print!("{}", table2.to_text());
+    table2.write_csv(&out_dir.join("table2_scalability.csv")).ok();
+
+    // ---- Fig. 3: per-graph speedups and running times --------------------
+    if per_graph {
+        for (name, _) in &corpus {
+            let mut fig3 = Table::new(
+                &format!("Fig. 3 — {name}: running time [s] (speedup) vs threads, k = {k}"),
+                &["threads", "hashing", "nh-oms", "oms", "fennel", "multilevel"],
+            );
+            for &t in &threads {
+                let mut row = vec![t.to_string()];
+                for &algo in ALGOS {
+                    let get = |tt: usize| {
+                        times[algo][&tt]
+                            .iter()
+                            .find(|(n, _)| n == name)
+                            .map(|(_, s)| *s)
+                            .unwrap_or(f64::NAN)
+                    };
+                    let rt = get(t);
+                    let su = get(threads[0]) / rt.max(1e-12);
+                    row.push(format!("{rt:.3} ({su:.1}x)"));
+                }
+                fig3.add_row(row);
+            }
+            print!("\n{}", fig3.to_text());
+            fig3.write_csv(&out_dir.join(format!("fig3_{name}.csv"))).ok();
+        }
+    }
+    println!("\nwrote CSVs to {}", out_dir.display());
+}

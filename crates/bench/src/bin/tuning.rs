@@ -1,0 +1,138 @@
+//! Regenerates the parameter-tuning results of §4:
+//!
+//! 1. Fennel vs LDG as the multi-section scorer (mapping and edge-cut);
+//! 2. adapted per-subproblem α vs the global k-way α;
+//! 3. base `b = 4` vs `b = 2` for the artificial hierarchy (nh-OMS);
+//! 4. hybrid mode: the bottom ~67 % of layers solved with Hashing.
+//!
+//! ```text
+//! cargo run --release -p oms-bench --bin tuning -- --scale 0.05
+//! ```
+
+use oms_bench::{quality_corpus, BenchArgs};
+use oms_core::{AlphaMode, OmsConfig, OnlineMultiSection, ScorerKind};
+use oms_graph::CsrGraph;
+use oms_mapping::{mapping_cost, Topology};
+use oms_metrics::{edge_cut, geometric_mean, improvement_percent, measure_repeated, Table};
+
+struct Variant {
+    name: &'static str,
+    config: OmsConfig,
+}
+
+fn run_variant(
+    graph: &CsrGraph,
+    topology: &Topology,
+    config: &OmsConfig,
+    reps: usize,
+) -> (u64, u64, f64) {
+    let oms = OnlineMultiSection::with_hierarchy(topology.hierarchy().clone(), *config);
+    let (partition, secs) = measure_repeated(reps, || oms.partition_graph(graph).unwrap());
+    (
+        edge_cut(graph, partition.assignments()),
+        mapping_cost(graph, partition.assignments(), topology),
+        secs,
+    )
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let out_dir = args.ensure_out_dir();
+    let corpus = quality_corpus(args.scale, 42);
+    let topology = Topology::paper_default(4); // S = 4:16:4, k = 256
+    let levels = topology.hierarchy().num_levels();
+
+    let variants = [
+        Variant {
+            name: "fennel-adapted (default)",
+            config: OmsConfig::default(),
+        },
+        Variant {
+            name: "ldg",
+            config: OmsConfig::default().scorer(ScorerKind::Ldg),
+        },
+        Variant {
+            name: "fennel-global-alpha",
+            config: OmsConfig::default().alpha_mode(AlphaMode::Global),
+        },
+        Variant {
+            name: "hybrid-67pct-hashing",
+            config: OmsConfig::default().hashing_bottom_layers((levels * 2) / 3),
+        },
+    ];
+
+    // Per-variant geometric means over the corpus.
+    let mut cut_means = Vec::new();
+    let mut map_means = Vec::new();
+    let mut time_means = Vec::new();
+    for variant in &variants {
+        let mut cuts = Vec::new();
+        let mut maps = Vec::new();
+        let mut times = Vec::new();
+        for (_, graph) in &corpus {
+            let (cut, map, secs) = run_variant(graph, &topology, &variant.config, args.reps);
+            cuts.push(cut as f64);
+            maps.push(map as f64);
+            times.push(secs);
+        }
+        cut_means.push(geometric_mean(&cuts));
+        map_means.push(geometric_mean(&maps));
+        time_means.push(geometric_mean(&times));
+    }
+
+    let mut table = Table::new(
+        &format!(
+            "Parameter tuning (S = {}, D = 1:10:100, geometric means over {} graphs)",
+            topology.hierarchy().to_string_spec(),
+            corpus.len()
+        ),
+        &[
+            "variant",
+            "edge-cut",
+            "mapping J",
+            "time [s]",
+            "cut vs default [%]",
+            "map vs default [%]",
+            "speed vs default",
+        ],
+    );
+    for (i, variant) in variants.iter().enumerate() {
+        table.add_row(vec![
+            variant.name.to_string(),
+            format!("{:.0}", cut_means[i]),
+            format!("{:.0}", map_means[i]),
+            format!("{:.4}", time_means[i]),
+            format!("{:+.1}", improvement_percent(cut_means[i], cut_means[0])),
+            format!("{:+.1}", improvement_percent(map_means[i], map_means[0])),
+            format!("{:.2}x", time_means[0] / time_means[i].max(1e-12)),
+        ]);
+    }
+    print!("{}", table.to_text());
+
+    // Base b ablation for nh-OMS (plain partitioning).
+    let k = 256;
+    let mut base_table = Table::new(
+        &format!("nh-OMS base-b ablation (k = {k}, geometric means)"),
+        &["base b", "edge-cut", "time [s]"],
+    );
+    for base in [2u32, 4, 8] {
+        let mut cuts = Vec::new();
+        let mut times = Vec::new();
+        for (_, graph) in &corpus {
+            let oms = OnlineMultiSection::flat(k, OmsConfig::default().base_b(base)).unwrap();
+            let (partition, secs) = measure_repeated(args.reps, || oms.partition_graph(graph).unwrap());
+            cuts.push(edge_cut(graph, partition.assignments()) as f64);
+            times.push(secs);
+        }
+        base_table.add_row(vec![
+            base.to_string(),
+            format!("{:.0}", geometric_mean(&cuts)),
+            format!("{:.4}", geometric_mean(&times)),
+        ]);
+    }
+    print!("\n{}", base_table.to_text());
+
+    table.write_csv(&out_dir.join("tuning_scorer_alpha_hybrid.csv")).ok();
+    base_table.write_csv(&out_dir.join("tuning_base_b.csv")).ok();
+    println!("\nwrote CSVs to {}", out_dir.display());
+}

@@ -1,0 +1,31 @@
+//! # oms-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the OMS
+//! paper's evaluation (§4). Each binary corresponds to one experiment:
+//!
+//! | binary          | paper artefact                                      |
+//! |-----------------|------------------------------------------------------|
+//! | `corpus_table`  | Table 1 (benchmark instances)                         |
+//! | `tuning`        | §4 parameter-tuning results                           |
+//! | `fig2_quality`  | Fig. 2a/2b (quality) and Fig. 2d/2e (profiles)         |
+//! | `fig2_runtime`  | Fig. 2c (speedup over Fennel) and Fig. 2f (profile)    |
+//! | `scalability`   | Table 2 and Fig. 3 (threads sweep)                     |
+//! | `memory`        | §4.1 memory-requirements paragraph                     |
+//!
+//! All binaries accept `--scale <f>` (instance size multiplier, default
+//! 0.05), `--reps <n>` (repetitions, default 2), `--out <dir>` (CSV output
+//! directory, default `target/experiments`) and `--quick`. The absolute
+//! numbers depend on the host machine and on the synthetic corpus, but the
+//! *relationships* the paper reports (who wins, by roughly which factor, how
+//! results change with `k` and the thread count) are reproduced.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod runners;
+
+pub use args::BenchArgs;
+pub use runners::{
+    mapping_suite, partitioning_suite, quality_corpus, scalability_corpus, AlgoResult,
+};

@@ -1,0 +1,234 @@
+//! Shared experiment drivers: corpus selection and algorithm suites.
+
+use oms_core::{
+    Fennel, Hashing, OmsConfig, OnePassConfig, OnlineMultiSection, Partition,
+    StreamingPartitioner,
+};
+use oms_gen::{scaled_corpus, CorpusClass};
+use oms_graph::CsrGraph;
+use oms_mapping::{mapping_cost, Topology};
+use oms_metrics::{edge_cut, measure_repeated};
+use oms_multilevel::{MultilevelConfig, MultilevelPartitioner, RecursiveMultisection};
+
+/// The outcome of running one algorithm on one instance.
+#[derive(Clone, Debug)]
+pub struct AlgoResult {
+    /// Algorithm name (`hashing`, `fennel`, `oms`, `nh-oms`, `multilevel`,
+    /// `rms` — the latter being the IntMap-like offline recursive
+    /// multi-section).
+    pub algorithm: String,
+    /// Instance name.
+    pub instance: String,
+    /// Number of blocks / PEs.
+    pub k: u32,
+    /// Edge-cut of the produced partition.
+    pub edge_cut: u64,
+    /// Process-mapping cost `J` (0 when no topology is involved).
+    pub mapping_cost: u64,
+    /// Mean running time in seconds.
+    pub seconds: f64,
+}
+
+/// The corpus used by the quality and runtime experiments (all instances).
+pub fn quality_corpus(scale: f64, seed: u64) -> Vec<(String, CsrGraph)> {
+    scaled_corpus(scale, seed)
+        .into_iter()
+        .map(|(name, _, graph)| (name, graph))
+        .collect()
+}
+
+/// The corpus used by the scalability experiments: the paper restricts the
+/// threads sweep to its largest instances, so this keeps only the graphs
+/// above the median node count (and always at least three).
+pub fn scalability_corpus(scale: f64, seed: u64) -> Vec<(String, CsrGraph)> {
+    let mut all: Vec<(String, CorpusClass, CsrGraph)> = scaled_corpus(scale, seed);
+    all.sort_by_key(|(_, _, g)| std::cmp::Reverse(g.num_nodes()));
+    let keep = (all.len() / 2).max(3).min(all.len());
+    all.truncate(keep);
+    all.into_iter().map(|(name, _, g)| (name, g)).collect()
+}
+
+/// Runs the graph-partitioning suite (Hashing, Fennel, nh-OMS, multilevel)
+/// for one instance and one `k`, measuring edge-cut and running time.
+pub fn partitioning_suite(
+    name: &str,
+    graph: &CsrGraph,
+    k: u32,
+    reps: usize,
+    include_in_memory: bool,
+) -> Vec<AlgoResult> {
+    let mut results = Vec::new();
+    let one_pass = OnePassConfig::default();
+
+    let (hash_partition, hash_time) =
+        measure_repeated(reps, || Hashing::new(k, one_pass).partition_graph(graph).unwrap());
+    results.push(result(name, "hashing", k, graph, &hash_partition, None, hash_time));
+
+    let (fennel_partition, fennel_time) =
+        measure_repeated(reps, || Fennel::new(k, one_pass).partition_graph(graph).unwrap());
+    results.push(result(name, "fennel", k, graph, &fennel_partition, None, fennel_time));
+
+    let nh_oms = OnlineMultiSection::flat(k, OmsConfig::default()).unwrap();
+    let (oms_partition, oms_time) = measure_repeated(reps, || nh_oms.partition_graph(graph).unwrap());
+    results.push(result(name, "nh-oms", k, graph, &oms_partition, None, oms_time));
+
+    if include_in_memory {
+        let ml = MultilevelPartitioner::new(k, MultilevelConfig::default());
+        let (ml_partition, ml_time) = measure_repeated(reps, || ml.partition(graph).unwrap());
+        results.push(result(name, "multilevel", k, graph, &ml_partition, None, ml_time));
+    }
+    results
+}
+
+/// Runs the process-mapping suite (Hashing, Fennel with identity mapping,
+/// OMS, offline recursive multi-section) for one instance and one topology.
+pub fn mapping_suite(
+    name: &str,
+    graph: &CsrGraph,
+    topology: &Topology,
+    reps: usize,
+    include_in_memory: bool,
+) -> Vec<AlgoResult> {
+    let k = topology.num_pes();
+    let mut results = Vec::new();
+    let one_pass = OnePassConfig::default();
+
+    let (hash_partition, hash_time) =
+        measure_repeated(reps, || Hashing::new(k, one_pass).partition_graph(graph).unwrap());
+    results.push(result(
+        name,
+        "hashing",
+        k,
+        graph,
+        &hash_partition,
+        Some(topology),
+        hash_time,
+    ));
+
+    let (fennel_partition, fennel_time) =
+        measure_repeated(reps, || Fennel::new(k, one_pass).partition_graph(graph).unwrap());
+    results.push(result(
+        name,
+        "fennel",
+        k,
+        graph,
+        &fennel_partition,
+        Some(topology),
+        fennel_time,
+    ));
+
+    let oms = OnlineMultiSection::with_hierarchy(topology.hierarchy().clone(), OmsConfig::default());
+    let (oms_partition, oms_time) = measure_repeated(reps, || oms.partition_graph(graph).unwrap());
+    results.push(result(
+        name,
+        "oms",
+        k,
+        graph,
+        &oms_partition,
+        Some(topology),
+        oms_time,
+    ));
+
+    if include_in_memory {
+        let rms = RecursiveMultisection::new(topology.hierarchy().clone(), MultilevelConfig::default());
+        let (rms_partition, rms_time) = measure_repeated(reps, || rms.partition(graph).unwrap());
+        results.push(result(
+            name,
+            "rms",
+            k,
+            graph,
+            &rms_partition,
+            Some(topology),
+            rms_time,
+        ));
+    }
+    results
+}
+
+fn result(
+    instance: &str,
+    algorithm: &str,
+    k: u32,
+    graph: &CsrGraph,
+    partition: &Partition,
+    topology: Option<&Topology>,
+    seconds: f64,
+) -> AlgoResult {
+    AlgoResult {
+        algorithm: algorithm.to_string(),
+        instance: instance.to_string(),
+        k,
+        edge_cut: edge_cut(graph, partition.assignments()),
+        mapping_cost: topology
+            .map(|t| mapping_cost(graph, partition.assignments(), t))
+            .unwrap_or(0),
+        seconds,
+    }
+}
+
+/// Builds the paper's default topology `S = 4:16:r`, `D = 1:10:100` for a
+/// given extension factor `r` (`k = 64·r`).
+pub fn paper_topology(r: u32) -> Topology {
+    Topology::paper_default(r.max(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_corpus_is_nonempty_and_valid() {
+        let corpus = quality_corpus(0.02, 1);
+        assert!(corpus.len() >= 10);
+        for (name, g) in &corpus {
+            assert!(g.num_nodes() > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn scalability_corpus_keeps_the_larger_half() {
+        let all = quality_corpus(0.02, 1);
+        let big = scalability_corpus(0.02, 1);
+        assert!(big.len() < all.len());
+        assert!(big.len() >= 3);
+        let min_big = big.iter().map(|(_, g)| g.num_nodes()).min().unwrap();
+        let max_all = all.iter().map(|(_, g)| g.num_nodes()).max().unwrap();
+        assert!(min_big <= max_all);
+    }
+
+    #[test]
+    fn partitioning_suite_reports_all_algorithms() {
+        let g = oms_gen::planted_partition(300, 8, 0.1, 0.01, 3);
+        let results = partitioning_suite("test", &g, 16, 1, true);
+        let names: Vec<&str> = results.iter().map(|r| r.algorithm.as_str()).collect();
+        assert_eq!(names, vec!["hashing", "fennel", "nh-oms", "multilevel"]);
+        // Quality ordering of the paper: multilevel ≤ fennel-ish ≤ hashing.
+        let cut = |a: &str| results.iter().find(|r| r.algorithm == a).unwrap().edge_cut;
+        assert!(cut("multilevel") <= cut("hashing"));
+        assert!(cut("fennel") <= cut("hashing"));
+        assert!(cut("nh-oms") <= cut("hashing"));
+    }
+
+    #[test]
+    fn mapping_suite_reports_mapping_costs() {
+        let g = oms_gen::planted_partition(300, 8, 0.1, 0.01, 5);
+        let topology = Topology::parse("2:2:2", "1:10:100").unwrap();
+        let results = mapping_suite("test", &g, &topology, 1, false);
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(|r| r.mapping_cost > 0));
+        let cost = |a: &str| {
+            results
+                .iter()
+                .find(|r| r.algorithm == a)
+                .unwrap()
+                .mapping_cost
+        };
+        assert!(cost("oms") <= cost("hashing"));
+    }
+
+    #[test]
+    fn paper_topology_has_64r_pes() {
+        assert_eq!(paper_topology(8).num_pes(), 512);
+        assert_eq!(paper_topology(2).num_pes(), 128);
+    }
+}

@@ -1,0 +1,306 @@
+//! `oms` — command-line streaming graph partitioning and process mapping.
+//!
+//! ```text
+//! oms partition <graph.metis|graph.oms> --k 256 [--algo oms|fennel|ldg|hashing|multilevel]
+//!               [--epsilon 0.03] [--threads 4] [--output partition.txt]
+//! oms map       <graph.metis|graph.oms> --hierarchy 4:16:8 --distances 1:10:100
+//!               [--algo oms|fennel|hashing] [--output mapping.txt]
+//! oms convert   <graph.metis> <graph.oms>     # to the binary vertex-stream format
+//! oms generate  <family> <n> <out.metis>      # rgg | delaunay | ba | rmat | grid | er
+//! oms info      <graph.metis|graph.oms>
+//! ```
+//!
+//! Exit code 0 on success, 1 on user error, 2 on internal error.
+
+use oms_core::{
+    Fennel, Hashing, HierarchySpec, Ldg, OmsConfig, OnePassConfig, OnlineMultiSection,
+    Partition, StreamingPartitioner,
+};
+use oms_graph::io::{read_edge_list, read_metis, read_stream_file, write_metis, write_stream_file};
+use oms_graph::CsrGraph;
+use oms_mapping::{mapping_cost, Topology};
+use oms_metrics::{edge_cut, measure};
+use oms_multilevel::{MultilevelConfig, MultilevelPartitioner};
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(Error::Usage(msg)) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+        Err(Error::Internal(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  oms partition <graph> --k <k> [--algo oms|fennel|ldg|hashing|multilevel] [--epsilon 0.03] [--threads T] [--output FILE]
+  oms map       <graph> --hierarchy a1:a2:... [--distances d1:d2:...] [--algo oms|fennel|hashing] [--threads T] [--output FILE]
+  oms convert   <in.metis|in.txt> <out.oms>
+  oms generate  <rgg|delaunay|ba|rmat|grid|er> <n> <out.metis> [--seed S]
+  oms info      <graph>";
+
+enum Error {
+    Usage(String),
+    Internal(String),
+}
+
+impl From<oms_graph::GraphError> for Error {
+    fn from(e: oms_graph::GraphError) -> Self {
+        Error::Internal(format!("graph error: {e}"))
+    }
+}
+
+impl From<oms_core::PartitionError> for Error {
+    fn from(e: oms_core::PartitionError) -> Self {
+        Error::Internal(format!("partitioning error: {e}"))
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Error> {
+    let Some(command) = args.first() else {
+        return Err(Error::Usage("missing command".into()));
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "partition" => partition_command(rest),
+        "map" => map_command(rest),
+        "convert" => convert_command(rest),
+        "generate" => generate_command(rest),
+        "info" => info_command(rest),
+        other => Err(Error::Usage(format!("unknown command '{other}'"))),
+    }
+}
+
+/// Splits positional arguments from `--flag value` options.
+fn split_options(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut options = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = iter.next().cloned().unwrap_or_default();
+            options.insert(name.to_string(), value);
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    (positional, options)
+}
+
+fn load_graph(path: &str) -> Result<CsrGraph, Error> {
+    let p = Path::new(path);
+    let ext = p.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let graph = match ext {
+        "oms" => read_stream_file(p)?,
+        "txt" | "edges" | "el" => read_edge_list(p, None)?,
+        _ => read_metis(p)?,
+    };
+    Ok(graph)
+}
+
+fn write_assignments(path: &str, assignments: &[u32]) -> Result<(), Error> {
+    let body: String = assignments
+        .iter()
+        .map(|b| format!("{b}\n"))
+        .collect();
+    std::fs::write(path, body).map_err(|e| Error::Internal(format!("cannot write {path}: {e}")))
+}
+
+fn partition_command(args: &[String]) -> Result<(), Error> {
+    let (positional, options) = split_options(args);
+    let Some(path) = positional.first() else {
+        return Err(Error::Usage("partition: missing graph file".into()));
+    };
+    let k: u32 = options
+        .get("k")
+        .ok_or_else(|| Error::Usage("partition: --k is required".into()))?
+        .parse()
+        .map_err(|_| Error::Usage("partition: --k must be a positive integer".into()))?;
+    let epsilon: f64 = options
+        .get("epsilon")
+        .map(|s| s.parse().unwrap_or(0.03))
+        .unwrap_or(0.03);
+    let threads: usize = options
+        .get("threads")
+        .map(|s| s.parse().unwrap_or(1))
+        .unwrap_or(1);
+    let algo = options.get("algo").map(|s| s.as_str()).unwrap_or("oms");
+
+    let graph = load_graph(path)?;
+    let one_pass = OnePassConfig::default().epsilon(epsilon);
+    let oms_cfg = OmsConfig::default().epsilon(epsilon);
+    let (partition, secs): (Partition, f64) = match algo {
+        "oms" => {
+            let oms = OnlineMultiSection::flat(k, oms_cfg)?;
+            if threads > 1 {
+                measure(|| oms.partition_graph_parallel(&graph, threads).unwrap())
+            } else {
+                measure(|| oms.partition_graph(&graph).unwrap())
+            }
+        }
+        "fennel" => measure(|| Fennel::new(k, one_pass).partition_graph(&graph).unwrap()),
+        "ldg" => measure(|| Ldg::new(k, one_pass).partition_graph(&graph).unwrap()),
+        "hashing" => measure(|| Hashing::new(k, one_pass).partition_graph(&graph).unwrap()),
+        "multilevel" => {
+            let cfg = MultilevelConfig {
+                epsilon,
+                threads,
+                ..MultilevelConfig::default()
+            };
+            measure(|| MultilevelPartitioner::new(k, cfg).partition(&graph).unwrap())
+        }
+        other => return Err(Error::Usage(format!("unknown algorithm '{other}'"))),
+    };
+
+    println!("graph      : {path} (n = {}, m = {})", graph.num_nodes(), graph.num_edges());
+    println!("algorithm  : {algo}, k = {k}, epsilon = {epsilon}");
+    println!("edge-cut   : {}", edge_cut(&graph, partition.assignments()));
+    println!("imbalance  : {:.4}", partition.imbalance());
+    println!("time       : {secs:.4} s");
+    if let Some(output) = options.get("output") {
+        write_assignments(output, partition.assignments())?;
+        println!("partition written to {output}");
+    }
+    Ok(())
+}
+
+fn map_command(args: &[String]) -> Result<(), Error> {
+    let (positional, options) = split_options(args);
+    let Some(path) = positional.first() else {
+        return Err(Error::Usage("map: missing graph file".into()));
+    };
+    let hierarchy = options
+        .get("hierarchy")
+        .ok_or_else(|| Error::Usage("map: --hierarchy is required (e.g. 4:16:8)".into()))?;
+    let distances = options
+        .get("distances")
+        .cloned()
+        .unwrap_or_else(|| "1:10:100".to_string());
+    let threads: usize = options
+        .get("threads")
+        .map(|s| s.parse().unwrap_or(1))
+        .unwrap_or(1);
+    let algo = options.get("algo").map(|s| s.as_str()).unwrap_or("oms");
+
+    let hierarchy = HierarchySpec::parse(hierarchy)?;
+    let topology = Topology::parse(&hierarchy.to_string_spec(), &distances)?;
+    let k = topology.num_pes();
+    let graph = load_graph(path)?;
+
+    let (partition, secs): (Partition, f64) = match algo {
+        "oms" => {
+            let oms = OnlineMultiSection::with_hierarchy(hierarchy, OmsConfig::default());
+            if threads > 1 {
+                measure(|| oms.partition_graph_parallel(&graph, threads).unwrap())
+            } else {
+                measure(|| oms.partition_graph(&graph).unwrap())
+            }
+        }
+        "fennel" => measure(|| {
+            Fennel::new(k, OnePassConfig::default())
+                .partition_graph(&graph)
+                .unwrap()
+        }),
+        "hashing" => measure(|| {
+            Hashing::new(k, OnePassConfig::default())
+                .partition_graph(&graph)
+                .unwrap()
+        }),
+        other => return Err(Error::Usage(format!("unknown mapping algorithm '{other}'"))),
+    };
+
+    println!("graph        : {path} (n = {}, m = {})", graph.num_nodes(), graph.num_edges());
+    println!("topology     : S = {}, D = {}", topology.hierarchy().to_string_spec(), distances);
+    println!("algorithm    : {algo}, k = {k} PEs");
+    println!("mapping cost : {}", mapping_cost(&graph, partition.assignments(), &topology));
+    println!("edge-cut     : {}", edge_cut(&graph, partition.assignments()));
+    println!("imbalance    : {:.4}", partition.imbalance());
+    println!("time         : {secs:.4} s");
+    if let Some(output) = options.get("output") {
+        write_assignments(output, partition.assignments())?;
+        println!("mapping written to {output}");
+    }
+    Ok(())
+}
+
+fn convert_command(args: &[String]) -> Result<(), Error> {
+    let (positional, _) = split_options(args);
+    let (Some(input), Some(output)) = (positional.first(), positional.get(1)) else {
+        return Err(Error::Usage("convert: need <input> and <output>".into()));
+    };
+    let graph = load_graph(input)?;
+    write_stream_file(&graph, output)?;
+    println!(
+        "wrote {output} (n = {}, m = {})",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    Ok(())
+}
+
+fn generate_command(args: &[String]) -> Result<(), Error> {
+    let (positional, options) = split_options(args);
+    let (Some(family), Some(n), Some(output)) =
+        (positional.first(), positional.get(1), positional.get(2))
+    else {
+        return Err(Error::Usage("generate: need <family> <n> <output>".into()));
+    };
+    let n: usize = n
+        .parse()
+        .map_err(|_| Error::Usage("generate: <n> must be an integer".into()))?;
+    let seed: u64 = options
+        .get("seed")
+        .map(|s| s.parse().unwrap_or(42))
+        .unwrap_or(42);
+    let graph = match family.as_str() {
+        "rgg" => oms_gen::random_geometric_graph(n, seed),
+        "delaunay" => oms_gen::delaunay_graph(n, seed),
+        "ba" => oms_gen::barabasi_albert(n.max(5), 4, seed),
+        "rmat" => {
+            let scale = (n as f64).log2().ceil() as u32;
+            oms_gen::rmat_graph(scale, n * 8, oms_gen::RmatParams::GRAPH500, seed)
+        }
+        "grid" => {
+            let side = (n as f64).sqrt().ceil() as usize;
+            oms_gen::grid_2d(side, side)
+        }
+        "er" => oms_gen::erdos_renyi_gnm(n, n * 4, seed),
+        other => return Err(Error::Usage(format!("unknown graph family '{other}'"))),
+    };
+    write_metis(&graph, output)?;
+    println!(
+        "wrote {output} ({family}, n = {}, m = {})",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    Ok(())
+}
+
+fn info_command(args: &[String]) -> Result<(), Error> {
+    let (positional, _) = split_options(args);
+    let Some(path) = positional.first() else {
+        return Err(Error::Usage("info: missing graph file".into()));
+    };
+    let graph = load_graph(path)?;
+    println!("file         : {path}");
+    println!("nodes        : {}", graph.num_nodes());
+    println!("edges        : {}", graph.num_edges());
+    println!("max degree   : {}", graph.max_degree());
+    println!("avg degree   : {:.2}", graph.average_degree());
+    println!("total weight : {}", graph.total_node_weight());
+    println!("unweighted   : {}", graph.is_unweighted());
+    println!(
+        "connected    : {}",
+        oms_graph::traversal::is_connected(&graph)
+    );
+    Ok(())
+}

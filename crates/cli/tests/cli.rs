@@ -1,0 +1,115 @@
+//! End-to-end tests of the `oms` command-line tool: generate a graph,
+//! inspect it, convert it, partition it and map it, checking exit codes and
+//! output files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn oms() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_oms"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("oms-cli-tests").join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let output = oms().output().unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("usage"), "stderr was: {stderr}");
+}
+
+#[test]
+fn unknown_command_fails_with_exit_code_one() {
+    let output = oms().arg("frobnicate").output().unwrap();
+    assert_eq!(output.status.code(), Some(1));
+}
+
+#[test]
+fn generate_info_partition_roundtrip() {
+    let dir = temp_dir("roundtrip");
+    let graph_path = dir.join("rgg.metis");
+    let partition_path = dir.join("partition.txt");
+
+    // generate
+    let output = oms()
+        .args(["generate", "rgg", "2000"])
+        .arg(&graph_path)
+        .args(["--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    assert!(graph_path.exists());
+
+    // info
+    let output = oms().arg("info").arg(&graph_path).output().unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("nodes        : 2000"), "stdout was: {stdout}");
+
+    // partition with nh-OMS and write the assignment file
+    let output = oms()
+        .arg("partition")
+        .arg(&graph_path)
+        .args(["--k", "16", "--algo", "oms", "--output"])
+        .arg(&partition_path)
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("edge-cut"), "stdout was: {stdout}");
+    let lines = std::fs::read_to_string(&partition_path).unwrap();
+    assert_eq!(lines.lines().count(), 2000);
+    assert!(lines.lines().all(|l| l.parse::<u32>().map(|b| b < 16).unwrap_or(false)));
+}
+
+#[test]
+fn convert_and_map_from_stream_format() {
+    let dir = temp_dir("map");
+    let metis_path = dir.join("ba.metis");
+    let stream_path = dir.join("ba.oms");
+
+    let output = oms()
+        .args(["generate", "ba", "1500"])
+        .arg(&metis_path)
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+
+    let output = oms()
+        .arg("convert")
+        .arg(&metis_path)
+        .arg(&stream_path)
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    assert!(stream_path.exists());
+
+    let output = oms()
+        .arg("map")
+        .arg(&stream_path)
+        .args(["--hierarchy", "2:2:4", "--distances", "1:10:100"])
+        .output()
+        .unwrap();
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("mapping cost"), "stdout was: {stdout}");
+    assert!(stdout.contains("k = 16 PEs"), "stdout was: {stdout}");
+}
+
+#[test]
+fn partition_requires_k() {
+    let dir = temp_dir("missing-k");
+    let graph_path = dir.join("g.metis");
+    oms()
+        .args(["generate", "grid", "100"])
+        .arg(&graph_path)
+        .output()
+        .unwrap();
+    let output = oms().arg("partition").arg(&graph_path).output().unwrap();
+    assert_eq!(output.status.code(), Some(1));
+}

@@ -1,0 +1,204 @@
+//! Configuration of the streaming partitioners.
+
+/// The one-pass scoring function used to solve a partitioning (sub)problem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScorerKind {
+    /// Fennel's additive-penalty objective (Tsourakakis et al.), the paper's
+    /// default scorer.
+    Fennel,
+    /// Linear deterministic greedy (Stanton & Kliot) with its multiplicative
+    /// penalty.
+    Ldg,
+    /// Random hash assignment — fastest, worst quality.
+    Hashing,
+}
+
+/// How Fennel's `α` parameter is chosen for the multi-section subproblems.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlphaMode {
+    /// Recompute `α` per subproblem from its own `(kᵢ, mᵢ, nᵢ)`
+    /// (§3.2 "Fennel Mapping"), the paper's tuned default: `αᵢ = α / √(Π_{r<i} a_r)`.
+    Adapted,
+    /// Use the global `α = √k · m / n^{3/2}` of the original `k`-way problem
+    /// for every subproblem (the ablation baseline).
+    Global,
+}
+
+/// Configuration shared by the OMS / nh-OMS partitioners.
+#[derive(Clone, Copy, Debug)]
+pub struct OmsConfig {
+    /// Allowed imbalance ε of the balance constraint
+    /// `L_max = ⌈(1+ε)·c(V)/k⌉`. The paper uses 3 % everywhere.
+    pub epsilon: f64,
+    /// Scoring function for the non-hybrid layers.
+    pub scorer: ScorerKind,
+    /// `α` strategy for Fennel subproblems.
+    pub alpha_mode: AlphaMode,
+    /// Number of *bottom* tree layers solved with Hashing instead of the
+    /// configured scorer (the hybrid mapping of §3.2). `0` disables
+    /// hybridisation.
+    pub hashing_bottom_layers: usize,
+    /// Base `b` of the artificial multi-section tree built when no hierarchy
+    /// is given (nh-OMS). The paper's tuning selects `b = 4`.
+    pub base_b: u32,
+    /// Fennel's exponent γ; the paper (following Tsourakakis et al.) uses 1.5.
+    pub gamma: f64,
+    /// Seed for the Hashing scorer and any tie-breaking randomisation.
+    pub seed: u64,
+}
+
+impl Default for OmsConfig {
+    fn default() -> Self {
+        OmsConfig {
+            epsilon: 0.03,
+            scorer: ScorerKind::Fennel,
+            alpha_mode: AlphaMode::Adapted,
+            hashing_bottom_layers: 0,
+            base_b: 4,
+            gamma: 1.5,
+            seed: 0,
+        }
+    }
+}
+
+impl OmsConfig {
+    /// Creates the default configuration (Fennel scorer, adapted α, ε = 3 %,
+    /// base 4).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the allowed imbalance ε.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the scoring function.
+    pub fn scorer(mut self, scorer: ScorerKind) -> Self {
+        self.scorer = scorer;
+        self
+    }
+
+    /// Sets the α mode.
+    pub fn alpha_mode(mut self, mode: AlphaMode) -> Self {
+        self.alpha_mode = mode;
+        self
+    }
+
+    /// Solves the given number of bottom layers with Hashing (hybrid mode).
+    pub fn hashing_bottom_layers(mut self, layers: usize) -> Self {
+        self.hashing_bottom_layers = layers;
+        self
+    }
+
+    /// Sets the base of the artificial hierarchy used by nh-OMS.
+    pub fn base_b(mut self, b: u32) -> Self {
+        self.base_b = b;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets Fennel's γ exponent.
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+}
+
+/// Configuration of the flat one-pass baselines (Fennel, LDG, Hashing).
+#[derive(Clone, Copy, Debug)]
+pub struct OnePassConfig {
+    /// Allowed imbalance ε.
+    pub epsilon: f64,
+    /// Fennel's γ exponent.
+    pub gamma: f64,
+    /// Seed for Hashing / tie breaking.
+    pub seed: u64,
+}
+
+impl Default for OnePassConfig {
+    fn default() -> Self {
+        OnePassConfig {
+            epsilon: 0.03,
+            gamma: 1.5,
+            seed: 0,
+        }
+    }
+}
+
+impl OnePassConfig {
+    /// Creates the default configuration (ε = 3 %, γ = 1.5).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the allowed imbalance ε.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets Fennel's γ exponent.
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_tuning() {
+        let cfg = OmsConfig::default();
+        assert_eq!(cfg.epsilon, 0.03);
+        assert_eq!(cfg.scorer, ScorerKind::Fennel);
+        assert_eq!(cfg.alpha_mode, AlphaMode::Adapted);
+        assert_eq!(cfg.base_b, 4);
+        assert_eq!(cfg.hashing_bottom_layers, 0);
+        assert_eq!(cfg.gamma, 1.5);
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let cfg = OmsConfig::new()
+            .epsilon(0.1)
+            .scorer(ScorerKind::Ldg)
+            .alpha_mode(AlphaMode::Global)
+            .hashing_bottom_layers(2)
+            .base_b(2)
+            .seed(99)
+            .gamma(2.0);
+        assert_eq!(cfg.epsilon, 0.1);
+        assert_eq!(cfg.scorer, ScorerKind::Ldg);
+        assert_eq!(cfg.alpha_mode, AlphaMode::Global);
+        assert_eq!(cfg.hashing_bottom_layers, 2);
+        assert_eq!(cfg.base_b, 2);
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.gamma, 2.0);
+    }
+
+    #[test]
+    fn one_pass_defaults() {
+        let cfg = OnePassConfig::default();
+        assert_eq!(cfg.epsilon, 0.03);
+        assert_eq!(cfg.gamma, 1.5);
+        let cfg = OnePassConfig::new().epsilon(0.05).seed(7).gamma(1.25);
+        assert_eq!(cfg.epsilon, 0.05);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.gamma, 1.25);
+    }
+}

@@ -1,0 +1,101 @@
+//! # oms-core
+//!
+//! The heart of the reproduction: **online recursive multi-section** (OMS),
+//! a one-pass streaming algorithm that computes hierarchical graph
+//! partitionings and process mappings on the fly, plus the one-pass
+//! state-of-the-art baselines it is compared against (Fennel, LDG, Hashing).
+//!
+//! ## Streaming partitioning in one pass
+//!
+//! All algorithms in this crate follow the one-pass model: a node arrives
+//! together with its adjacency list and is immediately and permanently
+//! assigned to a block. The only global quantities available are `n`, `m`
+//! and the total node weight.
+//!
+//! * [`Hashing`], [`Ldg`] and [`Fennel`] are the flat `k`-way baselines
+//!   (§2.2 of the paper).
+//! * [`OnlineMultiSection`] is the paper's contribution (§3): each node is
+//!   routed down a *multi-section tree* — either the communication hierarchy
+//!   `S = a1:a2:…:aℓ` (process mapping, "OMS") or an artificial recursive
+//!   `b`-section tree for arbitrary `k` (plain partitioning, "nh-OMS").
+//! * [`parallel`] contains the shared-memory parallel drivers (§3.4):
+//!   vertex-centric chunking with atomic block-weight updates.
+//! * [`restream`] contains the multi-pass restreaming extensions (ReFennel /
+//!   ReLDG style), mentioned in §3.2 of the paper as an extension.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use oms_core::{OnlineMultiSection, OmsConfig, HierarchySpec, StreamingPartitioner};
+//! use oms_graph::{CsrGraph, InMemoryStream};
+//!
+//! let graph = CsrGraph::from_edges(8, &[
+//!     (0, 1), (1, 2), (2, 3), (3, 0),      // one community
+//!     (4, 5), (5, 6), (6, 7), (7, 4),      // another community
+//!     (0, 4),                              // a single bridge
+//! ]).unwrap();
+//! let hierarchy = HierarchySpec::parse("2:2").unwrap();   // k = 4 PEs
+//! let oms = OnlineMultiSection::with_hierarchy(hierarchy, OmsConfig::default());
+//! let partition = oms.partition_stream(&mut InMemoryStream::new(&graph)).unwrap();
+//! assert_eq!(partition.num_blocks(), 4);
+//! assert_eq!(partition.assignments().len(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod hierarchy;
+pub mod mstree;
+pub mod oms;
+pub mod onepass;
+pub mod parallel;
+pub mod partition;
+pub mod restream;
+pub mod scorer;
+
+pub use config::{AlphaMode, OmsConfig, OnePassConfig, ScorerKind};
+pub use hierarchy::{DistanceSpec, HierarchySpec};
+pub use mstree::MultisectionTree;
+pub use oms::OnlineMultiSection;
+pub use onepass::{Fennel, Hashing, Ldg, StreamingPartitioner};
+pub use partition::{BlockId, Partition};
+
+/// Errors produced by the partitioning algorithms.
+#[derive(Debug)]
+pub enum PartitionError {
+    /// A hierarchy or distance string could not be parsed.
+    InvalidSpec(String),
+    /// The requested configuration is inconsistent (e.g. `k = 0`).
+    InvalidConfig(String),
+    /// The underlying graph stream failed.
+    Graph(oms_graph::GraphError),
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::InvalidSpec(msg) => write!(f, "invalid specification: {msg}"),
+            PartitionError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PartitionError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PartitionError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<oms_graph::GraphError> for PartitionError {
+    fn from(e: oms_graph::GraphError) -> Self {
+        PartitionError::Graph(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, PartitionError>;

@@ -1,0 +1,459 @@
+//! Online recursive multi-section (Algorithm 1 of the paper).
+//!
+//! Every streamed node is routed down the multi-section tree: it is first
+//! assigned to one of the root's children (the topmost hierarchy layer),
+//! then, within the chosen block, to one of its children, and so on until a
+//! leaf — i.e. an actual block / PE — is reached. Because each layer's
+//! decision only depends on nodes streamed earlier, the result is *identical*
+//! to running `ℓ` successive passes of the per-layer partitioner, but needs
+//! only a single pass.
+//!
+//! Per layer the candidate children are scored with Fennel (using the
+//! adapted `αᵢ` of §3.2 by default), LDG or Hashing; the hybrid mode solves
+//! the bottom layers with Hashing for an additional speedup at some quality
+//! cost (Theorem 3).
+
+use crate::config::{OmsConfig, ScorerKind};
+use crate::hierarchy::HierarchySpec;
+use crate::mstree::MultisectionTree;
+use crate::onepass::StreamingPartitioner;
+use crate::partition::{Partition, UNASSIGNED};
+use crate::scorer::{select_fennel, select_hashing, select_ldg, Candidate};
+use crate::{BlockId, PartitionError, Result};
+use oms_graph::{CsrGraph, EdgeWeight, InMemoryStream, NodeStream, NodeWeight};
+
+/// The online recursive multi-section partitioner (OMS / nh-OMS).
+#[derive(Clone, Debug)]
+pub struct OnlineMultiSection {
+    tree: MultisectionTree,
+    config: OmsConfig,
+}
+
+impl OnlineMultiSection {
+    /// OMS: multi-section along an explicit communication hierarchy.
+    pub fn with_hierarchy(hierarchy: HierarchySpec, config: OmsConfig) -> Self {
+        OnlineMultiSection {
+            tree: MultisectionTree::from_hierarchy(&hierarchy),
+            config,
+        }
+    }
+
+    /// nh-OMS: plain `k`-way partitioning through an artificial recursive
+    /// `b`-section hierarchy (`b` comes from [`OmsConfig::base_b`]).
+    pub fn flat(k: u32, config: OmsConfig) -> Result<Self> {
+        if k == 0 {
+            return Err(PartitionError::InvalidConfig(
+                "the number of blocks k must be positive".into(),
+            ));
+        }
+        if config.base_b < 2 {
+            return Err(PartitionError::InvalidConfig(
+                "the multi-section base must be at least 2".into(),
+            ));
+        }
+        Ok(OnlineMultiSection {
+            tree: MultisectionTree::flat(k, config.base_b),
+            config,
+        })
+    }
+
+    /// Builds an OMS instance from an explicit, pre-built multi-section tree.
+    pub fn with_tree(tree: MultisectionTree, config: OmsConfig) -> Self {
+        OnlineMultiSection { tree, config }
+    }
+
+    /// The underlying multi-section tree.
+    pub fn tree(&self) -> &MultisectionTree {
+        &self.tree
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OmsConfig {
+        &self.config
+    }
+
+    /// Whether a decision among children at tree depth `child_depth` is
+    /// solved with Hashing under the hybrid configuration.
+    pub(crate) fn hybrid_uses_hashing(&self, child_depth: usize) -> bool {
+        if self.config.scorer == ScorerKind::Hashing {
+            return true;
+        }
+        if self.config.hashing_bottom_layers == 0 {
+            return false;
+        }
+        // Layers are counted from the bottom: the deepest decision is layer 1.
+        let layers_from_bottom = self.tree.max_depth() + 1 - child_depth;
+        layers_from_bottom <= self.config.hashing_bottom_layers
+    }
+}
+
+/// The per-run mutable state of an OMS pass. Separate from
+/// [`OnlineMultiSection`] so that the restreaming driver can keep it alive
+/// across passes.
+pub(crate) struct OmsState {
+    pub(crate) assignments: Vec<BlockId>,
+    pub(crate) node_weights: Vec<NodeWeight>,
+    /// Weight of every tree node (block or sub-block). Lemma 1: `O(k)` many.
+    pub(crate) tree_weights: Vec<NodeWeight>,
+    capacities: Vec<NodeWeight>,
+    alphas: Vec<f64>,
+    /// Scratch connectivity buffer, sized to the maximum fan-out.
+    conn: Vec<EdgeWeight>,
+    candidates: Vec<Candidate>,
+}
+
+impl OmsState {
+    pub(crate) fn new<S: NodeStream>(oms: &OnlineMultiSection, stream: &S) -> Self {
+        let tree = &oms.tree;
+        let n = stream.num_nodes();
+        let max_fan_out = (0..tree.num_nodes() as u32)
+            .map(|v| tree.children(v).len())
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        OmsState {
+            assignments: vec![UNASSIGNED; n],
+            node_weights: vec![0; n],
+            tree_weights: vec![0; tree.num_nodes()],
+            capacities: tree.capacities(stream.total_node_weight(), oms.config.epsilon),
+            alphas: tree.alphas(stream.num_edges(), n, oms.config.alpha_mode),
+            conn: vec![0; max_fan_out],
+            candidates: Vec::with_capacity(max_fan_out),
+        }
+    }
+
+    /// Routes one streamed node down the tree and records its assignment.
+    pub(crate) fn assign(&mut self, oms: &OnlineMultiSection, node: oms_graph::StreamedNode<'_>) {
+        let tree = &oms.tree;
+        let mut cur = tree.root();
+        loop {
+            let children = tree.children(cur);
+            if children.is_empty() {
+                break;
+            }
+            let child_depth = tree.depth(cur) as usize + 1;
+            let chosen_idx = if oms.hybrid_uses_hashing(child_depth) {
+                // Mix the subproblem id into the seed so different
+                // subproblems shuffle nodes independently.
+                select_hashing(
+                    children.len(),
+                    node.node,
+                    oms.config.seed ^ (cur as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                )
+            } else {
+                self.score_children(oms, cur, children, &node)
+            };
+            let chosen = children[chosen_idx];
+            self.tree_weights[chosen as usize] += node.weight;
+            cur = chosen;
+        }
+        let block = tree
+            .leaf_block(cur)
+            .expect("descent always terminates at a leaf");
+        self.assignments[node.node as usize] = block;
+        self.node_weights[node.node as usize] = node.weight;
+    }
+
+    /// Scores the children of `cur` for `node` and returns the index of the
+    /// selected child.
+    fn score_children(
+        &mut self,
+        oms: &OnlineMultiSection,
+        cur: u32,
+        children: &[u32],
+        node: &oms_graph::StreamedNode<'_>,
+    ) -> usize {
+        let tree = &oms.tree;
+        let path_index = tree.depth(cur) as usize;
+        // Connectivity of the streamed node towards each candidate child:
+        // a neighbor assigned to block b contributes to the child that lies
+        // on b's tree path, provided b is below `cur` at all.
+        self.conn[..children.len()].fill(0);
+        for (u, w) in node.neighbors_weighted() {
+            let b = self.assignments[u as usize];
+            if b == UNASSIGNED {
+                continue;
+            }
+            let path = tree.path_of_block(b);
+            if path.len() <= path_index {
+                continue;
+            }
+            if path_index > 0 && path[path_index - 1] != cur {
+                continue;
+            }
+            let child = path[path_index];
+            self.conn[tree.child_index(child) as usize] += w;
+        }
+
+        self.candidates.clear();
+        for (i, &child) in children.iter().enumerate() {
+            self.candidates.push(Candidate {
+                weight: self.tree_weights[child as usize],
+                capacity: self.capacities[child as usize],
+                connectivity: self.conn[i],
+                alpha: self.alphas[child as usize],
+            });
+        }
+        match oms.config.scorer {
+            ScorerKind::Fennel => select_fennel(&self.candidates, node.weight, oms.config.gamma),
+            ScorerKind::Ldg => select_ldg(&self.candidates, node.weight),
+            ScorerKind::Hashing => unreachable!("handled by hybrid_uses_hashing"),
+        }
+    }
+
+    /// Removes a node's previous assignment along its whole tree path
+    /// (used by restreaming passes).
+    pub(crate) fn unassign(&mut self, tree: &MultisectionTree, node: oms_graph::NodeId) {
+        let b = self.assignments[node as usize];
+        if b == UNASSIGNED {
+            return;
+        }
+        let w = self.node_weights[node as usize];
+        for &tree_node in tree.path_of_block(b) {
+            self.tree_weights[tree_node as usize] -= w;
+        }
+        self.assignments[node as usize] = UNASSIGNED;
+    }
+
+    pub(crate) fn into_partition(self, k: u32) -> Partition {
+        Partition::from_assignments(k, self.assignments, &self.node_weights)
+    }
+}
+
+impl StreamingPartitioner for OnlineMultiSection {
+    fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition> {
+        let mut state = OmsState::new(self, stream);
+        stream.for_each_node(|node| state.assign(self, node))?;
+        Ok(state.into_partition(self.tree.num_blocks()))
+    }
+
+    fn num_blocks(&self) -> u32 {
+        self.tree.num_blocks()
+    }
+
+    fn name(&self) -> &'static str {
+        "oms"
+    }
+}
+
+impl OnlineMultiSection {
+    /// Convenience wrapper streaming an in-memory graph in natural order.
+    pub fn partition_graph(&self, graph: &CsrGraph) -> Result<Partition> {
+        self.partition_stream(&mut InMemoryStream::new(graph))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AlphaMode, OmsConfig, ScorerKind};
+    use crate::onepass::{Fennel, Hashing};
+    use crate::OnePassConfig;
+    use oms_gen::planted_partition;
+
+    fn two_cliques() -> CsrGraph {
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+                edges.push((u + 5, v + 5));
+            }
+        }
+        edges.push((0, 5));
+        CsrGraph::from_edges(10, &edges).unwrap()
+    }
+
+    #[test]
+    fn oms_with_hierarchy_produces_valid_partition() {
+        let g = planted_partition(200, 8, 0.2, 0.01, 3);
+        let h = HierarchySpec::parse("2:2:2").unwrap();
+        let oms = OnlineMultiSection::with_hierarchy(h, OmsConfig::default());
+        let p = oms.partition_graph(&g).unwrap();
+        assert_eq!(p.num_blocks(), 8);
+        assert_eq!(p.num_nodes(), 200);
+        assert!(p.validate(&vec![1; 200]));
+        assert!(p.is_balanced(0.03 + 1e-9), "imbalance {}", p.imbalance());
+    }
+
+    #[test]
+    fn oms_flat_produces_valid_partition_for_non_power_of_base() {
+        let g = planted_partition(300, 10, 0.15, 0.01, 5);
+        for k in [3u32, 5, 10, 13, 37] {
+            let oms = OnlineMultiSection::flat(k, OmsConfig::default()).unwrap();
+            let p = oms.partition_graph(&g).unwrap();
+            assert_eq!(p.num_blocks(), k);
+            assert!(p.is_balanced(0.03 + 1e-9), "k={k} imbalance {}", p.imbalance());
+            assert_eq!(p.num_nodes(), 300);
+        }
+    }
+
+    #[test]
+    fn oms_separates_two_cliques_with_ldg_scorer() {
+        // With the LDG scorer and ε = 0, the first clique exactly fills one
+        // block and the second clique is forced into the other, cutting only
+        // the bridge edge (the Fennel scorer's additive penalty spreads the
+        // first few nodes on such tiny graphs — see the baseline tests).
+        let g = two_cliques();
+        let oms = OnlineMultiSection::flat(
+            2,
+            OmsConfig::default().epsilon(0.0).scorer(ScorerKind::Ldg),
+        )
+        .unwrap();
+        let p = oms.partition_graph(&g).unwrap();
+        assert_eq!(p.edge_cut(&g), 1);
+        assert!(p.is_balanced(0.0));
+    }
+
+    #[test]
+    fn nh_oms_cut_is_close_to_fennel_and_better_than_hashing() {
+        // Headline relationship of the paper (Fig. 2b): Fennel cuts slightly
+        // fewer edges than nh-OMS; both cut far fewer than Hashing.
+        let g = planted_partition(600, 16, 0.12, 0.004, 11);
+        let k = 16;
+        let fennel = Fennel::new(k, OnePassConfig::default()).partition_graph(&g).unwrap();
+        let hashing = Hashing::new(k, OnePassConfig::default()).partition_graph(&g).unwrap();
+        let oms = OnlineMultiSection::flat(k, OmsConfig::default())
+            .unwrap()
+            .partition_graph(&g)
+            .unwrap();
+        let (c_f, c_h, c_o) = (fennel.edge_cut(&g), hashing.edge_cut(&g), oms.edge_cut(&g));
+        assert!(c_o < c_h, "oms {c_o} must beat hashing {c_h}");
+        // nh-OMS may cut somewhat more than Fennel (paper: ~5 % more); allow
+        // a generous factor to keep the test robust.
+        assert!(
+            (c_o as f64) < 2.0 * c_f as f64 + 10.0,
+            "oms {c_o} too far from fennel {c_f}"
+        );
+    }
+
+    #[test]
+    fn oms_single_block_assigns_everything_to_block_zero() {
+        let g = two_cliques();
+        let oms = OnlineMultiSection::flat(1, OmsConfig::default()).unwrap();
+        let p = oms.partition_graph(&g).unwrap();
+        assert!(p.assignments().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn oms_with_ldg_scorer_works() {
+        let g = planted_partition(200, 8, 0.2, 0.01, 7);
+        let oms =
+            OnlineMultiSection::flat(8, OmsConfig::default().scorer(ScorerKind::Ldg)).unwrap();
+        let p = oms.partition_graph(&g).unwrap();
+        assert!(p.is_balanced(0.03 + 1e-9));
+        let hashing = Hashing::new(8, OnePassConfig::default()).partition_graph(&g).unwrap();
+        assert!(p.edge_cut(&g) <= hashing.edge_cut(&g));
+    }
+
+    #[test]
+    fn oms_with_hashing_scorer_matches_multi_level_hashing_balance() {
+        let g = planted_partition(400, 8, 0.1, 0.01, 9);
+        let oms =
+            OnlineMultiSection::flat(8, OmsConfig::default().scorer(ScorerKind::Hashing)).unwrap();
+        let p = oms.partition_graph(&g).unwrap();
+        assert_eq!(p.num_nodes(), 400);
+        // Hashing ignores balance constraints but should remain statistically
+        // balanced.
+        assert!(p.imbalance() < 0.5, "imbalance {}", p.imbalance());
+    }
+
+    #[test]
+    fn hybrid_hashing_layers_degrade_quality_but_keep_validity() {
+        let g = planted_partition(500, 16, 0.12, 0.004, 13);
+        let h = HierarchySpec::parse("2:2:2:2").unwrap();
+        let pure = OnlineMultiSection::with_hierarchy(h.clone(), OmsConfig::default())
+            .partition_graph(&g)
+            .unwrap();
+        let hybrid = OnlineMultiSection::with_hierarchy(
+            h,
+            OmsConfig::default().hashing_bottom_layers(2),
+        )
+        .partition_graph(&g)
+        .unwrap();
+        assert_eq!(hybrid.num_nodes(), 500);
+        assert!(hybrid.edge_cut(&g) >= pure.edge_cut(&g));
+    }
+
+    #[test]
+    fn hybrid_layer_selection_counts_from_bottom() {
+        let h = HierarchySpec::parse("2:2:2").unwrap();
+        let oms = OnlineMultiSection::with_hierarchy(
+            h,
+            OmsConfig::default().hashing_bottom_layers(2),
+        );
+        // Tree depth 3: the decision at child depth 1 (top layer) stays with
+        // Fennel, the ones at depths 2 and 3 use Hashing.
+        assert!(!oms.hybrid_uses_hashing(1));
+        assert!(oms.hybrid_uses_hashing(2));
+        assert!(oms.hybrid_uses_hashing(3));
+    }
+
+    #[test]
+    fn adapted_alpha_differs_from_global_alpha_in_results_or_quality() {
+        let g = planted_partition(400, 16, 0.1, 0.01, 17);
+        let h = HierarchySpec::parse("4:4").unwrap();
+        let adapted = OnlineMultiSection::with_hierarchy(h.clone(), OmsConfig::default())
+            .partition_graph(&g)
+            .unwrap();
+        let global = OnlineMultiSection::with_hierarchy(
+            h,
+            OmsConfig::default().alpha_mode(AlphaMode::Global),
+        )
+        .partition_graph(&g)
+        .unwrap();
+        // Both must be valid; they will usually differ.
+        assert!(adapted.is_balanced(0.031));
+        assert_eq!(global.num_nodes(), 400);
+    }
+
+    #[test]
+    fn oms_is_deterministic() {
+        let g = planted_partition(300, 8, 0.15, 0.01, 19);
+        let make = || {
+            OnlineMultiSection::flat(8, OmsConfig::default().seed(5))
+                .unwrap()
+                .partition_graph(&g)
+                .unwrap()
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn zero_blocks_is_rejected() {
+        assert!(OnlineMultiSection::flat(0, OmsConfig::default()).is_err());
+        assert!(OnlineMultiSection::flat(4, OmsConfig::default().base_b(1)).is_err());
+    }
+
+    #[test]
+    fn streaming_partitioner_trait_is_implemented() {
+        let oms = OnlineMultiSection::flat(4, OmsConfig::default()).unwrap();
+        assert_eq!(oms.name(), "oms");
+        assert_eq!(oms.num_blocks(), 4);
+    }
+
+    #[test]
+    fn hierarchy_partition_has_lower_mapping_cost_than_hashing() {
+        // The headline process-mapping claim (Fig. 2a): on a hierarchy
+        // S = 2:2:2 with distances D = 1:10:100, OMS produces a mapping with
+        // a far lower communication cost J than a random (Hashing)
+        // assignment.
+        let g = planted_partition(400, 8, 0.15, 0.004, 23);
+        let h = HierarchySpec::parse("2:2:2").unwrap();
+        let d = crate::DistanceSpec::paper_default();
+        let cost = |p: &Partition| -> u64 {
+            g.edges()
+                .map(|(u, v, w)| w * d.distance(&h, p.block_of(u), p.block_of(v)))
+                .sum()
+        };
+        let oms = OnlineMultiSection::with_hierarchy(h.clone(), OmsConfig::default())
+            .partition_graph(&g)
+            .unwrap();
+        let hashing = Hashing::new(8, OnePassConfig::default()).partition_graph(&g).unwrap();
+        assert!(
+            cost(&oms) < cost(&hashing),
+            "OMS mapping cost {} must beat Hashing {}",
+            cost(&oms),
+            cost(&hashing)
+        );
+    }
+}

@@ -1,0 +1,385 @@
+//! Flat one-pass partitioning baselines: Hashing, LDG and Fennel.
+//!
+//! These are the non-buffered streaming state of the art the paper compares
+//! against (§2.2). All three follow the same skeleton — load a node, score
+//! all `k` blocks, assign permanently — and differ only in the scoring rule:
+//!
+//! * **Hashing** assigns `hash(v) mod k`; `O(n)` time, poor quality.
+//! * **LDG** maximises `ω(N(v) ∩ Vᵢ)·(1 − c(Vᵢ)/L_max)`; `O(m + nk)` time.
+//! * **Fennel** maximises `ω(N(v) ∩ Vᵢ) − α·γ·c(Vᵢ)^{γ−1}`; `O(m + nk)` time.
+
+use crate::config::OnePassConfig;
+use crate::partition::{Partition, UNASSIGNED};
+use crate::scorer::{fennel_alpha, hash_node};
+use crate::{BlockId, PartitionError, Result};
+use oms_graph::{CsrGraph, InMemoryStream, NodeStream, NodeWeight};
+
+/// Common interface of all sequential streaming partitioners, flat or
+/// hierarchical.
+pub trait StreamingPartitioner {
+    /// Partitions the nodes delivered by `stream` in a single pass (or a
+    /// fixed number of passes for restreaming algorithms).
+    fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition>;
+
+    /// Number of blocks this partitioner produces.
+    fn num_blocks(&self) -> u32;
+
+    /// Short algorithm name used in experiment reports.
+    fn name(&self) -> &'static str;
+
+    /// Convenience wrapper streaming an in-memory graph in natural order.
+    fn partition_graph(&self, graph: &CsrGraph) -> Result<Partition> {
+        self.partition_stream(&mut InMemoryStream::new(graph))
+    }
+}
+
+fn check_k(k: u32) -> Result<()> {
+    if k == 0 {
+        Err(PartitionError::InvalidConfig(
+            "the number of blocks k must be positive".into(),
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// The Hashing baseline: `block(v) = hash(v) mod k`.
+#[derive(Clone, Copy, Debug)]
+pub struct Hashing {
+    k: u32,
+    config: OnePassConfig,
+}
+
+impl Hashing {
+    /// Creates a Hashing partitioner for `k` blocks.
+    pub fn new(k: u32, config: OnePassConfig) -> Self {
+        Hashing { k, config }
+    }
+}
+
+impl StreamingPartitioner for Hashing {
+    fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition> {
+        check_k(self.k)?;
+        let n = stream.num_nodes();
+        let mut assignments = vec![UNASSIGNED; n];
+        let mut node_weights: Vec<NodeWeight> = vec![0; n];
+        let k = self.k as u64;
+        let seed = self.config.seed;
+        stream.for_each_node(|node| {
+            assignments[node.node as usize] = (hash_node(node.node, seed) % k) as BlockId;
+            node_weights[node.node as usize] = node.weight;
+        })?;
+        Ok(Partition::from_assignments(self.k, assignments, &node_weights))
+    }
+
+    fn num_blocks(&self) -> u32 {
+        self.k
+    }
+
+    fn name(&self) -> &'static str {
+        "hashing"
+    }
+}
+
+/// The linear deterministic greedy (LDG) baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct Ldg {
+    k: u32,
+    config: OnePassConfig,
+}
+
+impl Ldg {
+    /// Creates an LDG partitioner for `k` blocks.
+    pub fn new(k: u32, config: OnePassConfig) -> Self {
+        Ldg { k, config }
+    }
+}
+
+impl StreamingPartitioner for Ldg {
+    fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition> {
+        check_k(self.k)?;
+        let mut state = FlatState::new(self.k, stream, self.config);
+        stream.for_each_node(|node| {
+            state.assign(node, |conn, weight, capacity, _alpha, _gamma| {
+                conn as f64 * (1.0 - weight as f64 / capacity.max(1) as f64)
+            });
+        })?;
+        Ok(state.into_partition(self.k))
+    }
+
+    fn num_blocks(&self) -> u32 {
+        self.k
+    }
+
+    fn name(&self) -> &'static str {
+        "ldg"
+    }
+}
+
+/// The Fennel baseline (Tsourakakis et al.) with
+/// `α = √k·m/n^{3/2}`, `γ = 1.5`.
+#[derive(Clone, Copy, Debug)]
+pub struct Fennel {
+    k: u32,
+    config: OnePassConfig,
+}
+
+impl Fennel {
+    /// Creates a Fennel partitioner for `k` blocks.
+    pub fn new(k: u32, config: OnePassConfig) -> Self {
+        Fennel { k, config }
+    }
+}
+
+impl StreamingPartitioner for Fennel {
+    fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition> {
+        check_k(self.k)?;
+        let mut state = FlatState::new(self.k, stream, self.config);
+        stream.for_each_node(|node| {
+            state.assign(node, |conn, weight, _capacity, alpha, gamma| {
+                conn as f64 - alpha * gamma * (weight as f64).powf(gamma - 1.0)
+            });
+        })?;
+        Ok(state.into_partition(self.k))
+    }
+
+    fn num_blocks(&self) -> u32 {
+        self.k
+    }
+
+    fn name(&self) -> &'static str {
+        "fennel"
+    }
+}
+
+/// Shared mutable state of the flat `O(m + nk)` partitioners.
+pub(crate) struct FlatState {
+    pub(crate) assignments: Vec<BlockId>,
+    pub(crate) node_weights: Vec<NodeWeight>,
+    pub(crate) block_weights: Vec<NodeWeight>,
+    conn: Vec<u64>,
+    touched: Vec<BlockId>,
+    capacity: NodeWeight,
+    alpha: f64,
+    gamma: f64,
+}
+
+impl FlatState {
+    pub(crate) fn new<S: NodeStream>(k: u32, stream: &S, config: OnePassConfig) -> Self {
+        let n = stream.num_nodes();
+        FlatState {
+            assignments: vec![UNASSIGNED; n],
+            node_weights: vec![0; n],
+            block_weights: vec![0; k as usize],
+            conn: vec![0; k as usize],
+            touched: Vec::new(),
+            capacity: Partition::capacity(stream.total_node_weight(), k, config.epsilon),
+            alpha: fennel_alpha(k, stream.num_edges(), n),
+            gamma: config.gamma,
+        }
+    }
+
+    /// Scores all blocks for `node` with `score(conn, weight, capacity, alpha,
+    /// gamma)` and assigns it to the best feasible one (least loaded block if
+    /// every block is full).
+    pub(crate) fn assign<F>(&mut self, node: oms_graph::StreamedNode<'_>, score: F)
+    where
+        F: Fn(u64, NodeWeight, NodeWeight, f64, f64) -> f64,
+    {
+        // Connectivity towards already-assigned neighbors.
+        for (u, w) in node.neighbors_weighted() {
+            let b = self.assignments[u as usize];
+            if b != UNASSIGNED {
+                if self.conn[b as usize] == 0 {
+                    self.touched.push(b);
+                }
+                self.conn[b as usize] += w;
+            }
+        }
+
+        let k = self.block_weights.len();
+        let mut best: Option<(usize, f64, NodeWeight)> = None;
+        let mut fallback = 0usize;
+        let mut fallback_load = f64::INFINITY;
+        for b in 0..k {
+            let weight = self.block_weights[b];
+            let load = weight as f64 / self.capacity.max(1) as f64;
+            if load < fallback_load {
+                fallback_load = load;
+                fallback = b;
+            }
+            if weight + node.weight > self.capacity {
+                continue;
+            }
+            let s = score(self.conn[b], weight, self.capacity, self.alpha, self.gamma);
+            match best {
+                None => best = Some((b, s, weight)),
+                Some((_, bs, bw)) => {
+                    if s > bs || (s == bs && weight < bw) {
+                        best = Some((b, s, weight));
+                    }
+                }
+            }
+        }
+        let chosen = best.map(|(b, _, _)| b).unwrap_or(fallback);
+
+        self.assignments[node.node as usize] = chosen as BlockId;
+        self.node_weights[node.node as usize] = node.weight;
+        self.block_weights[chosen] += node.weight;
+
+        // Reset the connectivity scratchpad for the next node.
+        for &b in &self.touched {
+            self.conn[b as usize] = 0;
+        }
+        self.touched.clear();
+    }
+
+    /// Removes a node's previous assignment (used by restreaming passes).
+    pub(crate) fn unassign(&mut self, node: oms_graph::NodeId) {
+        let b = self.assignments[node as usize];
+        if b != UNASSIGNED {
+            self.block_weights[b as usize] -= self.node_weights[node as usize];
+            self.assignments[node as usize] = UNASSIGNED;
+        }
+    }
+
+    pub(crate) fn into_partition(self, k: u32) -> Partition {
+        Partition::from_assignments(k, self.assignments, &self.node_weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oms_graph::InMemoryStream;
+
+    /// Two 5-cliques joined by a single edge: any sensible 2-way streaming
+    /// partitioner should separate the cliques.
+    fn two_cliques() -> CsrGraph {
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+                edges.push((u + 5, v + 5));
+            }
+        }
+        edges.push((0, 5));
+        CsrGraph::from_edges(10, &edges).unwrap()
+    }
+
+    #[test]
+    fn hashing_assigns_every_node() {
+        let g = two_cliques();
+        let p = Hashing::new(4, OnePassConfig::default()).partition_graph(&g).unwrap();
+        assert_eq!(p.num_nodes(), 10);
+        assert_eq!(p.num_blocks(), 4);
+        assert!(p.validate(&[1; 10]));
+    }
+
+    #[test]
+    fn hashing_is_deterministic_per_seed() {
+        let g = two_cliques();
+        let a = Hashing::new(4, OnePassConfig::default().seed(3)).partition_graph(&g).unwrap();
+        let b = Hashing::new(4, OnePassConfig::default().seed(3)).partition_graph(&g).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fennel_respects_strict_balance_with_zero_epsilon() {
+        // ε = 0 forces a perfect 5/5 split on ten unit-weight nodes.
+        let g = two_cliques();
+        let cfg = OnePassConfig::default().epsilon(0.0);
+        let p = Fennel::new(2, cfg).partition_graph(&g).unwrap();
+        assert!(p.is_balanced(0.0));
+        assert_eq!(p.block_weights(), &[5, 5]);
+    }
+
+    #[test]
+    fn ldg_separates_cliques() {
+        // LDG's multiplicative penalty keeps a node with the block holding
+        // more of its neighbors, so the two cliques end up separated and only
+        // the single bridge edge is cut.
+        let g = two_cliques();
+        let cfg = OnePassConfig::default().epsilon(0.0);
+        let p = Ldg::new(2, cfg).partition_graph(&g).unwrap();
+        assert_eq!(p.edge_cut(&g), 1);
+        assert!(p.is_balanced(0.0));
+    }
+
+    #[test]
+    fn fennel_beats_hashing_on_structured_graph() {
+        let g = oms_gen::planted_partition(400, 8, 0.15, 0.005, 5);
+        let cfg = OnePassConfig::default();
+        let fennel = Fennel::new(8, cfg).partition_graph(&g).unwrap();
+        let hashing = Hashing::new(8, cfg).partition_graph(&g).unwrap();
+        assert!(
+            fennel.edge_cut(&g) < hashing.edge_cut(&g),
+            "fennel {} vs hashing {}",
+            fennel.edge_cut(&g),
+            hashing.edge_cut(&g)
+        );
+    }
+
+    #[test]
+    fn ldg_beats_hashing_on_structured_graph() {
+        let g = oms_gen::planted_partition(400, 8, 0.15, 0.005, 6);
+        let cfg = OnePassConfig::default();
+        let ldg = Ldg::new(8, cfg).partition_graph(&g).unwrap();
+        let hashing = Hashing::new(8, cfg).partition_graph(&g).unwrap();
+        assert!(ldg.edge_cut(&g) < hashing.edge_cut(&g));
+    }
+
+    #[test]
+    fn all_baselines_respect_balance_on_random_graph() {
+        let g = oms_gen::erdos_renyi_gnm(600, 3000, 9);
+        for k in [2u32, 7, 16, 33] {
+            let cfg = OnePassConfig::default();
+            for p in [
+                Fennel::new(k, cfg).partition_graph(&g).unwrap(),
+                Ldg::new(k, cfg).partition_graph(&g).unwrap(),
+            ] {
+                assert!(
+                    p.is_balanced(0.03 + 1e-9) || p.max_block_weight() <= (600 / k as u64) + 2,
+                    "k={k} imbalance {}",
+                    p.imbalance()
+                );
+                assert_eq!(p.num_nodes(), 600);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_blocks_is_rejected() {
+        let g = two_cliques();
+        assert!(Fennel::new(0, OnePassConfig::default()).partition_graph(&g).is_err());
+        assert!(Ldg::new(0, OnePassConfig::default()).partition_graph(&g).is_err());
+        assert!(Hashing::new(0, OnePassConfig::default()).partition_graph(&g).is_err());
+    }
+
+    #[test]
+    fn partitioner_names() {
+        let cfg = OnePassConfig::default();
+        assert_eq!(Fennel::new(2, cfg).name(), "fennel");
+        assert_eq!(Ldg::new(2, cfg).name(), "ldg");
+        assert_eq!(Hashing::new(2, cfg).name(), "hashing");
+        assert_eq!(Fennel::new(5, cfg).num_blocks(), 5);
+    }
+
+    #[test]
+    fn works_on_streams_with_isolated_nodes() {
+        let g = CsrGraph::empty(20);
+        let p = Fennel::new(4, OnePassConfig::default())
+            .partition_stream(&mut InMemoryStream::new(&g))
+            .unwrap();
+        assert_eq!(p.num_nodes(), 20);
+        assert!(p.is_balanced(0.03));
+    }
+
+    #[test]
+    fn single_block_puts_everything_together() {
+        let g = two_cliques();
+        let p = Fennel::new(1, OnePassConfig::default()).partition_graph(&g).unwrap();
+        assert_eq!(p.edge_cut(&g), 0);
+        assert_eq!(p.used_blocks(), 1);
+    }
+}

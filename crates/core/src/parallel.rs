@@ -1,0 +1,369 @@
+//! Shared-memory parallelisation (§3.4 of the paper).
+//!
+//! All streaming algorithms in this crate are vertex-centric, so they are
+//! parallelised by splitting the stream of nodes among threads. The paper's
+//! OpenMP `parallel for` becomes a rayon thread pool over contiguous node
+//! chunks. The only shared mutable state are
+//!
+//! * the block (or tree-node) weights, updated with atomic additions so that
+//!   the balance constraint stays consistent, and
+//! * the assignment array, written once per node by exactly one thread and
+//!   read (racily but harmlessly) by the others when they look up the blocks
+//!   of already-streamed neighbors.
+//!
+//! As in the paper, a block could in principle be overloaded if several
+//! threads decide to use its last free slot simultaneously; this is rare and
+//! deliberately not synchronised.
+
+use crate::config::{OmsConfig, OnePassConfig, ScorerKind};
+use crate::oms::OnlineMultiSection;
+use crate::partition::{Partition, UNASSIGNED};
+use crate::scorer::{fennel_alpha, hash_node};
+use crate::{BlockId, Result};
+use oms_graph::{CsrGraph, EdgeWeight, NodeWeight};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// How many chunks each thread gets on average; more chunks smooth the load
+/// imbalance caused by skewed degree distributions.
+const CHUNKS_PER_THREAD: usize = 8;
+
+fn build_pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("failed to build rayon thread pool")
+}
+
+fn chunk_ranges(n: usize, threads: usize) -> Vec<(u32, u32)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunks = (threads.max(1) * CHUNKS_PER_THREAD).min(n);
+    let size = n.div_ceil(chunks);
+    (0..n)
+        .step_by(size)
+        .map(|lo| (lo as u32, (lo + size).min(n) as u32))
+        .collect()
+}
+
+fn collect_partition(
+    k: u32,
+    assignments: Vec<AtomicU32>,
+    node_weights: &[NodeWeight],
+) -> Partition {
+    let assignments: Vec<BlockId> = assignments
+        .into_iter()
+        .map(|a| a.into_inner())
+        .collect();
+    Partition::from_assignments(k, assignments, node_weights)
+}
+
+/// Parallel Hashing: embarrassingly parallel, provided for the scalability
+/// comparison (it is so cheap that parallel overheads dominate, exactly as
+/// the paper observes).
+pub fn hashing_parallel(
+    graph: &CsrGraph,
+    k: u32,
+    config: OnePassConfig,
+    threads: usize,
+) -> Result<Partition> {
+    let n = graph.num_nodes();
+    let pool = build_pool(threads);
+    let mut assignments: Vec<BlockId> = vec![UNASSIGNED; n];
+    pool.install(|| {
+        assignments
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(v, slot)| *slot = (hash_node(v as u32, config.seed) % k as u64) as BlockId);
+    });
+    Ok(Partition::from_assignments(k, assignments, graph.node_weights()))
+}
+
+/// Which flat scorer a parallel one-pass run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlatScorer {
+    /// Fennel's additive objective.
+    Fennel,
+    /// LDG's multiplicative objective.
+    Ldg,
+}
+
+/// Parallel flat one-pass partitioning (Fennel or LDG) with the
+/// vertex-centric scheme of §3.4.
+pub fn onepass_parallel(
+    graph: &CsrGraph,
+    k: u32,
+    scorer: FlatScorer,
+    config: OnePassConfig,
+    threads: usize,
+) -> Result<Partition> {
+    let n = graph.num_nodes();
+    let capacity = Partition::capacity(graph.total_node_weight(), k, config.epsilon);
+    let alpha = fennel_alpha(k, graph.num_edges(), n);
+    let gamma = config.gamma;
+
+    let assignments: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNASSIGNED)).collect();
+    let block_weights: Vec<AtomicU64> = (0..k as usize).map(|_| AtomicU64::new(0)).collect();
+    let ranges = chunk_ranges(n, threads);
+    let pool = build_pool(threads);
+
+    pool.install(|| {
+        ranges.par_iter().for_each(|&(lo, hi)| {
+            let mut conn: Vec<EdgeWeight> = vec![0; k as usize];
+            let mut touched: Vec<BlockId> = Vec::new();
+            for v in lo..hi {
+                for (u, w) in graph.neighbors_weighted(v) {
+                    let b = assignments[u as usize].load(Ordering::Relaxed);
+                    if b != UNASSIGNED {
+                        if conn[b as usize] == 0 {
+                            touched.push(b);
+                        }
+                        conn[b as usize] += w;
+                    }
+                }
+                let node_weight = graph.node_weight(v);
+                let mut best: Option<(usize, f64, NodeWeight)> = None;
+                let mut fallback = 0usize;
+                let mut fallback_load = f64::INFINITY;
+                for b in 0..k as usize {
+                    let weight = block_weights[b].load(Ordering::Relaxed);
+                    let load = weight as f64 / capacity.max(1) as f64;
+                    if load < fallback_load {
+                        fallback_load = load;
+                        fallback = b;
+                    }
+                    if weight + node_weight > capacity {
+                        continue;
+                    }
+                    let s = match scorer {
+                        FlatScorer::Fennel => {
+                            conn[b] as f64 - alpha * gamma * (weight as f64).powf(gamma - 1.0)
+                        }
+                        FlatScorer::Ldg => {
+                            conn[b] as f64 * (1.0 - weight as f64 / capacity.max(1) as f64)
+                        }
+                    };
+                    match best {
+                        None => best = Some((b, s, weight)),
+                        Some((_, bs, bw)) => {
+                            if s > bs || (s == bs && weight < bw) {
+                                best = Some((b, s, weight));
+                            }
+                        }
+                    }
+                }
+                let chosen = best.map(|(b, _, _)| b).unwrap_or(fallback);
+                block_weights[chosen].fetch_add(node_weight, Ordering::Relaxed);
+                assignments[v as usize].store(chosen as BlockId, Ordering::Relaxed);
+                for &b in &touched {
+                    conn[b as usize] = 0;
+                }
+                touched.clear();
+            }
+        });
+    });
+    Ok(collect_partition(k, assignments, graph.node_weights()))
+}
+
+impl OnlineMultiSection {
+    /// Shared-memory parallel OMS / nh-OMS over an in-memory graph.
+    ///
+    /// Semantically identical to [`OnlineMultiSection::partition_graph`]
+    /// except that nodes streamed concurrently by other threads may not yet
+    /// be visible when a node gathers its neighbors' assignments — the same
+    /// relaxation the paper's OpenMP implementation makes.
+    pub fn partition_graph_parallel(&self, graph: &CsrGraph, threads: usize) -> Result<Partition> {
+        let tree = self.tree();
+        let config: &OmsConfig = self.config();
+        let n = graph.num_nodes();
+        let capacities = tree.capacities(graph.total_node_weight(), config.epsilon);
+        let alphas = tree.alphas(graph.num_edges(), n, config.alpha_mode);
+        let max_fan_out = (0..tree.num_nodes() as u32)
+            .map(|v| tree.children(v).len())
+            .max()
+            .unwrap_or(1)
+            .max(1);
+
+        let assignments: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNASSIGNED)).collect();
+        let tree_weights: Vec<AtomicU64> =
+            (0..tree.num_nodes()).map(|_| AtomicU64::new(0)).collect();
+        let ranges = chunk_ranges(n, threads);
+        let pool = build_pool(threads);
+
+        pool.install(|| {
+            ranges.par_iter().for_each(|&(lo, hi)| {
+                let mut conn: Vec<EdgeWeight> = vec![0; max_fan_out];
+                for v in lo..hi {
+                    let node_weight = graph.node_weight(v);
+                    let mut cur = tree.root();
+                    loop {
+                        let children = tree.children(cur);
+                        if children.is_empty() {
+                            break;
+                        }
+                        let child_depth = tree.depth(cur) as usize + 1;
+                        let chosen_idx = if self.hybrid_uses_hashing(child_depth) {
+                            (hash_node(
+                                v,
+                                config.seed ^ (cur as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                            ) % children.len() as u64) as usize
+                        } else {
+                            let path_index = tree.depth(cur) as usize;
+                            conn[..children.len()].fill(0);
+                            for (u, w) in graph.neighbors_weighted(v) {
+                                let b = assignments[u as usize].load(Ordering::Relaxed);
+                                if b == UNASSIGNED {
+                                    continue;
+                                }
+                                let path = tree.path_of_block(b);
+                                if path.len() <= path_index {
+                                    continue;
+                                }
+                                if path_index > 0 && path[path_index - 1] != cur {
+                                    continue;
+                                }
+                                conn[tree.child_index(path[path_index]) as usize] += w;
+                            }
+                            let mut best: Option<(usize, f64, NodeWeight)> = None;
+                            let mut fallback = 0usize;
+                            let mut fallback_load = f64::INFINITY;
+                            for (i, &child) in children.iter().enumerate() {
+                                let weight = tree_weights[child as usize].load(Ordering::Relaxed);
+                                let capacity = capacities[child as usize];
+                                let load = weight as f64 / capacity.max(1) as f64;
+                                if load < fallback_load {
+                                    fallback_load = load;
+                                    fallback = i;
+                                }
+                                if weight + node_weight > capacity {
+                                    continue;
+                                }
+                                let s = match config.scorer {
+                                    ScorerKind::Fennel => {
+                                        conn[i] as f64
+                                            - alphas[child as usize]
+                                                * config.gamma
+                                                * (weight as f64).powf(config.gamma - 1.0)
+                                    }
+                                    ScorerKind::Ldg => {
+                                        conn[i] as f64
+                                            * (1.0 - weight as f64 / capacity.max(1) as f64)
+                                    }
+                                    ScorerKind::Hashing => unreachable!(),
+                                };
+                                match best {
+                                    None => best = Some((i, s, weight)),
+                                    Some((_, bs, bw)) => {
+                                        if s > bs || (s == bs && weight < bw) {
+                                            best = Some((i, s, weight));
+                                        }
+                                    }
+                                }
+                            }
+                            best.map(|(i, _, _)| i).unwrap_or(fallback)
+                        };
+                        let chosen = children[chosen_idx];
+                        tree_weights[chosen as usize].fetch_add(node_weight, Ordering::Relaxed);
+                        cur = chosen;
+                    }
+                    let block = tree.leaf_block(cur).expect("descent ends at a leaf");
+                    assignments[v as usize].store(block, Ordering::Relaxed);
+                }
+            });
+        });
+        Ok(collect_partition(
+            tree.num_blocks(),
+            assignments,
+            graph.node_weights(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::onepass::{Fennel, StreamingPartitioner};
+    use crate::{HierarchySpec, OmsConfig};
+    use oms_gen::planted_partition;
+
+    #[test]
+    fn parallel_hashing_matches_sequential_hashing() {
+        let g = planted_partition(300, 4, 0.1, 0.01, 3);
+        let cfg = OnePassConfig::default().seed(7);
+        let seq = crate::Hashing::new(8, cfg).partition_graph(&g).unwrap();
+        let par = hashing_parallel(&g, 8, cfg, 4).unwrap();
+        assert_eq!(seq, par, "hashing is deterministic, threads must not matter");
+    }
+
+    #[test]
+    fn parallel_fennel_produces_valid_balanced_partition() {
+        let g = planted_partition(600, 8, 0.1, 0.005, 5);
+        let p = onepass_parallel(&g, 8, FlatScorer::Fennel, OnePassConfig::default(), 4).unwrap();
+        assert_eq!(p.num_nodes(), 600);
+        assert!(p.validate(&vec![1; 600]));
+        assert!(p.imbalance() < 0.1, "imbalance {}", p.imbalance());
+    }
+
+    #[test]
+    fn parallel_ldg_produces_valid_partition() {
+        let g = planted_partition(400, 8, 0.1, 0.01, 7);
+        let p = onepass_parallel(&g, 8, FlatScorer::Ldg, OnePassConfig::default(), 3).unwrap();
+        assert_eq!(p.num_nodes(), 400);
+        assert!(p.imbalance() < 0.2);
+    }
+
+    #[test]
+    fn parallel_fennel_single_thread_matches_sequential() {
+        // With one thread the chunked driver processes nodes in natural
+        // order, so it must coincide with the sequential implementation.
+        let g = planted_partition(300, 8, 0.12, 0.01, 9);
+        let cfg = OnePassConfig::default();
+        let seq = Fennel::new(8, cfg).partition_graph(&g).unwrap();
+        let par = onepass_parallel(&g, 8, FlatScorer::Fennel, cfg, 1).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_oms_single_thread_matches_sequential() {
+        let g = planted_partition(300, 8, 0.12, 0.01, 11);
+        let oms = crate::OnlineMultiSection::flat(8, OmsConfig::default()).unwrap();
+        let seq = oms.partition_graph(&g).unwrap();
+        let par = oms.partition_graph_parallel(&g, 1).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn parallel_oms_many_threads_still_beats_hashing() {
+        let g = planted_partition(800, 16, 0.08, 0.003, 13);
+        let h = HierarchySpec::parse("4:4").unwrap();
+        let oms = crate::OnlineMultiSection::with_hierarchy(h, OmsConfig::default());
+        let p = oms.partition_graph_parallel(&g, 8).unwrap();
+        let hash = hashing_parallel(&g, 16, OnePassConfig::default(), 8).unwrap();
+        assert_eq!(p.num_nodes(), 800);
+        assert!(p.validate(&vec![1; 800]));
+        assert!(p.edge_cut(&g) < hash.edge_cut(&g));
+        // Atomic weight updates keep the imbalance low even under contention.
+        assert!(p.imbalance() < 0.25, "imbalance {}", p.imbalance());
+    }
+
+    #[test]
+    fn chunk_ranges_cover_everything_exactly_once() {
+        for (n, t) in [(0usize, 4usize), (5, 4), (1000, 3), (17, 32)] {
+            let ranges = chunk_ranges(n, t);
+            let total: usize = ranges.iter().map(|&(lo, hi)| (hi - lo) as usize).sum();
+            assert_eq!(total, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_oms_on_empty_graph() {
+        let g = CsrGraph::empty(0);
+        let oms = crate::OnlineMultiSection::flat(4, OmsConfig::default()).unwrap();
+        let p = oms.partition_graph_parallel(&g, 4).unwrap();
+        assert_eq!(p.num_nodes(), 0);
+    }
+}

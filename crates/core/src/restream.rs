@@ -1,0 +1,240 @@
+//! Restreaming extensions: ReFennel, ReLDG and restreamed OMS ("remapping").
+//!
+//! Restreaming (Nishimura & Ugander) performs several passes over the same
+//! stream; from the second pass on, a node's previous assignment is removed
+//! before it is re-scored, so each pass can only improve on the information
+//! available to the previous one. The paper lists remapping through
+//! restreaming as a natural extension of OMS (§3.2); this module provides it
+//! for both the flat baselines and the multi-section algorithm.
+
+use crate::config::{OmsConfig, OnePassConfig};
+use crate::oms::{OmsState, OnlineMultiSection};
+use crate::onepass::{FlatState, StreamingPartitioner};
+use crate::partition::Partition;
+use crate::{PartitionError, Result};
+use oms_graph::NodeStream;
+
+fn check_passes(passes: usize) -> Result<()> {
+    if passes == 0 {
+        Err(PartitionError::InvalidConfig(
+            "restreaming needs at least one pass".into(),
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// Restreaming Fennel (ReFennel): `passes` passes of the Fennel objective,
+/// unassigning each node before re-scoring it.
+#[derive(Clone, Copy, Debug)]
+pub struct ReFennel {
+    k: u32,
+    config: OnePassConfig,
+    passes: usize,
+}
+
+impl ReFennel {
+    /// Creates a ReFennel partitioner running `passes` passes.
+    pub fn new(k: u32, config: OnePassConfig, passes: usize) -> Self {
+        ReFennel { k, config, passes }
+    }
+}
+
+impl StreamingPartitioner for ReFennel {
+    fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition> {
+        check_passes(self.passes)?;
+        if self.k == 0 {
+            return Err(PartitionError::InvalidConfig("k must be positive".into()));
+        }
+        let mut state = FlatState::new(self.k, stream, self.config);
+        for _ in 0..self.passes {
+            stream.for_each_node(|node| {
+                state.unassign(node.node);
+                state.assign(node, |conn, weight, _capacity, alpha, gamma| {
+                    conn as f64 - alpha * gamma * (weight as f64).powf(gamma - 1.0)
+                });
+            })?;
+        }
+        Ok(state.into_partition(self.k))
+    }
+
+    fn num_blocks(&self) -> u32 {
+        self.k
+    }
+
+    fn name(&self) -> &'static str {
+        "refennel"
+    }
+}
+
+/// Restreaming LDG (ReLDG).
+#[derive(Clone, Copy, Debug)]
+pub struct ReLdg {
+    k: u32,
+    config: OnePassConfig,
+    passes: usize,
+}
+
+impl ReLdg {
+    /// Creates a ReLDG partitioner running `passes` passes.
+    pub fn new(k: u32, config: OnePassConfig, passes: usize) -> Self {
+        ReLdg { k, config, passes }
+    }
+}
+
+impl StreamingPartitioner for ReLdg {
+    fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition> {
+        check_passes(self.passes)?;
+        if self.k == 0 {
+            return Err(PartitionError::InvalidConfig("k must be positive".into()));
+        }
+        let mut state = FlatState::new(self.k, stream, self.config);
+        for _ in 0..self.passes {
+            stream.for_each_node(|node| {
+                state.unassign(node.node);
+                state.assign(node, |conn, weight, capacity, _alpha, _gamma| {
+                    conn as f64 * (1.0 - weight as f64 / capacity.max(1) as f64)
+                });
+            })?;
+        }
+        Ok(state.into_partition(self.k))
+    }
+
+    fn num_blocks(&self) -> u32 {
+        self.k
+    }
+
+    fn name(&self) -> &'static str {
+        "reldg"
+    }
+}
+
+/// Restreamed online multi-section: iteratively improves a hierarchical
+/// partition / process mapping by re-running the multi-section descent.
+#[derive(Clone, Debug)]
+pub struct ReOms {
+    oms: OnlineMultiSection,
+    passes: usize,
+}
+
+impl ReOms {
+    /// Wraps an [`OnlineMultiSection`] instance for `passes` restreaming
+    /// passes.
+    pub fn new(oms: OnlineMultiSection, passes: usize) -> Self {
+        ReOms { oms, passes }
+    }
+
+    /// Restreamed nh-OMS for `k` blocks.
+    pub fn flat(k: u32, config: OmsConfig, passes: usize) -> Result<Self> {
+        Ok(ReOms {
+            oms: OnlineMultiSection::flat(k, config)?,
+            passes,
+        })
+    }
+}
+
+impl StreamingPartitioner for ReOms {
+    fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition> {
+        check_passes(self.passes)?;
+        let mut state = OmsState::new(&self.oms, stream);
+        for _ in 0..self.passes {
+            stream.for_each_node(|node| {
+                state.unassign(self.oms.tree(), node.node);
+                state.assign(&self.oms, node);
+            })?;
+        }
+        Ok(state.into_partition(self.oms.tree().num_blocks()))
+    }
+
+    fn num_blocks(&self) -> u32 {
+        self.oms.tree().num_blocks()
+    }
+
+    fn name(&self) -> &'static str {
+        "reoms"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::onepass::Fennel;
+    use oms_gen::planted_partition;
+
+    #[test]
+    fn refennel_with_one_pass_equals_fennel() {
+        let g = planted_partition(300, 8, 0.12, 0.01, 3);
+        let cfg = OnePassConfig::default();
+        let once = Fennel::new(8, cfg).partition_graph(&g).unwrap();
+        let re = ReFennel::new(8, cfg, 1).partition_graph(&g).unwrap();
+        assert_eq!(once, re);
+    }
+
+    #[test]
+    fn refennel_never_hurts_much_and_usually_improves() {
+        let g = planted_partition(500, 8, 0.1, 0.01, 5);
+        let cfg = OnePassConfig::default();
+        let once = Fennel::new(8, cfg).partition_graph(&g).unwrap();
+        let re = ReFennel::new(8, cfg, 3).partition_graph(&g).unwrap();
+        assert!(
+            re.edge_cut(&g) <= once.edge_cut(&g),
+            "restreaming should not worsen the cut: {} vs {}",
+            re.edge_cut(&g),
+            once.edge_cut(&g)
+        );
+        assert!(re.is_balanced(0.031));
+    }
+
+    #[test]
+    fn reldg_multiple_passes_stay_balanced() {
+        let g = planted_partition(400, 4, 0.1, 0.01, 7);
+        let p = ReLdg::new(4, OnePassConfig::default(), 3).partition_graph(&g).unwrap();
+        assert!(p.is_balanced(0.031));
+        assert_eq!(p.num_nodes(), 400);
+    }
+
+    #[test]
+    fn reoms_one_pass_equals_oms() {
+        let g = planted_partition(300, 8, 0.12, 0.01, 9);
+        let oms = OnlineMultiSection::flat(8, OmsConfig::default()).unwrap();
+        let once = oms.partition_graph(&g).unwrap();
+        let re = ReOms::new(oms, 1).partition_graph(&g).unwrap();
+        assert_eq!(once, re);
+    }
+
+    #[test]
+    fn reoms_improves_or_matches_cut() {
+        let g = planted_partition(600, 16, 0.08, 0.004, 11);
+        let once = OnlineMultiSection::flat(16, OmsConfig::default())
+            .unwrap()
+            .partition_graph(&g)
+            .unwrap();
+        let re = ReOms::flat(16, OmsConfig::default(), 3)
+            .unwrap()
+            .partition_graph(&g)
+            .unwrap();
+        assert!(re.edge_cut(&g) <= once.edge_cut(&g) + 5);
+        assert!(re.is_balanced(0.031));
+    }
+
+    #[test]
+    fn zero_passes_is_rejected() {
+        let g = planted_partition(100, 4, 0.1, 0.01, 13);
+        assert!(ReFennel::new(4, OnePassConfig::default(), 0).partition_graph(&g).is_err());
+        assert!(ReLdg::new(4, OnePassConfig::default(), 0).partition_graph(&g).is_err());
+        assert!(ReOms::flat(4, OmsConfig::default(), 0)
+            .unwrap()
+            .partition_graph(&g)
+            .is_err());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        assert_eq!(ReFennel::new(2, OnePassConfig::default(), 2).name(), "refennel");
+        assert_eq!(ReLdg::new(2, OnePassConfig::default(), 2).name(), "reldg");
+        assert_eq!(
+            ReOms::flat(2, OmsConfig::default(), 2).unwrap().name(),
+            "reoms"
+        );
+    }
+}

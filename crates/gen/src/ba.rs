@@ -1,0 +1,126 @@
+//! Barabási–Albert preferential attachment graphs.
+//!
+//! Produces the heavy-tailed degree distributions typical of the citation and
+//! social networks in the paper's corpus (`coAuthorsDBLP`, `cit-Patents`,
+//! `soc-LiveJournal1`, …). New nodes attach to existing nodes with
+//! probability proportional to their degree, which we realise with the usual
+//! "repeated-endpoints" trick: sampling a uniform position in the running
+//! edge-endpoint list is equivalent to degree-proportional sampling.
+
+use oms_graph::{CsrGraph, GraphBuilder, NodeId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Generates a Barabási–Albert graph with `n` nodes where every new node
+/// attaches to `m_attach` distinct existing nodes.
+///
+/// The first `m_attach + 1` nodes form a clique seed so that every node has a
+/// well-defined attachment pool. The natural node order corresponds to
+/// insertion time, mimicking the temporal order in which citation/social
+/// graphs are usually crawled — exactly the stream order the paper uses.
+///
+/// # Panics
+///
+/// Panics if `m_attach == 0` or `n < m_attach + 1`.
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> CsrGraph {
+    assert!(m_attach > 0, "attachment count must be positive");
+    assert!(
+        n > m_attach,
+        "need at least m_attach + 1 nodes (got n={n}, m_attach={m_attach})"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, n * m_attach);
+
+    // Flat list of edge endpoints; sampling a uniform element is
+    // degree-proportional sampling.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m_attach);
+
+    // Clique seed on the first m_attach + 1 nodes.
+    let seed_nodes = m_attach + 1;
+    for u in 0..seed_nodes as NodeId {
+        for v in (u + 1)..seed_nodes as NodeId {
+            builder.add_edge(u, v).unwrap();
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    let mut targets: Vec<NodeId> = Vec::with_capacity(m_attach);
+    for new in seed_nodes..n {
+        targets.clear();
+        // Rejection-sample until m_attach distinct targets are found. The
+        // candidate pool grows with the graph, so rejections are rare.
+        while targets.len() < m_attach {
+            let pick = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&pick) {
+                targets.push(pick);
+            }
+        }
+        for &t in &targets {
+            builder.add_edge(new as NodeId, t).unwrap();
+            endpoints.push(new as NodeId);
+            endpoints.push(t);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_expected_edge_count() {
+        let n = 500;
+        let m_attach = 4;
+        let g = barabasi_albert(n, m_attach, 13);
+        let seed_edges = (m_attach + 1) * m_attach / 2;
+        let expected = seed_edges + (n - m_attach - 1) * m_attach;
+        assert_eq!(g.num_nodes(), n);
+        assert_eq!(g.num_edges(), expected);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn minimum_degree_is_attachment_count() {
+        let g = barabasi_albert(300, 3, 5);
+        let min_deg = g.nodes().map(|v| g.degree(v)).min().unwrap();
+        assert!(min_deg >= 3);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = barabasi_albert(2000, 2, 21);
+        let max_deg = g.max_degree();
+        let avg = g.average_degree();
+        // A heavy tail: the hub degree should far exceed the average.
+        assert!(
+            (max_deg as f64) > 5.0 * avg,
+            "max degree {max_deg} vs average {avg}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(barabasi_albert(100, 3, 9), barabasi_albert(100, 3, 9));
+        assert_ne!(barabasi_albert(100, 3, 9), barabasi_albert(100, 3, 10));
+    }
+
+    #[test]
+    fn smallest_valid_instance_is_a_clique() {
+        let g = barabasi_albert(4, 3, 1);
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_attachment_panics() {
+        barabasi_albert(10, 0, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_nodes_panics() {
+        barabasi_albert(3, 3, 1);
+    }
+}

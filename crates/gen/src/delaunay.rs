@@ -1,0 +1,371 @@
+//! Delaunay triangulation graphs (the paper's `delX` family).
+//!
+//! `n` points are drawn uniformly at random in the unit square and the graph
+//! is the edge set of their Delaunay triangulation. The triangulation is
+//! computed with the incremental Bowyer–Watson algorithm:
+//!
+//! 1. points are inserted in spatially sorted order (cell-major), so the
+//!    containing triangle of the next point is almost always near the last
+//!    insertion and can be found by *walking*;
+//! 2. the cavity of triangles whose circumcircle contains the new point is
+//!    grown by a breadth-first search over triangle adjacencies (maintained
+//!    in an edge → triangles map);
+//! 3. the cavity is re-triangulated by connecting its boundary edges to the
+//!    new point.
+//!
+//! The expected running time with this insertion order is `O(n log n)`.
+//! Predicates use plain `f64` arithmetic, which is robust enough for random
+//! point sets (the generator's only use here).
+
+use oms_graph::{CsrGraph, GraphBuilder, NodeId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Generates the Delaunay graph of `n` random points in the unit square.
+pub fn delaunay_graph(n: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 3, "a Delaunay triangulation needs at least 3 points");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+
+    // Sort points spatially (cell-major) so ids have stream locality and the
+    // walking point location stays short.
+    let cells = (n as f64).sqrt().ceil().max(1.0) as usize;
+    let cell_of = |p: (f64, f64)| -> (usize, usize) {
+        let cx = ((p.0 * cells as f64) as usize).min(cells - 1);
+        let cy = ((p.1 * cells as f64) as usize).min(cells - 1);
+        (cx, cy)
+    };
+    points.sort_by(|a, b| {
+        let ca = cell_of(*a);
+        let cb = cell_of(*b);
+        (ca.1, ca.0)
+            .cmp(&(cb.1, cb.0))
+            .then(a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    });
+
+    let triangulation = bowyer_watson(&points);
+    let mut builder = GraphBuilder::new(n);
+    for &(u, v) in &triangulation {
+        builder.add_edge(u as NodeId, v as NodeId).unwrap();
+    }
+    builder.build()
+}
+
+/// Computes the Delaunay edges of `points` (indices into the slice).
+fn bowyer_watson(points: &[(f64, f64)]) -> Vec<(usize, usize)> {
+    let n = points.len();
+    // Super-triangle far outside the unit square.
+    let mut pts: Vec<(f64, f64)> = points.to_vec();
+    pts.push((-10.0, -10.0));
+    pts.push((11.0, -10.0));
+    pts.push((0.5, 11.0));
+    let sup = [n, n + 1, n + 2];
+
+    let mut tri = Triangulation::new(pts);
+    tri.add_triangle([sup[0], sup[1], sup[2]]);
+
+    for p in 0..n {
+        tri.insert(p);
+    }
+
+    // Collect edges not incident to the super-triangle vertices. An edge can
+    // be seen from one or two triangles (and in either orientation when its
+    // second triangle involves a super vertex), so normalise and deduplicate.
+    let mut edges = Vec::new();
+    for t in &tri.triangles {
+        if !t.alive {
+            continue;
+        }
+        for e in 0..3 {
+            let a = t.v[e];
+            let b = t.v[(e + 1) % 3];
+            if a >= n || b >= n {
+                continue;
+            }
+            edges.push((a.min(b), a.max(b)));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+struct Triangle {
+    v: [usize; 3],
+    alive: bool,
+}
+
+struct Triangulation {
+    points: Vec<(f64, f64)>,
+    triangles: Vec<Triangle>,
+    /// Sorted edge → alive triangles sharing it (at most two).
+    edge_map: HashMap<(usize, usize), Vec<usize>>,
+    last_created: usize,
+}
+
+impl Triangulation {
+    fn new(points: Vec<(f64, f64)>) -> Self {
+        Triangulation {
+            points,
+            triangles: Vec::new(),
+            edge_map: HashMap::new(),
+            last_created: 0,
+        }
+    }
+
+    fn edge_key(a: usize, b: usize) -> (usize, usize) {
+        if a < b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    fn add_triangle(&mut self, v: [usize; 3]) -> usize {
+        let id = self.triangles.len();
+        self.triangles.push(Triangle { v, alive: true });
+        for e in 0..3 {
+            let key = Self::edge_key(v[e], v[(e + 1) % 3]);
+            self.edge_map.entry(key).or_default().push(id);
+        }
+        self.last_created = id;
+        id
+    }
+
+    fn remove_triangle(&mut self, id: usize) {
+        let v = self.triangles[id].v;
+        self.triangles[id].alive = false;
+        for e in 0..3 {
+            let key = Self::edge_key(v[e], v[(e + 1) % 3]);
+            if let Some(list) = self.edge_map.get_mut(&key) {
+                list.retain(|&t| t != id);
+                if list.is_empty() {
+                    self.edge_map.remove(&key);
+                }
+            }
+        }
+    }
+
+    fn neighbor_across(&self, tri_id: usize, a: usize, b: usize) -> Option<usize> {
+        let key = Self::edge_key(a, b);
+        self.edge_map
+            .get(&key)?
+            .iter()
+            .copied()
+            .find(|&t| t != tri_id && self.triangles[t].alive)
+    }
+
+    /// Walks from the most recently created triangle towards the triangle
+    /// containing `p`. Falls back to a linear scan if the walk cycles (which
+    /// can only happen through floating-point degeneracies).
+    fn locate(&self, p: (f64, f64)) -> usize {
+        let mut current = self.last_created;
+        if !self.triangles[current].alive {
+            current = self
+                .triangles
+                .iter()
+                .rposition(|t| t.alive)
+                .expect("triangulation cannot be empty");
+        }
+        let max_steps = 4 * self.triangles.len() + 16;
+        let mut steps = 0;
+        'walk: loop {
+            steps += 1;
+            if steps > max_steps {
+                break;
+            }
+            let t = &self.triangles[current];
+            for e in 0..3 {
+                let a = t.v[e];
+                let b = t.v[(e + 1) % 3];
+                let c = t.v[(e + 2) % 3];
+                // If p is on the opposite side of edge (a, b) from c, exit
+                // through that edge.
+                let side_p = orient2d(self.points[a], self.points[b], p);
+                let side_c = orient2d(self.points[a], self.points[b], self.points[c]);
+                if side_p * side_c < 0.0 {
+                    if let Some(next) = self.neighbor_across(current, a, b) {
+                        current = next;
+                        continue 'walk;
+                    }
+                }
+            }
+            return current;
+        }
+        // Fallback: linear scan for a triangle whose circumcircle contains p.
+        self.triangles
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.alive)
+            .find(|(_, t)| {
+                in_circumcircle(
+                    self.points[t.v[0]],
+                    self.points[t.v[1]],
+                    self.points[t.v[2]],
+                    p,
+                )
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(current)
+    }
+
+    fn insert(&mut self, p_idx: usize) {
+        let p = self.points[p_idx];
+        let start = self.locate(p);
+
+        // Grow the cavity: all alive triangles whose circumcircle contains p,
+        // connected to `start`.
+        let mut cavity = Vec::new();
+        let mut stack = vec![start];
+        let mut in_cavity = HashMap::new();
+        while let Some(t_id) = stack.pop() {
+            if in_cavity.contains_key(&t_id) || !self.triangles[t_id].alive {
+                continue;
+            }
+            let t = &self.triangles[t_id];
+            let contains = in_circumcircle(
+                self.points[t.v[0]],
+                self.points[t.v[1]],
+                self.points[t.v[2]],
+                p,
+            );
+            if !contains && t_id != start {
+                continue;
+            }
+            in_cavity.insert(t_id, true);
+            cavity.push(t_id);
+            let v = t.v;
+            for e in 0..3 {
+                if let Some(nb) = self.neighbor_across(t_id, v[e], v[(e + 1) % 3]) {
+                    stack.push(nb);
+                }
+            }
+        }
+
+        // Boundary edges: edges of cavity triangles shared with at most one
+        // cavity triangle.
+        let mut edge_count: HashMap<(usize, usize), usize> = HashMap::new();
+        for &t_id in &cavity {
+            let v = self.triangles[t_id].v;
+            for e in 0..3 {
+                *edge_count
+                    .entry(Self::edge_key(v[e], v[(e + 1) % 3]))
+                    .or_insert(0) += 1;
+            }
+        }
+        let boundary: Vec<(usize, usize)> = edge_count
+            .iter()
+            .filter(|&(_, &c)| c == 1)
+            .map(|(&e, _)| e)
+            .collect();
+
+        for &t_id in &cavity {
+            self.remove_triangle(t_id);
+        }
+        for (a, b) in boundary {
+            self.add_triangle([a, b, p_idx]);
+        }
+    }
+}
+
+/// Twice the signed area of triangle `abc`. Positive if counter-clockwise.
+fn orient2d(a: (f64, f64), b: (f64, f64), c: (f64, f64)) -> f64 {
+    (b.0 - a.0) * (c.1 - a.1) - (b.1 - a.1) * (c.0 - a.0)
+}
+
+/// `true` if `p` lies strictly inside the circumcircle of triangle `abc`.
+fn in_circumcircle(a: (f64, f64), b: (f64, f64), c: (f64, f64), p: (f64, f64)) -> bool {
+    // Normalise orientation so the determinant sign is meaningful.
+    let (a, b, c) = if orient2d(a, b, c) > 0.0 {
+        (a, b, c)
+    } else {
+        (a, c, b)
+    };
+    let ax = a.0 - p.0;
+    let ay = a.1 - p.1;
+    let bx = b.0 - p.0;
+    let by = b.1 - p.1;
+    let cx = c.0 - p.0;
+    let cy = c.1 - p.1;
+    let det = (ax * ax + ay * ay) * (bx * cy - cx * by)
+        - (bx * bx + by * by) * (ax * cy - cx * ay)
+        + (cx * cx + cy * cy) * (ax * by - bx * ay);
+    det > 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oms_graph::traversal::is_connected;
+
+    #[test]
+    fn small_triangulation_is_planar_and_connected() {
+        let g = delaunay_graph(50, 3);
+        assert_eq!(g.num_nodes(), 50);
+        // Euler bound for planar graphs: m ≤ 3n − 6.
+        assert!(g.num_edges() <= 3 * 50 - 6);
+        assert!(g.num_edges() >= 50 - 1, "triangulation must be connected-ish");
+        assert!(is_connected(&g));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn medium_triangulation_has_expected_density() {
+        // A Delaunay triangulation of random points has ~3n edges minus the
+        // convex hull contribution, so the average degree approaches 6.
+        let g = delaunay_graph(2000, 7);
+        let avg = g.average_degree();
+        assert!(avg > 5.0 && avg < 6.1, "average degree {avg}");
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn triangulation_is_deterministic_per_seed() {
+        assert_eq!(delaunay_graph(200, 5), delaunay_graph(200, 5));
+    }
+
+    #[test]
+    fn orientation_predicate() {
+        assert!(orient2d((0.0, 0.0), (1.0, 0.0), (0.0, 1.0)) > 0.0);
+        assert!(orient2d((0.0, 0.0), (0.0, 1.0), (1.0, 0.0)) < 0.0);
+        assert_eq!(orient2d((0.0, 0.0), (1.0, 1.0), (2.0, 2.0)), 0.0);
+    }
+
+    #[test]
+    fn circumcircle_predicate() {
+        let a = (0.0, 0.0);
+        let b = (1.0, 0.0);
+        let c = (0.0, 1.0);
+        assert!(in_circumcircle(a, b, c, (0.4, 0.4)));
+        assert!(!in_circumcircle(a, b, c, (2.0, 2.0)));
+        // Order of the triangle must not matter.
+        assert!(in_circumcircle(a, c, b, (0.4, 0.4)));
+    }
+
+    #[test]
+    fn four_points_in_square_give_quad_with_diagonal() {
+        // The Delaunay triangulation of four points in convex position (not
+        // cocircular, to avoid the degenerate tie) has 5 edges: the 4 sides
+        // of the quadrilateral plus one diagonal.
+        let pts = vec![(0.1, 0.1), (0.9, 0.15), (0.85, 0.9), (0.1, 0.8)];
+        let edges = bowyer_watson(&pts);
+        assert_eq!(edges.len(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_points_panic() {
+        delaunay_graph(2, 1);
+    }
+
+    #[test]
+    fn collinear_heavy_input_still_produces_connected_graph() {
+        // Many points on a coarse implicit grid stress the predicates with
+        // near-degenerate configurations.
+        let g = delaunay_graph(400, 123);
+        assert!(is_connected(&g));
+        assert!(g.num_edges() <= 3 * 400 - 6);
+        g.validate().unwrap();
+    }
+}

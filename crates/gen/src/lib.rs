@@ -1,0 +1,44 @@
+//! # oms-gen
+//!
+//! Synthetic graph generators used to reproduce the evaluation of the OMS
+//! paper on commodity hardware.
+//!
+//! The paper benchmarks on 26 real-world graphs (SNAP, DIMACS, SuiteSparse)
+//! spanning six structural classes — meshes, circuits, citations, web, social
+//! and road networks — plus two artificial families (`rggX`, `delX`). The
+//! real datasets are not redistributable here, so this crate provides
+//! generators whose outputs match the structural properties that matter for
+//! one-pass streaming partitioners (degree distribution, locality of the
+//! natural stream order, density):
+//!
+//! * [`rgg::random_geometric_graph`] — the paper's `rggX` family.
+//! * [`delaunay::delaunay_graph`] — the paper's `delX` family (Bowyer–Watson).
+//! * [`grid`] — 2D/3D meshes (stand-in for the FE meshes such as `HV15R`).
+//! * [`ba::barabasi_albert`] and [`rmat::rmat_graph`] — heavy-tailed social /
+//!   web / citation-like graphs.
+//! * [`er::erdos_renyi_gnm`] — sparse quasi-regular graphs (circuit-like).
+//! * [`sbm::planted_partition`] — community-structured graphs with a known
+//!   ground truth, useful for sanity-checking partition quality.
+//! * [`corpus`] — a named benchmark corpus mirroring Table 1 of the paper,
+//!   scaled by a user-chosen factor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ba;
+pub mod corpus;
+pub mod delaunay;
+pub mod er;
+pub mod grid;
+pub mod rgg;
+pub mod rmat;
+pub mod sbm;
+
+pub use ba::barabasi_albert;
+pub use corpus::{corpus_graph, scaled_corpus, CorpusClass, CorpusEntry};
+pub use delaunay::delaunay_graph;
+pub use er::{erdos_renyi_gnm, erdos_renyi_gnp};
+pub use grid::{grid_2d, grid_3d, torus_2d};
+pub use rgg::random_geometric_graph;
+pub use rmat::{rmat_graph, RmatParams};
+pub use sbm::planted_partition;

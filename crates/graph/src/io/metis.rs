@@ -1,0 +1,256 @@
+//! The METIS / KaHIP graph text format.
+//!
+//! The header line is `n m [fmt]` where `fmt` is a three-digit flag string:
+//! the last digit enables edge weights, the middle digit node weights (the
+//! first digit, vertex sizes, is not supported). Node ids in the body are
+//! 1-based. Comment lines start with `%`.
+
+use crate::{CsrGraph, EdgeWeight, GraphBuilder, GraphError, NodeId, NodeWeight, Result};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Reads a graph in METIS format from a file.
+pub fn read_metis<P: AsRef<Path>>(path: P) -> Result<CsrGraph> {
+    let file = File::open(path)?;
+    read_metis_from(BufReader::new(file))
+}
+
+/// Reads a graph in METIS format from a string.
+pub fn read_metis_str(contents: &str) -> Result<CsrGraph> {
+    read_metis_from(BufReader::new(contents.as_bytes()))
+}
+
+fn read_metis_from<R: BufRead>(reader: R) -> Result<CsrGraph> {
+    let mut lines = reader.lines();
+
+    // Header: n m [fmt]
+    let header = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                let trimmed = line.trim();
+                if trimmed.is_empty() || trimmed.starts_with('%') {
+                    continue;
+                }
+                break trimmed.to_string();
+            }
+            None => return Err(GraphError::Parse("missing METIS header line".into())),
+        }
+    };
+    let mut parts = header.split_whitespace();
+    let n: usize = parse_field(parts.next(), "node count")?;
+    let m: usize = parse_field(parts.next(), "edge count")?;
+    let fmt = parts.next().unwrap_or("0");
+    let (has_node_weights, has_edge_weights) = match fmt {
+        "0" | "00" | "000" => (false, false),
+        "1" | "01" | "001" => (false, true),
+        "10" | "010" => (true, false),
+        "11" | "011" => (true, true),
+        other => {
+            return Err(GraphError::Parse(format!(
+                "unsupported METIS fmt field '{other}'"
+            )))
+        }
+    };
+
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    let mut node: usize = 0;
+    for line in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.starts_with('%') {
+            continue;
+        }
+        if node >= n {
+            if trimmed.is_empty() {
+                continue;
+            }
+            return Err(GraphError::Parse(format!(
+                "more than {n} node lines in METIS file"
+            )));
+        }
+        let mut tokens = trimmed.split_whitespace();
+        if has_node_weights {
+            let w: NodeWeight = parse_field(tokens.next(), "node weight")?;
+            builder.set_node_weight(node as NodeId, w)?;
+        }
+        loop {
+            let Some(tok) = tokens.next() else { break };
+            let neighbor: usize = tok
+                .parse()
+                .map_err(|_| GraphError::Parse(format!("invalid neighbor id '{tok}'")))?;
+            if neighbor == 0 || neighbor > n {
+                return Err(GraphError::Parse(format!(
+                    "neighbor id {neighbor} out of range 1..={n}"
+                )));
+            }
+            let weight: EdgeWeight = if has_edge_weights {
+                parse_field(tokens.next(), "edge weight")?
+            } else {
+                1
+            };
+            // Each undirected edge appears in both endpoint lines; only add it
+            // from the smaller endpoint to avoid doubling weights.
+            let u = node as NodeId;
+            let v = (neighbor - 1) as NodeId;
+            if u <= v {
+                builder.add_weighted_edge(u, v, weight)?;
+            }
+        }
+        node += 1;
+    }
+    if node != n {
+        return Err(GraphError::Parse(format!(
+            "expected {n} node lines, found {node}"
+        )));
+    }
+    let graph = builder.build();
+    if graph.num_edges() != m {
+        // Not fatal — many public METIS files have slightly inconsistent
+        // headers after duplicate removal — but a mismatch by more than the
+        // removed duplicates usually indicates a parsing problem, so surface
+        // it as an error to keep the test corpus honest.
+        return Err(GraphError::Parse(format!(
+            "header declares {m} edges but {found} were read",
+            found = graph.num_edges()
+        )));
+    }
+    Ok(graph)
+}
+
+fn parse_field<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T> {
+    let tok = tok.ok_or_else(|| GraphError::Parse(format!("missing {what}")))?;
+    tok.parse()
+        .map_err(|_| GraphError::Parse(format!("invalid {what}: '{tok}'")))
+}
+
+/// Writes a graph in METIS format to a file.
+pub fn write_metis<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<()> {
+    let file = File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    write_metis_to(graph, &mut writer)
+}
+
+/// Serialises a graph to a METIS-format string.
+pub fn write_metis_string(graph: &CsrGraph) -> String {
+    let mut buf = Vec::new();
+    write_metis_to(graph, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("METIS output is ASCII")
+}
+
+fn write_metis_to<W: Write>(graph: &CsrGraph, writer: &mut W) -> Result<()> {
+    let has_node_weights = graph.node_weights().iter().any(|&w| w != 1);
+    let has_edge_weights = graph.edge_weights().iter().any(|&w| w != 1);
+    let fmt = match (has_node_weights, has_edge_weights) {
+        (false, false) => "0",
+        (false, true) => "1",
+        (true, false) => "10",
+        (true, true) => "11",
+    };
+    if fmt == "0" {
+        writeln!(writer, "{} {}", graph.num_nodes(), graph.num_edges())?;
+    } else {
+        writeln!(writer, "{} {} {}", graph.num_nodes(), graph.num_edges(), fmt)?;
+    }
+    let mut line = String::new();
+    for v in graph.nodes() {
+        line.clear();
+        if has_node_weights {
+            line.push_str(&graph.node_weight(v).to_string());
+        }
+        for (u, w) in graph.neighbors_weighted(v) {
+            if !line.is_empty() {
+                line.push(' ');
+            }
+            line.push_str(&(u + 1).to_string());
+            if has_edge_weights {
+                line.push(' ');
+                line.push_str(&w.to_string());
+            }
+        }
+        writeln!(writer, "{line}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let s = write_metis_string(&g);
+        let back = read_metis_str(&s).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let mut b = GraphBuilder::new(3);
+        b.set_node_weight(0, 4).unwrap();
+        b.add_weighted_edge(0, 1, 2).unwrap();
+        b.add_weighted_edge(1, 2, 9).unwrap();
+        let g = b.build();
+        let s = write_metis_string(&g);
+        let back = read_metis_str(&s).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn parse_simple_file_with_comments() {
+        let text = "% a triangle plus a pendant\n4 4\n2 3\n1 3 4\n1 2\n2\n";
+        let g = read_metis_str(text).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 3));
+    }
+
+    #[test]
+    fn parse_edge_weighted_file() {
+        let text = "3 2 1\n2 5\n1 5 3 7\n2 7\n";
+        let g = read_metis_str(text).unwrap();
+        assert_eq!(g.edge_weight(0, 1), Some(5));
+        assert_eq!(g.edge_weight(1, 2), Some(7));
+    }
+
+    #[test]
+    fn parse_node_weighted_file() {
+        let text = "2 1 10\n3 2\n8 1\n";
+        let g = read_metis_str(text).unwrap();
+        assert_eq!(g.node_weight(0), 3);
+        assert_eq!(g.node_weight(1), 8);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn header_edge_count_mismatch_is_error() {
+        let text = "3 5\n2\n1 3\n2\n";
+        assert!(read_metis_str(text).is_err());
+    }
+
+    #[test]
+    fn missing_header_is_error() {
+        assert!(read_metis_str("% only a comment\n").is_err());
+    }
+
+    #[test]
+    fn neighbor_out_of_range_is_error() {
+        let text = "2 1\n5\n1\n";
+        assert!(read_metis_str(text).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let dir = std::env::temp_dir().join("oms-graph-test-metis");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.graph");
+        write_metis(&g, &path).unwrap();
+        let back = read_metis(&path).unwrap();
+        assert_eq!(g, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

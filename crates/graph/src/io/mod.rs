@@ -1,0 +1,19 @@
+//! Graph input/output.
+//!
+//! Three formats are supported:
+//!
+//! * [`metis`] — the METIS/KaHIP text format used by the graph-partitioning
+//!   community (and by the paper's framework).
+//! * [`edgelist`] — plain whitespace-separated edge lists, the format most
+//!   SNAP graphs ship in.
+//! * [`stream_format`] — a compact binary *vertex-stream* format that can be
+//!   written once and then streamed from disk with `O(Δ)` memory, mirroring
+//!   the paper's conversion of all inputs to a vertex-stream format.
+
+pub mod edgelist;
+pub mod metis;
+pub mod stream_format;
+
+pub use edgelist::{read_edge_list, write_edge_list};
+pub use metis::{read_metis, read_metis_str, write_metis, write_metis_string};
+pub use stream_format::{read_stream_file, write_stream_file, DiskStream};

@@ -1,0 +1,295 @@
+//! Binary vertex-stream format.
+//!
+//! The paper converts every benchmark graph to a *vertex-stream* format so
+//! that one-pass algorithms can consume it either from memory or directly
+//! from disk with `O(Δ)` working memory. This module defines such a format:
+//!
+//! ```text
+//! magic   : 8 bytes  "OMSSTRM1"
+//! n       : u64 LE   number of nodes
+//! m       : u64 LE   number of undirected edges
+//! flags   : u8       bit 0 = node weights present, bit 1 = edge weights present
+//! per node (in id order):
+//!   [node weight : u32 LE]            (if flag bit 0)
+//!   degree       : u32 LE
+//!   neighbors    : degree × u32 LE
+//!   [edge weights: degree × u32 LE]   (if flag bit 1)
+//! ```
+//!
+//! [`DiskStream`] implements [`NodeStream`] on top of the format, so every
+//! streaming partitioner in `oms-core` can run straight off disk.
+
+use crate::stream::{NodeStream, StreamedNode};
+use crate::{CsrGraph, EdgeWeight, GraphError, NodeId, NodeWeight, Result};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"OMSSTRM1";
+const FLAG_NODE_WEIGHTS: u8 = 0b01;
+const FLAG_EDGE_WEIGHTS: u8 = 0b10;
+
+/// Writes `graph` to `path` in the binary vertex-stream format.
+pub fn write_stream_file<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let has_nw = graph.node_weights().iter().any(|&x| x != 1);
+    let has_ew = graph.edge_weights().iter().any(|&x| x != 1);
+    let mut flags = 0u8;
+    if has_nw {
+        flags |= FLAG_NODE_WEIGHTS;
+    }
+    if has_ew {
+        flags |= FLAG_EDGE_WEIGHTS;
+    }
+    w.write_all(MAGIC)?;
+    w.write_all(&(graph.num_nodes() as u64).to_le_bytes())?;
+    w.write_all(&(graph.num_edges() as u64).to_le_bytes())?;
+    w.write_all(&[flags])?;
+    for v in graph.nodes() {
+        if has_nw {
+            w.write_all(&(graph.node_weight(v) as u32).to_le_bytes())?;
+        }
+        let neighbors = graph.neighbors(v);
+        w.write_all(&(neighbors.len() as u32).to_le_bytes())?;
+        for &u in neighbors {
+            w.write_all(&u.to_le_bytes())?;
+        }
+        if has_ew {
+            for &ew in graph.incident_edge_weights(v) {
+                w.write_all(&(ew as u32).to_le_bytes())?;
+            }
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a whole vertex-stream file back into an in-memory [`CsrGraph`].
+pub fn read_stream_file<P: AsRef<Path>>(path: P) -> Result<CsrGraph> {
+    let mut stream = DiskStream::open(path)?;
+    let n = stream.num_nodes();
+    let mut xadj = Vec::with_capacity(n + 1);
+    xadj.push(0usize);
+    let mut adjncy = Vec::new();
+    let mut eweights = Vec::new();
+    let mut nweights = Vec::with_capacity(n);
+    stream.for_each_node(|node| {
+        nweights.push(node.weight);
+        adjncy.extend_from_slice(node.neighbors);
+        eweights.extend_from_slice(node.edge_weights);
+        xadj.push(adjncy.len());
+    })?;
+    Ok(CsrGraph::from_csr_unchecked(xadj, adjncy, eweights, nweights))
+}
+
+/// A one-pass stream read from a vertex-stream file on disk.
+///
+/// Each call to [`NodeStream::for_each_node`] re-opens the file and performs
+/// a fresh pass, so restreaming algorithms can reuse the same value.
+pub struct DiskStream {
+    path: PathBuf,
+    num_nodes: usize,
+    num_edges: usize,
+    total_node_weight: NodeWeight,
+    flags: u8,
+}
+
+impl DiskStream {
+    /// Opens a vertex-stream file and reads its header.
+    ///
+    /// The total node weight is computed with one lightweight pass over the
+    /// file when node weights are present (streaming algorithms need `c(V)`
+    /// up front to compute `L_max`).
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path)?;
+        let mut r = BufReader::new(file);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(GraphError::Parse("not an OMS vertex-stream file".into()));
+        }
+        let n = read_u64(&mut r)? as usize;
+        let m = read_u64(&mut r)? as usize;
+        let mut flags = [0u8; 1];
+        r.read_exact(&mut flags)?;
+        let flags = flags[0];
+
+        let mut stream = DiskStream {
+            path,
+            num_nodes: n,
+            num_edges: m,
+            total_node_weight: n as NodeWeight,
+            flags,
+        };
+        if flags & FLAG_NODE_WEIGHTS != 0 {
+            let mut total: NodeWeight = 0;
+            stream.for_each_node(|node| total += node.weight)?;
+            stream.total_node_weight = total;
+        }
+        Ok(stream)
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl NodeStream for DiskStream {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn total_node_weight(&self) -> NodeWeight {
+        self.total_node_weight
+    }
+
+    fn for_each_node<F>(&mut self, mut f: F) -> Result<()>
+    where
+        F: FnMut(StreamedNode<'_>),
+    {
+        let file = File::open(&self.path)?;
+        let mut r = BufReader::new(file);
+        let mut skip = [0u8; 8 + 8 + 8 + 1];
+        r.read_exact(&mut skip)?;
+
+        let has_nw = self.flags & FLAG_NODE_WEIGHTS != 0;
+        let has_ew = self.flags & FLAG_EDGE_WEIGHTS != 0;
+        let mut neighbors: Vec<NodeId> = Vec::new();
+        let mut eweights: Vec<EdgeWeight> = Vec::new();
+        for v in 0..self.num_nodes {
+            let weight: NodeWeight = if has_nw {
+                read_u32(&mut r)? as NodeWeight
+            } else {
+                1
+            };
+            let degree = read_u32(&mut r)? as usize;
+            neighbors.clear();
+            neighbors.reserve(degree);
+            for _ in 0..degree {
+                neighbors.push(read_u32(&mut r)?);
+            }
+            eweights.clear();
+            if has_ew {
+                eweights.reserve(degree);
+                for _ in 0..degree {
+                    eweights.push(read_u32(&mut r)? as EdgeWeight);
+                }
+            } else {
+                eweights.resize(degree, 1);
+            }
+            f(StreamedNode {
+                node: v as NodeId,
+                weight,
+                neighbors: &neighbors,
+                edge_weights: &eweights,
+            });
+        }
+        Ok(())
+    }
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("oms-graph-test-stream");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        let path = temp_path("unweighted.oms");
+        write_stream_file(&g, &path).unwrap();
+        let back = read_stream_file(&path).unwrap();
+        assert_eq!(g, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let mut b = GraphBuilder::new(4);
+        b.set_node_weight(0, 3).unwrap();
+        b.set_node_weight(3, 7).unwrap();
+        b.add_weighted_edge(0, 1, 2).unwrap();
+        b.add_weighted_edge(1, 2, 5).unwrap();
+        b.add_weighted_edge(2, 3, 1).unwrap();
+        let g = b.build();
+        let path = temp_path("weighted.oms");
+        write_stream_file(&g, &path).unwrap();
+        let back = read_stream_file(&path).unwrap();
+        assert_eq!(g, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disk_stream_header_and_counts() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let path = temp_path("header.oms");
+        write_stream_file(&g, &path).unwrap();
+        let stream = DiskStream::open(&path).unwrap();
+        assert_eq!(stream.num_nodes(), 5);
+        assert_eq!(stream.num_edges(), 4);
+        assert_eq!(stream.total_node_weight(), 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disk_stream_total_weight_with_node_weights() {
+        let mut b = GraphBuilder::new(3);
+        b.set_node_weight(0, 10).unwrap();
+        b.set_node_weight(1, 20).unwrap();
+        b.add_edge(0, 1).unwrap();
+        let g = b.build();
+        let path = temp_path("weights.oms");
+        write_stream_file(&g, &path).unwrap();
+        let stream = DiskStream::open(&path).unwrap();
+        assert_eq!(stream.total_node_weight(), 31);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disk_stream_can_be_streamed_twice() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let path = temp_path("twice.oms");
+        write_stream_file(&g, &path).unwrap();
+        let mut stream = DiskStream::open(&path).unwrap();
+        let mut first = Vec::new();
+        stream.for_each_node(|n| first.push(n.node)).unwrap();
+        let mut second = Vec::new();
+        stream.for_each_node(|n| second.push(n.node)).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(first, vec![0, 1, 2, 3]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_magic_is_rejected() {
+        let path = temp_path("garbage.oms");
+        std::fs::write(&path, b"NOTAGRAPHFILE....").unwrap();
+        assert!(DiskStream::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

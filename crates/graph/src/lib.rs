@@ -1,0 +1,99 @@
+//! # oms-graph
+//!
+//! Graph substrate for the OMS (Online Multi-Section) streaming partitioning
+//! framework.
+//!
+//! This crate provides everything the streaming partitioners need to know
+//! about graphs, while keeping the partitioning logic itself out:
+//!
+//! * [`CsrGraph`] — a compact, immutable, undirected graph in compressed
+//!   sparse row form with node and edge weights.
+//! * [`GraphBuilder`] — an edge-list accumulator that deduplicates parallel
+//!   edges, drops self loops and produces a [`CsrGraph`].
+//! * [`NodeStream`] and its implementations — the *one-pass streaming model*
+//!   used throughout the paper: nodes arrive one at a time together with
+//!   their adjacency lists and must be assigned to blocks immediately.
+//! * Graph I/O — the METIS text format, plain edge lists and a compact
+//!   binary *vertex-stream* format that can be streamed from disk.
+//! * [`NodeOrdering`] — stream orders (natural, random, BFS, DFS, degree)
+//!   used in streaming-order experiments.
+//!
+//! The crate is deliberately independent of any partitioning concept so that
+//! generators, partitioners, mappers and metrics can all share it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csr;
+pub mod io;
+pub mod ordering;
+pub mod stream;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use ordering::NodeOrdering;
+pub use stream::{ChunkedStream, InMemoryStream, NodeStream, StreamedNode};
+
+/// Identifier of a node. Graphs in this project are laptop-scale (tens of
+/// millions of nodes at most), so 32 bits are sufficient and halve the memory
+/// traffic of the adjacency array compared to `usize`.
+pub type NodeId = u32;
+
+/// Weight of a node. The paper uses unit node weights, but the whole pipeline
+/// is written for weighted nodes so that coarsened graphs (multilevel
+/// baseline) can reuse it.
+pub type NodeWeight = u64;
+
+/// Weight of an edge.
+pub type EdgeWeight = u64;
+
+/// Errors produced when constructing or reading graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a node outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u64,
+        /// Number of nodes in the graph.
+        num_nodes: u64,
+    },
+    /// The input file or stream was malformed.
+    Parse(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A structural invariant of the CSR representation was violated.
+    Invalid(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range for graph with {num_nodes} nodes")
+            }
+            GraphError::Parse(msg) => write!(f, "parse error: {msg}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Invalid(msg) => write!(f, "invalid graph: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,292 @@
+//! The one-pass streaming model.
+//!
+//! In the one-pass model (Stanton & Kliot), nodes arrive one at a time
+//! together with their adjacency lists and must be assigned to a block
+//! immediately and permanently. The only global information a streaming
+//! partitioner may rely on are the *counts* `n` and `m` and the total node
+//! weight (needed by Fennel to compute its `α` and by every algorithm to
+//! compute the balance constraint `L_max`).
+//!
+//! [`NodeStream`] captures exactly that contract. Two implementations are
+//! provided here — [`InMemoryStream`] (streaming from RAM, as in the paper's
+//! running-time experiments) and [`ChunkedStream`] (the vertex-centric
+//! chunking used by the shared-memory parallelisation) — and a third one,
+//! [`crate::io::DiskStream`], streams the binary vertex-stream format from
+//! disk.
+
+use crate::{CsrGraph, EdgeWeight, NodeId, NodeOrdering, NodeWeight, Result};
+
+/// A node as it appears on the stream: its id, weight and adjacency list.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamedNode<'a> {
+    /// The node's id in the original graph.
+    pub node: NodeId,
+    /// The node's weight.
+    pub weight: NodeWeight,
+    /// Neighbors of the node (ids in the original graph).
+    pub neighbors: &'a [NodeId],
+    /// Weights of the incident edges, aligned with `neighbors`.
+    pub edge_weights: &'a [EdgeWeight],
+}
+
+impl<'a> StreamedNode<'a> {
+    /// Degree of the streamed node.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Iterator over `(neighbor, edge weight)` pairs.
+    pub fn neighbors_weighted(&self) -> impl Iterator<Item = (NodeId, EdgeWeight)> + 'a {
+        self.neighbors
+            .iter()
+            .copied()
+            .zip(self.edge_weights.iter().copied())
+    }
+}
+
+/// A single pass over the nodes of a graph.
+///
+/// Implementors must visit every node exactly once per call to
+/// [`NodeStream::for_each_node`]. Re-streaming algorithms simply call it
+/// again.
+pub trait NodeStream {
+    /// Number of nodes `n` of the streamed graph.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of undirected edges `m` of the streamed graph.
+    fn num_edges(&self) -> usize;
+
+    /// Total node weight `c(V)` of the streamed graph.
+    fn total_node_weight(&self) -> NodeWeight;
+
+    /// Performs one pass, invoking `f` for every node in stream order.
+    fn for_each_node<F>(&mut self, f: F) -> Result<()>
+    where
+        F: FnMut(StreamedNode<'_>);
+}
+
+/// Streams a [`CsrGraph`] held in memory, optionally permuted.
+///
+/// This mirrors the paper's experimental setup: "we stream the input directly
+/// from the internal memory to obtain clear running time comparisons".
+pub struct InMemoryStream<'g> {
+    graph: &'g CsrGraph,
+    order: Option<Vec<NodeId>>,
+}
+
+impl<'g> InMemoryStream<'g> {
+    /// Streams `graph` in natural order.
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        InMemoryStream { graph, order: None }
+    }
+
+    /// Streams `graph` in the order produced by `ordering`.
+    pub fn with_ordering(graph: &'g CsrGraph, ordering: NodeOrdering) -> Self {
+        let order = match ordering {
+            NodeOrdering::Natural => None,
+            other => Some(other.permutation(graph)),
+        };
+        InMemoryStream { graph, order }
+    }
+
+    /// Streams `graph` in an explicitly given order.
+    pub fn with_permutation(graph: &'g CsrGraph, permutation: Vec<NodeId>) -> Self {
+        InMemoryStream {
+            graph,
+            order: Some(permutation),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g CsrGraph {
+        self.graph
+    }
+
+    fn streamed(&self, v: NodeId) -> StreamedNode<'_> {
+        StreamedNode {
+            node: v,
+            weight: self.graph.node_weight(v),
+            neighbors: self.graph.neighbors(v),
+            edge_weights: self.graph.incident_edge_weights(v),
+        }
+    }
+}
+
+impl<'g> NodeStream for InMemoryStream<'g> {
+    fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    fn total_node_weight(&self) -> NodeWeight {
+        self.graph.total_node_weight()
+    }
+
+    fn for_each_node<F>(&mut self, mut f: F) -> Result<()>
+    where
+        F: FnMut(StreamedNode<'_>),
+    {
+        match &self.order {
+            None => {
+                for v in self.graph.nodes() {
+                    f(self.streamed(v));
+                }
+            }
+            Some(order) => {
+                for &v in order {
+                    f(self.streamed(v));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Splits the stream of a [`CsrGraph`] into contiguous chunks of nodes for
+/// the vertex-centric shared-memory parallelisation (§3.4 of the paper).
+///
+/// Each chunk can be processed by a different thread; the partitioner is
+/// responsible for keeping its block weights consistent (atomics).
+pub struct ChunkedStream<'g> {
+    graph: &'g CsrGraph,
+    order: Vec<NodeId>,
+}
+
+impl<'g> ChunkedStream<'g> {
+    /// Creates a chunked view over `graph` streamed in `ordering` order.
+    pub fn new(graph: &'g CsrGraph, ordering: NodeOrdering) -> Self {
+        ChunkedStream {
+            graph,
+            order: ordering.permutation(graph),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g CsrGraph {
+        self.graph
+    }
+
+    /// The full stream order.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Splits the stream order into at most `num_chunks` contiguous slices of
+    /// (nearly) equal length. Fewer chunks are returned when the graph has
+    /// fewer nodes than `num_chunks`.
+    pub fn chunks(&self, num_chunks: usize) -> Vec<&[NodeId]> {
+        let n = self.order.len();
+        if n == 0 || num_chunks == 0 {
+            return Vec::new();
+        }
+        let chunk_size = n.div_ceil(num_chunks);
+        self.order.chunks(chunk_size).collect()
+    }
+
+    /// Materialises the [`StreamedNode`] view of node `v`.
+    pub fn streamed(&self, v: NodeId) -> StreamedNode<'_> {
+        StreamedNode {
+            node: v,
+            weight: self.graph.node_weight(v),
+            neighbors: self.graph.neighbors(v),
+            edge_weights: self.graph.incident_edge_weights(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrGraph {
+        CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]).unwrap()
+    }
+
+    #[test]
+    fn in_memory_stream_visits_all_nodes_in_order() {
+        let g = sample();
+        let mut stream = InMemoryStream::new(&g);
+        let mut seen = Vec::new();
+        stream
+            .for_each_node(|node| {
+                seen.push(node.node);
+                assert_eq!(node.degree(), g.degree(node.node));
+            })
+            .unwrap();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn stream_counts_match_graph() {
+        let g = sample();
+        let stream = InMemoryStream::new(&g);
+        assert_eq!(stream.num_nodes(), 5);
+        assert_eq!(stream.num_edges(), 6);
+        assert_eq!(stream.total_node_weight(), 5);
+    }
+
+    #[test]
+    fn permuted_stream_respects_permutation() {
+        let g = sample();
+        let perm = vec![4, 3, 2, 1, 0];
+        let mut stream = InMemoryStream::with_permutation(&g, perm.clone());
+        let mut seen = Vec::new();
+        stream.for_each_node(|node| seen.push(node.node)).unwrap();
+        assert_eq!(seen, perm);
+    }
+
+    #[test]
+    fn ordered_stream_with_random_order_is_a_permutation() {
+        let g = sample();
+        let mut stream = InMemoryStream::with_ordering(&g, NodeOrdering::Random(9));
+        let mut seen = Vec::new();
+        stream.for_each_node(|node| seen.push(node.node)).unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn streamed_node_exposes_weighted_neighbors() {
+        let g = sample();
+        let mut stream = InMemoryStream::new(&g);
+        stream
+            .for_each_node(|node| {
+                if node.node == 1 {
+                    let pairs: Vec<_> = node.neighbors_weighted().collect();
+                    assert_eq!(pairs.len(), 3);
+                    assert!(pairs.iter().all(|&(_, w)| w == 1));
+                }
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn chunked_stream_covers_all_nodes_exactly_once() {
+        let g = sample();
+        let chunked = ChunkedStream::new(&g, NodeOrdering::Natural);
+        let chunks = chunked.chunks(2);
+        assert_eq!(chunks.len(), 2);
+        let mut all: Vec<NodeId> = chunks.concat();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn chunked_stream_handles_more_chunks_than_nodes() {
+        let g = sample();
+        let chunked = ChunkedStream::new(&g, NodeOrdering::Natural);
+        let chunks = chunked.chunks(100);
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn chunked_stream_zero_chunks_is_empty() {
+        let g = sample();
+        let chunked = ChunkedStream::new(&g, NodeOrdering::Natural);
+        assert!(chunked.chunks(0).is_empty());
+    }
+}

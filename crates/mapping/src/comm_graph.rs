@@ -1,0 +1,136 @@
+//! Block-level communication graphs.
+//!
+//! Offline mapping algorithms first partition the processes into `k` blocks
+//! and then assign the *blocks* to PEs. The input of that second step is the
+//! communication matrix between blocks: `C_B[i][j]` = total weight of edges
+//! running between block `i` and block `j`.
+
+use oms_core::BlockId;
+use oms_graph::CsrGraph;
+
+/// A dense, symmetric `k × k` block communication matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommGraph {
+    k: usize,
+    weights: Vec<u64>,
+}
+
+impl CommGraph {
+    /// Builds the block communication matrix induced by `assignment` (one
+    /// block id per node) on `graph`.
+    pub fn from_partition(graph: &CsrGraph, assignment: &[BlockId], k: u32) -> Self {
+        assert!(assignment.len() >= graph.num_nodes());
+        let k = k as usize;
+        let mut weights = vec![0u64; k * k];
+        for (u, v, w) in graph.edges() {
+            let bu = assignment[u as usize] as usize;
+            let bv = assignment[v as usize] as usize;
+            if bu != bv {
+                weights[bu * k + bv] += w;
+                weights[bv * k + bu] += w;
+            }
+        }
+        CommGraph { k, weights }
+    }
+
+    /// Builds a communication matrix directly from entries (used in tests and
+    /// by synthetic workloads). Entries are symmetrised.
+    pub fn from_entries(k: usize, entries: &[(usize, usize, u64)]) -> Self {
+        let mut weights = vec![0u64; k * k];
+        for &(i, j, w) in entries {
+            assert!(i < k && j < k && i != j);
+            weights[i * k + j] += w;
+            weights[j * k + i] += w;
+        }
+        CommGraph { k, weights }
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.k
+    }
+
+    /// Communication weight between blocks `i` and `j`.
+    pub fn weight(&self, i: usize, j: usize) -> u64 {
+        self.weights[i * self.k + j]
+    }
+
+    /// Total communication weight of block `i` towards all other blocks.
+    pub fn total_weight_of(&self, i: usize) -> u64 {
+        (0..self.k).map(|j| self.weight(i, j)).sum()
+    }
+
+    /// Sum of all pairwise communication weights (each pair counted once).
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().sum::<u64>() / 2
+    }
+
+    /// The cost of mapping block `i` to PE `pe[i]` under the given topology:
+    /// `Σ_{i<j} C_B[i][j] · D(pe[i], pe[j])`.
+    pub fn mapping_cost(&self, pe_of_block: &[BlockId], topology: &crate::Topology) -> u64 {
+        assert_eq!(pe_of_block.len(), self.k);
+        let mut cost = 0u64;
+        for i in 0..self.k {
+            for j in (i + 1)..self.k {
+                let w = self.weight(i, j);
+                if w > 0 {
+                    cost += w * topology.distance(pe_of_block[i], pe_of_block[j]);
+                }
+            }
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+
+    #[test]
+    fn from_partition_counts_cross_block_weight() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        let assignment = [0, 0, 1, 1, 2, 2];
+        let cg = CommGraph::from_partition(&g, &assignment, 3);
+        assert_eq!(cg.weight(0, 1), 1); // edge (1,2)
+        assert_eq!(cg.weight(1, 2), 1); // edge (3,4)
+        assert_eq!(cg.weight(0, 2), 1); // edge (5,0)
+        assert_eq!(cg.weight(0, 0), 0);
+        assert_eq!(cg.total_weight(), 3);
+        assert_eq!(cg.total_weight_of(0), 2);
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let g = oms_gen::erdos_renyi_gnm(100, 400, 3);
+        let assignment: Vec<BlockId> = (0..100).map(|v| (v % 5) as BlockId).collect();
+        let cg = CommGraph::from_partition(&g, &assignment, 5);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(cg.weight(i, j), cg.weight(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn from_entries_symmetrises() {
+        let cg = CommGraph::from_entries(3, &[(0, 1, 5), (1, 2, 2)]);
+        assert_eq!(cg.weight(1, 0), 5);
+        assert_eq!(cg.weight(2, 1), 2);
+        assert_eq!(cg.weight(0, 2), 0);
+        assert_eq!(cg.num_blocks(), 3);
+    }
+
+    #[test]
+    fn block_mapping_cost_matches_manual_computation() {
+        let cg = CommGraph::from_entries(4, &[(0, 1, 10), (2, 3, 10), (0, 2, 1)]);
+        let t = Topology::parse("2:2", "1:10").unwrap();
+        // Blocks 0,1 on PEs 0,1 (distance 1); blocks 2,3 on PEs 2,3
+        // (distance 1); blocks 0,2 on PEs 0,2 (distance 10).
+        let cost = cg.mapping_cost(&[0, 1, 2, 3], &t);
+        assert_eq!(cost, 10 + 10 + 10);
+        // A bad mapping that separates the heavy pairs across the machine.
+        let bad = cg.mapping_cost(&[0, 2, 1, 3], &t);
+        assert!(bad > cost);
+    }
+}

@@ -1,0 +1,141 @@
+//! Greedy construction of block→PE mappings.
+//!
+//! This is the classic construction heuristic used by offline process-mapping
+//! tools (Müller-Merbach's greedy ordering, refined by Glantz et al. as
+//! GreedyAllC): repeatedly pick the unmapped block with the largest
+//! communication volume towards already-mapped blocks and place it on the
+//! free PE that minimises the incurred communication cost.
+
+use crate::comm_graph::CommGraph;
+use crate::topology::Topology;
+use oms_core::BlockId;
+
+/// Computes a one-to-one block→PE mapping greedily.
+///
+/// Returns `pe_of_block` with one PE per block.
+///
+/// # Panics
+///
+/// Panics if the communication graph has more blocks than the topology has
+/// PEs.
+pub fn greedy_mapping(comm: &CommGraph, topology: &Topology) -> Vec<BlockId> {
+    let k = comm.num_blocks();
+    let num_pes = topology.num_pes() as usize;
+    assert!(
+        k <= num_pes,
+        "cannot map {k} blocks onto {num_pes} PEs one-to-one"
+    );
+
+    let mut pe_of_block: Vec<Option<BlockId>> = vec![None; k];
+    let mut pe_used = vec![false; num_pes];
+    let mut mapped: Vec<usize> = Vec::with_capacity(k);
+
+    // Start with the block that has the largest total communication volume —
+    // its placement constrains the solution the most.
+    let first = (0..k)
+        .max_by_key(|&b| comm.total_weight_of(b))
+        .unwrap_or(0);
+    pe_of_block[first] = Some(0);
+    pe_used[0] = true;
+    mapped.push(first);
+
+    for _ in 1..k {
+        // Pick the unmapped block with the largest communication towards the
+        // already-mapped blocks (ties: larger total volume, then smaller id).
+        let next = (0..k)
+            .filter(|&b| pe_of_block[b].is_none())
+            .max_by_key(|&b| {
+                let towards_mapped: u64 = mapped.iter().map(|&m| comm.weight(b, m)).sum();
+                (towards_mapped, comm.total_weight_of(b), std::cmp::Reverse(b))
+            })
+            .expect("there is at least one unmapped block");
+
+        // Place it on the free PE minimising the added cost.
+        let mut best_pe = None;
+        let mut best_cost = u64::MAX;
+        for pe in 0..num_pes as BlockId {
+            if pe_used[pe as usize] {
+                continue;
+            }
+            let cost: u64 = mapped
+                .iter()
+                .map(|&m| comm.weight(next, m) * topology.distance(pe, pe_of_block[m].unwrap()))
+                .sum();
+            if cost < best_cost {
+                best_cost = cost;
+                best_pe = Some(pe);
+            }
+        }
+        let pe = best_pe.expect("a free PE always exists while blocks remain");
+        pe_of_block[next] = Some(pe);
+        pe_used[pe as usize] = true;
+        mapped.push(next);
+    }
+
+    pe_of_block.into_iter().map(|pe| pe.unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_produces_a_permutation() {
+        let comm = CommGraph::from_entries(8, &[(0, 1, 5), (2, 3, 4), (4, 5, 3), (6, 7, 2)]);
+        let t = Topology::parse("2:2:2", "1:10:100").unwrap();
+        let mapping = greedy_mapping(&comm, &t);
+        let mut sorted = mapping.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8, "mapping must be one-to-one");
+    }
+
+    #[test]
+    fn heavily_communicating_blocks_land_close_together() {
+        // Four blocks, one very heavy pair: the greedy mapper must put the
+        // heavy pair on PEs sharing the lowest hierarchy level.
+        let comm = CommGraph::from_entries(4, &[(0, 1, 100), (2, 3, 100), (0, 2, 1)]);
+        let t = Topology::parse("2:2", "1:10").unwrap();
+        let mapping = greedy_mapping(&comm, &t);
+        assert_eq!(t.distance(mapping[0], mapping[1]), 1);
+        assert_eq!(t.distance(mapping[2], mapping[3]), 1);
+    }
+
+    #[test]
+    fn greedy_beats_identity_on_adversarial_input() {
+        // Communication pattern deliberately at odds with the identity
+        // mapping: block 0 talks to block 7, 1 to 6, etc.
+        let comm = CommGraph::from_entries(
+            8,
+            &[(0, 7, 50), (1, 6, 50), (2, 5, 50), (3, 4, 50)],
+        );
+        let t = Topology::parse("2:2:2", "1:10:100").unwrap();
+        let identity: Vec<BlockId> = (0..8).collect();
+        let greedy = greedy_mapping(&comm, &t);
+        assert!(comm.mapping_cost(&greedy, &t) < comm.mapping_cost(&identity, &t));
+    }
+
+    #[test]
+    fn single_block_maps_to_pe_zero() {
+        let comm = CommGraph::from_entries(1, &[]);
+        let t = Topology::parse("2:2", "1:10").unwrap();
+        assert_eq!(greedy_mapping(&comm, &t), vec![0]);
+    }
+
+    #[test]
+    fn fewer_blocks_than_pes_is_allowed() {
+        let comm = CommGraph::from_entries(3, &[(0, 1, 2), (1, 2, 3)]);
+        let t = Topology::parse("2:2:2", "1:10:100").unwrap();
+        let mapping = greedy_mapping(&comm, &t);
+        assert_eq!(mapping.len(), 3);
+        assert!(mapping.iter().all(|&pe| pe < 8));
+    }
+
+    #[test]
+    #[should_panic]
+    fn more_blocks_than_pes_panics() {
+        let comm = CommGraph::from_entries(5, &[]);
+        let t = Topology::parse("2:2", "1:10").unwrap();
+        greedy_mapping(&comm, &t);
+    }
+}

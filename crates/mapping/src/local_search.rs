@@ -1,0 +1,203 @@
+//! Pair-exchange local search on block→PE mappings.
+//!
+//! The refinement step used by offline mapping tools (Heider's pair-exchange,
+//! accelerated by Brandfass et al.): repeatedly swap the PEs of two blocks if
+//! the swap reduces the mapping cost, until no improving swap exists or an
+//! iteration budget is exhausted. Following Brandfass et al., the search can
+//! be restricted to a window of consecutive blocks to bound the quadratic
+//! cost on large `k`.
+
+use crate::comm_graph::CommGraph;
+use crate::topology::Topology;
+use oms_core::BlockId;
+
+/// Options of the pair-exchange refinement.
+#[derive(Clone, Copy, Debug)]
+pub struct PairExchangeConfig {
+    /// Maximum number of full sweeps over all considered pairs.
+    pub max_rounds: usize,
+    /// If set, only pairs of blocks whose indices differ by at most this
+    /// window are considered (Brandfass-style search-space pruning);
+    /// `None` considers all pairs.
+    pub window: Option<usize>,
+}
+
+impl Default for PairExchangeConfig {
+    fn default() -> Self {
+        PairExchangeConfig {
+            max_rounds: 10,
+            window: None,
+        }
+    }
+}
+
+/// Cost delta of swapping the PEs of blocks `a` and `b`.
+fn swap_gain(
+    comm: &CommGraph,
+    topology: &Topology,
+    pe_of_block: &[BlockId],
+    a: usize,
+    b: usize,
+) -> i64 {
+    let k = comm.num_blocks();
+    let pa = pe_of_block[a];
+    let pb = pe_of_block[b];
+    if pa == pb {
+        return 0;
+    }
+    let mut before = 0i64;
+    let mut after = 0i64;
+    for c in 0..k {
+        if c == a || c == b {
+            continue;
+        }
+        let pc = pe_of_block[c];
+        let wac = comm.weight(a, c);
+        let wbc = comm.weight(b, c);
+        if wac > 0 {
+            before += (wac * topology.distance(pa, pc)) as i64;
+            after += (wac * topology.distance(pb, pc)) as i64;
+        }
+        if wbc > 0 {
+            before += (wbc * topology.distance(pb, pc)) as i64;
+            after += (wbc * topology.distance(pa, pc)) as i64;
+        }
+    }
+    // The a-b edge itself keeps its cost (distance is symmetric).
+    before - after
+}
+
+/// Improves `pe_of_block` in place by pair-exchange; returns the total cost
+/// improvement achieved.
+pub fn pair_exchange(
+    comm: &CommGraph,
+    topology: &Topology,
+    pe_of_block: &mut [BlockId],
+    config: PairExchangeConfig,
+) -> u64 {
+    let k = comm.num_blocks();
+    assert_eq!(pe_of_block.len(), k);
+    let mut total_gain = 0u64;
+    for _ in 0..config.max_rounds {
+        let mut improved = false;
+        for a in 0..k {
+            let hi = match config.window {
+                Some(w) => (a + w + 1).min(k),
+                None => k,
+            };
+            for b in (a + 1)..hi {
+                let gain = swap_gain(comm, topology, pe_of_block, a, b);
+                if gain > 0 {
+                    pe_of_block.swap(a, b);
+                    total_gain += gain as u64;
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    total_gain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_mapping;
+
+    #[test]
+    fn local_search_fixes_an_adversarial_identity_mapping() {
+        let comm = CommGraph::from_entries(4, &[(0, 3, 100), (1, 2, 100)]);
+        let t = Topology::parse("2:2", "1:10").unwrap();
+        let mut mapping: Vec<BlockId> = (0..4).collect();
+        let before = comm.mapping_cost(&mapping, &t);
+        let gain = pair_exchange(&comm, &t, &mut mapping, PairExchangeConfig::default());
+        let after = comm.mapping_cost(&mapping, &t);
+        assert_eq!(before - after, gain);
+        assert!(after < before);
+        // The heavy pairs must now sit on PEs at distance 1.
+        assert_eq!(t.distance(mapping[0], mapping[3]), 1);
+        assert_eq!(t.distance(mapping[1], mapping[2]), 1);
+    }
+
+    #[test]
+    fn local_search_never_worsens_greedy() {
+        let comm = CommGraph::from_entries(
+            8,
+            &[
+                (0, 1, 9),
+                (0, 2, 7),
+                (1, 3, 6),
+                (4, 5, 8),
+                (5, 6, 4),
+                (6, 7, 5),
+                (3, 4, 2),
+            ],
+        );
+        let t = Topology::parse("2:2:2", "1:10:100").unwrap();
+        let mut mapping = greedy_mapping(&comm, &t);
+        let before = comm.mapping_cost(&mapping, &t);
+        pair_exchange(&comm, &t, &mut mapping, PairExchangeConfig::default());
+        let after = comm.mapping_cost(&mapping, &t);
+        assert!(after <= before);
+        // The result must still be a permutation.
+        let mut sorted = mapping.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+    }
+
+    #[test]
+    fn gain_is_consistent_with_cost_delta() {
+        let comm = CommGraph::from_entries(4, &[(0, 1, 3), (1, 2, 5), (2, 3, 2), (0, 3, 4)]);
+        let t = Topology::parse("2:2", "1:10").unwrap();
+        let mapping: Vec<BlockId> = vec![0, 1, 2, 3];
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                let mut swapped = mapping.clone();
+                swapped.swap(a, b);
+                let expected =
+                    comm.mapping_cost(&mapping, &t) as i64 - comm.mapping_cost(&swapped, &t) as i64;
+                assert_eq!(swap_gain(&comm, &t, &mapping, a, b), expected, "swap {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_search_is_a_restriction_of_full_search() {
+        let comm = CommGraph::from_entries(6, &[(0, 5, 50), (1, 4, 20), (2, 3, 10)]);
+        let t = Topology::parse("2:3", "1:10").unwrap();
+        let mut full: Vec<BlockId> = (0..6).collect();
+        let mut windowed: Vec<BlockId> = (0..6).collect();
+        pair_exchange(&comm, &t, &mut full, PairExchangeConfig::default());
+        pair_exchange(
+            &comm,
+            &t,
+            &mut windowed,
+            PairExchangeConfig {
+                max_rounds: 10,
+                window: Some(1),
+            },
+        );
+        assert!(comm.mapping_cost(&full, &t) <= comm.mapping_cost(&windowed, &t));
+    }
+
+    #[test]
+    fn zero_rounds_changes_nothing() {
+        let comm = CommGraph::from_entries(4, &[(0, 3, 100)]);
+        let t = Topology::parse("2:2", "1:10").unwrap();
+        let mut mapping: Vec<BlockId> = (0..4).collect();
+        let gain = pair_exchange(
+            &comm,
+            &t,
+            &mut mapping,
+            PairExchangeConfig {
+                max_rounds: 0,
+                window: None,
+            },
+        );
+        assert_eq!(gain, 0);
+        assert_eq!(mapping, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Hierarchical machine topologies.
+
+use oms_core::{BlockId, DistanceSpec, HierarchySpec, PartitionError};
+
+/// A hierarchical machine: `S = a1:…:aℓ` PEs with distances `D = d1:…:dℓ`.
+///
+/// The paper's default experimental setup is `S = 4:16:r`, `D = 1:10:100`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    hierarchy: HierarchySpec,
+    distances: DistanceSpec,
+}
+
+impl Topology {
+    /// Combines a hierarchy and a distance specification.
+    ///
+    /// Fails if the distance specification has fewer levels than the
+    /// hierarchy.
+    pub fn new(hierarchy: HierarchySpec, distances: DistanceSpec) -> Result<Self, PartitionError> {
+        if distances.num_levels() < hierarchy.num_levels() {
+            return Err(PartitionError::InvalidSpec(format!(
+                "distance spec has {} levels but the hierarchy has {}",
+                distances.num_levels(),
+                hierarchy.num_levels()
+            )));
+        }
+        Ok(Topology {
+            hierarchy,
+            distances,
+        })
+    }
+
+    /// Parses `"4:16:8"` + `"1:10:100"` style strings.
+    pub fn parse(hierarchy: &str, distances: &str) -> Result<Self, PartitionError> {
+        Topology::new(HierarchySpec::parse(hierarchy)?, DistanceSpec::parse(distances)?)
+    }
+
+    /// The paper's default topology `S = 4:16:r`, `D = 1:10:100`.
+    pub fn paper_default(r: u32) -> Self {
+        let hierarchy = HierarchySpec::new(vec![4, 16, r.max(2)]).expect("valid hierarchy");
+        Topology {
+            hierarchy,
+            distances: DistanceSpec::paper_default(),
+        }
+    }
+
+    /// The hierarchy `S`.
+    pub fn hierarchy(&self) -> &HierarchySpec {
+        &self.hierarchy
+    }
+
+    /// The distances `D`.
+    pub fn distances(&self) -> &DistanceSpec {
+        &self.distances
+    }
+
+    /// Total number of PEs `k`.
+    pub fn num_pes(&self) -> u32 {
+        self.hierarchy.total_blocks()
+    }
+
+    /// Communication distance between two PEs.
+    pub fn distance(&self, a: BlockId, b: BlockId) -> u64 {
+        self.distances.distance(&self.hierarchy, a, b)
+    }
+
+    /// The full `k × k` distance matrix (row-major). Only sensible for small
+    /// `k`; the streaming algorithms never materialise it.
+    pub fn distance_matrix(&self) -> Vec<u64> {
+        let k = self.num_pes();
+        let mut matrix = vec![0u64; (k * k) as usize];
+        for a in 0..k {
+            for b in 0..k {
+                matrix[(a * k + b) as usize] = self.distance(a, b);
+            }
+        }
+        matrix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_topology() {
+        let t = Topology::paper_default(8);
+        assert_eq!(t.num_pes(), 4 * 16 * 8);
+        assert_eq!(t.distances().distances(), &[1, 10, 100]);
+        assert_eq!(t.hierarchy().factors(), &[4, 16, 8]);
+    }
+
+    #[test]
+    fn distance_levels() {
+        let t = Topology::parse("2:2:2", "1:10:100").unwrap();
+        assert_eq!(t.distance(0, 0), 0);
+        assert_eq!(t.distance(0, 1), 1);
+        assert_eq!(t.distance(0, 2), 10);
+        assert_eq!(t.distance(0, 4), 100);
+        assert_eq!(t.distance(7, 3), 100);
+    }
+
+    #[test]
+    fn distance_matrix_is_symmetric_with_zero_diagonal() {
+        let t = Topology::parse("2:3", "1:10").unwrap();
+        let k = t.num_pes();
+        let m = t.distance_matrix();
+        for a in 0..k {
+            assert_eq!(m[(a * k + a) as usize], 0);
+            for b in 0..k {
+                assert_eq!(m[(a * k + b) as usize], m[(b * k + a) as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_levels_are_rejected() {
+        assert!(Topology::parse("2:2:2:2", "1:10:100").is_err());
+        // More distance levels than hierarchy levels are fine (extra ignored).
+        assert!(Topology::parse("2:2", "1:10:100").is_ok());
+    }
+}

@@ -1,0 +1,119 @@
+//! Memory accounting (§4.1 "Memory Requirements").
+//!
+//! The decisive difference between the streaming algorithms and the
+//! in-memory baselines is their working-set size: a one-pass algorithm keeps
+//! one block id per node plus `O(k)` block weights (Theorem 1), whereas an
+//! in-memory partitioner must hold the whole graph. This module provides the
+//! analytic estimates used by the memory experiment, plus a best-effort RSS
+//! reading on Linux for an end-to-end sanity check.
+
+use oms_graph::CsrGraph;
+
+/// An analytic memory estimate in bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryEstimate {
+    /// Bytes needed for per-node state (assignments).
+    pub node_state: usize,
+    /// Bytes needed for per-block state (weights of blocks and sub-blocks).
+    pub block_state: usize,
+    /// Bytes needed to hold the graph itself (0 for streaming algorithms
+    /// reading from disk).
+    pub graph_state: usize,
+}
+
+impl MemoryEstimate {
+    /// Total bytes.
+    pub fn total(&self) -> usize {
+        self.node_state + self.block_state + self.graph_state
+    }
+
+    /// Total mebibytes.
+    pub fn total_mib(&self) -> f64 {
+        self.total() as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// Memory of a streaming algorithm run: one `u32` assignment per node plus
+/// `tree_blocks` block weights (`≤ 2k` by Lemma 1 for OMS, exactly `k` for
+/// flat algorithms), streaming the graph from disk.
+pub fn streaming_memory_bytes(num_nodes: usize, tree_blocks: usize) -> MemoryEstimate {
+    MemoryEstimate {
+        node_state: num_nodes * std::mem::size_of::<u32>(),
+        block_state: tree_blocks * std::mem::size_of::<u64>(),
+        graph_state: 0,
+    }
+}
+
+/// Memory of an in-memory algorithm: the CSR arrays plus one assignment per
+/// node plus `k` block weights.
+pub fn graph_memory_bytes(graph: &CsrGraph, k: usize) -> MemoryEstimate {
+    MemoryEstimate {
+        node_state: graph.num_nodes() * std::mem::size_of::<u32>(),
+        block_state: k * std::mem::size_of::<u64>(),
+        graph_state: graph.memory_bytes(),
+    }
+}
+
+/// Best-effort resident-set size of the current process in bytes (Linux
+/// `/proc/self/status`, `VmRSS`); `None` when unavailable.
+pub fn current_rss_bytes() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let kb: usize = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_memory_is_linear_in_n_plus_k() {
+        let small = streaming_memory_bytes(1000, 64);
+        let big_n = streaming_memory_bytes(100_000, 64);
+        let big_k = streaming_memory_bytes(1000, 8192);
+        assert!(big_n.total() > small.total());
+        assert!(big_k.total() > small.total());
+        assert_eq!(small.graph_state, 0);
+    }
+
+    #[test]
+    fn in_memory_footprint_dominates_streaming_footprint() {
+        let g = oms_gen::erdos_renyi_gnm(5000, 40_000, 1);
+        let streaming = streaming_memory_bytes(g.num_nodes(), 2 * 8192);
+        let in_memory = graph_memory_bytes(&g, 8192);
+        assert!(
+            in_memory.total() > 5 * streaming.total(),
+            "in-memory {} vs streaming {}",
+            in_memory.total(),
+            streaming.total()
+        );
+    }
+
+    #[test]
+    fn totals_and_units() {
+        let e = MemoryEstimate {
+            node_state: 1024 * 1024,
+            block_state: 1024 * 1024,
+            graph_state: 2 * 1024 * 1024,
+        };
+        assert_eq!(e.total(), 4 * 1024 * 1024);
+        assert!((e.total_mib() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rss_reading_is_plausible_on_linux() {
+        if let Some(rss) = current_rss_bytes() {
+            assert!(rss > 1024 * 1024, "RSS suspiciously small: {rss}");
+        }
+    }
+}

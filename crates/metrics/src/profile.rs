@@ -1,0 +1,154 @@
+//! Performance profiles (the τ-curves of Fig. 2d–f).
+//!
+//! A performance profile relates each algorithm to the best algorithm on a
+//! per-instance basis: for a factor `τ ≥ 1`, the profile value of algorithm
+//! `A` is the fraction of instances on which `A`'s objective (or running
+//! time) is within a factor `τ` of the best algorithm on that instance.
+
+use std::collections::BTreeMap;
+
+/// Builder and evaluator of performance profiles for a set of algorithms
+/// over a set of instances. Lower objective values are better.
+#[derive(Clone, Debug, Default)]
+pub struct PerformanceProfile {
+    /// algorithm → per-instance values, keyed by instance name.
+    values: BTreeMap<String, BTreeMap<String, f64>>,
+}
+
+impl PerformanceProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the objective of `algorithm` on `instance`.
+    pub fn record(&mut self, algorithm: &str, instance: &str, value: f64) {
+        self.values
+            .entry(algorithm.to_string())
+            .or_default()
+            .insert(instance.to_string(), value);
+    }
+
+    /// The algorithms recorded so far.
+    pub fn algorithms(&self) -> Vec<String> {
+        self.values.keys().cloned().collect()
+    }
+
+    /// The instances on which *every* recorded algorithm has a value
+    /// (profiles are only meaningful on the common instance set).
+    pub fn common_instances(&self) -> Vec<String> {
+        let mut iter = self.values.values();
+        let Some(first) = iter.next() else {
+            return Vec::new();
+        };
+        let mut common: Vec<String> = first.keys().cloned().collect();
+        for other in iter {
+            common.retain(|i| other.contains_key(i));
+        }
+        common
+    }
+
+    /// Fraction of common instances on which `algorithm` is within factor
+    /// `tau` of the per-instance best. Returns `None` for unknown algorithms.
+    pub fn fraction_within(&self, algorithm: &str, tau: f64) -> Option<f64> {
+        let instances = self.common_instances();
+        if instances.is_empty() {
+            return Some(0.0);
+        }
+        let mine = self.values.get(algorithm)?;
+        let mut within = 0usize;
+        for instance in &instances {
+            let best = self
+                .values
+                .values()
+                .filter_map(|per_instance| per_instance.get(instance))
+                .fold(f64::INFINITY, |a, &b| a.min(b));
+            let value = mine[instance];
+            if value <= tau * best.max(1e-12) + 1e-12 {
+                within += 1;
+            }
+        }
+        Some(within as f64 / instances.len() as f64)
+    }
+
+    /// Evaluates the profile of every algorithm at the given `taus`,
+    /// returning `(algorithm, curve)` pairs.
+    pub fn curves(&self, taus: &[f64]) -> Vec<(String, Vec<f64>)> {
+        self.algorithms()
+            .into_iter()
+            .map(|alg| {
+                let curve = taus
+                    .iter()
+                    .map(|&t| self.fraction_within(&alg, t).unwrap_or(0.0))
+                    .collect();
+                (alg, curve)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerformanceProfile {
+        let mut p = PerformanceProfile::new();
+        // Instance i1: A best (10), B = 20, C = 40.
+        p.record("A", "i1", 10.0);
+        p.record("B", "i1", 20.0);
+        p.record("C", "i1", 40.0);
+        // Instance i2: B best (5), A = 10, C = 5.
+        p.record("A", "i2", 10.0);
+        p.record("B", "i2", 5.0);
+        p.record("C", "i2", 5.0);
+        p
+    }
+
+    #[test]
+    fn best_algorithm_has_full_profile_at_large_tau() {
+        let p = sample();
+        for alg in ["A", "B", "C"] {
+            assert_eq!(p.fraction_within(alg, 100.0), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn tau_one_counts_wins() {
+        let p = sample();
+        assert_eq!(p.fraction_within("A", 1.0), Some(0.5));
+        assert_eq!(p.fraction_within("B", 1.0), Some(0.5));
+        assert_eq!(p.fraction_within("C", 1.0), Some(0.5));
+    }
+
+    #[test]
+    fn intermediate_tau() {
+        let p = sample();
+        // At τ = 2: A within (10≤20, 10≤10) → 1.0; C: 40>20 on i1, 5≤10 on i2 → 0.5.
+        assert_eq!(p.fraction_within("A", 2.0), Some(1.0));
+        assert_eq!(p.fraction_within("C", 2.0), Some(0.5));
+    }
+
+    #[test]
+    fn unknown_algorithm_is_none() {
+        assert_eq!(sample().fraction_within("nope", 2.0), None);
+    }
+
+    #[test]
+    fn common_instances_ignore_partial_records() {
+        let mut p = sample();
+        p.record("A", "only-a", 1.0);
+        assert_eq!(p.common_instances(), vec!["i1".to_string(), "i2".to_string()]);
+    }
+
+    #[test]
+    fn curves_cover_all_algorithms() {
+        let p = sample();
+        let curves = p.curves(&[1.0, 2.0, 4.0]);
+        assert_eq!(curves.len(), 3);
+        for (_, curve) in curves {
+            assert_eq!(curve.len(), 3);
+            // Profiles are non-decreasing in τ.
+            assert!(curve.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        }
+    }
+}

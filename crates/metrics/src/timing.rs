@@ -1,0 +1,61 @@
+//! Wall-clock measurement helpers.
+//!
+//! The paper performs ten repetitions per algorithm and instance and reports
+//! the arithmetic mean of the measured running times. [`measure_repeated`]
+//! reproduces that protocol with a configurable repetition count.
+
+use std::time::Instant;
+
+/// Runs `f` once and returns `(result, seconds)`.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let result = f();
+    (result, start.elapsed().as_secs_f64())
+}
+
+/// Runs `f` `repetitions` times and returns `(last_result, mean_seconds)`.
+///
+/// # Panics
+///
+/// Panics if `repetitions == 0`.
+pub fn measure_repeated<T>(repetitions: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    assert!(repetitions > 0, "need at least one repetition");
+    let mut total = 0.0;
+    let mut last = None;
+    for _ in 0..repetitions {
+        let (result, secs) = measure(&mut f);
+        total += secs;
+        last = Some(result);
+    }
+    (last.unwrap(), total / repetitions as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_result_and_positive_time() {
+        let (value, secs) = measure(|| (0..1000).sum::<u64>());
+        assert_eq!(value, 499500);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn measure_repeated_averages() {
+        let mut calls = 0;
+        let (value, secs) = measure_repeated(5, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(value, 5);
+        assert_eq!(calls, 5);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_repetitions_panics() {
+        measure_repeated(0, || ());
+    }
+}

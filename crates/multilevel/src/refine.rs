@@ -1,0 +1,214 @@
+//! Size-constrained label-propagation refinement.
+//!
+//! Given a `k`-way assignment, nodes greedily move to the adjacent block with
+//! the highest connectivity gain as long as the balance constraint stays
+//! satisfied. This is the refinement used by KaMinPar-style partitioners; a
+//! few rounds per level are enough to clean up the projected partition.
+
+use oms_core::{BlockId, Partition};
+use oms_graph::{CsrGraph, NodeWeight};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Options for the refinement.
+#[derive(Clone, Copy, Debug)]
+pub struct RefineConfig {
+    /// Allowed imbalance ε.
+    pub epsilon: f64,
+    /// Number of refinement rounds.
+    pub rounds: usize,
+    /// Number of threads (1 = deterministic sequential behaviour).
+    pub threads: usize,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        RefineConfig {
+            epsilon: 0.03,
+            rounds: 3,
+            threads: 1,
+        }
+    }
+}
+
+/// Refines `assignment` in place; returns the number of nodes moved.
+pub fn refine(
+    graph: &CsrGraph,
+    assignment: &mut [BlockId],
+    k: u32,
+    config: &RefineConfig,
+) -> usize {
+    assert_eq!(assignment.len(), graph.num_nodes());
+    let capacity = Partition::capacity(graph.total_node_weight(), k, config.epsilon);
+    let block_weights: Vec<AtomicU64> = {
+        let mut weights = vec![0u64; k as usize];
+        for v in graph.nodes() {
+            weights[assignment[v as usize] as usize] += graph.node_weight(v);
+        }
+        weights.into_iter().map(AtomicU64::new).collect()
+    };
+
+    let n = graph.num_nodes();
+    let threads = config.threads.max(1);
+    let chunk = n.div_ceil(threads * 8).max(1);
+    let ranges: Vec<(u32, u32)> = (0..n)
+        .step_by(chunk)
+        .map(|lo| (lo as u32, (lo + chunk).min(n) as u32))
+        .collect();
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build rayon pool");
+
+    let mut total_moves = 0usize;
+    for _ in 0..config.rounds {
+        // Phase 1: each chunk proposes moves based on the current assignment.
+        let proposals: Vec<Vec<(u32, BlockId)>> = pool.install(|| {
+            ranges
+                .par_iter()
+                .map(|&(lo, hi)| {
+                    let mut local = Vec::new();
+                    let mut conn: HashMap<BlockId, u64> = HashMap::new();
+                    for v in lo..hi {
+                        if graph.degree(v) == 0 {
+                            continue;
+                        }
+                        let current = assignment[v as usize];
+                        conn.clear();
+                        for (u, w) in graph.neighbors_weighted(v) {
+                            *conn.entry(assignment[u as usize]).or_insert(0) += w;
+                        }
+                        let current_conn = conn.get(&current).copied().unwrap_or(0);
+                        let v_weight = graph.node_weight(v);
+                        let mut best = current;
+                        let mut best_gain = 0i64;
+                        for (&target, &c) in &conn {
+                            if target == current {
+                                continue;
+                            }
+                            let gain = c as i64 - current_conn as i64;
+                            let target_weight =
+                                block_weights[target as usize].load(Ordering::Relaxed);
+                            if gain > best_gain && target_weight + v_weight <= capacity {
+                                best = target;
+                                best_gain = gain;
+                            }
+                        }
+                        if best != current {
+                            local.push((v, best));
+                        }
+                    }
+                    local
+                })
+                .collect()
+        });
+
+        // Phase 2: apply the proposals sequentially, re-checking capacity so
+        // the balance constraint cannot be violated by concurrent proposals.
+        let mut moves = 0usize;
+        for (v, target) in proposals.into_iter().flatten() {
+            let current = assignment[v as usize];
+            if current == target {
+                continue;
+            }
+            let v_weight: NodeWeight = graph.node_weight(v);
+            if block_weights[target as usize].load(Ordering::Relaxed) + v_weight > capacity {
+                continue;
+            }
+            block_weights[current as usize].fetch_sub(v_weight, Ordering::Relaxed);
+            block_weights[target as usize].fetch_add(v_weight, Ordering::Relaxed);
+            assignment[v as usize] = target;
+            moves += 1;
+        }
+        total_moves += moves;
+        if moves == 0 {
+            break;
+        }
+    }
+    total_moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cut(graph: &CsrGraph, assignment: &[BlockId]) -> u64 {
+        graph
+            .edges()
+            .filter(|&(u, v, _)| assignment[u as usize] != assignment[v as usize])
+            .map(|(_, _, w)| w)
+            .sum()
+    }
+
+    #[test]
+    fn refinement_fixes_an_obviously_bad_assignment() {
+        // Two cliques; start with an interleaved assignment and let the
+        // refinement sort it out.
+        let mut edges = Vec::new();
+        for u in 0..8u32 {
+            for v in (u + 1)..8 {
+                edges.push((u, v));
+                edges.push((u + 8, v + 8));
+            }
+        }
+        edges.push((0, 8));
+        let g = CsrGraph::from_edges(16, &edges).unwrap();
+        let mut assignment: Vec<BlockId> = (0..16).map(|v| (v % 2) as BlockId).collect();
+        let before = cut(&g, &assignment);
+        let moves = refine(&g, &mut assignment, 2, &RefineConfig::default());
+        let after = cut(&g, &assignment);
+        assert!(moves > 0);
+        assert!(after < before, "refinement must reduce the cut: {before} → {after}");
+        let p = Partition::from_assignments(2, assignment, &[1; 16]);
+        assert!(p.is_balanced(0.04));
+    }
+
+    #[test]
+    fn refinement_respects_balance() {
+        let g = oms_gen::planted_partition(200, 4, 0.15, 0.01, 3);
+        // Start from a balanced random-ish assignment.
+        let mut assignment: Vec<BlockId> = (0..200).map(|v| (v % 4) as BlockId).collect();
+        refine(&g, &mut assignment, 4, &RefineConfig::default());
+        let p = Partition::from_assignments(4, assignment, &vec![1; 200]);
+        assert!(p.is_balanced(0.03 + 1e-9), "imbalance {}", p.imbalance());
+    }
+
+    #[test]
+    fn refinement_never_increases_cut_substantially() {
+        let g = oms_gen::erdos_renyi_gnm(300, 1500, 7);
+        let mut assignment: Vec<BlockId> = (0..300).map(|v| (v % 8) as BlockId).collect();
+        let before = cut(&g, &assignment);
+        refine(&g, &mut assignment, 8, &RefineConfig::default());
+        let after = cut(&g, &assignment);
+        assert!(after <= before);
+    }
+
+    #[test]
+    fn parallel_refinement_produces_valid_partitions() {
+        let g = oms_gen::planted_partition(400, 8, 0.1, 0.01, 9);
+        let mut assignment: Vec<BlockId> = (0..400).map(|v| (v % 8) as BlockId).collect();
+        let cfg = RefineConfig {
+            epsilon: 0.03,
+            rounds: 3,
+            threads: 4,
+        };
+        refine(&g, &mut assignment, 8, &cfg);
+        let p = Partition::from_assignments(8, assignment, &vec![1; 400]);
+        assert!(p.is_balanced(0.03 + 1e-9));
+    }
+
+    #[test]
+    fn zero_rounds_do_nothing() {
+        let g = oms_gen::erdos_renyi_gnm(50, 100, 1);
+        let mut assignment: Vec<BlockId> = (0..50).map(|v| (v % 2) as BlockId).collect();
+        let original = assignment.clone();
+        let cfg = RefineConfig {
+            rounds: 0,
+            ..RefineConfig::default()
+        };
+        assert_eq!(refine(&g, &mut assignment, 2, &cfg), 0);
+        assert_eq!(assignment, original);
+    }
+}

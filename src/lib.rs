@@ -1,0 +1,68 @@
+//! # oms — Recursive Multi-Section on the Fly
+//!
+//! A Rust reproduction of *"Recursive Multi-Section on the Fly: Shared-Memory
+//! Streaming Algorithms for Hierarchical Graph Partitioning and Process
+//! Mapping"* (Faraj & Schulz, CLUSTER 2022).
+//!
+//! This facade crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`graph`] (`oms-graph`) — CSR graphs, builders, streaming iterators, I/O;
+//! * [`gen`] (`oms-gen`) — synthetic benchmark graph generators;
+//! * [`core`](mod@core) (`oms-core`) — the streaming partitioners: Fennel, LDG,
+//!   Hashing, and the paper's online recursive multi-section (OMS / nh-OMS),
+//!   including the shared-memory parallel drivers and restreaming variants;
+//! * [`mapping`] (`oms-mapping`) — hierarchical topologies, the mapping
+//!   objective `J(C, D, Π)`, greedy block→PE construction and local search;
+//! * [`multilevel`] (`oms-multilevel`) — the in-memory multilevel baseline;
+//! * [`metrics`] (`oms-metrics`) — evaluation statistics, performance
+//!   profiles, memory accounting and reporting.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use oms::prelude::*;
+//!
+//! // A graph with two communities joined by a single bridge.
+//! let graph = CsrGraph::from_edges(8, &[
+//!     (0, 1), (1, 2), (2, 3), (3, 0),
+//!     (4, 5), (5, 6), (6, 7), (7, 4),
+//!     (0, 4),
+//! ]).unwrap();
+//!
+//! // Stream it onto a 2-processors × 2-cores machine in a single pass.
+//! let hierarchy = HierarchySpec::parse("2:2").unwrap();
+//! let topology = Topology::parse("2:2", "1:10").unwrap();
+//! let oms = OnlineMultiSection::with_hierarchy(hierarchy, OmsConfig::default());
+//! let partition = oms.partition_graph(&graph).unwrap();
+//!
+//! assert_eq!(partition.num_blocks(), 4);
+//! let j = mapping_cost(&graph, partition.assignments(), &topology);
+//! let cut = edge_cut(&graph, partition.assignments());
+//! assert!(j >= cut); // every cut edge costs at least distance 1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use oms_core as core;
+pub use oms_gen as gen;
+pub use oms_graph as graph;
+pub use oms_mapping as mapping;
+pub use oms_metrics as metrics;
+pub use oms_multilevel as multilevel;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use oms_core::{
+        AlphaMode, BlockId, DistanceSpec, Fennel, Hashing, HierarchySpec, Ldg, OmsConfig,
+        OnePassConfig, OnlineMultiSection, Partition, ScorerKind, StreamingPartitioner,
+    };
+    pub use oms_gen::{
+        barabasi_albert, delaunay_graph, erdos_renyi_gnm, grid_2d, planted_partition,
+        random_geometric_graph, rmat_graph,
+    };
+    pub use oms_graph::{CsrGraph, GraphBuilder, InMemoryStream, NodeOrdering, NodeStream};
+    pub use oms_mapping::{mapping_cost, offline_block_mapping, remap_partition, Topology};
+    pub use oms_metrics::{edge_cut, geometric_mean, improvement_percent};
+    pub use oms_multilevel::{MultilevelConfig, MultilevelPartitioner, RecursiveMultisection};
+}

@@ -1,0 +1,195 @@
+//! Cross-crate integration tests: end-to-end pipelines combining generators,
+//! streaming partitioners, the in-memory baseline, process mapping and
+//! metrics — the same compositions the benchmark harness and the examples
+//! rely on.
+
+use oms::graph::io::{read_metis_str, write_metis_string, write_stream_file, DiskStream};
+use oms::prelude::*;
+
+/// The relationships of Fig. 2a/2b on a single structured instance:
+/// in-memory multilevel ≤ streaming (Fennel/OMS) ≤ Hashing for both
+/// objectives.
+#[test]
+fn quality_ordering_matches_the_paper() {
+    let graph = planted_partition(1_500, 16, 0.04, 0.001, 11);
+    let k = 64u32;
+    let hierarchy = HierarchySpec::parse("4:4:4").unwrap();
+    let topology = Topology::parse("4:4:4", "1:10:100").unwrap();
+
+    let hashing = Hashing::new(k, OnePassConfig::default())
+        .partition_graph(&graph)
+        .unwrap();
+    let fennel = Fennel::new(k, OnePassConfig::default())
+        .partition_graph(&graph)
+        .unwrap();
+    let nh_oms = OnlineMultiSection::flat(k, OmsConfig::default())
+        .unwrap()
+        .partition_graph(&graph)
+        .unwrap();
+    let oms = OnlineMultiSection::with_hierarchy(hierarchy.clone(), OmsConfig::default())
+        .partition_graph(&graph)
+        .unwrap();
+    let multilevel = MultilevelPartitioner::new(k, MultilevelConfig::default())
+        .partition(&graph)
+        .unwrap();
+    let offline = RecursiveMultisection::new(hierarchy, MultilevelConfig::default())
+        .partition(&graph)
+        .unwrap();
+
+    // Edge-cut ordering (Fig. 2b).
+    let cut = |p: &Partition| edge_cut(&graph, p.assignments());
+    assert!(cut(&multilevel) <= cut(&fennel), "multilevel must beat fennel");
+    assert!(cut(&fennel) < cut(&hashing), "fennel must beat hashing");
+    assert!(cut(&nh_oms) < cut(&hashing), "nh-oms must beat hashing");
+
+    // Mapping-cost ordering (Fig. 2a).
+    let j = |p: &Partition| mapping_cost(&graph, p.assignments(), &topology);
+    assert!(j(&offline) <= j(&oms), "offline mapping must beat streaming OMS");
+    assert!(j(&oms) < j(&hashing), "OMS must beat hashing");
+
+    // Everything streaming stays balanced at the paper's 3 %.
+    for p in [&hashing, &fennel, &nh_oms, &oms] {
+        assert_eq!(p.num_nodes(), graph.num_nodes());
+    }
+    for p in [&fennel, &nh_oms, &oms] {
+        assert!(p.is_balanced(0.03 + 1e-9), "imbalance {}", p.imbalance());
+    }
+}
+
+/// OMS exploits the hierarchy: its mapping cost should not be worse than the
+/// hierarchy-oblivious Fennel partition evaluated under the same topology
+/// (the paper reports 41 % better on average).
+#[test]
+fn oms_mapping_not_worse_than_fennel_identity_mapping() {
+    let graph = barabasi_albert(3_000, 5, 3);
+    let topology = Topology::parse("4:4:4", "1:10:100").unwrap();
+    let k = topology.num_pes();
+
+    let fennel = Fennel::new(k, OnePassConfig::default())
+        .partition_graph(&graph)
+        .unwrap();
+    let oms = OnlineMultiSection::with_hierarchy(
+        HierarchySpec::parse("4:4:4").unwrap(),
+        OmsConfig::default(),
+    )
+    .partition_graph(&graph)
+    .unwrap();
+
+    let fennel_j = mapping_cost(&graph, fennel.assignments(), &topology);
+    let oms_j = mapping_cost(&graph, oms.assignments(), &topology);
+    assert!(
+        oms_j as f64 <= 1.1 * fennel_j as f64,
+        "OMS mapping {oms_j} should be at least comparable to Fennel {fennel_j}"
+    );
+}
+
+/// Streaming from disk and from memory must give identical results — the
+/// one-pass model only ever sees one node at a time either way.
+#[test]
+fn disk_stream_and_memory_stream_agree() {
+    let graph = random_geometric_graph(3_000, 9);
+    let path = std::env::temp_dir().join("oms-integration-disk-stream.oms");
+    write_stream_file(&graph, &path).unwrap();
+
+    let oms = OnlineMultiSection::flat(128, OmsConfig::default()).unwrap();
+    let from_memory = oms.partition_graph(&graph).unwrap();
+    let mut disk = DiskStream::open(&path).unwrap();
+    let from_disk = oms.partition_stream(&mut disk).unwrap();
+    assert_eq!(from_memory, from_disk);
+
+    let fennel = Fennel::new(128, OnePassConfig::default());
+    let mut disk = DiskStream::open(&path).unwrap();
+    assert_eq!(
+        fennel.partition_graph(&graph).unwrap(),
+        fennel.partition_stream(&mut disk).unwrap()
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// METIS round-trip composed with partitioning: the partition of a re-read
+/// graph is identical because the graph is identical.
+#[test]
+fn metis_roundtrip_preserves_partitioning() {
+    let graph = delaunay_graph(1_000, 5);
+    let text = write_metis_string(&graph);
+    let reread = read_metis_str(&text).unwrap();
+    assert_eq!(graph, reread);
+
+    let oms = OnlineMultiSection::flat(32, OmsConfig::default()).unwrap();
+    assert_eq!(
+        oms.partition_graph(&graph).unwrap(),
+        oms.partition_graph(&reread).unwrap()
+    );
+}
+
+/// The parallel driver produces valid, balanced partitions whose quality is
+/// in the same ballpark as the sequential pass (it relaxes only the
+/// visibility of concurrent assignments).
+#[test]
+fn parallel_oms_quality_close_to_sequential() {
+    let graph = planted_partition(2_000, 32, 0.03, 0.001, 17);
+    let hierarchy = HierarchySpec::parse("4:4:4").unwrap();
+    let oms = OnlineMultiSection::with_hierarchy(hierarchy, OmsConfig::default());
+
+    let sequential = oms.partition_graph(&graph).unwrap();
+    let parallel = oms.partition_graph_parallel(&graph, 4).unwrap();
+
+    assert_eq!(parallel.num_nodes(), graph.num_nodes());
+    assert!(parallel.imbalance() < 0.2, "imbalance {}", parallel.imbalance());
+    let seq_cut = edge_cut(&graph, sequential.assignments()) as f64;
+    let par_cut = edge_cut(&graph, parallel.assignments()) as f64;
+    assert!(
+        par_cut <= 2.0 * seq_cut + 100.0,
+        "parallel cut {par_cut} too far from sequential {seq_cut}"
+    );
+}
+
+/// Offline remapping of a hierarchy-oblivious partition (greedy + local
+/// search over the block communication graph) never increases the mapping
+/// cost.
+#[test]
+fn offline_remapping_improves_fennel() {
+    let graph = rmat_graph(12, 40_000, oms::gen::RmatParams::GRAPH500, 3);
+    let topology = Topology::parse("2:2:2:2:2:2", "1:2:4:8:16:32").unwrap();
+    let k = topology.num_pes();
+    let fennel = Fennel::new(k, OnePassConfig::default())
+        .partition_graph(&graph)
+        .unwrap();
+    let before = mapping_cost(&graph, fennel.assignments(), &topology);
+    let remapped = remap_partition(&fennel, &offline_block_mapping(&graph, &fennel, &topology));
+    let after = mapping_cost(&graph, &remapped, &topology);
+    assert!(after <= before, "remapping {after} must not exceed {before}");
+}
+
+/// The whole synthetic corpus can be generated, streamed and partitioned —
+/// the smoke test behind every benchmark binary.
+#[test]
+fn corpus_smoke_test() {
+    for (name, _class, graph) in oms::gen::scaled_corpus(0.01, 7) {
+        let k = 16;
+        let p = OnlineMultiSection::flat(k, OmsConfig::default())
+            .unwrap()
+            .partition_graph(&graph)
+            .unwrap();
+        assert_eq!(p.num_nodes(), graph.num_nodes(), "{name}");
+        assert!(p.is_balanced(0.031), "{name}: imbalance {}", p.imbalance());
+    }
+}
+
+/// Restreaming (the ReFennel-style extension) never loses to the single-pass
+/// run on edge-cut.
+#[test]
+fn restreaming_improves_or_matches_single_pass() {
+    let graph = planted_partition(1_200, 8, 0.05, 0.002, 23);
+    let k = 32;
+    let single = Fennel::new(k, OnePassConfig::default())
+        .partition_graph(&graph)
+        .unwrap();
+    let restreamed = oms::core::restream::ReFennel::new(k, OnePassConfig::default(), 3)
+        .partition_graph(&graph)
+        .unwrap();
+    assert!(
+        edge_cut(&graph, restreamed.assignments()) <= edge_cut(&graph, single.assignments()),
+        "restreaming must not worsen the cut"
+    );
+}
