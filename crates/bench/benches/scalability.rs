@@ -23,9 +23,11 @@ fn bench_scalability(c: &mut Criterion) {
         .map(|p| p.get())
         .unwrap_or(4);
     for &threads in [1usize, 2, 4].iter().filter(|&&t| t <= max_threads) {
-        group.bench_with_input(BenchmarkId::new("oms-parallel", threads), &threads, |b, &t| {
-            b.iter(|| oms.partition_graph_parallel(&graph, t).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("oms-parallel", threads),
+            &threads,
+            |b, &t| b.iter(|| oms.partition_graph_parallel(&graph, t).unwrap()),
+        );
         group.bench_with_input(
             BenchmarkId::new("fennel-parallel", threads),
             &threads,

@@ -154,7 +154,16 @@ mod tests {
 
     #[test]
     fn repeated_k_and_threads_accumulate() {
-        let a = parse(&["--k", "64", "--k", "512", "--threads", "2", "--threads", "8"]);
+        let a = parse(&[
+            "--k",
+            "64",
+            "--k",
+            "512",
+            "--threads",
+            "2",
+            "--threads",
+            "8",
+        ]);
         assert_eq!(a.k_values(), vec![64, 512]);
         assert_eq!(a.thread_values(), vec![2, 8]);
     }
@@ -171,7 +180,10 @@ mod tests {
     #[test]
     fn unknown_arguments_are_collected() {
         let a = parse(&["--objective", "mapping"]);
-        assert_eq!(a.rest, vec!["--objective".to_string(), "mapping".to_string()]);
+        assert_eq!(
+            a.rest,
+            vec!["--objective".to_string(), "mapping".to_string()]
+        );
     }
 
     #[test]

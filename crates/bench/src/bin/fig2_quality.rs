@@ -68,7 +68,9 @@ fn main() {
     }
     print!("{}", fig2a.to_text());
 
-    let taus = [1.0, 1.05, 1.1, 1.25, 1.5, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+    let taus = [
+        1.0, 1.05, 1.1, 1.25, 1.5, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+    ];
     let mut fig2d = Table::new(
         "Fig. 2d — mapping performance profile (fraction of instances ≤ τ · best)",
         &["algorithm", "τ=1", "τ=1.5", "τ=2", "τ=4", "τ=16", "τ=128"],
@@ -147,9 +149,15 @@ fn main() {
     }
     print!("\n{}", fig2e.to_text());
 
-    fig2a.write_csv(&out_dir.join("fig2a_mapping_improvement.csv")).ok();
-    fig2b.write_csv(&out_dir.join("fig2b_cut_improvement.csv")).ok();
-    fig2d.write_csv(&out_dir.join("fig2d_mapping_profile.csv")).ok();
+    fig2a
+        .write_csv(&out_dir.join("fig2a_mapping_improvement.csv"))
+        .ok();
+    fig2b
+        .write_csv(&out_dir.join("fig2b_cut_improvement.csv"))
+        .ok();
+    fig2d
+        .write_csv(&out_dir.join("fig2d_mapping_profile.csv"))
+        .ok();
     fig2e.write_csv(&out_dir.join("fig2e_cut_profile.csv")).ok();
     println!("\nwrote CSVs to {}", out_dir.display());
 }

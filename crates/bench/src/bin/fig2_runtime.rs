@@ -75,7 +75,15 @@ fn main() {
     let taus = [1.0, 2.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0];
     let mut fig2f = Table::new(
         "Fig. 2f — running-time performance profile (fraction of instances ≤ τ · fastest)",
-        &["algorithm", "τ=1", "τ=4", "τ=16", "τ=64", "τ=1024", "τ=4096"],
+        &[
+            "algorithm",
+            "τ=1",
+            "τ=4",
+            "τ=16",
+            "τ=64",
+            "τ=1024",
+            "τ=4096",
+        ],
     );
     for (alg, curve) in profile.curves(&taus) {
         fig2f.add_row(vec![
@@ -90,7 +98,11 @@ fn main() {
     }
     print!("\n{}", fig2f.to_text());
 
-    fig2c.write_csv(&out_dir.join("fig2c_speedup_over_fennel.csv")).ok();
-    fig2f.write_csv(&out_dir.join("fig2f_runtime_profile.csv")).ok();
+    fig2c
+        .write_csv(&out_dir.join("fig2c_speedup_over_fennel.csv"))
+        .ok();
+    fig2f
+        .write_csv(&out_dir.join("fig2f_runtime_profile.csv"))
+        .ok();
     println!("\nwrote CSVs to {}", out_dir.display());
 }

@@ -56,6 +56,8 @@ fn main() {
             rss as f64 / (1024.0 * 1024.0)
         );
     }
-    table.write_csv(&out_dir.join("memory_requirements.csv")).ok();
+    table
+        .write_csv(&out_dir.join("memory_requirements.csv"))
+        .ok();
     println!("wrote CSVs to {}", out_dir.display());
 }

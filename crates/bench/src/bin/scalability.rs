@@ -2,53 +2,40 @@
 //! and Fig. 3 (per-graph speedup/time curves) for `k = 8192` (configurable
 //! with `--k`).
 //!
-//! Algorithms: parallel Hashing, parallel Fennel, parallel nh-OMS, parallel
-//! OMS (hierarchy `4:16:r` with `64·r = k`) and the multilevel baseline.
+//! Algorithms: Hashing, Fennel, nh-OMS, OMS (hierarchy `4:16:r` with
+//! `64·r = k`) and the multilevel baseline, each dispatched through the
+//! shared registry with `threads=t` in the job spec. Note the measurement
+//! protocol: at `t = 1` the registry builds the *sequential* implementation,
+//! so the SU columns report speedup over the sequential baseline (slightly
+//! stricter than speedup over the parallel driver pinned to one thread).
 //!
 //! ```text
 //! cargo run --release -p oms-bench --bin scalability -- --scale 0.1 --k 1024
 //! cargo run --release -p oms-bench --bin scalability -- --per-graph
 //! ```
 
-use oms_bench::{scalability_corpus, BenchArgs};
-use oms_core::parallel::{hashing_parallel, onepass_parallel, FlatScorer};
-use oms_core::{HierarchySpec, OmsConfig, OnePassConfig, OnlineMultiSection};
+use oms_bench::{run_job, scalability_corpus, BenchArgs};
 use oms_graph::CsrGraph;
-use oms_metrics::{geometric_mean, measure_repeated, Table};
-use oms_multilevel::{MultilevelConfig, MultilevelPartitioner};
+use oms_metrics::{geometric_mean, Table};
 use std::collections::BTreeMap;
 
 const ALGOS: &[&str] = &["hashing", "nh-oms", "oms", "fennel", "multilevel"];
 
-fn run(algorithm: &str, graph: &CsrGraph, k: u32, threads: usize, reps: usize) -> f64 {
-    let one_pass = OnePassConfig::default();
-    let (_, secs) = match algorithm {
-        "hashing" => measure_repeated(reps, || {
-            hashing_parallel(graph, k, one_pass, threads).unwrap()
-        }),
-        "fennel" => measure_repeated(reps, || {
-            onepass_parallel(graph, k, FlatScorer::Fennel, one_pass, threads).unwrap()
-        }),
-        "nh-oms" => {
-            let oms = OnlineMultiSection::flat(k, OmsConfig::default()).unwrap();
-            measure_repeated(reps, || oms.partition_graph_parallel(graph, threads).unwrap())
-        }
-        "oms" => {
-            let r = (k / 64).max(2);
-            let hierarchy = HierarchySpec::new(vec![4, 16, r]).unwrap();
-            let oms = OnlineMultiSection::with_hierarchy(hierarchy, OmsConfig::default());
-            measure_repeated(reps, || oms.partition_graph_parallel(graph, threads).unwrap())
-        }
-        "multilevel" => {
-            let ml = MultilevelPartitioner::new(k, MultilevelConfig::default());
-            measure_repeated(reps, || ml.partition_with_threads(graph, threads).unwrap())
-        }
-        other => panic!("unknown algorithm {other}"),
-    };
-    secs
+/// The job spec of one (algorithm, k, threads) cell; the hierarchy algorithm
+/// uses the paper's `4:16:r` machine with `64·r = k`.
+fn spec_for(algorithm: &str, k: u32, threads: usize) -> String {
+    match algorithm {
+        "oms" => format!("oms:4:16:{}@threads={threads}", (k / 64).max(2)),
+        other => format!("{other}:{k}@threads={threads}"),
+    }
+}
+
+fn run(algorithm: &str, name: &str, graph: &CsrGraph, k: u32, threads: usize, reps: usize) -> f64 {
+    run_job(name, &spec_for(algorithm, k, threads), graph, reps, None).seconds
 }
 
 fn main() {
+    oms_multilevel::register_algorithms();
     let args = BenchArgs::from_env();
     let out_dir = args.ensure_out_dir();
     let per_graph = args.rest.iter().any(|a| a == "--per-graph");
@@ -57,11 +44,12 @@ fn main() {
     let threads = args.thread_values();
 
     // algorithm → thread count → per-graph times
-    let mut times: BTreeMap<&str, BTreeMap<usize, Vec<(String, f64)>>> = BTreeMap::new();
+    type TimesByThreads = BTreeMap<usize, Vec<(String, f64)>>;
+    let mut times: BTreeMap<&str, TimesByThreads> = BTreeMap::new();
     for &algo in ALGOS {
         for &t in &threads {
             for (name, graph) in &corpus {
-                let secs = run(algo, graph, k, t, args.reps);
+                let secs = run(algo, name, graph, k, t, args.reps);
                 times
                     .entry(algo)
                     .or_default()
@@ -108,14 +96,23 @@ fn main() {
         table2.add_row(row);
     }
     print!("{}", table2.to_text());
-    table2.write_csv(&out_dir.join("table2_scalability.csv")).ok();
+    table2
+        .write_csv(&out_dir.join("table2_scalability.csv"))
+        .ok();
 
     // ---- Fig. 3: per-graph speedups and running times --------------------
     if per_graph {
         for (name, _) in &corpus {
             let mut fig3 = Table::new(
                 &format!("Fig. 3 — {name}: running time [s] (speedup) vs threads, k = {k}"),
-                &["threads", "hashing", "nh-oms", "oms", "fennel", "multilevel"],
+                &[
+                    "threads",
+                    "hashing",
+                    "nh-oms",
+                    "oms",
+                    "fennel",
+                    "multilevel",
+                ],
             );
             for &t in &threads {
                 let mut row = vec![t.to_string()];
@@ -134,7 +131,8 @@ fn main() {
                 fig3.add_row(row);
             }
             print!("\n{}", fig3.to_text());
-            fig3.write_csv(&out_dir.join(format!("fig3_{name}.csv"))).ok();
+            fig3.write_csv(&out_dir.join(format!("fig3_{name}.csv")))
+                .ok();
         }
     }
     println!("\nwrote CSVs to {}", out_dir.display());

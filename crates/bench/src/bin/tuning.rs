@@ -120,7 +120,8 @@ fn main() {
         let mut times = Vec::new();
         for (_, graph) in &corpus {
             let oms = OnlineMultiSection::flat(k, OmsConfig::default().base_b(base)).unwrap();
-            let (partition, secs) = measure_repeated(args.reps, || oms.partition_graph(graph).unwrap());
+            let (partition, secs) =
+                measure_repeated(args.reps, || oms.partition_graph(graph).unwrap());
             cuts.push(edge_cut(graph, partition.assignments()) as f64);
             times.push(secs);
         }
@@ -132,7 +133,11 @@ fn main() {
     }
     print!("\n{}", base_table.to_text());
 
-    table.write_csv(&out_dir.join("tuning_scorer_alpha_hybrid.csv")).ok();
-    base_table.write_csv(&out_dir.join("tuning_base_b.csv")).ok();
+    table
+        .write_csv(&out_dir.join("tuning_scorer_alpha_hybrid.csv"))
+        .ok();
+    base_table
+        .write_csv(&out_dir.join("tuning_base_b.csv"))
+        .ok();
     println!("\nwrote CSVs to {}", out_dir.display());
 }

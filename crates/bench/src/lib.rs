@@ -27,5 +27,5 @@ pub mod runners;
 
 pub use args::BenchArgs;
 pub use runners::{
-    mapping_suite, partitioning_suite, quality_corpus, scalability_corpus, AlgoResult,
+    mapping_suite, partitioning_suite, quality_corpus, run_job, scalability_corpus, AlgoResult,
 };

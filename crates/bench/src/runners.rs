@@ -1,21 +1,21 @@
 //! Shared experiment drivers: corpus selection and algorithm suites.
+//!
+//! Every suite is a data-driven list of [`JobSpec`] strings resolved through
+//! the shared `oms-core::api` registry — adding an algorithm to an
+//! experiment means adding one spec string, not another construction match
+//! arm.
 
-use oms_core::{
-    Fennel, Hashing, OmsConfig, OnePassConfig, OnlineMultiSection, Partition,
-    StreamingPartitioner,
-};
+use oms_core::{JobSpec, Partition};
 use oms_gen::{scaled_corpus, CorpusClass};
-use oms_graph::CsrGraph;
+use oms_graph::{CsrGraph, InMemoryStream};
 use oms_mapping::{mapping_cost, Topology};
 use oms_metrics::{edge_cut, measure_repeated};
-use oms_multilevel::{MultilevelConfig, MultilevelPartitioner, RecursiveMultisection};
 
 /// The outcome of running one algorithm on one instance.
 #[derive(Clone, Debug)]
 pub struct AlgoResult {
-    /// Algorithm name (`hashing`, `fennel`, `oms`, `nh-oms`, `multilevel`,
-    /// `rms` — the latter being the IntMap-like offline recursive
-    /// multi-section).
+    /// Registry name of the algorithm (`hashing`, `fennel`, `nh-oms`,
+    /// `oms`, `multilevel`, `rms`, …).
     pub algorithm: String,
     /// Instance name.
     pub instance: String,
@@ -48,6 +48,37 @@ pub fn scalability_corpus(scale: f64, seed: u64) -> Vec<(String, CsrGraph)> {
     all.into_iter().map(|(name, _, g)| (name, g)).collect()
 }
 
+/// Builds and runs one job on one instance, timing `reps` repetitions of
+/// the partitioning itself and evaluating quality on the final partition.
+pub fn run_job(
+    instance: &str,
+    spec: &str,
+    graph: &CsrGraph,
+    reps: usize,
+    topology: Option<&Topology>,
+) -> AlgoResult {
+    let job: JobSpec = spec
+        .parse()
+        .unwrap_or_else(|e| panic!("bad suite spec '{spec}': {e}"));
+    let partitioner = job
+        .build()
+        .unwrap_or_else(|e| panic!("cannot build suite spec '{spec}': {e}"));
+    let (partition, seconds) = measure_repeated(reps, || {
+        partitioner
+            .partition(&mut InMemoryStream::new(graph))
+            .unwrap_or_else(|e| panic!("'{spec}' failed on {instance}: {e}"))
+    });
+    result(
+        instance,
+        &partitioner.name(),
+        job.num_blocks(),
+        graph,
+        &partition,
+        topology,
+        seconds,
+    )
+}
+
 /// Runs the graph-partitioning suite (Hashing, Fennel, nh-OMS, multilevel)
 /// for one instance and one `k`, measuring edge-cut and running time.
 pub fn partitioning_suite(
@@ -57,27 +88,19 @@ pub fn partitioning_suite(
     reps: usize,
     include_in_memory: bool,
 ) -> Vec<AlgoResult> {
-    let mut results = Vec::new();
-    let one_pass = OnePassConfig::default();
-
-    let (hash_partition, hash_time) =
-        measure_repeated(reps, || Hashing::new(k, one_pass).partition_graph(graph).unwrap());
-    results.push(result(name, "hashing", k, graph, &hash_partition, None, hash_time));
-
-    let (fennel_partition, fennel_time) =
-        measure_repeated(reps, || Fennel::new(k, one_pass).partition_graph(graph).unwrap());
-    results.push(result(name, "fennel", k, graph, &fennel_partition, None, fennel_time));
-
-    let nh_oms = OnlineMultiSection::flat(k, OmsConfig::default()).unwrap();
-    let (oms_partition, oms_time) = measure_repeated(reps, || nh_oms.partition_graph(graph).unwrap());
-    results.push(result(name, "nh-oms", k, graph, &oms_partition, None, oms_time));
-
+    oms_multilevel::register_algorithms();
+    let mut specs = vec![
+        format!("hashing:{k}"),
+        format!("fennel:{k}"),
+        format!("nh-oms:{k}"),
+    ];
     if include_in_memory {
-        let ml = MultilevelPartitioner::new(k, MultilevelConfig::default());
-        let (ml_partition, ml_time) = measure_repeated(reps, || ml.partition(graph).unwrap());
-        results.push(result(name, "multilevel", k, graph, &ml_partition, None, ml_time));
+        specs.push(format!("multilevel:{k}"));
     }
-    results
+    specs
+        .iter()
+        .map(|spec| run_job(name, spec, graph, reps, None))
+        .collect()
 }
 
 /// Runs the process-mapping suite (Hashing, Fennel with identity mapping,
@@ -89,60 +112,21 @@ pub fn mapping_suite(
     reps: usize,
     include_in_memory: bool,
 ) -> Vec<AlgoResult> {
+    oms_multilevel::register_algorithms();
     let k = topology.num_pes();
-    let mut results = Vec::new();
-    let one_pass = OnePassConfig::default();
-
-    let (hash_partition, hash_time) =
-        measure_repeated(reps, || Hashing::new(k, one_pass).partition_graph(graph).unwrap());
-    results.push(result(
-        name,
-        "hashing",
-        k,
-        graph,
-        &hash_partition,
-        Some(topology),
-        hash_time,
-    ));
-
-    let (fennel_partition, fennel_time) =
-        measure_repeated(reps, || Fennel::new(k, one_pass).partition_graph(graph).unwrap());
-    results.push(result(
-        name,
-        "fennel",
-        k,
-        graph,
-        &fennel_partition,
-        Some(topology),
-        fennel_time,
-    ));
-
-    let oms = OnlineMultiSection::with_hierarchy(topology.hierarchy().clone(), OmsConfig::default());
-    let (oms_partition, oms_time) = measure_repeated(reps, || oms.partition_graph(graph).unwrap());
-    results.push(result(
-        name,
-        "oms",
-        k,
-        graph,
-        &oms_partition,
-        Some(topology),
-        oms_time,
-    ));
-
+    let hierarchy = topology.hierarchy().to_string_spec();
+    let mut specs = vec![
+        format!("hashing:{k}"),
+        format!("fennel:{k}"),
+        format!("oms:{hierarchy}"),
+    ];
     if include_in_memory {
-        let rms = RecursiveMultisection::new(topology.hierarchy().clone(), MultilevelConfig::default());
-        let (rms_partition, rms_time) = measure_repeated(reps, || rms.partition(graph).unwrap());
-        results.push(result(
-            name,
-            "rms",
-            k,
-            graph,
-            &rms_partition,
-            Some(topology),
-            rms_time,
-        ));
+        specs.push(format!("rms:{hierarchy}"));
     }
-    results
+    specs
+        .iter()
+        .map(|spec| run_job(name, spec, graph, reps, Some(topology)))
+        .collect()
 }
 
 fn result(
@@ -224,6 +208,16 @@ mod tests {
                 .mapping_cost
         };
         assert!(cost("oms") <= cost("hashing"));
+    }
+
+    #[test]
+    fn run_job_accepts_any_registered_spec() {
+        oms_multilevel::register_algorithms();
+        let g = oms_gen::planted_partition(200, 4, 0.1, 0.01, 7);
+        let r = run_job("test", "fennel:8@passes=2", &g, 1, None);
+        assert_eq!(r.algorithm, "fennel");
+        assert_eq!(r.k, 8);
+        assert_eq!(r.mapping_cost, 0);
     }
 
     #[test]

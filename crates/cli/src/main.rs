@@ -1,31 +1,35 @@
 //! `oms` — command-line streaming graph partitioning and process mapping.
 //!
 //! ```text
-//! oms partition <graph.metis|graph.oms> --k 256 [--algo oms|fennel|ldg|hashing|multilevel]
-//!               [--epsilon 0.03] [--threads 4] [--output partition.txt]
+//! oms partition <graph.metis|graph.oms> --k 256 [--algo oms|fennel|ldg|hashing|multilevel|...]
+//!               [--epsilon 0.03] [--threads 4] [--passes 1] [--seed 0] [--output partition.txt]
+//! oms partition <graph> --job "oms:4:16:8@eps=0.03,threads=8" [--output FILE]
 //! oms map       <graph.metis|graph.oms> --hierarchy 4:16:8 --distances 1:10:100
-//!               [--algo oms|fennel|hashing] [--output mapping.txt]
+//!               [--algo oms|fennel|hashing|rms] [--threads T] [--output mapping.txt]
+//! oms algorithms                              # list the registered algorithms
 //! oms convert   <graph.metis> <graph.oms>     # to the binary vertex-stream format
 //! oms generate  <family> <n> <out.metis>      # rgg | delaunay | ba | rmat | grid | er
 //! oms info      <graph.metis|graph.oms>
 //! ```
 //!
+//! Every algorithm is dispatched through the shared `oms-core::api` registry:
+//! the CLI builds one [`JobSpec`] per invocation and runs whatever
+//! `Box<dyn Partitioner>` the registry produces, so new backends registered
+//! by library crates are immediately available here.
+//!
 //! Exit code 0 on success, 1 on user error, 2 on internal error.
 
-use oms_core::{
-    Fennel, Hashing, HierarchySpec, Ldg, OmsConfig, OnePassConfig, OnlineMultiSection,
-    Partition, StreamingPartitioner,
-};
+use oms_core::{registered_algorithms, JobSpec};
 use oms_graph::io::{read_edge_list, read_metis, read_stream_file, write_metis, write_stream_file};
-use oms_graph::CsrGraph;
-use oms_mapping::{mapping_cost, Topology};
-use oms_metrics::{edge_cut, measure};
-use oms_multilevel::{MultilevelConfig, MultilevelPartitioner};
+use oms_graph::{CsrGraph, InMemoryStream};
 use std::collections::HashMap;
+use std::io::Write;
 use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // Make the in-memory baselines (multilevel, rms) resolvable by name.
+    oms_multilevel::register_algorithms();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
@@ -42,11 +46,13 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  oms partition <graph> --k <k> [--algo oms|fennel|ldg|hashing|multilevel] [--epsilon 0.03] [--threads T] [--output FILE]
-  oms map       <graph> --hierarchy a1:a2:... [--distances d1:d2:...] [--algo oms|fennel|hashing] [--threads T] [--output FILE]
-  oms convert   <in.metis|in.txt> <out.oms>
-  oms generate  <rgg|delaunay|ba|rmat|grid|er> <n> <out.metis> [--seed S]
-  oms info      <graph>";
+  oms partition  <graph> --k <k> [--algo NAME] [--epsilon 0.03] [--threads T] [--passes P] [--seed S] [--output FILE]
+  oms partition  <graph> --job <spec>  (e.g. \"oms:4:16:8@eps=0.03,threads=8\") [--output FILE]
+  oms map        <graph> --hierarchy a1:a2:... [--distances d1:d2:...] [--algo NAME] [--threads T] [--seed S] [--output FILE]
+  oms algorithms
+  oms convert    <in.metis|in.txt> <out.oms>
+  oms generate   <rgg|delaunay|ba|rmat|grid|er> <n> <out.metis> [--seed S]
+  oms info       <graph>";
 
 enum Error {
     Usage(String),
@@ -61,7 +67,12 @@ impl From<oms_graph::GraphError> for Error {
 
 impl From<oms_core::PartitionError> for Error {
     fn from(e: oms_core::PartitionError) -> Self {
-        Error::Internal(format!("partitioning error: {e}"))
+        match e {
+            // Bad specs are user errors: show the usage text.
+            oms_core::PartitionError::InvalidSpec(msg)
+            | oms_core::PartitionError::InvalidConfig(msg) => Error::Usage(msg),
+            other => Error::Internal(format!("partitioning error: {other}")),
+        }
     }
 }
 
@@ -73,6 +84,7 @@ fn run(args: &[String]) -> Result<(), Error> {
     match command.as_str() {
         "partition" => partition_command(rest),
         "map" => map_command(rest),
+        "algorithms" => algorithms_command(rest),
         "convert" => convert_command(rest),
         "generate" => generate_command(rest),
         "info" => info_command(rest),
@@ -81,19 +93,43 @@ fn run(args: &[String]) -> Result<(), Error> {
 }
 
 /// Splits positional arguments from `--flag value` options.
-fn split_options(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+///
+/// Every option must carry a value and appear in `allowed`; a dangling
+/// `--flag` or an unknown flag is a usage error rather than being silently
+/// swallowed.
+fn split_options(
+    args: &[String],
+    allowed: &[&str],
+) -> Result<(Vec<String>, HashMap<String, String>), Error> {
     let mut positional = Vec::new();
     let mut options = HashMap::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if let Some(name) = arg.strip_prefix("--") {
-            let value = iter.next().cloned().unwrap_or_default();
-            options.insert(name.to_string(), value);
+            if !allowed.contains(&name) {
+                return Err(Error::Usage(format!(
+                    "unknown option '--{name}' (allowed here: {})",
+                    allowed
+                        .iter()
+                        .map(|o| format!("--{o}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+            let Some(value) = iter.next() else {
+                return Err(Error::Usage(format!("option '--{name}' requires a value")));
+            };
+            if value.starts_with("--") {
+                return Err(Error::Usage(format!(
+                    "option '--{name}' requires a value, found '{value}'"
+                )));
+            }
+            options.insert(name.to_string(), value.clone());
         } else {
             positional.push(arg.clone());
         }
     }
-    (positional, options)
+    Ok((positional, options))
 }
 
 fn load_graph(path: &str) -> Result<CsrGraph, Error> {
@@ -107,133 +143,240 @@ fn load_graph(path: &str) -> Result<CsrGraph, Error> {
     Ok(graph)
 }
 
+/// Writes one block id per line through a sizeable buffer with manual
+/// itoa-style integer encoding, skipping the `fmt` machinery on the
+/// per-node hot path of million-node partitions.
 fn write_assignments(path: &str, assignments: &[u32]) -> Result<(), Error> {
-    let body: String = assignments
-        .iter()
-        .map(|b| format!("{b}\n"))
-        .collect();
-    std::fs::write(path, body).map_err(|e| Error::Internal(format!("cannot write {path}: {e}")))
+    let io_err = |e: std::io::Error| Error::Internal(format!("cannot write {path}: {e}"));
+    let file = std::fs::File::create(path).map_err(io_err)?;
+    let mut w = std::io::BufWriter::with_capacity(1 << 20, file);
+    let mut digits = [0u8; 11]; // u32::MAX has 10 digits, plus the newline
+    for &block in assignments {
+        w.write_all(encode_line(block, &mut digits))
+            .map_err(io_err)?;
+    }
+    w.flush().map_err(io_err)
+}
+
+/// Encodes `value` as decimal digits followed by `\n`, filling `buf` from
+/// the back, and returns the used slice.
+fn encode_line(mut value: u32, buf: &mut [u8; 11]) -> &[u8] {
+    buf[10] = b'\n';
+    let mut start = 10;
+    loop {
+        start -= 1;
+        buf[start] = b'0' + (value % 10) as u8;
+        value /= 10;
+        if value == 0 {
+            break;
+        }
+    }
+    &buf[start..]
+}
+
+fn parse_option<T: std::str::FromStr>(
+    options: &HashMap<String, String>,
+    key: &str,
+    what: &str,
+) -> Result<Option<T>, Error> {
+    match options.get(key) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| Error::Usage(format!("--{key} must be {what}, got '{raw}'"))),
+    }
+}
+
+/// Builds the job described by `--algo`/`--k`-style flags (or takes `--job`
+/// verbatim), shared by `partition` and `map`.
+fn job_from_options(
+    options: &HashMap<String, String>,
+    shape: oms_core::JobShape,
+    default_algo: &str,
+) -> Result<JobSpec, Error> {
+    if let Some(spec) = options.get("job") {
+        for conflicting in [
+            "algo",
+            "k",
+            "epsilon",
+            "threads",
+            "passes",
+            "seed",
+            "hierarchy",
+            "distances",
+        ] {
+            if options.contains_key(conflicting) {
+                return Err(Error::Usage(format!(
+                    "--job already encodes the whole job; drop --{conflicting}"
+                )));
+            }
+        }
+        return Ok(spec.parse()?);
+    }
+    let algo = options
+        .get("algo")
+        .map(|s| s.as_str())
+        .unwrap_or(default_algo);
+    let mut job = JobSpec::flat(algo, 0);
+    job.shape = shape;
+    if let Some(epsilon) = parse_option(options, "epsilon", "a number")? {
+        job = job.epsilon(epsilon);
+    }
+    if let Some(threads) = parse_option(options, "threads", "a positive integer")? {
+        job = job.threads(threads);
+    }
+    if let Some(passes) = parse_option(options, "passes", "a positive integer")? {
+        job = job.passes(passes);
+    }
+    if let Some(seed) = parse_option(options, "seed", "an integer")? {
+        job = job.seed(seed);
+    }
+    Ok(job)
 }
 
 fn partition_command(args: &[String]) -> Result<(), Error> {
-    let (positional, options) = split_options(args);
+    let (positional, options) = split_options(
+        args,
+        &[
+            "k", "job", "algo", "epsilon", "threads", "passes", "seed", "output",
+        ],
+    )?;
     let Some(path) = positional.first() else {
         return Err(Error::Usage("partition: missing graph file".into()));
     };
-    let k: u32 = options
-        .get("k")
-        .ok_or_else(|| Error::Usage("partition: --k is required".into()))?
-        .parse()
-        .map_err(|_| Error::Usage("partition: --k must be a positive integer".into()))?;
-    let epsilon: f64 = options
-        .get("epsilon")
-        .map(|s| s.parse().unwrap_or(0.03))
-        .unwrap_or(0.03);
-    let threads: usize = options
-        .get("threads")
-        .map(|s| s.parse().unwrap_or(1))
-        .unwrap_or(1);
-    let algo = options.get("algo").map(|s| s.as_str()).unwrap_or("oms");
+    let shape = match parse_option::<u32>(&options, "k", "a positive integer")? {
+        Some(k) => oms_core::JobShape::Flat(k),
+        None if options.contains_key("job") => oms_core::JobShape::Flat(0), // replaced by --job
+        None => return Err(Error::Usage("partition: --k (or --job) is required".into())),
+    };
+    let job = job_from_options(&options, shape, "oms")?;
+    let partitioner = job.build()?;
 
     let graph = load_graph(path)?;
-    let one_pass = OnePassConfig::default().epsilon(epsilon);
-    let oms_cfg = OmsConfig::default().epsilon(epsilon);
-    let (partition, secs): (Partition, f64) = match algo {
-        "oms" => {
-            let oms = OnlineMultiSection::flat(k, oms_cfg)?;
-            if threads > 1 {
-                measure(|| oms.partition_graph_parallel(&graph, threads).unwrap())
-            } else {
-                measure(|| oms.partition_graph(&graph).unwrap())
-            }
-        }
-        "fennel" => measure(|| Fennel::new(k, one_pass).partition_graph(&graph).unwrap()),
-        "ldg" => measure(|| Ldg::new(k, one_pass).partition_graph(&graph).unwrap()),
-        "hashing" => measure(|| Hashing::new(k, one_pass).partition_graph(&graph).unwrap()),
-        "multilevel" => {
-            let cfg = MultilevelConfig {
-                epsilon,
-                threads,
-                ..MultilevelConfig::default()
-            };
-            measure(|| MultilevelPartitioner::new(k, cfg).partition(&graph).unwrap())
-        }
-        other => return Err(Error::Usage(format!("unknown algorithm '{other}'"))),
-    };
+    let report = partitioner.run(&mut InMemoryStream::new(&graph))?;
 
-    println!("graph      : {path} (n = {}, m = {})", graph.num_nodes(), graph.num_edges());
-    println!("algorithm  : {algo}, k = {k}, epsilon = {epsilon}");
-    println!("edge-cut   : {}", edge_cut(&graph, partition.assignments()));
-    println!("imbalance  : {:.4}", partition.imbalance());
-    println!("time       : {secs:.4} s");
+    println!(
+        "graph      : {path} (n = {}, m = {})",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    println!("job        : {job}");
+    println!(
+        "algorithm  : {}, k = {}",
+        report.algorithm,
+        report.num_blocks()
+    );
+    println!("edge-cut   : {}", report.edge_cut);
+    println!("imbalance  : {:.4}", report.imbalance);
+    println!("time       : {:.4} s", report.seconds);
     if let Some(output) = options.get("output") {
-        write_assignments(output, partition.assignments())?;
+        write_assignments(output, report.partition.assignments())?;
         println!("partition written to {output}");
     }
     Ok(())
 }
 
 fn map_command(args: &[String]) -> Result<(), Error> {
-    let (positional, options) = split_options(args);
+    let (positional, options) = split_options(
+        args,
+        &[
+            "hierarchy",
+            "distances",
+            "job",
+            "algo",
+            "epsilon",
+            "threads",
+            "passes",
+            "seed",
+            "output",
+        ],
+    )?;
     let Some(path) = positional.first() else {
         return Err(Error::Usage("map: missing graph file".into()));
     };
-    let hierarchy = options
-        .get("hierarchy")
-        .ok_or_else(|| Error::Usage("map: --hierarchy is required (e.g. 4:16:8)".into()))?;
-    let distances = options
-        .get("distances")
-        .cloned()
-        .unwrap_or_else(|| "1:10:100".to_string());
-    let threads: usize = options
-        .get("threads")
-        .map(|s| s.parse().unwrap_or(1))
-        .unwrap_or(1);
-    let algo = options.get("algo").map(|s| s.as_str()).unwrap_or("oms");
-
-    let hierarchy = HierarchySpec::parse(hierarchy)?;
-    let topology = Topology::parse(&hierarchy.to_string_spec(), &distances)?;
-    let k = topology.num_pes();
-    let graph = load_graph(path)?;
-
-    let (partition, secs): (Partition, f64) = match algo {
-        "oms" => {
-            let oms = OnlineMultiSection::with_hierarchy(hierarchy, OmsConfig::default());
-            if threads > 1 {
-                measure(|| oms.partition_graph_parallel(&graph, threads).unwrap())
-            } else {
-                measure(|| oms.partition_graph(&graph).unwrap())
-            }
-        }
-        "fennel" => measure(|| {
-            Fennel::new(k, OnePassConfig::default())
-                .partition_graph(&graph)
-                .unwrap()
-        }),
-        "hashing" => measure(|| {
-            Hashing::new(k, OnePassConfig::default())
-                .partition_graph(&graph)
-                .unwrap()
-        }),
-        other => return Err(Error::Usage(format!("unknown mapping algorithm '{other}'"))),
+    let job = if options.contains_key("job") {
+        job_from_options(&options, oms_core::JobShape::Flat(0), "oms")?
+    } else {
+        let hierarchy = options
+            .get("hierarchy")
+            .ok_or_else(|| Error::Usage("map: --hierarchy is required (e.g. 4:16:8)".into()))?;
+        let hierarchy = oms_core::HierarchySpec::parse(hierarchy)?;
+        let distances = options
+            .get("distances")
+            .map(|s| s.as_str())
+            .unwrap_or("1:10:100");
+        let distances = oms_core::DistanceSpec::parse(distances)?;
+        job_from_options(&options, oms_core::JobShape::Hierarchy(hierarchy), "oms")?
+            .distances(distances)
     };
+    if job.distances.is_none() {
+        return Err(Error::Usage(
+            "map: the job needs PE distances (--distances or dist= in --job)".into(),
+        ));
+    }
+    let partitioner = job.build()?;
 
-    println!("graph        : {path} (n = {}, m = {})", graph.num_nodes(), graph.num_edges());
-    println!("topology     : S = {}, D = {}", topology.hierarchy().to_string_spec(), distances);
-    println!("algorithm    : {algo}, k = {k} PEs");
-    println!("mapping cost : {}", mapping_cost(&graph, partition.assignments(), &topology));
-    println!("edge-cut     : {}", edge_cut(&graph, partition.assignments()));
-    println!("imbalance    : {:.4}", partition.imbalance());
-    println!("time         : {secs:.4} s");
+    let graph = load_graph(path)?;
+    let report = partitioner.run(&mut InMemoryStream::new(&graph))?;
+
+    let hierarchy = job.shape.hierarchy().expect("map jobs are hierarchical");
+    println!(
+        "graph        : {path} (n = {}, m = {})",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    let distances = job.distances.as_ref().expect("checked above");
+    println!(
+        "topology     : S = {}, D = {}",
+        hierarchy.to_string_spec(),
+        distances
+            .distances()
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(":")
+    );
+    println!("job          : {job}");
+    println!(
+        "algorithm    : {}, k = {} PEs",
+        report.algorithm,
+        report.num_blocks()
+    );
+    println!(
+        "mapping cost : {}",
+        report.mapping_cost.expect("distances were attached")
+    );
+    println!("edge-cut     : {}", report.edge_cut);
+    println!("imbalance    : {:.4}", report.imbalance);
+    println!("time         : {:.4} s", report.seconds);
     if let Some(output) = options.get("output") {
-        write_assignments(output, partition.assignments())?;
+        write_assignments(output, report.partition.assignments())?;
         println!("mapping written to {output}");
     }
     Ok(())
 }
 
+fn algorithms_command(args: &[String]) -> Result<(), Error> {
+    let (positional, _) = split_options(args, &[])?;
+    if !positional.is_empty() {
+        return Err(Error::Usage("algorithms: takes no arguments".into()));
+    }
+    println!("registered algorithms (use with --algo or in a --job spec):\n");
+    for algo in registered_algorithms() {
+        let aliases = if algo.aliases.is_empty() {
+            String::new()
+        } else {
+            format!(" (aliases: {})", algo.aliases.join(", "))
+        };
+        println!("  {:<12} {}{}", algo.name, algo.description, aliases);
+    }
+    println!("\njob spec grammar: <algo>:<k | a1:a2:...>[@eps=..,seed=..,threads=..,passes=..,base=..,hybrid=..,dist=d1:d2:...]");
+    Ok(())
+}
+
 fn convert_command(args: &[String]) -> Result<(), Error> {
-    let (positional, _) = split_options(args);
+    let (positional, _) = split_options(args, &[])?;
     let (Some(input), Some(output)) = (positional.first(), positional.get(1)) else {
         return Err(Error::Usage("convert: need <input> and <output>".into()));
     };
@@ -248,7 +391,7 @@ fn convert_command(args: &[String]) -> Result<(), Error> {
 }
 
 fn generate_command(args: &[String]) -> Result<(), Error> {
-    let (positional, options) = split_options(args);
+    let (positional, options) = split_options(args, &["seed"])?;
     let (Some(family), Some(n), Some(output)) =
         (positional.first(), positional.get(1), positional.get(2))
     else {
@@ -257,10 +400,7 @@ fn generate_command(args: &[String]) -> Result<(), Error> {
     let n: usize = n
         .parse()
         .map_err(|_| Error::Usage("generate: <n> must be an integer".into()))?;
-    let seed: u64 = options
-        .get("seed")
-        .map(|s| s.parse().unwrap_or(42))
-        .unwrap_or(42);
+    let seed: u64 = parse_option(&options, "seed", "an integer")?.unwrap_or(42);
     let graph = match family.as_str() {
         "rgg" => oms_gen::random_geometric_graph(n, seed),
         "delaunay" => oms_gen::delaunay_graph(n, seed),
@@ -286,7 +426,7 @@ fn generate_command(args: &[String]) -> Result<(), Error> {
 }
 
 fn info_command(args: &[String]) -> Result<(), Error> {
-    let (positional, _) = split_options(args);
+    let (positional, _) = split_options(args, &[])?;
     let Some(path) = positional.first() else {
         return Err(Error::Usage("info: missing graph file".into()));
     };

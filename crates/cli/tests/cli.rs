@@ -42,14 +42,21 @@ fn generate_info_partition_roundtrip() {
         .args(["--seed", "7"])
         .output()
         .unwrap();
-    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
     assert!(graph_path.exists());
 
     // info
     let output = oms().arg("info").arg(&graph_path).output().unwrap();
     assert!(output.status.success());
     let stdout = String::from_utf8_lossy(&output.stdout);
-    assert!(stdout.contains("nodes        : 2000"), "stdout was: {stdout}");
+    assert!(
+        stdout.contains("nodes        : 2000"),
+        "stdout was: {stdout}"
+    );
 
     // partition with nh-OMS and write the assignment file
     let output = oms()
@@ -59,12 +66,18 @@ fn generate_info_partition_roundtrip() {
         .arg(&partition_path)
         .output()
         .unwrap();
-    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("edge-cut"), "stdout was: {stdout}");
     let lines = std::fs::read_to_string(&partition_path).unwrap();
     assert_eq!(lines.lines().count(), 2000);
-    assert!(lines.lines().all(|l| l.parse::<u32>().map(|b| b < 16).unwrap_or(false)));
+    assert!(lines
+        .lines()
+        .all(|l| l.parse::<u32>().map(|b| b < 16).unwrap_or(false)));
 }
 
 #[test]
@@ -86,7 +99,11 @@ fn convert_and_map_from_stream_format() {
         .arg(&stream_path)
         .output()
         .unwrap();
-    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
     assert!(stream_path.exists());
 
     let output = oms()
@@ -95,10 +112,109 @@ fn convert_and_map_from_stream_format() {
         .args(["--hierarchy", "2:2:4", "--distances", "1:10:100"])
         .output()
         .unwrap();
-    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("mapping cost"), "stdout was: {stdout}");
     assert!(stdout.contains("k = 16 PEs"), "stdout was: {stdout}");
+}
+
+#[test]
+fn unknown_option_is_rejected() {
+    let dir = temp_dir("unknown-option");
+    let graph_path = dir.join("g.metis");
+    oms()
+        .args(["generate", "grid", "100"])
+        .arg(&graph_path)
+        .output()
+        .unwrap();
+    let output = oms()
+        .arg("partition")
+        .arg(&graph_path)
+        .args(["--k", "4", "--frobnicate", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown option"), "stderr was: {stderr}");
+}
+
+#[test]
+fn option_without_value_is_rejected() {
+    let dir = temp_dir("dangling-option");
+    let graph_path = dir.join("g.metis");
+    oms()
+        .args(["generate", "grid", "100"])
+        .arg(&graph_path)
+        .output()
+        .unwrap();
+    let output = oms()
+        .arg("partition")
+        .arg(&graph_path)
+        .arg("--k")
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("requires a value"), "stderr was: {stderr}");
+}
+
+#[test]
+fn algorithms_command_lists_the_registry() {
+    let output = oms().arg("algorithms").output().unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for name in [
+        "hashing",
+        "ldg",
+        "fennel",
+        "oms",
+        "nh-oms",
+        "multilevel",
+        "rms",
+    ] {
+        assert!(stdout.contains(name), "missing '{name}' in: {stdout}");
+    }
+}
+
+#[test]
+fn partition_accepts_a_full_job_spec() {
+    let dir = temp_dir("job-spec");
+    let graph_path = dir.join("g.metis");
+    oms()
+        .args(["generate", "rgg", "1000"])
+        .arg(&graph_path)
+        .output()
+        .unwrap();
+    let output = oms()
+        .arg("partition")
+        .arg(&graph_path)
+        .args(["--job", "fennel:8@passes=2,eps=0.05"])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("fennel:8@eps=0.05,passes=2"),
+        "stdout was: {stdout}"
+    );
+    assert!(stdout.contains("edge-cut"), "stdout was: {stdout}");
+
+    // --job plus a conflicting per-field flag is a usage error.
+    let output = oms()
+        .arg("partition")
+        .arg(&graph_path)
+        .args(["--job", "fennel:8", "--k", "4"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1));
 }
 
 #[test]

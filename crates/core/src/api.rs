@@ -1,0 +1,1144 @@
+//! The unified, object-safe partitioning API.
+//!
+//! Every algorithm family in this workspace — the flat one-pass baselines
+//! ([`Hashing`], [`Ldg`], [`Fennel`]), online recursive multi-section
+//! ([`OnlineMultiSection`], both OMS and nh-OMS), the restreaming variants,
+//! the shared-memory parallel drivers and the in-memory multilevel baseline
+//! (registered by `oms-multilevel`) — is reachable through three pieces:
+//!
+//! * [`Partitioner`] — a dyn-compatible trait: `run` takes any
+//!   `&mut dyn NodeStream` and returns a [`PartitionReport`]. It is
+//!   blanket-implemented for every [`StreamingPartitioner`], so existing
+//!   algorithms participate for free.
+//! * [`JobSpec`] — a parseable, round-trippable description of a
+//!   partitioning job (`"oms:4:16:8@eps=0.03,threads=8"`), with
+//!   [`JobSpec::build`] as the factory producing a `Box<dyn Partitioner>`.
+//! * The **dispatch registry** — a shared name → constructor table
+//!   ([`register_algorithm`], [`registered_algorithms`]) that downstream
+//!   crates extend (`oms_multilevel::register_algorithms()` adds the
+//!   `multilevel` and `rms` baselines) and every frontend (CLI, bench
+//!   harness, examples) resolves jobs against.
+//!
+//! ## Job specification grammar
+//!
+//! ```text
+//! <algorithm>:<shape>[@<options>]
+//!
+//! shape    := k                   flat k-way partitioning, e.g. "fennel:64"
+//!           | a1:a2:...:aℓ        hierarchical multi-section, e.g. "oms:4:16:8"
+//! options  := key=value[,key=value]*
+//!             eps=<f64>           allowed imbalance ε          (default 0.03)
+//!             seed=<u64>          RNG seed                     (default 0)
+//!             threads=<usize>     shared-memory parallelism    (default 1)
+//!             passes=<usize>      restreaming passes           (default 1)
+//!             base=<u32>          nh-OMS multi-section base    (default 4)
+//!             hybrid=<usize>      bottom tree layers solved with Hashing
+//!                                 (the hybrid mapping of §3.2, default 0)
+//!             dist=d1:d2:...      PE distances; enables the mapping
+//!                                 objective J in the report
+//! ```
+//!
+//! `Display` renders the canonical form (options at non-default values only,
+//! in the fixed order above), so `JobSpec` round-trips through strings.
+//!
+//! ## Example
+//!
+//! ```
+//! use oms_core::api::JobSpec;
+//! use oms_graph::{CsrGraph, InMemoryStream};
+//!
+//! let graph = CsrGraph::from_edges(8, &[
+//!     (0, 1), (1, 2), (2, 3), (3, 0),
+//!     (4, 5), (5, 6), (6, 7), (7, 4),
+//!     (0, 4),
+//! ]).unwrap();
+//! let job: JobSpec = "oms:2:2@dist=1:10".parse().unwrap();
+//! let partitioner = job.build().unwrap();
+//! let report = partitioner.run(&mut InMemoryStream::new(&graph)).unwrap();
+//! assert_eq!(report.partition.num_blocks(), 4);
+//! assert!(report.mapping_cost.unwrap() >= report.edge_cut);
+//! ```
+
+use crate::config::{OmsConfig, OnePassConfig};
+use crate::hierarchy::{DistanceSpec, HierarchySpec};
+use crate::oms::OnlineMultiSection;
+use crate::onepass::{Fennel, Hashing, Ldg, StreamingPartitioner};
+use crate::parallel::{hashing_parallel, onepass_parallel, FlatScorer};
+use crate::partition::Partition;
+use crate::restream::{ReFennel, ReLdg, ReOms};
+use crate::{BlockId, PartitionError, Result};
+use oms_graph::{CsrGraph, EdgeWeight, NodeId, NodeStream, NodeWeight};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+// ----------------------------------------------------------------- the trait
+
+/// The unified result of one partitioning run.
+///
+/// Fields mirror what the `oms-metrics` evaluation pipeline consumes: the
+/// partition itself, the edge-cut `cut(Π)`, the imbalance
+/// `max_i c(V_i)/(c(V)/k) − 1`, the process-mapping objective `J(C, D, Π)`
+/// when a topology was attached to the job, and the wall time of the
+/// partitioning pass (metric passes are excluded).
+#[derive(Clone, Debug)]
+pub struct PartitionReport {
+    /// Registry name of the algorithm that produced the partition.
+    pub algorithm: String,
+    /// Edge-cut of the produced partition.
+    pub edge_cut: u64,
+    /// Imbalance of the produced partition.
+    pub imbalance: f64,
+    /// Mapping cost `J`, present when the job carries a topology (`dist=`).
+    pub mapping_cost: Option<u64>,
+    /// Wall time of the partitioning pass in seconds.
+    pub seconds: f64,
+    /// The partition itself.
+    pub partition: Partition,
+}
+
+impl PartitionReport {
+    /// Number of blocks of the underlying partition.
+    pub fn num_blocks(&self) -> u32 {
+        self.partition.num_blocks()
+    }
+
+    /// Whether the partition satisfies the balance constraint for `epsilon`.
+    pub fn is_balanced(&self, epsilon: f64) -> bool {
+        self.partition.is_balanced(epsilon)
+    }
+}
+
+/// An object-safe partitioner: any algorithm that can turn a node stream
+/// into a [`Partition`].
+///
+/// The trait is deliberately dyn-compatible so heterogeneous frontends can
+/// hold `Box<dyn Partitioner>` built from a [`JobSpec`] and drive any
+/// algorithm — streaming, restreaming, parallel or in-memory — through one
+/// entry point. It is blanket-implemented for every
+/// [`StreamingPartitioner`]; algorithms that need random access to the graph
+/// (parallel drivers, multilevel) implement it directly and use
+/// [`NodeStream::as_graph`] / [`materialize_stream`] to obtain one.
+pub trait Partitioner {
+    /// Registry name of the algorithm (used in reports).
+    fn name(&self) -> String;
+
+    /// Number of blocks this partitioner produces.
+    fn num_blocks(&self) -> u32;
+
+    /// Computes the partition for the nodes delivered by `stream`.
+    fn partition(&self, stream: &mut dyn NodeStream) -> Result<Partition>;
+
+    /// The topology this job maps onto, when one was specified.
+    fn topology(&self) -> Option<(&HierarchySpec, &DistanceSpec)> {
+        None
+    }
+
+    /// Runs the partitioner and evaluates the result into a
+    /// [`PartitionReport`] (edge-cut, imbalance, optional mapping cost `J`,
+    /// wall time). Metrics are computed with one extra pass over the stream;
+    /// only the partitioning pass itself is timed.
+    fn run(&self, stream: &mut dyn NodeStream) -> Result<PartitionReport> {
+        let start = Instant::now();
+        let partition = self.partition(stream)?;
+        let seconds = start.elapsed().as_secs_f64();
+        let edge_cut = stream_edge_cut(stream, partition.assignments())?;
+        let mapping_cost = match self.topology() {
+            Some((hierarchy, distances)) => Some(stream_mapping_cost(
+                stream,
+                partition.assignments(),
+                hierarchy,
+                distances,
+            )?),
+            None => None,
+        };
+        Ok(PartitionReport {
+            algorithm: self.name(),
+            edge_cut,
+            imbalance: partition.imbalance(),
+            mapping_cost,
+            seconds,
+            partition,
+        })
+    }
+}
+
+impl<T: StreamingPartitioner> Partitioner for T {
+    fn name(&self) -> String {
+        StreamingPartitioner::name(self).to_string()
+    }
+
+    fn num_blocks(&self) -> u32 {
+        StreamingPartitioner::num_blocks(self)
+    }
+
+    fn partition(&self, mut stream: &mut dyn NodeStream) -> Result<Partition> {
+        self.partition_stream(&mut stream)
+    }
+}
+
+// ------------------------------------------------------------ stream metrics
+
+/// Edge-cut of `assignments`, computed with one pass over the stream (each
+/// undirected edge is seen from both endpoints, so the sum is halved).
+pub fn stream_edge_cut(stream: &mut dyn NodeStream, assignments: &[BlockId]) -> Result<u64> {
+    let mut twice = 0u64;
+    stream.for_each_node(&mut |node| {
+        let own = assignments[node.node as usize];
+        for (u, w) in node.neighbors_weighted() {
+            if assignments[u as usize] != own {
+                twice += w;
+            }
+        }
+    })?;
+    Ok(twice / 2)
+}
+
+/// Mapping cost `J(C, D, Π) = Σ_{u,v} ω(u,v) · D(Π(u), Π(v))`, computed with
+/// one pass over the stream.
+pub fn stream_mapping_cost(
+    stream: &mut dyn NodeStream,
+    assignments: &[BlockId],
+    hierarchy: &HierarchySpec,
+    distances: &DistanceSpec,
+) -> Result<u64> {
+    let mut twice = 0u64;
+    stream.for_each_node(&mut |node| {
+        let own = assignments[node.node as usize];
+        for (u, w) in node.neighbors_weighted() {
+            twice += w * distances.distance(hierarchy, own, assignments[u as usize]);
+        }
+    })?;
+    Ok(twice / 2)
+}
+
+/// Collects a full [`CsrGraph`] out of one stream pass.
+///
+/// Random-access algorithms behind the unified API (parallel drivers,
+/// multilevel) call this when [`NodeStream::as_graph`] returns `None`,
+/// trading the streaming memory guarantee for applicability.
+pub fn materialize_stream(stream: &mut dyn NodeStream) -> Result<CsrGraph> {
+    if let Some(graph) = stream.as_graph() {
+        return Ok(graph.clone());
+    }
+    let n = stream.num_nodes();
+    let mut node_weights: Vec<NodeWeight> = vec![1; n];
+    let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut edge_weights: Vec<Vec<EdgeWeight>> = vec![Vec::new(); n];
+    stream.for_each_node(&mut |node| {
+        let i = node.node as usize;
+        node_weights[i] = node.weight;
+        adjacency[i] = node.neighbors.to_vec();
+        edge_weights[i] = node.edge_weights.to_vec();
+    })?;
+    let mut xadj = Vec::with_capacity(n + 1);
+    xadj.push(0usize);
+    let mut adjncy = Vec::new();
+    let mut eweights = Vec::new();
+    for i in 0..n {
+        adjncy.extend_from_slice(&adjacency[i]);
+        eweights.extend_from_slice(&edge_weights[i]);
+        xadj.push(adjncy.len());
+    }
+    CsrGraph::from_csr(xadj, adjncy, eweights, node_weights).map_err(PartitionError::Graph)
+}
+
+// -------------------------------------------------------- parallel adapters
+
+#[derive(Clone, Copy, Debug)]
+enum ParFlatKind {
+    Hashing,
+    Fennel,
+    Ldg,
+}
+
+/// Adapter running the shared-memory parallel one-pass drivers (§3.4) behind
+/// the object-safe API. Streams without an in-memory graph are materialised.
+struct ParallelFlat {
+    k: u32,
+    kind: ParFlatKind,
+    config: OnePassConfig,
+    threads: usize,
+}
+
+impl Partitioner for ParallelFlat {
+    fn name(&self) -> String {
+        match self.kind {
+            ParFlatKind::Hashing => "hashing",
+            ParFlatKind::Fennel => "fennel",
+            ParFlatKind::Ldg => "ldg",
+        }
+        .to_string()
+    }
+
+    fn num_blocks(&self) -> u32 {
+        self.k
+    }
+
+    fn partition(&self, stream: &mut dyn NodeStream) -> Result<Partition> {
+        let graph = materialize_stream(stream)?;
+        match self.kind {
+            ParFlatKind::Hashing => hashing_parallel(&graph, self.k, self.config, self.threads),
+            ParFlatKind::Fennel => onepass_parallel(
+                &graph,
+                self.k,
+                FlatScorer::Fennel,
+                self.config,
+                self.threads,
+            ),
+            ParFlatKind::Ldg => {
+                onepass_parallel(&graph, self.k, FlatScorer::Ldg, self.config, self.threads)
+            }
+        }
+    }
+}
+
+/// Adapter running the vertex-centric parallel OMS driver behind the
+/// object-safe API.
+struct ParallelOms {
+    oms: OnlineMultiSection,
+    threads: usize,
+}
+
+impl Partitioner for ParallelOms {
+    fn name(&self) -> String {
+        "oms".to_string()
+    }
+
+    fn num_blocks(&self) -> u32 {
+        self.oms.tree().num_blocks()
+    }
+
+    fn partition(&self, stream: &mut dyn NodeStream) -> Result<Partition> {
+        let graph = materialize_stream(stream)?;
+        self.oms.partition_graph_parallel(&graph, self.threads)
+    }
+}
+
+/// The partitioner produced by [`JobSpec::build`]: the algorithm picked from
+/// the registry, labelled with its registry name and optionally carrying the
+/// job's topology for mapping-cost evaluation.
+struct JobPartitioner {
+    name: String,
+    topology: Option<(HierarchySpec, DistanceSpec)>,
+    inner: Box<dyn Partitioner>,
+}
+
+impl Partitioner for JobPartitioner {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn num_blocks(&self) -> u32 {
+        self.inner.num_blocks()
+    }
+
+    fn partition(&self, stream: &mut dyn NodeStream) -> Result<Partition> {
+        self.inner.partition(stream)
+    }
+
+    fn topology(&self) -> Option<(&HierarchySpec, &DistanceSpec)> {
+        self.topology.as_ref().map(|(h, d)| (h, d))
+    }
+}
+
+// ----------------------------------------------------------------- job spec
+
+/// Default allowed imbalance ε (the paper's 3 %).
+pub const DEFAULT_EPSILON: f64 = 0.03;
+/// Default nh-OMS multi-section base (the paper's tuned `b = 4`).
+pub const DEFAULT_BASE_B: u32 = 4;
+
+/// The block structure a job asks for: flat `k`-way or hierarchical.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobShape {
+    /// Plain `k`-way partitioning.
+    Flat(u32),
+    /// Multi-section along a communication hierarchy `a1:a2:…:aℓ`.
+    Hierarchy(HierarchySpec),
+}
+
+impl JobShape {
+    /// Total number of blocks / PEs.
+    pub fn num_blocks(&self) -> u32 {
+        match self {
+            JobShape::Flat(k) => *k,
+            JobShape::Hierarchy(h) => h.total_blocks(),
+        }
+    }
+
+    /// The hierarchy, when the shape is hierarchical.
+    pub fn hierarchy(&self) -> Option<&HierarchySpec> {
+        match self {
+            JobShape::Flat(_) => None,
+            JobShape::Hierarchy(h) => Some(h),
+        }
+    }
+}
+
+impl fmt::Display for JobShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobShape::Flat(k) => write!(f, "{k}"),
+            JobShape::Hierarchy(h) => write!(f, "{}", h.to_string_spec()),
+        }
+    }
+}
+
+/// A complete, serialisable description of one partitioning job.
+///
+/// See the [module documentation](self) for the string grammar.
+/// `JobSpec` ↔ string conversion round-trips: `Display` prints the
+/// canonical form and [`FromStr`] parses it back to an equal value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Registry name of the algorithm (`hashing`, `ldg`, `fennel`, `oms`,
+    /// `nh-oms`, `multilevel`, …).
+    pub algorithm: String,
+    /// Flat `k` or hierarchy.
+    pub shape: JobShape,
+    /// Allowed imbalance ε.
+    pub epsilon: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Shared-memory threads (`> 1` selects the parallel drivers).
+    pub threads: usize,
+    /// Stream passes (`> 1` selects the restreaming variants).
+    pub passes: usize,
+    /// Multi-section base for nh-OMS.
+    pub base_b: u32,
+    /// Number of bottom tree layers solved with Hashing (the hybrid mapping
+    /// of §3.2); only meaningful for `oms` / `nh-oms`.
+    pub hashing_bottom_layers: usize,
+    /// PE distances; when present, [`Partitioner::run`] also reports the
+    /// mapping objective `J`. Requires a hierarchical shape.
+    pub distances: Option<DistanceSpec>,
+}
+
+impl JobSpec {
+    /// A flat `k`-way job with default options.
+    pub fn flat(algorithm: impl Into<String>, k: u32) -> Self {
+        JobSpec {
+            algorithm: algorithm.into(),
+            shape: JobShape::Flat(k),
+            epsilon: DEFAULT_EPSILON,
+            seed: 0,
+            threads: 1,
+            passes: 1,
+            base_b: DEFAULT_BASE_B,
+            hashing_bottom_layers: 0,
+            distances: None,
+        }
+    }
+
+    /// A hierarchical job with default options.
+    pub fn hierarchical(algorithm: impl Into<String>, hierarchy: HierarchySpec) -> Self {
+        let mut spec = JobSpec::flat(algorithm, 0);
+        spec.shape = JobShape::Hierarchy(hierarchy);
+        spec
+    }
+
+    /// Parses the `<algorithm>:<shape>[@<options>]` form (same as
+    /// [`FromStr`]).
+    pub fn parse(s: &str) -> Result<Self> {
+        s.parse()
+    }
+
+    /// Sets the allowed imbalance ε.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of shared-memory threads.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the number of restreaming passes.
+    pub fn passes(mut self, passes: usize) -> Self {
+        self.passes = passes;
+        self
+    }
+
+    /// Sets the nh-OMS multi-section base.
+    pub fn base_b(mut self, base_b: u32) -> Self {
+        self.base_b = base_b;
+        self
+    }
+
+    /// Solves the given number of bottom tree layers with Hashing (the
+    /// hybrid mapping of §3.2).
+    pub fn hashing_bottom_layers(mut self, layers: usize) -> Self {
+        self.hashing_bottom_layers = layers;
+        self
+    }
+
+    /// Attaches PE distances (enables the mapping objective `J`).
+    pub fn distances(mut self, distances: DistanceSpec) -> Self {
+        self.distances = Some(distances);
+        self
+    }
+
+    /// Total number of blocks / PEs the job produces.
+    pub fn num_blocks(&self) -> u32 {
+        self.shape.num_blocks()
+    }
+
+    /// The flat one-pass configuration corresponding to this job.
+    pub fn one_pass_config(&self) -> OnePassConfig {
+        OnePassConfig::default()
+            .epsilon(self.epsilon)
+            .seed(self.seed)
+    }
+
+    /// The OMS configuration corresponding to this job.
+    pub fn oms_config(&self) -> OmsConfig {
+        OmsConfig::default()
+            .epsilon(self.epsilon)
+            .seed(self.seed)
+            .base_b(self.base_b)
+            .hashing_bottom_layers(self.hashing_bottom_layers)
+    }
+
+    /// Builds the partitioner this job describes, dispatching through the
+    /// shared algorithm registry.
+    ///
+    /// The returned `Box<dyn Partitioner>` reports under the registry name
+    /// and, when `dist=` was given, evaluates the mapping objective `J` in
+    /// [`Partitioner::run`].
+    pub fn build(&self) -> Result<Box<dyn Partitioner>> {
+        let info = find_algorithm(&self.algorithm).ok_or_else(|| {
+            let known: Vec<&str> = registered_algorithms().iter().map(|a| a.name).collect();
+            PartitionError::InvalidSpec(format!(
+                "unknown algorithm '{}' (registered: {})",
+                self.algorithm,
+                known.join(", ")
+            ))
+        })?;
+        if self.num_blocks() == 0 {
+            return Err(PartitionError::InvalidConfig(
+                "the number of blocks k must be positive".into(),
+            ));
+        }
+        if self.passes == 0 {
+            return Err(PartitionError::InvalidConfig(
+                "passes must be at least 1".into(),
+            ));
+        }
+        if self.threads == 0 {
+            return Err(PartitionError::InvalidConfig(
+                "threads must be at least 1".into(),
+            ));
+        }
+        if !self.epsilon.is_finite() || self.epsilon < 0.0 {
+            return Err(PartitionError::InvalidConfig(
+                "epsilon must be non-negative".into(),
+            ));
+        }
+        let inner = (info.build)(self)?;
+        let topology = match (&self.shape, &self.distances) {
+            (_, None) => None,
+            (JobShape::Hierarchy(h), Some(d)) => {
+                if d.num_levels() < h.num_levels() {
+                    return Err(PartitionError::InvalidSpec(format!(
+                        "dist= has {} levels but the hierarchy has {}",
+                        d.num_levels(),
+                        h.num_levels()
+                    )));
+                }
+                Some((h.clone(), d.clone()))
+            }
+            (JobShape::Flat(_), Some(_)) => {
+                return Err(PartitionError::InvalidSpec(
+                    "dist= requires a hierarchical shape (a1:a2:...)".into(),
+                ))
+            }
+        };
+        Ok(Box::new(JobPartitioner {
+            name: info.name.to_string(),
+            topology,
+            inner,
+        }))
+    }
+}
+
+impl fmt::Display for JobSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.algorithm, self.shape)?;
+        let mut options: Vec<String> = Vec::new();
+        if self.epsilon != DEFAULT_EPSILON {
+            options.push(format!("eps={}", self.epsilon));
+        }
+        if self.seed != 0 {
+            options.push(format!("seed={}", self.seed));
+        }
+        if self.threads != 1 {
+            options.push(format!("threads={}", self.threads));
+        }
+        if self.passes != 1 {
+            options.push(format!("passes={}", self.passes));
+        }
+        if self.base_b != DEFAULT_BASE_B {
+            options.push(format!("base={}", self.base_b));
+        }
+        if self.hashing_bottom_layers != 0 {
+            options.push(format!("hybrid={}", self.hashing_bottom_layers));
+        }
+        if let Some(d) = &self.distances {
+            let joined: Vec<String> = d.distances().iter().map(u64::to_string).collect();
+            options.push(format!("dist={}", joined.join(":")));
+        }
+        if !options.is_empty() {
+            write!(f, "@{}", options.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for JobSpec {
+    type Err = PartitionError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        let (head, options) = match s.split_once('@') {
+            Some((head, options)) => (head, Some(options)),
+            None => (s, None),
+        };
+        let mut parts = head.split(':');
+        let algorithm = parts.next().unwrap_or("").trim();
+        if algorithm.is_empty() {
+            return Err(PartitionError::InvalidSpec(format!(
+                "job spec '{s}' is missing an algorithm name"
+            )));
+        }
+        let factors: std::result::Result<Vec<u32>, _> =
+            parts.map(|p| p.trim().parse::<u32>()).collect();
+        let factors = factors.map_err(|_| {
+            PartitionError::InvalidSpec(format!(
+                "job spec '{s}': the shape after '{algorithm}:' must be a k or a1:a2:... list"
+            ))
+        })?;
+        let shape = match factors.len() {
+            0 => {
+                return Err(PartitionError::InvalidSpec(format!(
+                    "job spec '{s}' is missing a shape: use '{algorithm}:<k>' or '{algorithm}:<a1:a2:...>'"
+                )))
+            }
+            1 => JobShape::Flat(factors[0]),
+            _ => JobShape::Hierarchy(HierarchySpec::new(factors)?),
+        };
+
+        let mut spec = JobSpec::flat(algorithm, 0);
+        spec.shape = shape;
+        if let Some(options) = options {
+            for pair in options.split(',') {
+                let pair = pair.trim();
+                if pair.is_empty() {
+                    continue;
+                }
+                let Some((key, value)) = pair.split_once('=') else {
+                    return Err(PartitionError::InvalidSpec(format!(
+                        "job option '{pair}' is not of the form key=value"
+                    )));
+                };
+                let (key, value) = (key.trim(), value.trim());
+                let parse_err = |what: &str| {
+                    PartitionError::InvalidSpec(format!("job option '{key}={value}': {what}"))
+                };
+                match key {
+                    "eps" | "epsilon" => {
+                        spec.epsilon = value
+                            .parse()
+                            .map_err(|_| parse_err("expected a floating-point value"))?;
+                        if !spec.epsilon.is_finite() || spec.epsilon < 0.0 {
+                            return Err(parse_err("epsilon must be non-negative"));
+                        }
+                    }
+                    "seed" => {
+                        spec.seed = value.parse().map_err(|_| parse_err("expected an integer"))?;
+                    }
+                    "threads" => {
+                        spec.threads =
+                            value.parse().map_err(|_| parse_err("expected an integer"))?;
+                        if spec.threads == 0 {
+                            return Err(parse_err("threads must be at least 1"));
+                        }
+                    }
+                    "passes" => {
+                        spec.passes = value.parse().map_err(|_| parse_err("expected an integer"))?;
+                        if spec.passes == 0 {
+                            return Err(parse_err("passes must be at least 1"));
+                        }
+                    }
+                    "base" => {
+                        spec.base_b = value.parse().map_err(|_| parse_err("expected an integer"))?;
+                    }
+                    "hybrid" => {
+                        spec.hashing_bottom_layers =
+                            value.parse().map_err(|_| parse_err("expected an integer"))?;
+                    }
+                    "dist" | "distances" => {
+                        spec.distances = Some(DistanceSpec::parse(value)?);
+                    }
+                    _ => {
+                        return Err(PartitionError::InvalidSpec(format!(
+                            "unknown job option '{key}' (known: eps, seed, threads, passes, base, hybrid, dist)"
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
+// ----------------------------------------------------------------- registry
+
+/// One entry of the shared algorithm registry.
+#[derive(Clone, Copy)]
+pub struct AlgorithmInfo {
+    /// Canonical registry name (what [`JobSpec::algorithm`] refers to).
+    pub name: &'static str,
+    /// Accepted alternative spellings.
+    pub aliases: &'static [&'static str],
+    /// One-line description for `--help`-style listings.
+    pub description: &'static str,
+    /// Whether the algorithm exploits a hierarchical shape (rather than just
+    /// flattening it to `k`).
+    pub supports_hierarchy: bool,
+    /// Constructor turning a [`JobSpec`] into the boxed algorithm.
+    pub build: fn(&JobSpec) -> Result<Box<dyn Partitioner>>,
+}
+
+impl fmt::Debug for AlgorithmInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AlgorithmInfo")
+            .field("name", &self.name)
+            .field("aliases", &self.aliases)
+            .field("description", &self.description)
+            .field("supports_hierarchy", &self.supports_hierarchy)
+            .finish()
+    }
+}
+
+static REGISTRY: OnceLock<Mutex<Vec<AlgorithmInfo>>> = OnceLock::new();
+
+fn registry() -> &'static Mutex<Vec<AlgorithmInfo>> {
+    REGISTRY.get_or_init(|| Mutex::new(builtin_algorithms()))
+}
+
+/// Registers (or replaces, by name) an algorithm in the shared registry.
+///
+/// Downstream crates use this to plug additional backends into
+/// [`JobSpec::build`]; `oms_multilevel::register_algorithms()` adds the
+/// in-memory `multilevel` and `rms` baselines this way.
+pub fn register_algorithm(info: AlgorithmInfo) {
+    let mut algorithms = registry().lock().expect("algorithm registry poisoned");
+    match algorithms.iter_mut().find(|a| a.name == info.name) {
+        Some(slot) => *slot = info,
+        None => algorithms.push(info),
+    }
+}
+
+/// A snapshot of every registered algorithm, in registration order.
+pub fn registered_algorithms() -> Vec<AlgorithmInfo> {
+    registry()
+        .lock()
+        .expect("algorithm registry poisoned")
+        .clone()
+}
+
+/// Looks an algorithm up by canonical name or alias (case-insensitive).
+pub fn find_algorithm(name: &str) -> Option<AlgorithmInfo> {
+    let wanted = name.to_ascii_lowercase();
+    registered_algorithms()
+        .into_iter()
+        .find(|a| a.name == wanted || a.aliases.iter().any(|&alias| alias == wanted))
+}
+
+fn no_passes(spec: &JobSpec, algorithm: &str) -> Result<()> {
+    if spec.passes > 1 {
+        Err(PartitionError::InvalidSpec(format!(
+            "{algorithm} does not support restreaming (passes > 1)"
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+fn no_threads_with_passes(spec: &JobSpec, algorithm: &str) -> Result<()> {
+    if spec.passes > 1 && spec.threads > 1 {
+        Err(PartitionError::InvalidSpec(format!(
+            "{algorithm}: restreaming (passes > 1) and parallel execution (threads > 1) cannot be combined"
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+fn build_hashing(spec: &JobSpec) -> Result<Box<dyn Partitioner>> {
+    no_passes(spec, "hashing")?;
+    let k = spec.num_blocks();
+    let config = spec.one_pass_config();
+    Ok(if spec.threads > 1 {
+        Box::new(ParallelFlat {
+            k,
+            kind: ParFlatKind::Hashing,
+            config,
+            threads: spec.threads,
+        })
+    } else {
+        Box::new(Hashing::new(k, config))
+    })
+}
+
+fn build_ldg(spec: &JobSpec) -> Result<Box<dyn Partitioner>> {
+    no_threads_with_passes(spec, "ldg")?;
+    let k = spec.num_blocks();
+    let config = spec.one_pass_config();
+    Ok(if spec.passes > 1 {
+        Box::new(ReLdg::new(k, config, spec.passes))
+    } else if spec.threads > 1 {
+        Box::new(ParallelFlat {
+            k,
+            kind: ParFlatKind::Ldg,
+            config,
+            threads: spec.threads,
+        })
+    } else {
+        Box::new(Ldg::new(k, config))
+    })
+}
+
+fn build_fennel(spec: &JobSpec) -> Result<Box<dyn Partitioner>> {
+    no_threads_with_passes(spec, "fennel")?;
+    let k = spec.num_blocks();
+    let config = spec.one_pass_config();
+    Ok(if spec.passes > 1 {
+        Box::new(ReFennel::new(k, config, spec.passes))
+    } else if spec.threads > 1 {
+        Box::new(ParallelFlat {
+            k,
+            kind: ParFlatKind::Fennel,
+            config,
+            threads: spec.threads,
+        })
+    } else {
+        Box::new(Fennel::new(k, config))
+    })
+}
+
+fn finish_oms(
+    spec: &JobSpec,
+    algorithm: &str,
+    oms: OnlineMultiSection,
+) -> Result<Box<dyn Partitioner>> {
+    no_threads_with_passes(spec, algorithm)?;
+    Ok(if spec.passes > 1 {
+        Box::new(ReOms::new(oms, spec.passes))
+    } else if spec.threads > 1 {
+        Box::new(ParallelOms {
+            oms,
+            threads: spec.threads,
+        })
+    } else {
+        Box::new(oms)
+    })
+}
+
+fn build_oms(spec: &JobSpec) -> Result<Box<dyn Partitioner>> {
+    let config = spec.oms_config();
+    let oms = match &spec.shape {
+        JobShape::Hierarchy(h) => OnlineMultiSection::with_hierarchy(h.clone(), config),
+        JobShape::Flat(k) => OnlineMultiSection::flat(*k, config)?,
+    };
+    finish_oms(spec, "oms", oms)
+}
+
+fn build_nh_oms(spec: &JobSpec) -> Result<Box<dyn Partitioner>> {
+    // nh-OMS always uses the artificial base-b tree, even when the shape was
+    // written as a hierarchy (only the product k matters).
+    let oms = OnlineMultiSection::flat(spec.num_blocks(), spec.oms_config())?;
+    finish_oms(spec, "nh-oms", oms)
+}
+
+fn builtin_algorithms() -> Vec<AlgorithmInfo> {
+    vec![
+        AlgorithmInfo {
+            name: "hashing",
+            aliases: &["hash"],
+            description: "random hash assignment (fastest, worst quality)",
+            supports_hierarchy: false,
+            build: build_hashing,
+        },
+        AlgorithmInfo {
+            name: "ldg",
+            aliases: &["reldg"],
+            description: "linear deterministic greedy; passes>1 = ReLDG, threads>1 = parallel",
+            supports_hierarchy: false,
+            build: build_ldg,
+        },
+        AlgorithmInfo {
+            name: "fennel",
+            aliases: &["refennel"],
+            description: "Fennel one-pass; passes>1 = ReFennel, threads>1 = parallel",
+            supports_hierarchy: false,
+            build: build_fennel,
+        },
+        AlgorithmInfo {
+            name: "oms",
+            aliases: &["reoms"],
+            description: "online recursive multi-section (hierarchy shape = OMS, flat k = nh-OMS)",
+            supports_hierarchy: true,
+            build: build_oms,
+        },
+        AlgorithmInfo {
+            name: "nh-oms",
+            aliases: &["nhoms"],
+            description: "nh-OMS: k-way partitioning through the artificial base-b tree",
+            supports_hierarchy: false,
+            build: build_nh_oms,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oms_graph::InMemoryStream;
+
+    fn two_communities() -> CsrGraph {
+        CsrGraph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+                (0, 4),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_flat_spec() {
+        let spec = JobSpec::parse("fennel:64").unwrap();
+        assert_eq!(spec.algorithm, "fennel");
+        assert_eq!(spec.shape, JobShape::Flat(64));
+        assert_eq!(spec.epsilon, DEFAULT_EPSILON);
+        assert_eq!(spec.num_blocks(), 64);
+    }
+
+    #[test]
+    fn parse_hierarchy_spec_with_options() {
+        let spec = JobSpec::parse("oms:4:16:8@eps=0.05,threads=8,seed=3").unwrap();
+        assert_eq!(spec.algorithm, "oms");
+        assert_eq!(
+            spec.shape,
+            JobShape::Hierarchy(HierarchySpec::parse("4:16:8").unwrap())
+        );
+        assert_eq!(spec.epsilon, 0.05);
+        assert_eq!(spec.threads, 8);
+        assert_eq!(spec.seed, 3);
+        assert_eq!(spec.num_blocks(), 512);
+    }
+
+    #[test]
+    fn display_is_canonical_and_round_trips() {
+        for text in [
+            "fennel:64",
+            "oms:4:16:8",
+            "oms:4:16:8@eps=0.05,threads=8",
+            "ldg:16@passes=3",
+            "nh-oms:10@seed=7,base=2",
+            "oms:2:2:2@dist=1:10:100",
+            "oms:4:4:4@hybrid=2",
+        ] {
+            let spec = JobSpec::parse(text).unwrap();
+            assert_eq!(spec.to_string(), text, "canonical form");
+            assert_eq!(
+                JobSpec::parse(&spec.to_string()).unwrap(),
+                spec,
+                "round trip"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        for bad in [
+            "",
+            "fennel",
+            "fennel:abc",
+            "fennel:16@wat=1",
+            "fennel:16@threads",
+            "fennel:16@threads=0",
+            "fennel:16@passes=0",
+            "fennel:16@eps=-1",
+            "oms:4:1:8",
+        ] {
+            assert!(JobSpec::parse(bad).is_err(), "'{bad}' should not parse");
+        }
+    }
+
+    #[test]
+    fn unknown_algorithm_is_rejected_at_build_time() {
+        let Err(err) = JobSpec::parse("frobnicate:8").unwrap().build() else {
+            panic!("unknown algorithm should not build");
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("unknown algorithm"), "{msg}");
+        assert!(
+            msg.contains("fennel"),
+            "should list known algorithms: {msg}"
+        );
+    }
+
+    #[test]
+    fn zero_blocks_rejected_at_build_time() {
+        assert!(JobSpec::parse("fennel:0").unwrap().build().is_err());
+    }
+
+    #[test]
+    fn dist_requires_hierarchy() {
+        assert!(JobSpec::parse("fennel:8@dist=1:10")
+            .unwrap()
+            .build()
+            .is_err());
+        assert!(JobSpec::parse("oms:2:2@dist=1").unwrap().build().is_err());
+        assert!(JobSpec::parse("oms:2:2@dist=1:10").unwrap().build().is_ok());
+    }
+
+    #[test]
+    fn built_partitioners_run_and_report() {
+        let graph = two_communities();
+        for text in [
+            "hashing:4",
+            "ldg:4",
+            "fennel:4",
+            "oms:4",
+            "oms:2:2",
+            "nh-oms:4",
+            "fennel:4@passes=3",
+            "ldg:4@passes=2",
+            "oms:4@passes=2",
+            "fennel:4@threads=2",
+            "ldg:4@threads=2",
+            "hashing:4@threads=2",
+            "oms:2:2@threads=2",
+        ] {
+            let job = JobSpec::parse(text).unwrap();
+            let partitioner = job.build().unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(partitioner.num_blocks(), 4, "{text}");
+            let report = partitioner
+                .run(&mut InMemoryStream::new(&graph))
+                .unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(report.partition.num_nodes(), 8, "{text}");
+            assert!(report.partition.validate(&[1; 8]), "{text}");
+            assert!(report.mapping_cost.is_none(), "{text}");
+        }
+    }
+
+    #[test]
+    fn report_includes_mapping_cost_with_distances() {
+        let graph = two_communities();
+        let job = JobSpec::parse("oms:2:2@dist=1:10").unwrap();
+        let report = job
+            .build()
+            .unwrap()
+            .run(&mut InMemoryStream::new(&graph))
+            .unwrap();
+        let j = report.mapping_cost.expect("topology given");
+        assert!(j >= report.edge_cut, "J = {j} < cut = {}", report.edge_cut);
+        assert_eq!(report.algorithm, "oms");
+    }
+
+    #[test]
+    fn stream_edge_cut_matches_partition_edge_cut() {
+        let graph = two_communities();
+        let partition = JobSpec::parse("fennel:2")
+            .unwrap()
+            .build()
+            .unwrap()
+            .partition(&mut InMemoryStream::new(&graph))
+            .unwrap();
+        let via_stream =
+            stream_edge_cut(&mut InMemoryStream::new(&graph), partition.assignments()).unwrap();
+        assert_eq!(via_stream, partition.edge_cut(&graph));
+    }
+
+    #[test]
+    fn materialize_stream_round_trips_the_graph() {
+        let graph = two_communities();
+        let rebuilt = materialize_stream(&mut InMemoryStream::new(&graph)).unwrap();
+        assert_eq!(graph, rebuilt);
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        assert_eq!(find_algorithm("refennel").unwrap().name, "fennel");
+        assert_eq!(find_algorithm("OMS").unwrap().name, "oms");
+        assert!(find_algorithm("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn registry_can_be_extended_and_replaced() {
+        fn build_dummy(spec: &JobSpec) -> Result<Box<dyn Partitioner>> {
+            Ok(Box::new(Hashing::new(
+                spec.num_blocks(),
+                OnePassConfig::default(),
+            )))
+        }
+        register_algorithm(AlgorithmInfo {
+            name: "dummy-test-algo",
+            aliases: &[],
+            description: "test-only",
+            supports_hierarchy: false,
+            build: build_dummy,
+        });
+        assert!(find_algorithm("dummy-test-algo").is_some());
+        let p = JobSpec::parse("dummy-test-algo:4")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(p.name(), "dummy-test-algo");
+        // Re-registering replaces rather than duplicates.
+        register_algorithm(AlgorithmInfo {
+            name: "dummy-test-algo",
+            aliases: &[],
+            description: "replaced",
+            supports_hierarchy: false,
+            build: build_dummy,
+        });
+        let count = registered_algorithms()
+            .iter()
+            .filter(|a| a.name == "dummy-test-algo")
+            .count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn invalid_combinations_are_rejected() {
+        assert!(JobSpec::parse("hashing:4@passes=2")
+            .unwrap()
+            .build()
+            .is_err());
+        assert!(JobSpec::parse("fennel:4@passes=2,threads=2")
+            .unwrap()
+            .build()
+            .is_err());
+    }
+}

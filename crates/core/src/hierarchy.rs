@@ -46,8 +46,10 @@ impl HierarchySpec {
 
     /// Parses a colon-separated string such as `"4:16:8"`.
     pub fn parse(s: &str) -> Result<Self> {
-        let factors: std::result::Result<Vec<u32>, _> =
-            s.split(':').map(|part| part.trim().parse::<u32>()).collect();
+        let factors: std::result::Result<Vec<u32>, _> = s
+            .split(':')
+            .map(|part| part.trim().parse::<u32>())
+            .collect();
         match factors {
             Ok(f) => HierarchySpec::new(f),
             Err(_) => Err(PartitionError::InvalidSpec(format!(
@@ -144,8 +146,10 @@ impl DistanceSpec {
 
     /// Parses a colon-separated string such as `"1:10:100"`.
     pub fn parse(s: &str) -> Result<Self> {
-        let distances: std::result::Result<Vec<u64>, _> =
-            s.split(':').map(|part| part.trim().parse::<u64>()).collect();
+        let distances: std::result::Result<Vec<u64>, _> = s
+            .split(':')
+            .map(|part| part.trim().parse::<u64>())
+            .collect();
         match distances {
             Ok(d) => DistanceSpec::new(d),
             Err(_) => Err(PartitionError::InvalidSpec(format!(

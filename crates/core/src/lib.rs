@@ -22,11 +22,16 @@
 //!   vertex-centric chunking with atomic block-weight updates.
 //! * [`restream`] contains the multi-pass restreaming extensions (ReFennel /
 //!   ReLDG style), mentioned in §3.2 of the paper as an extension.
+//! * [`api`] is the unified entry point: an object-safe [`Partitioner`]
+//!   trait, the [`JobSpec`] string format + factory, and the shared dispatch
+//!   registry every frontend resolves algorithms against.
 //!
 //! ## Quick example
 //!
+//! Any algorithm can be selected, configured and run from one job string:
+//!
 //! ```
-//! use oms_core::{OnlineMultiSection, OmsConfig, HierarchySpec, StreamingPartitioner};
+//! use oms_core::JobSpec;
 //! use oms_graph::{CsrGraph, InMemoryStream};
 //!
 //! let graph = CsrGraph::from_edges(8, &[
@@ -34,16 +39,31 @@
 //!     (4, 5), (5, 6), (6, 7), (7, 4),      // another community
 //!     (0, 4),                              // a single bridge
 //! ]).unwrap();
+//! // OMS on a 2×2 hierarchy (k = 4 PEs), with the mapping objective J.
+//! let job: JobSpec = "oms:2:2@dist=1:10".parse().unwrap();
+//! let report = job.build().unwrap()
+//!     .run(&mut InMemoryStream::new(&graph)).unwrap();
+//! assert_eq!(report.partition.num_blocks(), 4);
+//! assert_eq!(report.partition.assignments().len(), 8);
+//! assert!(report.mapping_cost.unwrap() >= report.edge_cut);
+//! ```
+//!
+//! The concrete types remain available for compile-time dispatch:
+//!
+//! ```
+//! use oms_core::{OnlineMultiSection, OmsConfig, HierarchySpec, StreamingPartitioner};
+//! # use oms_graph::{CsrGraph, InMemoryStream};
+//! # let graph = CsrGraph::from_edges(2, &[(0, 1)]).unwrap();
 //! let hierarchy = HierarchySpec::parse("2:2").unwrap();   // k = 4 PEs
 //! let oms = OnlineMultiSection::with_hierarchy(hierarchy, OmsConfig::default());
 //! let partition = oms.partition_stream(&mut InMemoryStream::new(&graph)).unwrap();
 //! assert_eq!(partition.num_blocks(), 4);
-//! assert_eq!(partition.assignments().len(), 8);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod config;
 pub mod hierarchy;
 pub mod mstree;
@@ -54,6 +74,10 @@ pub mod partition;
 pub mod restream;
 pub mod scorer;
 
+pub use api::{
+    find_algorithm, materialize_stream, register_algorithm, registered_algorithms, AlgorithmInfo,
+    JobShape, JobSpec, PartitionReport, Partitioner,
+};
 pub use config::{AlphaMode, OmsConfig, OnePassConfig, ScorerKind};
 pub use hierarchy::{DistanceSpec, HierarchySpec};
 pub use mstree::MultisectionTree;

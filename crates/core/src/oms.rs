@@ -223,7 +223,7 @@ impl OmsState {
 impl StreamingPartitioner for OnlineMultiSection {
     fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition> {
         let mut state = OmsState::new(self, stream);
-        stream.for_each_node(|node| state.assign(self, node))?;
+        stream.stream_nodes(|node| state.assign(self, node))?;
         Ok(state.into_partition(self.tree.num_blocks()))
     }
 
@@ -282,7 +282,11 @@ mod tests {
             let oms = OnlineMultiSection::flat(k, OmsConfig::default()).unwrap();
             let p = oms.partition_graph(&g).unwrap();
             assert_eq!(p.num_blocks(), k);
-            assert!(p.is_balanced(0.03 + 1e-9), "k={k} imbalance {}", p.imbalance());
+            assert!(
+                p.is_balanced(0.03 + 1e-9),
+                "k={k} imbalance {}",
+                p.imbalance()
+            );
             assert_eq!(p.num_nodes(), 300);
         }
     }
@@ -294,11 +298,9 @@ mod tests {
         // the bridge edge (the Fennel scorer's additive penalty spreads the
         // first few nodes on such tiny graphs — see the baseline tests).
         let g = two_cliques();
-        let oms = OnlineMultiSection::flat(
-            2,
-            OmsConfig::default().epsilon(0.0).scorer(ScorerKind::Ldg),
-        )
-        .unwrap();
+        let oms =
+            OnlineMultiSection::flat(2, OmsConfig::default().epsilon(0.0).scorer(ScorerKind::Ldg))
+                .unwrap();
         let p = oms.partition_graph(&g).unwrap();
         assert_eq!(p.edge_cut(&g), 1);
         assert!(p.is_balanced(0.0));
@@ -310,8 +312,12 @@ mod tests {
         // fewer edges than nh-OMS; both cut far fewer than Hashing.
         let g = planted_partition(600, 16, 0.12, 0.004, 11);
         let k = 16;
-        let fennel = Fennel::new(k, OnePassConfig::default()).partition_graph(&g).unwrap();
-        let hashing = Hashing::new(k, OnePassConfig::default()).partition_graph(&g).unwrap();
+        let fennel = Fennel::new(k, OnePassConfig::default())
+            .partition_graph(&g)
+            .unwrap();
+        let hashing = Hashing::new(k, OnePassConfig::default())
+            .partition_graph(&g)
+            .unwrap();
         let oms = OnlineMultiSection::flat(k, OmsConfig::default())
             .unwrap()
             .partition_graph(&g)
@@ -341,7 +347,9 @@ mod tests {
             OnlineMultiSection::flat(8, OmsConfig::default().scorer(ScorerKind::Ldg)).unwrap();
         let p = oms.partition_graph(&g).unwrap();
         assert!(p.is_balanced(0.03 + 1e-9));
-        let hashing = Hashing::new(8, OnePassConfig::default()).partition_graph(&g).unwrap();
+        let hashing = Hashing::new(8, OnePassConfig::default())
+            .partition_graph(&g)
+            .unwrap();
         assert!(p.edge_cut(&g) <= hashing.edge_cut(&g));
     }
 
@@ -364,12 +372,10 @@ mod tests {
         let pure = OnlineMultiSection::with_hierarchy(h.clone(), OmsConfig::default())
             .partition_graph(&g)
             .unwrap();
-        let hybrid = OnlineMultiSection::with_hierarchy(
-            h,
-            OmsConfig::default().hashing_bottom_layers(2),
-        )
-        .partition_graph(&g)
-        .unwrap();
+        let hybrid =
+            OnlineMultiSection::with_hierarchy(h, OmsConfig::default().hashing_bottom_layers(2))
+                .partition_graph(&g)
+                .unwrap();
         assert_eq!(hybrid.num_nodes(), 500);
         assert!(hybrid.edge_cut(&g) >= pure.edge_cut(&g));
     }
@@ -377,10 +383,8 @@ mod tests {
     #[test]
     fn hybrid_layer_selection_counts_from_bottom() {
         let h = HierarchySpec::parse("2:2:2").unwrap();
-        let oms = OnlineMultiSection::with_hierarchy(
-            h,
-            OmsConfig::default().hashing_bottom_layers(2),
-        );
+        let oms =
+            OnlineMultiSection::with_hierarchy(h, OmsConfig::default().hashing_bottom_layers(2));
         // Tree depth 3: the decision at child depth 1 (top layer) stays with
         // Fennel, the ones at depths 2 and 3 use Hashing.
         assert!(!oms.hybrid_uses_hashing(1));
@@ -448,7 +452,9 @@ mod tests {
         let oms = OnlineMultiSection::with_hierarchy(h.clone(), OmsConfig::default())
             .partition_graph(&g)
             .unwrap();
-        let hashing = Hashing::new(8, OnePassConfig::default()).partition_graph(&g).unwrap();
+        let hashing = Hashing::new(8, OnePassConfig::default())
+            .partition_graph(&g)
+            .unwrap();
         assert!(
             cost(&oms) < cost(&hashing),
             "OMS mapping cost {} must beat Hashing {}",

@@ -65,11 +65,15 @@ impl StreamingPartitioner for Hashing {
         let mut node_weights: Vec<NodeWeight> = vec![0; n];
         let k = self.k as u64;
         let seed = self.config.seed;
-        stream.for_each_node(|node| {
+        stream.stream_nodes(|node| {
             assignments[node.node as usize] = (hash_node(node.node, seed) % k) as BlockId;
             node_weights[node.node as usize] = node.weight;
         })?;
-        Ok(Partition::from_assignments(self.k, assignments, &node_weights))
+        Ok(Partition::from_assignments(
+            self.k,
+            assignments,
+            &node_weights,
+        ))
     }
 
     fn num_blocks(&self) -> u32 {
@@ -99,7 +103,7 @@ impl StreamingPartitioner for Ldg {
     fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition> {
         check_k(self.k)?;
         let mut state = FlatState::new(self.k, stream, self.config);
-        stream.for_each_node(|node| {
+        stream.stream_nodes(|node| {
             state.assign(node, |conn, weight, capacity, _alpha, _gamma| {
                 conn as f64 * (1.0 - weight as f64 / capacity.max(1) as f64)
             });
@@ -135,7 +139,7 @@ impl StreamingPartitioner for Fennel {
     fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition> {
         check_k(self.k)?;
         let mut state = FlatState::new(self.k, stream, self.config);
-        stream.for_each_node(|node| {
+        stream.stream_nodes(|node| {
             state.assign(node, |conn, weight, _capacity, alpha, gamma| {
                 conn as f64 - alpha * gamma * (weight as f64).powf(gamma - 1.0)
             });
@@ -270,7 +274,9 @@ mod tests {
     #[test]
     fn hashing_assigns_every_node() {
         let g = two_cliques();
-        let p = Hashing::new(4, OnePassConfig::default()).partition_graph(&g).unwrap();
+        let p = Hashing::new(4, OnePassConfig::default())
+            .partition_graph(&g)
+            .unwrap();
         assert_eq!(p.num_nodes(), 10);
         assert_eq!(p.num_blocks(), 4);
         assert!(p.validate(&[1; 10]));
@@ -279,8 +285,12 @@ mod tests {
     #[test]
     fn hashing_is_deterministic_per_seed() {
         let g = two_cliques();
-        let a = Hashing::new(4, OnePassConfig::default().seed(3)).partition_graph(&g).unwrap();
-        let b = Hashing::new(4, OnePassConfig::default().seed(3)).partition_graph(&g).unwrap();
+        let a = Hashing::new(4, OnePassConfig::default().seed(3))
+            .partition_graph(&g)
+            .unwrap();
+        let b = Hashing::new(4, OnePassConfig::default().seed(3))
+            .partition_graph(&g)
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -351,9 +361,15 @@ mod tests {
     #[test]
     fn zero_blocks_is_rejected() {
         let g = two_cliques();
-        assert!(Fennel::new(0, OnePassConfig::default()).partition_graph(&g).is_err());
-        assert!(Ldg::new(0, OnePassConfig::default()).partition_graph(&g).is_err());
-        assert!(Hashing::new(0, OnePassConfig::default()).partition_graph(&g).is_err());
+        assert!(Fennel::new(0, OnePassConfig::default())
+            .partition_graph(&g)
+            .is_err());
+        assert!(Ldg::new(0, OnePassConfig::default())
+            .partition_graph(&g)
+            .is_err());
+        assert!(Hashing::new(0, OnePassConfig::default())
+            .partition_graph(&g)
+            .is_err());
     }
 
     #[test]
@@ -378,7 +394,9 @@ mod tests {
     #[test]
     fn single_block_puts_everything_together() {
         let g = two_cliques();
-        let p = Fennel::new(1, OnePassConfig::default()).partition_graph(&g).unwrap();
+        let p = Fennel::new(1, OnePassConfig::default())
+            .partition_graph(&g)
+            .unwrap();
         assert_eq!(p.edge_cut(&g), 0);
         assert_eq!(p.used_blocks(), 1);
     }

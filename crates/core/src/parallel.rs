@@ -52,10 +52,7 @@ fn collect_partition(
     assignments: Vec<AtomicU32>,
     node_weights: &[NodeWeight],
 ) -> Partition {
-    let assignments: Vec<BlockId> = assignments
-        .into_iter()
-        .map(|a| a.into_inner())
-        .collect();
+    let assignments: Vec<BlockId> = assignments.into_iter().map(|a| a.into_inner()).collect();
     Partition::from_assignments(k, assignments, node_weights)
 }
 
@@ -77,7 +74,11 @@ pub fn hashing_parallel(
             .enumerate()
             .for_each(|(v, slot)| *slot = (hash_node(v as u32, config.seed) % k as u64) as BlockId);
     });
-    Ok(Partition::from_assignments(k, assignments, graph.node_weights()))
+    Ok(Partition::from_assignments(
+        k,
+        assignments,
+        graph.node_weights(),
+    ))
 }
 
 /// Which flat scorer a parallel one-pass run uses.
@@ -293,7 +294,10 @@ mod tests {
         let cfg = OnePassConfig::default().seed(7);
         let seq = crate::Hashing::new(8, cfg).partition_graph(&g).unwrap();
         let par = hashing_parallel(&g, 8, cfg, 4).unwrap();
-        assert_eq!(seq, par, "hashing is deterministic, threads must not matter");
+        assert_eq!(
+            seq, par,
+            "hashing is deterministic, threads must not matter"
+        );
     }
 
     #[test]

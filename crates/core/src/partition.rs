@@ -27,7 +27,11 @@ impl Partition {
     /// Panics if an assignment is `≥ k` (unassigned sentinels are not
     /// allowed either) or if the weight slice length differs from the
     /// assignment length.
-    pub fn from_assignments(k: u32, assignments: Vec<BlockId>, node_weights: &[NodeWeight]) -> Self {
+    pub fn from_assignments(
+        k: u32,
+        assignments: Vec<BlockId>,
+        node_weights: &[NodeWeight],
+    ) -> Self {
         assert_eq!(
             assignments.len(),
             node_weights.len(),

@@ -48,7 +48,7 @@ impl StreamingPartitioner for ReFennel {
         }
         let mut state = FlatState::new(self.k, stream, self.config);
         for _ in 0..self.passes {
-            stream.for_each_node(|node| {
+            stream.stream_nodes(|node| {
                 state.unassign(node.node);
                 state.assign(node, |conn, weight, _capacity, alpha, gamma| {
                     conn as f64 - alpha * gamma * (weight as f64).powf(gamma - 1.0)
@@ -90,7 +90,7 @@ impl StreamingPartitioner for ReLdg {
         }
         let mut state = FlatState::new(self.k, stream, self.config);
         for _ in 0..self.passes {
-            stream.for_each_node(|node| {
+            stream.stream_nodes(|node| {
                 state.unassign(node.node);
                 state.assign(node, |conn, weight, capacity, _alpha, _gamma| {
                     conn as f64 * (1.0 - weight as f64 / capacity.max(1) as f64)
@@ -138,7 +138,7 @@ impl StreamingPartitioner for ReOms {
         check_passes(self.passes)?;
         let mut state = OmsState::new(&self.oms, stream);
         for _ in 0..self.passes {
-            stream.for_each_node(|node| {
+            stream.stream_nodes(|node| {
                 state.unassign(self.oms.tree(), node.node);
                 state.assign(&self.oms, node);
             })?;
@@ -188,7 +188,9 @@ mod tests {
     #[test]
     fn reldg_multiple_passes_stay_balanced() {
         let g = planted_partition(400, 4, 0.1, 0.01, 7);
-        let p = ReLdg::new(4, OnePassConfig::default(), 3).partition_graph(&g).unwrap();
+        let p = ReLdg::new(4, OnePassConfig::default(), 3)
+            .partition_graph(&g)
+            .unwrap();
         assert!(p.is_balanced(0.031));
         assert_eq!(p.num_nodes(), 400);
     }
@@ -220,8 +222,12 @@ mod tests {
     #[test]
     fn zero_passes_is_rejected() {
         let g = planted_partition(100, 4, 0.1, 0.01, 13);
-        assert!(ReFennel::new(4, OnePassConfig::default(), 0).partition_graph(&g).is_err());
-        assert!(ReLdg::new(4, OnePassConfig::default(), 0).partition_graph(&g).is_err());
+        assert!(ReFennel::new(4, OnePassConfig::default(), 0)
+            .partition_graph(&g)
+            .is_err());
+        assert!(ReLdg::new(4, OnePassConfig::default(), 0)
+            .partition_graph(&g)
+            .is_err());
         assert!(ReOms::flat(4, OmsConfig::default(), 0)
             .unwrap()
             .partition_graph(&g)
@@ -230,7 +236,10 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        assert_eq!(ReFennel::new(2, OnePassConfig::default(), 2).name(), "refennel");
+        assert_eq!(
+            ReFennel::new(2, OnePassConfig::default(), 2).name(),
+            "refennel"
+        );
         assert_eq!(ReLdg::new(2, OnePassConfig::default(), 2).name(), "reldg");
         assert_eq!(
             ReOms::flat(2, OmsConfig::default(), 2).unwrap().name(),

@@ -43,7 +43,9 @@ pub fn ldg_score(c: &Candidate) -> f64 {
 /// node id and the seed: cheap, uniform, reproducible.
 #[inline]
 pub fn hash_node(node: NodeId, seed: u64) -> u64 {
-    let mut x = (node as u64).wrapping_add(seed).wrapping_add(0x9E3779B97F4A7C15);
+    let mut x = (node as u64)
+        .wrapping_add(seed)
+        .wrapping_add(0x9E3779B97F4A7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
     x ^ (x >> 31)

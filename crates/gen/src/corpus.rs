@@ -62,14 +62,38 @@ impl CorpusClass {
 /// Recipe used to synthesise one corpus instance.
 #[derive(Clone, Copy, Debug)]
 enum GenSpec {
-    Grid2D { width: usize, height: usize },
-    Grid3D { nx: usize, ny: usize, nz: usize },
-    Rgg { n: usize },
-    Delaunay { n: usize },
-    BarabasiAlbert { n: usize, attach: usize },
-    Rmat { scale_exp: u32, edge_factor: usize, skewed: bool },
-    ErGnm { n: usize, m: usize },
-    Planted { n: usize, blocks: usize },
+    Grid2D {
+        width: usize,
+        height: usize,
+    },
+    Grid3D {
+        nx: usize,
+        ny: usize,
+        nz: usize,
+    },
+    Rgg {
+        n: usize,
+    },
+    Delaunay {
+        n: usize,
+    },
+    BarabasiAlbert {
+        n: usize,
+        attach: usize,
+    },
+    Rmat {
+        scale_exp: u32,
+        edge_factor: usize,
+        skewed: bool,
+    },
+    ErGnm {
+        n: usize,
+        m: usize,
+    },
+    Planted {
+        n: usize,
+        blocks: usize,
+    },
 }
 
 /// One named instance of the synthetic corpus.
@@ -105,57 +129,96 @@ pub const CORPUS: &[CorpusEntry] = &[
     CorpusEntry {
         name: "syn-Dubcova1",
         class: CorpusClass::Meshes,
-        spec: GenSpec::Grid2D { width: 128, height: 126 },
+        spec: GenSpec::Grid2D {
+            width: 128,
+            height: 126,
+        },
     },
     CorpusEntry {
         name: "syn-ML_Laplace",
         class: CorpusClass::Meshes,
-        spec: GenSpec::Grid3D { nx: 32, ny: 32, nz: 30 },
+        spec: GenSpec::Grid3D {
+            nx: 32,
+            ny: 32,
+            nz: 30,
+        },
     },
     CorpusEntry {
         name: "syn-HV15R",
         class: CorpusClass::Meshes,
-        spec: GenSpec::Grid3D { nx: 40, ny: 36, nz: 32 },
+        spec: GenSpec::Grid3D {
+            nx: 40,
+            ny: 36,
+            nz: 32,
+        },
     },
     CorpusEntry {
         name: "syn-hcircuit",
         class: CorpusClass::Circuit,
-        spec: GenSpec::ErGnm { n: 26_000, m: 52_000 },
+        spec: GenSpec::ErGnm {
+            n: 26_000,
+            m: 52_000,
+        },
     },
     CorpusEntry {
         name: "syn-FullChip",
         class: CorpusClass::Circuit,
-        spec: GenSpec::ErGnm { n: 48_000, m: 190_000 },
+        spec: GenSpec::ErGnm {
+            n: 48_000,
+            m: 190_000,
+        },
     },
     CorpusEntry {
         name: "syn-coAuthorsDBLP",
         class: CorpusClass::Citations,
-        spec: GenSpec::BarabasiAlbert { n: 30_000, attach: 3 },
+        spec: GenSpec::BarabasiAlbert {
+            n: 30_000,
+            attach: 3,
+        },
     },
     CorpusEntry {
         name: "syn-cit-Patents",
         class: CorpusClass::Citations,
-        spec: GenSpec::BarabasiAlbert { n: 60_000, attach: 4 },
+        spec: GenSpec::BarabasiAlbert {
+            n: 60_000,
+            attach: 4,
+        },
     },
     CorpusEntry {
         name: "syn-web-Google",
         class: CorpusClass::Web,
-        spec: GenSpec::Rmat { scale_exp: 15, edge_factor: 5, skewed: true },
+        spec: GenSpec::Rmat {
+            scale_exp: 15,
+            edge_factor: 5,
+            skewed: true,
+        },
     },
     CorpusEntry {
         name: "syn-eu-2005",
         class: CorpusClass::Web,
-        spec: GenSpec::Rmat { scale_exp: 14, edge_factor: 18, skewed: true },
+        spec: GenSpec::Rmat {
+            scale_exp: 14,
+            edge_factor: 18,
+            skewed: true,
+        },
     },
     CorpusEntry {
         name: "syn-soc-LiveJournal1",
         class: CorpusClass::Social,
-        spec: GenSpec::Rmat { scale_exp: 16, edge_factor: 9, skewed: true },
+        spec: GenSpec::Rmat {
+            scale_exp: 16,
+            edge_factor: 9,
+            skewed: true,
+        },
     },
     CorpusEntry {
         name: "syn-soc-orkut-dir",
         class: CorpusClass::Social,
-        spec: GenSpec::Rmat { scale_exp: 15, edge_factor: 38, skewed: true },
+        spec: GenSpec::Rmat {
+            scale_exp: 15,
+            edge_factor: 38,
+            skewed: true,
+        },
     },
     CorpusEntry {
         name: "syn-italy-osm",
@@ -165,7 +228,10 @@ pub const CORPUS: &[CorpusEntry] = &[
     CorpusEntry {
         name: "syn-Amazon-2008",
         class: CorpusClass::Similarity,
-        spec: GenSpec::Planted { n: 40_000, blocks: 64 },
+        spec: GenSpec::Planted {
+            n: 40_000,
+            blocks: 64,
+        },
     },
     CorpusEntry {
         name: "syn-del18",
@@ -265,7 +331,8 @@ mod tests {
         for entry in CORPUS {
             let g = corpus_graph(entry, 0.02, 7);
             assert!(g.num_nodes() >= 4, "{} too small", entry.name);
-            g.validate().unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            g.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
         }
     }
 

@@ -288,8 +288,7 @@ fn in_circumcircle(a: (f64, f64), b: (f64, f64), c: (f64, f64), p: (f64, f64)) -
     let by = b.1 - p.1;
     let cx = c.0 - p.0;
     let cy = c.1 - p.1;
-    let det = (ax * ax + ay * ay) * (bx * cy - cx * by)
-        - (bx * bx + by * by) * (ax * cy - cx * ay)
+    let det = (ax * ax + ay * ay) * (bx * cy - cx * by) - (bx * bx + by * by) * (ax * cy - cx * ay)
         + (cx * cx + cy * cy) * (ax * by - bx * ay);
     det > 0.0
 }
@@ -305,7 +304,10 @@ mod tests {
         assert_eq!(g.num_nodes(), 50);
         // Euler bound for planar graphs: m ≤ 3n − 6.
         assert!(g.num_edges() <= 3 * 50 - 6);
-        assert!(g.num_edges() >= 50 - 1, "triangulation must be connected-ish");
+        assert!(
+            g.num_edges() >= 50 - 1,
+            "triangulation must be connected-ish"
+        );
         assert!(is_connected(&g));
         g.validate().unwrap();
     }

@@ -183,10 +183,7 @@ impl CsrGraph {
 
     /// Iterator over `(neighbor, edge_weight)` pairs of `v`.
     #[inline]
-    pub fn neighbors_weighted(
-        &self,
-        v: NodeId,
-    ) -> impl Iterator<Item = (NodeId, EdgeWeight)> + '_ {
+    pub fn neighbors_weighted(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeWeight)> + '_ {
         self.neighbors(v)
             .iter()
             .copied()
@@ -424,8 +421,7 @@ mod tests {
     #[test]
     fn induced_subgraph_of_cycle() {
         // 0-1-2-3-4-0 cycle; take nodes {0,1,2}: expect path 0-1-2.
-        let g =
-            CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
         let (s, mapping) = g.induced_subgraph(&[0, 1, 2]);
         assert_eq!(s.num_nodes(), 3);
         assert_eq!(s.num_edges(), 2);

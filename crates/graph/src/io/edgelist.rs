@@ -72,7 +72,12 @@ fn parse_id(tok: Option<&str>, line: &str) -> Result<u64> {
 pub fn write_edge_list<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<()> {
     let file = File::create(path)?;
     let mut writer = BufWriter::new(file);
-    writeln!(writer, "# nodes {} edges {}", graph.num_nodes(), graph.num_edges())?;
+    writeln!(
+        writer,
+        "# nodes {} edges {}",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
     for (u, v, _) in graph.edges() {
         writeln!(writer, "{u} {v}")?;
     }

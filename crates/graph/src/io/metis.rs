@@ -75,8 +75,7 @@ fn read_metis_from<R: BufRead>(reader: R) -> Result<CsrGraph> {
             let w: NodeWeight = parse_field(tokens.next(), "node weight")?;
             builder.set_node_weight(node as NodeId, w)?;
         }
-        loop {
-            let Some(tok) = tokens.next() else { break };
+        while let Some(tok) = tokens.next() {
             let neighbor: usize = tok
                 .parse()
                 .map_err(|_| GraphError::Parse(format!("invalid neighbor id '{tok}'")))?;
@@ -151,7 +150,13 @@ fn write_metis_to<W: Write>(graph: &CsrGraph, writer: &mut W) -> Result<()> {
     if fmt == "0" {
         writeln!(writer, "{} {}", graph.num_nodes(), graph.num_edges())?;
     } else {
-        writeln!(writer, "{} {} {}", graph.num_nodes(), graph.num_edges(), fmt)?;
+        writeln!(
+            writer,
+            "{} {} {}",
+            graph.num_nodes(),
+            graph.num_edges(),
+            fmt
+        )?;
     }
     let mut line = String::new();
     for v in graph.nodes() {

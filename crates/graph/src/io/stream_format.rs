@@ -74,13 +74,15 @@ pub fn read_stream_file<P: AsRef<Path>>(path: P) -> Result<CsrGraph> {
     let mut adjncy = Vec::new();
     let mut eweights = Vec::new();
     let mut nweights = Vec::with_capacity(n);
-    stream.for_each_node(|node| {
+    stream.stream_nodes(|node| {
         nweights.push(node.weight);
         adjncy.extend_from_slice(node.neighbors);
         eweights.extend_from_slice(node.edge_weights);
         xadj.push(adjncy.len());
     })?;
-    Ok(CsrGraph::from_csr_unchecked(xadj, adjncy, eweights, nweights))
+    Ok(CsrGraph::from_csr_unchecked(
+        xadj, adjncy, eweights, nweights,
+    ))
 }
 
 /// A one-pass stream read from a vertex-stream file on disk.
@@ -125,7 +127,7 @@ impl DiskStream {
         };
         if flags & FLAG_NODE_WEIGHTS != 0 {
             let mut total: NodeWeight = 0;
-            stream.for_each_node(|node| total += node.weight)?;
+            stream.stream_nodes(|node| total += node.weight)?;
             stream.total_node_weight = total;
         }
         Ok(stream)
@@ -150,10 +152,7 @@ impl NodeStream for DiskStream {
         self.total_node_weight
     }
 
-    fn for_each_node<F>(&mut self, mut f: F) -> Result<()>
-    where
-        F: FnMut(StreamedNode<'_>),
-    {
+    fn for_each_node(&mut self, f: &mut dyn FnMut(StreamedNode<'_>)) -> Result<()> {
         let file = File::open(&self.path)?;
         let mut r = BufReader::new(file);
         let mut skip = [0u8; 8 + 8 + 8 + 1];
@@ -277,9 +276,9 @@ mod tests {
         write_stream_file(&g, &path).unwrap();
         let mut stream = DiskStream::open(&path).unwrap();
         let mut first = Vec::new();
-        stream.for_each_node(|n| first.push(n.node)).unwrap();
+        stream.stream_nodes(|n| first.push(n.node)).unwrap();
         let mut second = Vec::new();
-        stream.for_each_node(|n| second.push(n.node)).unwrap();
+        stream.stream_nodes(|n| second.push(n.node)).unwrap();
         assert_eq!(first, second);
         assert_eq!(first, vec![0, 1, 2, 3]);
         std::fs::remove_file(&path).ok();

@@ -11,8 +11,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// The order in which a graph is streamed.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum NodeOrdering {
     /// Natural order `0, 1, …, n-1` — the order used in the paper's
     /// experiments.
@@ -29,7 +28,6 @@ pub enum NodeOrdering {
     /// Nodes sorted by decreasing degree (ties by id).
     DegreeDescending,
 }
-
 
 impl NodeOrdering {
     /// Computes the permutation of node ids realising this ordering for the
@@ -104,14 +102,20 @@ mod tests {
             NodeOrdering::DegreeAscending,
             NodeOrdering::DegreeDescending,
         ] {
-            assert!(is_permutation(&ord.permutation(&g), g.num_nodes()), "{ord:?}");
+            assert!(
+                is_permutation(&ord.permutation(&g), g.num_nodes()),
+                "{ord:?}"
+            );
         }
     }
 
     #[test]
     fn natural_is_identity() {
         let g = sample_graph();
-        assert_eq!(NodeOrdering::Natural.permutation(&g), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(
+            NodeOrdering::Natural.permutation(&g),
+            vec![0, 1, 2, 3, 4, 5]
+        );
     }
 
     #[test]

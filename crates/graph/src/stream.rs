@@ -49,6 +49,11 @@ impl<'a> StreamedNode<'a> {
 /// Implementors must visit every node exactly once per call to
 /// [`NodeStream::for_each_node`]. Re-streaming algorithms simply call it
 /// again.
+///
+/// The trait is dyn-compatible (`for_each_node` takes `&mut dyn FnMut`), so
+/// heterogeneous frontends can pass `&mut dyn NodeStream` to the object-safe
+/// partitioner API in `oms-core` without monomorphising per stream type. Use
+/// [`NodeStream::stream_nodes`] at call sites to keep passing plain closures.
 pub trait NodeStream {
     /// Number of nodes `n` of the streamed graph.
     fn num_nodes(&self) -> usize;
@@ -60,9 +65,48 @@ pub trait NodeStream {
     fn total_node_weight(&self) -> NodeWeight;
 
     /// Performs one pass, invoking `f` for every node in stream order.
-    fn for_each_node<F>(&mut self, f: F) -> Result<()>
+    fn for_each_node(&mut self, f: &mut dyn FnMut(StreamedNode<'_>)) -> Result<()>;
+
+    /// The in-memory graph behind this stream, when there is one.
+    ///
+    /// Random-access drivers (the shared-memory parallel partitioners, the
+    /// multilevel baseline) use this to skip materialisation; disk streams
+    /// return `None` and are materialised on demand.
+    fn as_graph(&self) -> Option<&CsrGraph> {
+        None
+    }
+
+    /// Convenience wrapper around [`NodeStream::for_each_node`] accepting a
+    /// plain closure (no `&mut` at the call site).
+    fn stream_nodes<F>(&mut self, mut f: F) -> Result<()>
     where
-        F: FnMut(StreamedNode<'_>);
+        F: FnMut(StreamedNode<'_>),
+        Self: Sized,
+    {
+        self.for_each_node(&mut f)
+    }
+}
+
+impl<S: NodeStream + ?Sized> NodeStream for &mut S {
+    fn num_nodes(&self) -> usize {
+        (**self).num_nodes()
+    }
+
+    fn num_edges(&self) -> usize {
+        (**self).num_edges()
+    }
+
+    fn total_node_weight(&self) -> NodeWeight {
+        (**self).total_node_weight()
+    }
+
+    fn for_each_node(&mut self, f: &mut dyn FnMut(StreamedNode<'_>)) -> Result<()> {
+        (**self).for_each_node(f)
+    }
+
+    fn as_graph(&self) -> Option<&CsrGraph> {
+        (**self).as_graph()
+    }
 }
 
 /// Streams a [`CsrGraph`] held in memory, optionally permuted.
@@ -125,10 +169,11 @@ impl<'g> NodeStream for InMemoryStream<'g> {
         self.graph.total_node_weight()
     }
 
-    fn for_each_node<F>(&mut self, mut f: F) -> Result<()>
-    where
-        F: FnMut(StreamedNode<'_>),
-    {
+    fn as_graph(&self) -> Option<&CsrGraph> {
+        Some(self.graph)
+    }
+
+    fn for_each_node(&mut self, f: &mut dyn FnMut(StreamedNode<'_>)) -> Result<()> {
         match &self.order {
             None => {
                 for v in self.graph.nodes() {
@@ -211,7 +256,7 @@ mod tests {
         let mut stream = InMemoryStream::new(&g);
         let mut seen = Vec::new();
         stream
-            .for_each_node(|node| {
+            .stream_nodes(|node| {
                 seen.push(node.node);
                 assert_eq!(node.degree(), g.degree(node.node));
             })
@@ -234,7 +279,7 @@ mod tests {
         let perm = vec![4, 3, 2, 1, 0];
         let mut stream = InMemoryStream::with_permutation(&g, perm.clone());
         let mut seen = Vec::new();
-        stream.for_each_node(|node| seen.push(node.node)).unwrap();
+        stream.stream_nodes(|node| seen.push(node.node)).unwrap();
         assert_eq!(seen, perm);
     }
 
@@ -243,7 +288,7 @@ mod tests {
         let g = sample();
         let mut stream = InMemoryStream::with_ordering(&g, NodeOrdering::Random(9));
         let mut seen = Vec::new();
-        stream.for_each_node(|node| seen.push(node.node)).unwrap();
+        stream.stream_nodes(|node| seen.push(node.node)).unwrap();
         seen.sort_unstable();
         assert_eq!(seen, vec![0, 1, 2, 3, 4]);
     }
@@ -253,7 +298,7 @@ mod tests {
         let g = sample();
         let mut stream = InMemoryStream::new(&g);
         stream
-            .for_each_node(|node| {
+            .stream_nodes(|node| {
                 if node.node == 1 {
                     let pairs: Vec<_> = node.neighbors_weighted().collect();
                     assert_eq!(pairs.len(), 3);

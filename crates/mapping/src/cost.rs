@@ -36,9 +36,7 @@ pub fn mapping_cost_parallel(graph: &CsrGraph, assignment: &[BlockId], topology:
             graph
                 .neighbors_weighted(u)
                 .filter(|&(v, _)| u < v)
-                .map(|(v, w)| {
-                    w * topology.distance(assignment[u as usize], assignment[v as usize])
-                })
+                .map(|(v, w)| w * topology.distance(assignment[u as usize], assignment[v as usize]))
                 .sum::<u64>()
         })
         .sum()

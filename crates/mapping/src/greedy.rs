@@ -32,9 +32,7 @@ pub fn greedy_mapping(comm: &CommGraph, topology: &Topology) -> Vec<BlockId> {
 
     // Start with the block that has the largest total communication volume —
     // its placement constrains the solution the most.
-    let first = (0..k)
-        .max_by_key(|&b| comm.total_weight_of(b))
-        .unwrap_or(0);
+    let first = (0..k).max_by_key(|&b| comm.total_weight_of(b)).unwrap_or(0);
     pe_of_block[first] = Some(0);
     pe_used[0] = true;
     mapped.push(first);
@@ -46,7 +44,11 @@ pub fn greedy_mapping(comm: &CommGraph, topology: &Topology) -> Vec<BlockId> {
             .filter(|&b| pe_of_block[b].is_none())
             .max_by_key(|&b| {
                 let towards_mapped: u64 = mapped.iter().map(|&m| comm.weight(b, m)).sum();
-                (towards_mapped, comm.total_weight_of(b), std::cmp::Reverse(b))
+                (
+                    towards_mapped,
+                    comm.total_weight_of(b),
+                    std::cmp::Reverse(b),
+                )
             })
             .expect("there is at least one unmapped block");
 
@@ -105,10 +107,7 @@ mod tests {
     fn greedy_beats_identity_on_adversarial_input() {
         // Communication pattern deliberately at odds with the identity
         // mapping: block 0 talks to block 7, 1 to 6, etc.
-        let comm = CommGraph::from_entries(
-            8,
-            &[(0, 7, 50), (1, 6, 50), (2, 5, 50), (3, 4, 50)],
-        );
+        let comm = CommGraph::from_entries(8, &[(0, 7, 50), (1, 6, 50), (2, 5, 50), (3, 4, 50)]);
         let t = Topology::parse("2:2:2", "1:10:100").unwrap();
         let identity: Vec<BlockId> = (0..8).collect();
         let greedy = greedy_mapping(&comm, &t);

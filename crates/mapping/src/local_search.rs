@@ -47,6 +47,7 @@ fn swap_gain(
     }
     let mut before = 0i64;
     let mut after = 0i64;
+    #[allow(clippy::needless_range_loop)] // c indexes both pe_of_block and comm
     for c in 0..k {
         if c == a || c == b {
             continue;
@@ -159,7 +160,11 @@ mod tests {
                 swapped.swap(a, b);
                 let expected =
                     comm.mapping_cost(&mapping, &t) as i64 - comm.mapping_cost(&swapped, &t) as i64;
-                assert_eq!(swap_gain(&comm, &t, &mapping, a, b), expected, "swap {a},{b}");
+                assert_eq!(
+                    swap_gain(&comm, &t, &mapping, a, b),
+                    expected,
+                    "swap {a},{b}"
+                );
             }
         }
     }

@@ -32,7 +32,10 @@ impl Topology {
 
     /// Parses `"4:16:8"` + `"1:10:100"` style strings.
     pub fn parse(hierarchy: &str, distances: &str) -> Result<Self, PartitionError> {
-        Topology::new(HierarchySpec::parse(hierarchy)?, DistanceSpec::parse(distances)?)
+        Topology::new(
+            HierarchySpec::parse(hierarchy)?,
+            DistanceSpec::parse(distances)?,
+        )
     }
 
     /// The paper's default topology `S = 4:16:r`, `D = 1:10:100`.

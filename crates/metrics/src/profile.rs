@@ -137,7 +137,10 @@ mod tests {
     fn common_instances_ignore_partial_records() {
         let mut p = sample();
         p.record("A", "only-a", 1.0);
-        assert_eq!(p.common_instances(), vec!["i1".to_string(), "i2".to_string()]);
+        assert_eq!(
+            p.common_instances(),
+            vec!["i1".to_string(), "i2".to_string()]
+        );
     }
 
     #[test]

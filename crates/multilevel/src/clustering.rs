@@ -6,6 +6,7 @@
 //! stays below a weight limit. A handful of rounds suffices to shrink
 //! real-world graphs by a large factor per level.
 
+use oms_core::scorer::hash_node;
 use oms_graph::{CsrGraph, NodeId, NodeWeight};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -40,15 +41,14 @@ impl Default for ClusteringConfig {
 pub fn label_propagation(graph: &CsrGraph, config: &ClusteringConfig) -> Vec<NodeId> {
     let n = graph.num_nodes();
     let mut cluster: Vec<NodeId> = (0..n as NodeId).collect();
-    let mut cluster_weight: Vec<NodeWeight> = (0..n as NodeId)
-        .map(|v| graph.node_weight(v))
-        .collect();
+    let mut cluster_weight: Vec<NodeWeight> =
+        (0..n as NodeId).map(|v| graph.node_weight(v)).collect();
 
     let mut order: Vec<NodeId> = (0..n as NodeId).collect();
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let mut gains: HashMap<NodeId, u64> = HashMap::new();
 
-    for _ in 0..config.rounds {
+    for round in 0..config.rounds {
         order.shuffle(&mut rng);
         let mut moved = 0usize;
         for &v in &order {
@@ -62,7 +62,19 @@ pub fn label_propagation(graph: &CsrGraph, config: &ClusteringConfig) -> Vec<Nod
                 *gains.entry(cluster[u as usize]).or_insert(0) += w;
             }
             // Best target: maximum shared edge weight, respecting the weight
-            // limit (moving within the current cluster is always allowed).
+            // limit. A node only moves on a *strict* gain over its current
+            // cluster (hysteresis), and equal-gain targets are ranked by a
+            // seeded hash rather than by id — a global "smallest id wins"
+            // rule would turn low-id nodes into attractors that can drag
+            // whole communities across a single bridge edge. The hash makes
+            // the choice independent of the HashMap iteration order, keeping
+            // the clustering deterministic per seed across processes.
+            let tie_key = |target: NodeId| {
+                hash_node(
+                    target,
+                    config.seed ^ ((round as u64) << 48) ^ ((v as u64) << 16),
+                )
+            };
             let mut best = current;
             let mut best_gain = gains.get(&current).copied().unwrap_or(0);
             for (&target, &gain) in &gains {
@@ -70,7 +82,12 @@ pub fn label_propagation(graph: &CsrGraph, config: &ClusteringConfig) -> Vec<Nod
                     continue;
                 }
                 let fits = cluster_weight[target as usize] + v_weight <= config.max_cluster_weight;
-                if fits && (gain > best_gain || (gain == best_gain && target < best)) {
+                if !fits {
+                    continue;
+                }
+                if gain > best_gain
+                    || (gain == best_gain && best != current && tie_key(target) > tie_key(best))
+                {
                     best = target;
                     best_gain = gain;
                 }

@@ -39,7 +39,11 @@ impl RecursiveMultisection {
             let levels = self.hierarchy.num_levels();
             self.split(graph, &all_nodes, levels, 0, k, &mut assignment)?;
         }
-        Ok(Partition::from_assignments(k, assignment, graph.node_weights()))
+        Ok(Partition::from_assignments(
+            k,
+            assignment,
+            graph.node_weights(),
+        ))
     }
 
     /// Recursively splits `nodes` (ids in the original graph) covering the PE

@@ -34,6 +34,8 @@ pub mod hierarchical;
 pub mod initial;
 pub mod partitioner;
 pub mod refine;
+pub mod registry;
 
 pub use hierarchical::RecursiveMultisection;
 pub use partitioner::{MultilevelConfig, MultilevelPartitioner};
+pub use registry::register_algorithms;

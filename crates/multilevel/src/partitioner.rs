@@ -72,10 +72,10 @@ impl MultilevelPartitioner {
         // Keep contracting until the graph is small relative to k or label
         // propagation stops making progress.
         let coarse_limit = (cfg.coarse_factor * k as usize).max(512);
-        let max_cluster_weight =
-            (graph.total_node_weight() as f64 * (1.0 + cfg.epsilon) / (k as f64 * 4.0))
-                .ceil()
-                .max(1.0) as u64;
+        let max_cluster_weight = (graph.total_node_weight() as f64 * (1.0 + cfg.epsilon)
+            / (k as f64 * 4.0))
+            .ceil()
+            .max(1.0) as u64;
 
         let mut levels: Vec<(CsrGraph, Vec<NodeId>)> = Vec::new();
         let mut current = graph.clone();
@@ -115,7 +115,11 @@ impl MultilevelPartitioner {
             assignment = fine_assignment;
         }
 
-        Ok(Partition::from_assignments(k, assignment, graph.node_weights()))
+        Ok(Partition::from_assignments(
+            k,
+            assignment,
+            graph.node_weights(),
+        ))
     }
 
     /// Convenience: partition with an explicit thread count (used by the

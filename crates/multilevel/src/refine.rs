@@ -160,7 +160,10 @@ mod tests {
         let moves = refine(&g, &mut assignment, 2, &RefineConfig::default());
         let after = cut(&g, &assignment);
         assert!(moves > 0);
-        assert!(after < before, "refinement must reduce the cut: {before} → {after}");
+        assert!(
+            after < before,
+            "refinement must reduce the cut: {before} → {after}"
+        );
         let p = Partition::from_assignments(2, assignment, &[1; 16]);
         assert!(p.is_balanced(0.04));
     }

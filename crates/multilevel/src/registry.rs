@@ -1,0 +1,142 @@
+//! Plugs the in-memory baselines into the shared `oms-core::api` registry.
+//!
+//! `oms-core` cannot depend on this crate, so the `multilevel` and `rms`
+//! entries are contributed from here: frontends call
+//! [`register_algorithms`] once at startup and every
+//! [`JobSpec`](oms_core::JobSpec) string can then select the in-memory
+//! baselines exactly like the streaming algorithms.
+
+use crate::hierarchical::RecursiveMultisection;
+use crate::partitioner::{MultilevelConfig, MultilevelPartitioner};
+use oms_core::api::{materialize_stream, register_algorithm, AlgorithmInfo, JobSpec, Partitioner};
+use oms_core::{Partition, PartitionError, Result};
+use oms_graph::NodeStream;
+
+impl Partitioner for MultilevelPartitioner {
+    fn name(&self) -> String {
+        "multilevel".to_string()
+    }
+
+    fn num_blocks(&self) -> u32 {
+        MultilevelPartitioner::num_blocks(self)
+    }
+
+    fn partition(&self, stream: &mut dyn NodeStream) -> Result<Partition> {
+        let graph = materialize_stream(stream)?;
+        MultilevelPartitioner::partition(self, &graph)
+    }
+}
+
+impl Partitioner for RecursiveMultisection {
+    fn name(&self) -> String {
+        "rms".to_string()
+    }
+
+    fn num_blocks(&self) -> u32 {
+        RecursiveMultisection::num_blocks(self)
+    }
+
+    fn partition(&self, stream: &mut dyn NodeStream) -> Result<Partition> {
+        let graph = materialize_stream(stream)?;
+        RecursiveMultisection::partition(self, &graph)
+    }
+}
+
+fn multilevel_config(spec: &JobSpec) -> MultilevelConfig {
+    MultilevelConfig {
+        epsilon: spec.epsilon,
+        threads: spec.threads.max(1),
+        seed: spec.seed,
+        ..MultilevelConfig::default()
+    }
+}
+
+fn build_multilevel(spec: &JobSpec) -> Result<Box<dyn Partitioner>> {
+    if spec.passes > 1 {
+        return Err(PartitionError::InvalidSpec(
+            "multilevel is not a streaming algorithm and does not support passes > 1".into(),
+        ));
+    }
+    Ok(Box::new(MultilevelPartitioner::new(
+        spec.num_blocks(),
+        multilevel_config(spec),
+    )))
+}
+
+fn build_rms(spec: &JobSpec) -> Result<Box<dyn Partitioner>> {
+    if spec.passes > 1 {
+        return Err(PartitionError::InvalidSpec(
+            "rms is not a streaming algorithm and does not support passes > 1".into(),
+        ));
+    }
+    let Some(hierarchy) = spec.shape.hierarchy() else {
+        return Err(PartitionError::InvalidSpec(
+            "rms needs a hierarchical shape (e.g. rms:4:16:8)".into(),
+        ));
+    };
+    Ok(Box::new(RecursiveMultisection::new(
+        hierarchy.clone(),
+        multilevel_config(spec),
+    )))
+}
+
+/// Registers the in-memory baselines (`multilevel`, `rms`) in the shared
+/// algorithm registry. Idempotent; call once at frontend startup.
+pub fn register_algorithms() {
+    register_algorithm(AlgorithmInfo {
+        name: "multilevel",
+        aliases: &["ml", "kaminpar"],
+        description: "in-memory multilevel k-way baseline (coarsen / partition / refine)",
+        supports_hierarchy: false,
+        build: build_multilevel,
+    });
+    register_algorithm(AlgorithmInfo {
+        name: "rms",
+        aliases: &["offline-oms", "intmap"],
+        description: "offline recursive multi-section along a hierarchy (IntMap stand-in)",
+        supports_hierarchy: true,
+        build: build_rms,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oms_graph::InMemoryStream;
+
+    #[test]
+    fn jobspec_builds_and_runs_multilevel() {
+        register_algorithms();
+        let g = oms_gen::planted_partition(300, 8, 0.1, 0.01, 3);
+        let report = oms_core::JobSpec::parse("multilevel:8")
+            .unwrap()
+            .build()
+            .unwrap()
+            .run(&mut InMemoryStream::new(&g))
+            .unwrap();
+        assert_eq!(report.algorithm, "multilevel");
+        assert_eq!(report.partition.num_nodes(), 300);
+        assert!(report.is_balanced(0.031));
+    }
+
+    #[test]
+    fn jobspec_builds_and_runs_rms_with_mapping_cost() {
+        register_algorithms();
+        let g = oms_gen::planted_partition(300, 8, 0.1, 0.01, 5);
+        let report = oms_core::JobSpec::parse("rms:2:2:2@dist=1:10:100")
+            .unwrap()
+            .build()
+            .unwrap()
+            .run(&mut InMemoryStream::new(&g))
+            .unwrap();
+        assert_eq!(report.algorithm, "rms");
+        assert_eq!(report.num_blocks(), 8);
+        assert!(report.mapping_cost.unwrap() >= report.edge_cut);
+    }
+
+    #[test]
+    fn rms_requires_a_hierarchy() {
+        register_algorithms();
+        assert!(oms_core::JobSpec::parse("rms:8").unwrap().build().is_err());
+    }
+}

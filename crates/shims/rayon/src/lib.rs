@@ -1,0 +1,496 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! The build environment has no access to crates.io, so this local crate
+//! implements the slice of the rayon API the workspace actually uses on top
+//! of [`std::thread::scope`]: `par_iter` / `par_iter_mut().enumerate()` on
+//! slices, `into_par_iter` on integer ranges, `map` / `for_each` / `sum` /
+//! `collect`, and `ThreadPoolBuilder` → `ThreadPool::install`.
+//!
+//! Unlike real rayon there is no work-stealing: each adapter splits its input
+//! into one contiguous chunk per thread. For the vertex-centric partitioning
+//! drivers in this workspace (which already chunk their input themselves)
+//! this matches the intended execution model.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// Thread count installed by [`ThreadPool::install`]; 0 = default.
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Effective parallelism for a workload of `len` items.
+fn threads_for(len: usize) -> usize {
+    let installed = INSTALLED_THREADS.with(|t| t.get());
+    let t = if installed == 0 {
+        default_threads()
+    } else {
+        installed
+    };
+    t.min(len).max(1)
+}
+
+// ---------------------------------------------------------------- thread pool
+
+/// Error building a thread pool (never produced by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with the default thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of threads (0 = one per logical CPU).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped "pool": it only records the requested width; parallel adapters
+/// executed under [`ThreadPool::install`] split their work accordingly.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count installed as the ambient
+    /// parallelism.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let previous = INSTALLED_THREADS.with(|t| t.replace(self.num_threads));
+        let result = op();
+        INSTALLED_THREADS.with(|t| t.set(previous));
+        result
+    }
+
+    /// The pool's configured thread count (0 = default).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        }
+    }
+}
+
+// ------------------------------------------------------------------- helpers
+
+fn par_chunks_for_each<T, F>(items: &[T], f: &F)
+where
+    T: Sync,
+    F: Fn(&T) + Sync,
+{
+    let t = threads_for(items.len());
+    if t <= 1 {
+        items.iter().for_each(f);
+        return;
+    }
+    let chunk = items.len().div_ceil(t);
+    std::thread::scope(|s| {
+        for part in items.chunks(chunk) {
+            s.spawn(move || part.iter().for_each(f));
+        }
+    });
+}
+
+fn par_chunks_map<T, R, F>(items: &[T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let t = threads_for(items.len());
+    if t <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(t);
+    let partials: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| s.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    partials.into_iter().flatten().collect()
+}
+
+// -------------------------------------------------------------- shared slices
+
+/// Parallel iterator over `&[T]`.
+pub struct ParSlice<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParSlice<'a, T> {
+    /// Parallel `map`; results keep the input order.
+    pub fn map<R, F>(self, f: F) -> ParSliceMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParSliceMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Parallel `for_each`.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        // The lifetime of the yielded references is tied to the slice, which
+        // outlives the scoped threads.
+        let t = threads_for(self.items.len());
+        if t <= 1 {
+            self.items.iter().for_each(&f);
+            return;
+        }
+        let chunk = self.items.len().div_ceil(t);
+        let f = &f;
+        std::thread::scope(|s| {
+            for part in self.items.chunks(chunk) {
+                s.spawn(move || part.iter().for_each(f));
+            }
+        });
+    }
+}
+
+/// Mapped parallel slice iterator.
+pub struct ParSliceMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParSliceMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Collects mapped results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let t = threads_for(self.items.len());
+        if t <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk = self.items.len().div_ceil(t);
+        let f = &self.f;
+        let partials: Vec<Vec<R>> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|part| s.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+        partials.into_iter().flatten().collect()
+    }
+
+    /// Sums mapped results.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R> + std::iter::Sum<S> + Send,
+    {
+        let t = threads_for(self.items.len());
+        if t <= 1 {
+            return self.items.iter().map(&self.f).sum();
+        }
+        let chunk = self.items.len().div_ceil(t);
+        let f = &self.f;
+        let partials: Vec<S> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|part| s.spawn(move || part.iter().map(f).sum::<S>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+        partials.into_iter().sum()
+    }
+}
+
+// ------------------------------------------------------------ mutable slices
+
+/// Parallel iterator over `&mut [T]`.
+pub struct ParSliceMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParSliceMut<'a, T> {
+    /// Pairs every element with its index.
+    pub fn enumerate(self) -> ParSliceMutEnumerate<'a, T> {
+        ParSliceMutEnumerate { items: self.items }
+    }
+
+    /// Parallel mutable `for_each`.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut T) + Sync,
+    {
+        ParSliceMutEnumerate { items: self.items }.for_each(move |(_, item)| f(item));
+    }
+}
+
+/// Enumerated parallel iterator over `&mut [T]`.
+pub struct ParSliceMutEnumerate<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParSliceMutEnumerate<'a, T> {
+    /// Parallel `for_each` over `(index, &mut item)` pairs.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut T)) + Sync,
+    {
+        let len = self.items.len();
+        let t = threads_for(len);
+        if t <= 1 {
+            for (i, item) in self.items.iter_mut().enumerate() {
+                f((i, item));
+            }
+            return;
+        }
+        let chunk = len.div_ceil(t);
+        let f = &f;
+        std::thread::scope(|s| {
+            for (c, part) in self.items.chunks_mut(chunk).enumerate() {
+                let base = c * chunk;
+                s.spawn(move || {
+                    for (i, item) in part.iter_mut().enumerate() {
+                        f((base + i, item));
+                    }
+                });
+            }
+        });
+    }
+}
+
+// ------------------------------------------------------------ integer ranges
+
+/// Parallel iterator over an integer range.
+pub struct ParRange<T> {
+    range: Range<T>,
+}
+
+macro_rules! impl_par_range {
+    ($($t:ty),*) => {$(
+        impl ParRange<$t> {
+            /// Parallel `map`; results keep the input order.
+            pub fn map<R, F>(self, f: F) -> ParRangeMap<$t, F>
+            where
+                R: Send,
+                F: Fn($t) -> R + Sync,
+            {
+                ParRangeMap { range: self.range, f }
+            }
+
+            /// Parallel `for_each`.
+            pub fn for_each<F>(self, f: F)
+            where
+                F: Fn($t) + Sync,
+            {
+                let values: Vec<$t> = self.range.collect();
+                par_chunks_for_each(&values, &|v: &$t| f(*v));
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = ParRange<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> ParRange<$t> {
+                ParRange { range: self }
+            }
+        }
+    )*};
+}
+
+/// Mapped parallel range iterator.
+pub struct ParRangeMap<T, F> {
+    range: Range<T>,
+    f: F,
+}
+
+macro_rules! impl_par_range_map {
+    ($($t:ty),*) => {$(
+        impl<R, F> ParRangeMap<$t, F>
+        where
+            R: Send,
+            F: Fn($t) -> R + Sync,
+        {
+            /// Sums mapped results.
+            pub fn sum<S>(self) -> S
+            where
+                S: std::iter::Sum<R> + std::iter::Sum<S> + Send,
+            {
+                let values: Vec<$t> = self.range.collect();
+                let f = &self.f;
+                let partials = par_chunks_map(&values, &|v: &$t| f(*v));
+                // Partial results are already one R per item; sum them all.
+                partials.into_iter().sum()
+            }
+
+            /// Collects mapped results in input order.
+            pub fn collect<C: FromIterator<R>>(self) -> C {
+                let values: Vec<$t> = self.range.collect();
+                let f = &self.f;
+                par_chunks_map(&values, &|v: &$t| f(*v)).into_iter().collect()
+            }
+        }
+    )*};
+}
+
+impl_par_range!(u32, u64, usize);
+impl_par_range_map!(u32, u64, usize);
+
+// ---------------------------------------------------------------- the traits
+
+/// Conversion into an owning parallel iterator (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// The yielded item type.
+    type Item;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter` on shared references.
+pub trait IntoParallelRefIterator<'data> {
+    /// The parallel iterator type.
+    type Iter;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = ParSlice<'data, T>;
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = ParSlice<'data, T>;
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { items: self }
+    }
+}
+
+/// `par_iter_mut` on mutable references.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The parallel iterator type.
+    type Iter;
+    /// Borrows `self` mutably as a parallel iterator.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Iter = ParSliceMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> ParSliceMut<'data, T> {
+        ParSliceMut { items: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Iter = ParSliceMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> ParSliceMut<'data, T> {
+        ParSliceMut { items: self }
+    }
+}
+
+/// The traits a `use rayon::prelude::*;` is expected to bring in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn slice_map_collect_preserves_order() {
+        let input: Vec<u32> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x as u64 * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x as u64 * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_map_sum_matches_sequential() {
+        let par: u64 = (0u32..10_000).into_par_iter().map(|x| x as u64).sum();
+        assert_eq!(par, (0u64..10_000).sum::<u64>());
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let counter = AtomicU64::new(0);
+        let items: Vec<u64> = (1..=100).collect();
+        items
+            .par_iter()
+            .for_each(|&x| void(counter.fetch_add(x, Ordering::Relaxed)));
+        assert_eq!(counter.load(Ordering::Relaxed), 5050);
+    }
+
+    fn void<T>(_: T) {}
+
+    #[test]
+    fn par_iter_mut_enumerate_writes_indices() {
+        let mut items = vec![0usize; 500];
+        items
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(i, slot)| *slot = i);
+        assert_eq!(items, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_limits_ambient_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 2);
+        let sum: u64 = pool.install(|| (0u32..100).into_par_iter().map(|x| x as u64).sum());
+        assert_eq!(sum, 4950);
+    }
+}

@@ -1,5 +1,6 @@
 //! The hybrid quality/speed trade-off of §3.2: solve the top layers of the
-//! multi-section with Fennel and the bottom layers with Hashing.
+//! multi-section with Fennel and the bottom layers with Hashing, selected
+//! per run with the `hybrid=` option of the job spec.
 //!
 //! The more layers are hashed, the faster the pass — and the worse the
 //! edge-cut, while the mapping objective degrades much more slowly because
@@ -10,12 +11,9 @@
 //! ```
 
 use oms::prelude::*;
-use std::time::Instant;
 
 fn main() {
     let graph = rmat_graph(16, 500_000, oms::gen::RmatParams::GRAPH500, 21);
-    let hierarchy = HierarchySpec::parse("4:4:4:4").unwrap(); // k = 256, 4 layers
-    let topology = Topology::parse("4:4:4:4", "1:10:100:1000").unwrap();
     println!(
         "graph: {} nodes, {} edges; hierarchy S = 4:4:4:4 (k = 256)\n",
         graph.num_nodes(),
@@ -27,11 +25,13 @@ fn main() {
         "configuration", "time [s]", "mapping J", "edge-cut"
     );
     for hashed_layers in 0..=4usize {
-        let config = OmsConfig::default().hashing_bottom_layers(hashed_layers);
-        let oms = OnlineMultiSection::with_hierarchy(hierarchy.clone(), config);
-        let start = Instant::now();
-        let partition = oms.partition_graph(&graph).unwrap();
-        let secs = start.elapsed().as_secs_f64();
+        let spec = format!("oms:4:4:4:4@hybrid={hashed_layers},dist=1:10:100:1000");
+        let report = JobSpec::parse(&spec)
+            .expect("valid job spec")
+            .build()
+            .expect("registered algorithm")
+            .run(&mut InMemoryStream::new(&graph))
+            .expect("partitioning succeeds");
         let label = match hashed_layers {
             0 => "pure Fennel".to_string(),
             4 => "pure Hashing".to_string(),
@@ -40,9 +40,9 @@ fn main() {
         println!(
             "{:<28} {:>9.3} {:>12} {:>10}",
             label,
-            secs,
-            mapping_cost(&graph, partition.assignments(), &topology),
-            edge_cut(&graph, partition.assignments()),
+            report.seconds,
+            report.mapping_cost.expect("dist= given"),
+            report.edge_cut,
         );
     }
 }

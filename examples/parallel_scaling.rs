@@ -1,20 +1,18 @@
 //! Shared-memory scaling (§3.4): run the vertex-centric parallel OMS and the
 //! parallel Fennel baseline with increasing thread counts and report the
-//! speedups (the laptop-scale version of Table 2 / Fig. 3).
+//! speedups (the laptop-scale version of Table 2 / Fig. 3). The thread count
+//! is just a `threads=` option in the job spec — the registry picks the
+//! parallel driver automatically.
 //!
 //! ```text
 //! cargo run --release --example parallel_scaling
 //! ```
 
-use oms::core::parallel::{onepass_parallel, FlatScorer};
 use oms::prelude::*;
-use std::time::Instant;
 
 fn main() {
     let graph = random_geometric_graph(200_000, 5);
     let k = 1024u32;
-    let hierarchy = HierarchySpec::parse("4:16:16").unwrap(); // k = 1024
-    let oms = OnlineMultiSection::with_hierarchy(hierarchy, OmsConfig::default());
     println!(
         "graph: {} nodes, {} edges; k = {k}\n",
         graph.num_nodes(),
@@ -30,6 +28,15 @@ fn main() {
         thread_counts.push(next);
     }
 
+    let run = |spec: &str| {
+        JobSpec::parse(spec)
+            .expect("valid job spec")
+            .build()
+            .expect("registered algorithm")
+            .run(&mut InMemoryStream::new(&graph))
+            .expect("partitioning succeeds")
+    };
+
     println!(
         "{:>8} {:>12} {:>8} {:>14} {:>8}",
         "threads", "OMS [s]", "speedup", "Fennel [s]", "speedup"
@@ -37,30 +44,32 @@ fn main() {
     let mut oms_base = 0.0;
     let mut fennel_base = 0.0;
     for &threads in &thread_counts {
-        let start = Instant::now();
-        let p = oms.partition_graph_parallel(&graph, threads).unwrap();
-        let oms_secs = start.elapsed().as_secs_f64();
-
-        let start = Instant::now();
-        let f = onepass_parallel(&graph, k, FlatScorer::Fennel, OnePassConfig::default(), threads)
-            .unwrap();
-        let fennel_secs = start.elapsed().as_secs_f64();
+        let oms_report = run(&format!("oms:4:16:16@threads={threads}"));
+        let fennel_report = run(&format!("fennel:{k}@threads={threads}"));
 
         if threads == 1 {
-            oms_base = oms_secs;
-            fennel_base = fennel_secs;
+            oms_base = oms_report.seconds;
+            fennel_base = fennel_report.seconds;
         }
         println!(
             "{:>8} {:>12.3} {:>7.1}x {:>14.3} {:>7.1}x",
             threads,
-            oms_secs,
-            oms_base / oms_secs,
-            fennel_secs,
-            fennel_base / fennel_secs
+            oms_report.seconds,
+            oms_base / oms_report.seconds,
+            fennel_report.seconds,
+            fennel_base / fennel_report.seconds
         );
         // Sanity: the parallel runs still produce balanced partitions.
-        assert!(p.imbalance() < 0.2, "OMS imbalance {}", p.imbalance());
-        assert!(f.imbalance() < 0.2, "Fennel imbalance {}", f.imbalance());
+        assert!(
+            oms_report.imbalance < 0.2,
+            "OMS imbalance {}",
+            oms_report.imbalance
+        );
+        assert!(
+            fennel_report.imbalance < 0.2,
+            "Fennel imbalance {}",
+            fennel_report.imbalance
+        );
     }
     println!("\n(OMS is expected to sit between Hashing and Fennel in scalability — §4.2.)");
 }

@@ -1,7 +1,8 @@
 //! Process mapping: stream a communication graph onto a hierarchical machine
 //! (`S = 4:8:4`, `D = 1:10:100`) and compare the mapping cost `J` of
 //! OMS against Fennel (which ignores the hierarchy), Hashing, and the
-//! offline in-memory recursive multi-section.
+//! offline in-memory recursive multi-section — each selected by a `JobSpec`
+//! string and evaluated through the unified `PartitionReport`.
 //!
 //! ```text
 //! cargo run --release --example process_mapping
@@ -10,6 +11,10 @@
 use oms::prelude::*;
 
 fn main() {
+    // The in-memory baselines live behind the same registry; register them
+    // once so "rms:..." resolves.
+    register_multilevel_algorithms();
+
     // A social-network-like communication graph (heavy-tailed degrees).
     let graph = barabasi_albert(6_000, 6, 7);
     println!(
@@ -19,54 +24,41 @@ fn main() {
     );
 
     // The machine: 4 cores per processor, 8 processors per node, 4 nodes.
-    let topology = Topology::parse("4:8:4", "1:10:100").unwrap();
-    let hierarchy = HierarchySpec::parse("4:8:4").unwrap();
-    let k = topology.num_pes();
-    println!(
-        "machine: S = 4:8:4 ({} PEs), D = 1:10:100\n",
-        k
-    );
+    println!("machine: S = 4:8:4 (128 PEs), D = 1:10:100\n");
 
-    // Streaming process mapping with OMS (single pass, hierarchy-aware).
-    let oms = OnlineMultiSection::with_hierarchy(hierarchy.clone(), OmsConfig::default())
-        .partition_graph(&graph)
-        .unwrap();
-
-    // Streaming baselines that ignore the hierarchy.
-    let fennel = Fennel::new(k, OnePassConfig::default())
-        .partition_graph(&graph)
-        .unwrap();
-    let hashing = Hashing::new(k, OnePassConfig::default())
-        .partition_graph(&graph)
-        .unwrap();
-
-    // The offline, in-memory reference (IntMap-like): multilevel recursive
-    // multi-section with full access to the graph.
-    let offline = RecursiveMultisection::new(hierarchy, MultilevelConfig::default())
-        .partition(&graph)
-        .unwrap();
-
-    println!("{:<22} {:>14} {:>10}", "algorithm", "mapping cost J", "edge-cut");
-    for (name, partition) in [
-        ("OMS (streaming)", &oms),
-        ("Fennel (no hierarchy)", &fennel),
-        ("Hashing", &hashing),
-        ("offline multi-section", &offline),
+    println!("{:<24} {:>14} {:>10}", "job", "mapping cost J", "edge-cut");
+    let mut fennel_partition: Option<Partition> = None;
+    for (label, spec) in [
+        ("OMS (streaming)", "oms:4:8:4@dist=1:10:100"),
+        ("Fennel (no hierarchy)", "fennel:4:8:4@dist=1:10:100"),
+        ("Hashing", "hashing:4:8:4@dist=1:10:100"),
+        ("offline multi-section", "rms:4:8:4@dist=1:10:100"),
     ] {
+        let report = JobSpec::parse(spec)
+            .expect("valid job spec")
+            .build()
+            .expect("registered algorithm")
+            .run(&mut InMemoryStream::new(&graph))
+            .expect("mapping succeeds");
         println!(
-            "{:<22} {:>14} {:>10}",
-            name,
-            mapping_cost(&graph, partition.assignments(), &topology),
-            edge_cut(&graph, partition.assignments()),
+            "{:<24} {:>14} {:>10}",
+            label,
+            report.mapping_cost.expect("dist= given"),
+            report.edge_cut,
         );
+        if report.algorithm == "fennel" {
+            fennel_partition = Some(report.partition);
+        }
     }
 
     // A plain partitioner can be turned into a mapper after the fact by
     // assigning its blocks to PEs (greedy + local search) — still worse than
     // building the hierarchy into the streaming pass itself.
+    let topology = Topology::parse("4:8:4", "1:10:100").unwrap();
+    let fennel = fennel_partition.expect("fennel ran");
     let remapped = remap_partition(&fennel, &offline_block_mapping(&graph, &fennel, &topology));
     println!(
-        "{:<22} {:>14} {:>10}",
+        "{:<24} {:>14} {:>10}",
         "Fennel + block remap",
         mapping_cost(&graph, &remapped, &topology),
         edge_cut(&graph, &remapped),

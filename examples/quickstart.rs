@@ -1,5 +1,6 @@
 //! Quickstart: partition a small community graph with nh-OMS in one pass and
-//! compare it against the Fennel and Hashing baselines.
+//! compare it against the Fennel and Hashing baselines — all driven through
+//! the unified `JobSpec` API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -21,34 +22,32 @@ fn main() {
     let k = 16;
     println!("partitioning into k = {k} blocks (ε = 3 %)\n");
 
-    // Online recursive multi-section without an explicit hierarchy (nh-OMS):
-    // the artificial base-4 multi-section tree is built automatically.
-    let oms = OnlineMultiSection::flat(k, OmsConfig::default()).expect("valid configuration");
-    let oms_partition = oms.partition_graph(&graph).expect("partitioning succeeds");
-
-    // The one-pass baselines of the paper.
-    let fennel = Fennel::new(k, OnePassConfig::default())
-        .partition_graph(&graph)
-        .unwrap();
-    let hashing = Hashing::new(k, OnePassConfig::default())
-        .partition_graph(&graph)
-        .unwrap();
-
-    for (name, partition) in [
-        ("nh-OMS", &oms_partition),
-        ("Fennel", &fennel),
-        ("Hashing", &hashing),
+    // One job spec string per algorithm: the factory resolves each against
+    // the shared registry and returns a Box<dyn Partitioner>.
+    let mut reports = Vec::new();
+    for spec in [
+        format!("nh-oms:{k}"),
+        format!("fennel:{k}"),
+        format!("hashing:{k}"),
     ] {
+        let job: JobSpec = spec.parse().expect("valid job spec");
+        let report = job
+            .build()
+            .expect("registered algorithm")
+            .run(&mut InMemoryStream::new(&graph))
+            .expect("partitioning succeeds");
         println!(
-            "{name:>8}: edge-cut = {:>7}, imbalance = {:.3}, non-empty blocks = {}",
-            edge_cut(&graph, partition.assignments()),
-            partition.imbalance(),
-            partition.used_blocks()
+            "{:>8}: edge-cut = {:>7}, imbalance = {:.3}, non-empty blocks = {}",
+            report.algorithm,
+            report.edge_cut,
+            report.imbalance,
+            report.partition.used_blocks()
         );
+        reports.push(report);
     }
 
-    let oms_cut = edge_cut(&graph, oms_partition.assignments()) as f64;
-    let hash_cut = edge_cut(&graph, hashing.assignments()) as f64;
+    let oms_cut = reports[0].edge_cut as f64;
+    let hash_cut = reports[2].edge_cut as f64;
     println!(
         "\nnh-OMS improves {:.0} % over Hashing (paper's Fig. 2b relationship)",
         improvement_percent(oms_cut, hash_cut)

@@ -3,6 +3,10 @@
 //! `O(n + k)` memory regime that makes streaming partitioning attractive for
 //! huge graphs.
 //!
+//! Because the unified [`Partitioner`] API takes `&mut dyn NodeStream`, the
+//! exact same boxed partitioner runs off the disk stream and off the
+//! in-memory stream — and produces identical results.
+//!
 //! ```text
 //! cargo run --release --example streaming_from_disk
 //! ```
@@ -23,26 +27,31 @@ fn main() {
         graph.num_edges()
     );
 
-    // Partition straight off the disk stream: the graph is never fully in
-    // memory inside the partitioner.
+    // One partitioner, two streams: the dyn-compatible NodeStream lets the
+    // same Box<dyn Partitioner> consume either source.
     let k = 256;
-    let mut stream = DiskStream::open(&path).expect("can open the stream file");
-    let oms = OnlineMultiSection::flat(k, OmsConfig::default()).unwrap();
-    let from_disk = oms.partition_stream(&mut stream).unwrap();
+    let partitioner = JobSpec::parse(&format!("nh-oms:{k}"))
+        .expect("valid job spec")
+        .build()
+        .expect("registered algorithm");
 
-    // The same computation from memory gives the identical result: the
-    // algorithm only ever sees one node and its neighborhood at a time.
-    let from_memory = oms.partition_graph(&graph).unwrap();
-    assert_eq!(from_disk, from_memory);
+    let mut disk = DiskStream::open(&path).expect("can open the stream file");
+    let from_disk = partitioner.run(&mut disk).expect("disk run succeeds");
+    let from_memory = partitioner
+        .run(&mut InMemoryStream::new(&graph))
+        .expect("memory run succeeds");
+
+    // The algorithm only ever sees one node and its neighborhood at a time,
+    // so the source of the stream cannot change the result.
+    assert_eq!(from_disk.partition, from_memory.partition);
 
     println!(
         "nh-OMS from disk: edge-cut = {}, imbalance = {:.3}",
-        edge_cut(&graph, from_disk.assignments()),
-        from_disk.imbalance()
+        from_disk.edge_cut, from_disk.imbalance
     );
 
     // The memory argument of §4.1: streaming state vs the whole CSR graph.
-    let tree_nodes = oms.tree().num_nodes();
+    let tree_nodes = oms::core::MultisectionTree::flat(k, 4).num_nodes();
     let streaming = streaming_memory_bytes(graph.num_nodes(), tree_nodes);
     let in_memory = graph_memory_bytes(&graph, k as usize);
     println!(

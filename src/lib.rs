@@ -10,7 +10,8 @@
 //! * [`gen`] (`oms-gen`) — synthetic benchmark graph generators;
 //! * [`core`](mod@core) (`oms-core`) — the streaming partitioners: Fennel, LDG,
 //!   Hashing, and the paper's online recursive multi-section (OMS / nh-OMS),
-//!   including the shared-memory parallel drivers and restreaming variants;
+//!   including the shared-memory parallel drivers and restreaming variants,
+//!   plus the unified object-safe [`Partitioner`](prelude::Partitioner) API;
 //! * [`mapping`] (`oms-mapping`) — hierarchical topologies, the mapping
 //!   objective `J(C, D, Π)`, greedy block→PE construction and local search;
 //! * [`multilevel`] (`oms-multilevel`) — the in-memory multilevel baseline;
@@ -18,6 +19,9 @@
 //!   profiles, memory accounting and reporting.
 //!
 //! ## Quickstart
+//!
+//! Any algorithm in the workspace can be driven from one [`JobSpec`]
+//! (`prelude::JobSpec`) string through the shared dispatch registry:
 //!
 //! ```
 //! use oms::prelude::*;
@@ -29,17 +33,26 @@
 //!     (0, 4),
 //! ]).unwrap();
 //!
-//! // Stream it onto a 2-processors × 2-cores machine in a single pass.
-//! let hierarchy = HierarchySpec::parse("2:2").unwrap();
-//! let topology = Topology::parse("2:2", "1:10").unwrap();
-//! let oms = OnlineMultiSection::with_hierarchy(hierarchy, OmsConfig::default());
-//! let partition = oms.partition_graph(&graph).unwrap();
+//! // Stream it onto a 2-processors × 2-cores machine in a single pass and
+//! // evaluate both objectives (edge-cut and the mapping cost J).
+//! let job: JobSpec = "oms:2:2@dist=1:10".parse().unwrap();
+//! let report = job.build().unwrap()
+//!     .run(&mut InMemoryStream::new(&graph)).unwrap();
 //!
-//! assert_eq!(partition.num_blocks(), 4);
-//! let j = mapping_cost(&graph, partition.assignments(), &topology);
-//! let cut = edge_cut(&graph, partition.assignments());
-//! assert!(j >= cut); // every cut edge costs at least distance 1
+//! assert_eq!(report.partition.num_blocks(), 4);
+//! assert_eq!(report.partition.assignments().len(), 8);
+//! assert!(report.mapping_cost.unwrap() >= report.edge_cut);
+//!
+//! // The in-memory baselines plug into the same registry:
+//! register_multilevel_algorithms();
+//! let baseline = JobSpec::parse("multilevel:4").unwrap().build().unwrap()
+//!     .run(&mut InMemoryStream::new(&graph)).unwrap();
+//! assert_eq!(baseline.partition.num_nodes(), 8);
 //! ```
+//!
+//! The classic concrete-type APIs ([`OnlineMultiSection`]
+//! (`prelude::OnlineMultiSection`), [`Fennel`](prelude::Fennel), …) remain
+//! available for callers that want compile-time dispatch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,8 +67,10 @@ pub use oms_multilevel as multilevel;
 /// The most common imports in one place.
 pub mod prelude {
     pub use oms_core::{
-        AlphaMode, BlockId, DistanceSpec, Fennel, Hashing, HierarchySpec, Ldg, OmsConfig,
-        OnePassConfig, OnlineMultiSection, Partition, ScorerKind, StreamingPartitioner,
+        find_algorithm, register_algorithm, registered_algorithms, AlgorithmInfo, AlphaMode,
+        BlockId, DistanceSpec, Fennel, Hashing, HierarchySpec, JobShape, JobSpec, Ldg, OmsConfig,
+        OnePassConfig, OnlineMultiSection, Partition, PartitionReport, Partitioner, ScorerKind,
+        StreamingPartitioner,
     };
     pub use oms_gen::{
         barabasi_albert, delaunay_graph, erdos_renyi_gnm, grid_2d, planted_partition,
@@ -64,5 +79,8 @@ pub mod prelude {
     pub use oms_graph::{CsrGraph, GraphBuilder, InMemoryStream, NodeOrdering, NodeStream};
     pub use oms_mapping::{mapping_cost, offline_block_mapping, remap_partition, Topology};
     pub use oms_metrics::{edge_cut, geometric_mean, improvement_percent};
-    pub use oms_multilevel::{MultilevelConfig, MultilevelPartitioner, RecursiveMultisection};
+    pub use oms_multilevel::{
+        register_algorithms as register_multilevel_algorithms, MultilevelConfig,
+        MultilevelPartitioner, RecursiveMultisection,
+    };
 }

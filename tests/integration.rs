@@ -38,13 +38,19 @@ fn quality_ordering_matches_the_paper() {
 
     // Edge-cut ordering (Fig. 2b).
     let cut = |p: &Partition| edge_cut(&graph, p.assignments());
-    assert!(cut(&multilevel) <= cut(&fennel), "multilevel must beat fennel");
+    assert!(
+        cut(&multilevel) <= cut(&fennel),
+        "multilevel must beat fennel"
+    );
     assert!(cut(&fennel) < cut(&hashing), "fennel must beat hashing");
     assert!(cut(&nh_oms) < cut(&hashing), "nh-oms must beat hashing");
 
     // Mapping-cost ordering (Fig. 2a).
     let j = |p: &Partition| mapping_cost(&graph, p.assignments(), &topology);
-    assert!(j(&offline) <= j(&oms), "offline mapping must beat streaming OMS");
+    assert!(
+        j(&offline) <= j(&oms),
+        "offline mapping must beat streaming OMS"
+    );
     assert!(j(&oms) < j(&hashing), "OMS must beat hashing");
 
     // Everything streaming stays balanced at the paper's 3 %.
@@ -135,7 +141,11 @@ fn parallel_oms_quality_close_to_sequential() {
     let parallel = oms.partition_graph_parallel(&graph, 4).unwrap();
 
     assert_eq!(parallel.num_nodes(), graph.num_nodes());
-    assert!(parallel.imbalance() < 0.2, "imbalance {}", parallel.imbalance());
+    assert!(
+        parallel.imbalance() < 0.2,
+        "imbalance {}",
+        parallel.imbalance()
+    );
     let seq_cut = edge_cut(&graph, sequential.assignments()) as f64;
     let par_cut = edge_cut(&graph, parallel.assignments()) as f64;
     assert!(
@@ -158,7 +168,10 @@ fn offline_remapping_improves_fennel() {
     let before = mapping_cost(&graph, fennel.assignments(), &topology);
     let remapped = remap_partition(&fennel, &offline_block_mapping(&graph, &fennel, &topology));
     let after = mapping_cost(&graph, &remapped, &topology);
-    assert!(after <= before, "remapping {after} must not exceed {before}");
+    assert!(
+        after <= before,
+        "remapping {after} must not exceed {before}"
+    );
 }
 
 /// The whole synthetic corpus can be generated, streamed and partitioned —
@@ -173,6 +186,100 @@ fn corpus_smoke_test() {
             .unwrap();
         assert_eq!(p.num_nodes(), graph.num_nodes(), "{name}");
         assert!(p.is_balanced(0.031), "{name}: imbalance {}", p.imbalance());
+    }
+}
+
+/// Every algorithm in the shared dispatch registry — streaming baselines,
+/// OMS/nh-OMS, and the in-memory baselines contributed by `oms-multilevel`
+/// — builds from a single `JobSpec` string and produces a complete, valid,
+/// balanced partition on the quickstart community graph.
+#[test]
+fn every_registered_algorithm_partitions_the_quickstart_graph() {
+    register_multilevel_algorithms();
+    let graph = planted_partition(600, 8, 0.1, 0.005, 42);
+
+    let registered: Vec<String> = registered_algorithms()
+        .iter()
+        .map(|a| a.name.to_string())
+        .collect();
+    for required in [
+        "hashing",
+        "ldg",
+        "fennel",
+        "oms",
+        "nh-oms",
+        "multilevel",
+        "rms",
+    ] {
+        assert!(
+            registered.iter().any(|n| n == required),
+            "registry is missing '{required}' (has: {registered:?})"
+        );
+    }
+
+    for algo in registered_algorithms() {
+        // rms insists on a hierarchy; give every hierarchy-aware algorithm
+        // one and the rest a flat k = 8.
+        let spec = if algo.supports_hierarchy {
+            format!("{}:2:2:2", algo.name)
+        } else {
+            format!("{}:8", algo.name)
+        };
+        let job = JobSpec::parse(&spec).unwrap();
+        let partitioner = job.build().unwrap_or_else(|e| panic!("{spec}: {e}"));
+        let report = partitioner
+            .run(&mut InMemoryStream::new(&graph))
+            .unwrap_or_else(|e| panic!("{spec}: {e}"));
+        assert_eq!(report.partition.num_nodes(), 600, "{spec}");
+        assert_eq!(report.num_blocks(), 8, "{spec}");
+        assert!(report.partition.validate(graph.node_weights()), "{spec}");
+        // Hashing ignores the balance constraint but must stay statistically
+        // balanced; everything else respects the paper's 3 %.
+        if algo.name == "hashing" {
+            assert!(
+                report.imbalance < 0.5,
+                "{spec}: imbalance {}",
+                report.imbalance
+            );
+        } else {
+            assert!(
+                report.is_balanced(0.1),
+                "{spec}: imbalance {}",
+                report.imbalance
+            );
+        }
+    }
+}
+
+/// The execution-mode modifiers — restreaming `passes=` and shared-memory
+/// `threads=` — are part of the same job string and drive the restreaming
+/// and parallel drivers through the identical `Box<dyn Partitioner>` entry
+/// point.
+#[test]
+fn jobspec_modifiers_drive_restreaming_and_parallel_variants() {
+    let graph = planted_partition(600, 8, 0.1, 0.005, 43);
+    for spec in [
+        "fennel:8@passes=3",
+        "ldg:8@passes=2",
+        "oms:8@passes=2",
+        "fennel:8@threads=4",
+        "ldg:8@threads=4",
+        "hashing:8@threads=4",
+        "oms:2:2:2@threads=4",
+    ] {
+        let report = JobSpec::parse(spec)
+            .unwrap()
+            .build()
+            .unwrap_or_else(|e| panic!("{spec}: {e}"))
+            .run(&mut InMemoryStream::new(&graph))
+            .unwrap_or_else(|e| panic!("{spec}: {e}"));
+        assert_eq!(report.partition.num_nodes(), 600, "{spec}");
+        assert!(report.partition.validate(graph.node_weights()), "{spec}");
+        assert!(
+            report.imbalance < 0.25,
+            "{spec}: imbalance {}",
+            report.imbalance
+        );
     }
 }
 

@@ -1,104 +1,134 @@
-//! Property-based tests (proptest) on the core invariants of the framework:
-//! whatever the random graph, stream order, hierarchy or `k`, the streaming
+//! Property-based tests on the core invariants of the framework: whatever
+//! the random graph, stream order, hierarchy or `k`, the streaming
 //! partitioners must produce complete, in-range, balance-respecting
 //! assignments, the multi-section tree must stay structurally sound, and the
 //! quality/mapping metrics must obey their algebraic identities.
+//!
+//! The build environment has no crates.io access, so instead of proptest
+//! these tests use a small self-contained harness: [`run_cases`] drives a
+//! deterministic ChaCha8 generator through a fixed number of random cases
+//! and reports the case seed on failure so a run can be reproduced exactly.
 
 use oms::prelude::*;
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
-/// Strategy: a random undirected graph with `n ∈ [nmin, nmax]` nodes and a
-/// random edge list (self loops and duplicates are removed by the builder).
-fn arbitrary_graph(nmin: usize, nmax: usize) -> impl Strategy<Value = CsrGraph> {
-    (nmin..=nmax).prop_flat_map(|n| {
-        let max_edges = (n * 3).max(1);
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_edges)
-            .prop_map(move |edges| CsrGraph::from_edges(n, &edges).unwrap())
-    })
+/// Deterministic random-case driver: runs `cases` cases, each with a fresh
+/// seeded generator, and labels panics with the failing case number.
+fn run_cases(cases: u64, test: impl Fn(&mut ChaCha8Rng)) {
+    for case in 0..cases {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xC0FFEE ^ case);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(&mut rng)));
+        if let Err(panic) = outcome {
+            eprintln!(
+                "property failed on case {case} (seed {:#x})",
+                0xC0FFEEu64 ^ case
+            );
+            std::panic::resume_unwind(panic);
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// A random undirected graph with `n ∈ [nmin, nmax]` nodes and a random edge
+/// list (self loops and duplicates are removed by the builder).
+fn arbitrary_graph(rng: &mut ChaCha8Rng, nmin: usize, nmax: usize) -> CsrGraph {
+    let n = rng.gen_range(nmin..nmax + 1);
+    let max_edges = (n * 3).max(1);
+    let num_edges = rng.gen_range(0..max_edges);
+    let edges: Vec<(u32, u32)> = (0..num_edges)
+        .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+        .collect();
+    CsrGraph::from_edges(n, &edges).unwrap()
+}
 
-    /// Every streaming partitioner assigns every node to a block < k.
-    #[test]
-    fn streaming_partitioners_assign_every_node(
-        graph in arbitrary_graph(1, 120),
-        k in 1u32..20,
-        seed in 0u64..1000,
-    ) {
+/// Every streaming partitioner assigns every node to a block < k.
+#[test]
+fn streaming_partitioners_assign_every_node() {
+    run_cases(48, |rng| {
+        let graph = arbitrary_graph(rng, 1, 120);
+        let k = rng.gen_range(1u32..20);
+        let seed = rng.gen_range(0u64..1000);
         let cfg = OnePassConfig::default().seed(seed);
         for partition in [
             Hashing::new(k, cfg).partition_graph(&graph).unwrap(),
             Ldg::new(k, cfg).partition_graph(&graph).unwrap(),
             Fennel::new(k, cfg).partition_graph(&graph).unwrap(),
         ] {
-            prop_assert_eq!(partition.num_nodes(), graph.num_nodes());
-            prop_assert!(partition.assignments().iter().all(|&b| b < k));
-            prop_assert!(partition.validate(graph.node_weights()));
+            assert_eq!(partition.num_nodes(), graph.num_nodes());
+            assert!(partition.assignments().iter().all(|&b| b < k));
+            assert!(partition.validate(graph.node_weights()));
         }
-    }
+    });
+}
 
-    /// Fennel and LDG respect the paper's balance constraint
-    /// `L_max = ⌈(1+ε)·c(V)/k⌉` on unit-weight graphs whenever a feasible
-    /// assignment exists (k ≤ n guarantees it).
-    #[test]
-    fn one_pass_baselines_respect_balance(
-        graph in arbitrary_graph(20, 150),
-        k in 2u32..10,
-    ) {
+/// Fennel and LDG respect the paper's balance constraint
+/// `L_max = ⌈(1+ε)·c(V)/k⌉` on unit-weight graphs whenever a feasible
+/// assignment exists (k ≤ n guarantees it).
+#[test]
+fn one_pass_baselines_respect_balance() {
+    run_cases(48, |rng| {
+        let graph = arbitrary_graph(rng, 20, 150);
+        let k = rng.gen_range(2u32..10);
         let cfg = OnePassConfig::default();
         let capacity = Partition::capacity(graph.total_node_weight(), k, 0.03);
         for partition in [
             Ldg::new(k, cfg).partition_graph(&graph).unwrap(),
             Fennel::new(k, cfg).partition_graph(&graph).unwrap(),
         ] {
-            prop_assert!(partition.max_block_weight() <= capacity);
+            assert!(partition.max_block_weight() <= capacity);
         }
-    }
+    });
+}
 
-    /// nh-OMS produces complete, balanced partitions for arbitrary k and
-    /// bases, including k values that are not powers of the base.
-    #[test]
-    fn nh_oms_valid_for_arbitrary_k_and_base(
-        graph in arbitrary_graph(30, 150),
-        k in 1u32..40,
-        base in 2u32..6,
-    ) {
+/// nh-OMS produces complete, balanced partitions for arbitrary k and bases,
+/// including k values that are not powers of the base.
+#[test]
+fn nh_oms_valid_for_arbitrary_k_and_base() {
+    run_cases(48, |rng| {
+        let graph = arbitrary_graph(rng, 30, 150);
+        let k = rng.gen_range(1u32..40);
+        let base = rng.gen_range(2u32..6);
         let oms = OnlineMultiSection::flat(k, OmsConfig::default().base_b(base)).unwrap();
         let partition = oms.partition_graph(&graph).unwrap();
-        prop_assert_eq!(partition.num_blocks(), k);
-        prop_assert_eq!(partition.num_nodes(), graph.num_nodes());
-        prop_assert!(partition.assignments().iter().all(|&b| b < k));
+        assert_eq!(partition.num_blocks(), k);
+        assert_eq!(partition.num_nodes(), graph.num_nodes());
+        assert!(partition.assignments().iter().all(|&b| b < k));
         let capacity = Partition::capacity(graph.total_node_weight(), k, 0.03);
-        prop_assert!(partition.max_block_weight() <= capacity);
-    }
+        assert!(partition.max_block_weight() <= capacity);
+    });
+}
 
-    /// OMS along a hierarchy assigns within range and matches the edge-cut
-    /// computed independently by the metrics crate.
-    #[test]
-    fn oms_hierarchy_consistent_with_metrics(
-        graph in arbitrary_graph(20, 120),
-        factors in proptest::collection::vec(2u32..4, 1..4),
-        seed in 0u64..100,
-    ) {
+fn arbitrary_factors(rng: &mut ChaCha8Rng, len_min: usize, len_max: usize, max: u32) -> Vec<u32> {
+    let len = rng.gen_range(len_min..len_max);
+    (0..len).map(|_| rng.gen_range(2u32..max)).collect()
+}
+
+/// OMS along a hierarchy assigns within range and matches the edge-cut
+/// computed independently by the metrics crate.
+#[test]
+fn oms_hierarchy_consistent_with_metrics() {
+    run_cases(48, |rng| {
+        let graph = arbitrary_graph(rng, 20, 120);
+        let factors = arbitrary_factors(rng, 1, 4, 4);
+        let seed = rng.gen_range(0u64..100);
         let hierarchy = HierarchySpec::new(factors).unwrap();
         let k = hierarchy.total_blocks();
         let oms = OnlineMultiSection::with_hierarchy(hierarchy, OmsConfig::default().seed(seed));
         let partition = oms.partition_graph(&graph).unwrap();
-        prop_assert_eq!(partition.num_blocks(), k);
-        prop_assert_eq!(
+        assert_eq!(partition.num_blocks(), k);
+        assert_eq!(
             partition.edge_cut(&graph),
             edge_cut(&graph, partition.assignments())
         );
-    }
+    });
+}
 
-    /// The stream order changes the result but never its validity.
-    #[test]
-    fn stream_order_does_not_break_validity(
-        graph in arbitrary_graph(10, 100),
-        seed in 0u64..500,
-    ) {
+/// The stream order changes the result but never its validity.
+#[test]
+fn stream_order_does_not_break_validity() {
+    run_cases(32, |rng| {
+        let graph = arbitrary_graph(rng, 10, 100);
+        let seed = rng.gen_range(0u64..500);
         let oms = OnlineMultiSection::flat(8, OmsConfig::default()).unwrap();
         for ordering in [
             NodeOrdering::Natural,
@@ -108,22 +138,24 @@ proptest! {
         ] {
             let mut stream = InMemoryStream::with_ordering(&graph, ordering);
             let partition = oms.partition_stream(&mut stream).unwrap();
-            prop_assert_eq!(partition.num_nodes(), graph.num_nodes());
-            prop_assert!(partition.validate(graph.node_weights()));
+            assert_eq!(partition.num_nodes(), graph.num_nodes());
+            assert!(partition.validate(graph.node_weights()));
         }
-    }
+    });
+}
 
-    /// Mapping cost is bounded below by the edge-cut (every cut edge pays at
-    /// least the smallest distance d1 ≥ 1) and above by cut · d_max.
-    #[test]
-    fn mapping_cost_bounds(
-        graph in arbitrary_graph(10, 100),
-        factors in proptest::collection::vec(2u32..4, 2..4),
-    ) {
+/// Mapping cost is bounded below by the edge-cut (every cut edge pays at
+/// least the smallest distance d1 ≥ 1) and above by cut · d_max.
+#[test]
+fn mapping_cost_bounds() {
+    run_cases(48, |rng| {
+        let graph = arbitrary_graph(rng, 10, 100);
+        let factors = arbitrary_factors(rng, 2, 4, 4);
         let hierarchy = HierarchySpec::new(factors.clone()).unwrap();
         let spec = hierarchy.to_string_spec();
-        let distances: Vec<String> =
-            (0..factors.len()).map(|i| (10u64.pow(i as u32)).to_string()).collect();
+        let distances: Vec<String> = (0..factors.len())
+            .map(|i| (10u64.pow(i as u32)).to_string())
+            .collect();
         let topology = Topology::parse(&spec, &distances.join(":")).unwrap();
         let oms = OnlineMultiSection::with_hierarchy(hierarchy, OmsConfig::default());
         let partition = oms.partition_graph(&graph).unwrap();
@@ -131,82 +163,148 @@ proptest! {
         let cut = edge_cut(&graph, partition.assignments());
         let j = mapping_cost(&graph, partition.assignments(), &topology);
         let d_max = 10u64.pow((factors.len() - 1) as u32);
-        prop_assert!(j >= cut);
-        prop_assert!(j <= cut * d_max);
-    }
+        assert!(j >= cut);
+        assert!(j <= cut * d_max);
+    });
+}
 
-    /// The multi-section tree keeps Lemma 1's O(k) bound and its coverage
-    /// counts always sum up along the tree, for arbitrary k and base.
-    #[test]
-    fn multisection_tree_invariants(k in 1u32..200, base in 2u32..6) {
+/// The multi-section tree keeps Lemma 1's O(k) bound and its coverage counts
+/// always sum up along the tree, for arbitrary k and base.
+#[test]
+fn multisection_tree_invariants() {
+    run_cases(64, |rng| {
+        let k = rng.gen_range(1u32..200);
+        let base = rng.gen_range(2u32..6);
         let tree = oms::core::MultisectionTree::flat(k, base);
-        prop_assert!(tree.num_nodes() <= 2 * k as usize + 1);
-        prop_assert_eq!(tree.covered(tree.root()), k);
+        assert!(tree.num_nodes() <= 2 * k as usize + 1);
+        assert_eq!(tree.covered(tree.root()), k);
         for node in 0..tree.num_nodes() as u32 {
             let children = tree.children(node);
             if children.is_empty() {
-                prop_assert!(tree.leaf_block(node).is_some() || k == 1);
+                assert!(tree.leaf_block(node).is_some() || k == 1);
             } else {
                 let sum: u32 = children.iter().map(|&c| tree.covered(c)).sum();
-                prop_assert_eq!(sum, tree.covered(node));
-                prop_assert!(children.len() <= base as usize);
+                assert_eq!(sum, tree.covered(node));
+                assert!(children.len() <= base as usize);
             }
         }
         // Every block has a unique leaf.
         let mut leaves: Vec<u32> = (0..k).map(|b| tree.leaf_of_block(b)).collect();
         leaves.sort_unstable();
         leaves.dedup();
-        prop_assert_eq!(leaves.len(), k as usize);
-    }
+        assert_eq!(leaves.len(), k as usize);
+    });
+}
 
-    /// PE coordinates and shared levels of the hierarchy are consistent:
-    /// the shared level is the first level at which the coordinates agree
-    /// when read from the top.
-    #[test]
-    fn hierarchy_shared_level_consistent_with_coordinates(
-        factors in proptest::collection::vec(2u32..5, 1..4),
-        a in 0u32..500,
-        b in 0u32..500,
-    ) {
+/// PE coordinates and shared levels of the hierarchy are consistent: the
+/// shared level is the first level at which the coordinates agree when read
+/// from the top.
+#[test]
+fn hierarchy_shared_level_consistent_with_coordinates() {
+    run_cases(64, |rng| {
+        let factors = arbitrary_factors(rng, 1, 4, 5);
         let hierarchy = HierarchySpec::new(factors).unwrap();
         let k = hierarchy.total_blocks();
-        let a = a % k;
-        let b = b % k;
+        let a = rng.gen_range(0u32..500) % k;
+        let b = rng.gen_range(0u32..500) % k;
         let level = hierarchy.shared_level(a, b);
         if a == b {
-            prop_assert_eq!(level, 0);
+            assert_eq!(level, 0);
         } else {
             let ca = hierarchy.coordinates(a);
             let cb = hierarchy.coordinates(b);
             // They must differ somewhere at or below `level` and agree above.
-            prop_assert!(ca[..level] != cb[..level]);
-            prop_assert_eq!(&ca[level..], &cb[level..]);
+            assert!(ca[..level] != cb[..level]);
+            assert_eq!(&ca[level..], &cb[level..]);
         }
-    }
+    });
+}
 
-    /// Restreaming never increases the edge-cut relative to a single pass.
-    #[test]
-    fn restreaming_monotone(graph in arbitrary_graph(30, 120), k in 2u32..10) {
+/// Restreaming never increases the edge-cut relative to a single pass.
+#[test]
+fn restreaming_monotone() {
+    run_cases(24, |rng| {
+        let graph = arbitrary_graph(rng, 30, 120);
+        let k = rng.gen_range(2u32..10);
         let cfg = OnePassConfig::default();
         let single = Fennel::new(k, cfg).partition_graph(&graph).unwrap();
         let re = oms::core::restream::ReFennel::new(k, cfg, 2)
             .partition_graph(&graph)
             .unwrap();
-        prop_assert!(
-            edge_cut(&graph, re.assignments()) <= edge_cut(&graph, single.assignments())
-        );
-    }
+        assert!(edge_cut(&graph, re.assignments()) <= edge_cut(&graph, single.assignments()));
+    });
+}
 
-    /// The multilevel baseline produces valid partitions on arbitrary graphs.
-    #[test]
-    fn multilevel_valid_on_arbitrary_graphs(
-        graph in arbitrary_graph(40, 150),
-        k in 2u32..8,
-    ) {
+/// A random, canonical-form [`JobSpec`]: hierarchies always have at least
+/// two levels (single-level shapes are written as flat `k`).
+fn arbitrary_jobspec(rng: &mut ChaCha8Rng) -> JobSpec {
+    let algorithms = [
+        "hashing",
+        "ldg",
+        "fennel",
+        "oms",
+        "nh-oms",
+        "multilevel",
+        "rms",
+    ];
+    let algorithm = algorithms[rng.gen_range(0..algorithms.len())];
+    let mut spec = if rng.gen_range(0..2usize) == 0 {
+        JobSpec::flat(algorithm, rng.gen_range(1u32..512))
+    } else {
+        let factors = arbitrary_factors(rng, 2, 5, 9);
+        JobSpec::hierarchical(algorithm, HierarchySpec::new(factors).unwrap())
+    };
+    if rng.gen_range(0..2usize) == 0 {
+        spec = spec.epsilon([0.0, 0.01, 0.05, 0.1, 0.5][rng.gen_range(0..5usize)]);
+    }
+    if rng.gen_range(0..2usize) == 0 {
+        spec = spec.seed(rng.gen_range(1u64..1_000_000));
+    }
+    if rng.gen_range(0..3usize) == 0 {
+        spec = spec.threads(rng.gen_range(2usize..64));
+    }
+    if rng.gen_range(0..3usize) == 0 {
+        spec = spec.passes(rng.gen_range(2usize..8));
+    }
+    if rng.gen_range(0..3usize) == 0 {
+        spec = spec.base_b(rng.gen_range(2u32..8));
+    }
+    if rng.gen_range(0..3usize) == 0 {
+        spec = spec.hashing_bottom_layers(rng.gen_range(1usize..4));
+    }
+    if rng.gen_range(0..3usize) == 0 {
+        let levels = rng.gen_range(1usize..5);
+        let distances: Vec<u64> = (0..levels).map(|_| rng.gen_range(1u64..1000)).collect();
+        spec = spec.distances(DistanceSpec::new(distances).unwrap());
+    }
+    spec
+}
+
+/// `JobSpec` round-trips through its canonical string form: whatever the
+/// algorithm, shape and option combination, `parse(to_string(spec)) == spec`.
+#[test]
+fn jobspec_display_parse_round_trip() {
+    run_cases(256, |rng| {
+        let spec = arbitrary_jobspec(rng);
+        let text = spec.to_string();
+        let reparsed = JobSpec::parse(&text)
+            .unwrap_or_else(|e| panic!("canonical form '{text}' must parse: {e}"));
+        assert_eq!(reparsed, spec, "round trip through '{text}'");
+        // And the canonical form is a fixed point of parse ∘ display.
+        assert_eq!(reparsed.to_string(), text);
+    });
+}
+
+/// The multilevel baseline produces valid partitions on arbitrary graphs.
+#[test]
+fn multilevel_valid_on_arbitrary_graphs() {
+    run_cases(24, |rng| {
+        let graph = arbitrary_graph(rng, 40, 150);
+        let k = rng.gen_range(2u32..8);
         let p = MultilevelPartitioner::new(k, MultilevelConfig::default())
             .partition(&graph)
             .unwrap();
-        prop_assert_eq!(p.num_nodes(), graph.num_nodes());
-        prop_assert!(p.validate(graph.node_weights()));
-    }
+        assert_eq!(p.num_nodes(), graph.num_nodes());
+        assert!(p.validate(graph.node_weights()));
+    });
 }
