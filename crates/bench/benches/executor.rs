@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the batch executor hot path: batched vs per-node
+//! scoring on an in-memory stream, and single- vs double-buffered disk
+//! ingest. The full-scale (million-node) comparison lives in the `executor`
+//! bench bin, which also records a `BENCH_executor.json` entry.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oms_core::{Fennel, OnePassConfig, StreamingPartitioner};
+use oms_gen::random_geometric_graph;
+use oms_graph::io::{write_stream_file, DiskStream};
+use oms_graph::{InMemoryStream, PerNodeBatches};
+use std::time::Duration;
+
+fn bench_executor(c: &mut Criterion) {
+    let graph = random_geometric_graph(50_000, 13);
+    let k = 64u32;
+    let fennel = Fennel::new(k, OnePassConfig::default());
+
+    let mut group = c.benchmark_group("executor");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+
+    group.bench_with_input(BenchmarkId::new("memory", "batched"), &k, |b, _| {
+        b.iter(|| {
+            fennel
+                .partition_stream(&mut InMemoryStream::new(&graph))
+                .unwrap()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("memory", "per-node"), &k, |b, _| {
+        b.iter(|| {
+            fennel
+                .partition_stream(&mut PerNodeBatches(InMemoryStream::new(&graph)))
+                .unwrap()
+        })
+    });
+
+    let path = std::env::temp_dir().join("oms-bench-executor.oms");
+    write_stream_file(&graph, &path).unwrap();
+    group.bench_with_input(BenchmarkId::new("disk", "single-buffered"), &k, |b, _| {
+        b.iter(|| {
+            let mut stream = DiskStream::open(&path).unwrap().double_buffered(false);
+            fennel.partition_stream(&mut stream).unwrap()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("disk", "double-buffered"), &k, |b, _| {
+        b.iter(|| {
+            let mut stream = DiskStream::open(&path).unwrap();
+            fennel.partition_stream(&mut stream).unwrap()
+        })
+    });
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

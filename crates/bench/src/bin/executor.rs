@@ -1,0 +1,189 @@
+//! Full-scale benchmark of the batched streaming pipeline.
+//!
+//! Generates a million-node RMAT graph, converts it to the binary
+//! vertex-stream format and measures the two headline effects of the batch
+//! executor rework:
+//!
+//! * **batched vs per-node drive loop** on an in-memory stream (executor
+//!   overhead), and
+//! * **double- vs single-buffered disk ingest** with a cold page cache (the
+//!   reader thread decodes batch `B+1` — and the kernel prefetches behind
+//!   it — while batch `B` is scored).
+//!
+//! Disk runs are measured **cold**: every measurement reads a freshly
+//! written copy of the stream file after flushing the guest page cache
+//! (`/proc/sys/vm/drop_caches`, when writable). A fresh copy per run
+//! matters because re-reading the same blocks can be served by a
+//! hypervisor-level cache the guest cannot evict — and the streaming regime
+//! of interest is a graph that does *not* fit in RAM; a warm cache would
+//! measure `memcpy` instead of ingest. Results are printed as a table and
+//! recorded in `BENCH_executor.json`, so the performance trajectory of the
+//! pipeline is tracked in-repo.
+//!
+//! ```text
+//! cargo run --release -p oms-bench --bin executor -- [--quick] [--reps R] [--json FILE]
+//! ```
+
+use oms_bench::BenchArgs;
+use oms_core::{Fennel, OnePassConfig, StreamingPartitioner};
+use oms_graph::io::{write_stream_file, DiskStream};
+use oms_graph::{CsrGraph, InMemoryStream, PerNodeBatches};
+use std::io::Write;
+use std::time::Instant;
+
+const K: u32 = 64;
+
+/// Best-of-`reps` wall time of `f`, which returns the edge-cut for a
+/// cross-configuration sanity check.
+fn measure<F: FnMut() -> u64>(reps: usize, mut f: F) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut cut = 0;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        cut = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, cut)
+}
+
+/// Tries to flush and drop the page cache; returns whether it worked.
+fn drop_page_cache() -> bool {
+    let _ = std::process::Command::new("sync").status();
+    std::fs::write("/proc/sys/vm/drop_caches", "3").is_ok()
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let quick = args.quick;
+    let nodes = if quick { 1 << 16 } else { 1 << 20 };
+    let scale = if quick { 16 } else { 20 };
+    let reps = args.reps.max(1);
+
+    let t0 = Instant::now();
+    let graph: CsrGraph = oms_gen::rmat_graph(scale, nodes * 8, oms_gen::RmatParams::GRAPH500, 7);
+    let n = graph.num_nodes();
+    println!(
+        "rmat scale {scale}: n = {n}, m = {}, k = {K}, reps = {reps} (generated in {:.1}s)\n",
+        graph.num_edges(),
+        t0.elapsed().as_secs_f64()
+    );
+    let fennel = Fennel::new(K, OnePassConfig::default());
+
+    let (per_node_s, cut_a) = measure(reps, || {
+        fennel
+            .partition_stream(&mut PerNodeBatches(InMemoryStream::new(&graph)))
+            .unwrap()
+            .edge_cut(&graph)
+    });
+    let (batched_s, cut_b) = measure(reps, || {
+        fennel
+            .partition_stream(&mut InMemoryStream::new(&graph))
+            .unwrap()
+            .edge_cut(&graph)
+    });
+    assert_eq!(cut_a, cut_b, "batched scoring must not change the result");
+
+    let cold = drop_page_cache();
+    // One freshly written file per measurement, written and evicted outside
+    // the timed region; the two ingest modes alternate within each rep so
+    // both see the same filesystem/cache history (rereading blocks — or
+    // freshly reallocated copies of them — can be served by a host-level
+    // cache the guest cannot drop, so keeping the access pattern symmetric
+    // matters more than any single eviction).
+    let dir = std::env::temp_dir();
+    let mut file_mib = 0.0;
+    let mut disk_single_s = f64::INFINITY;
+    let mut disk_double_s = f64::INFINITY;
+    let mut disk_cut = 0u64;
+    for i in 0..reps {
+        for double_buffered in [false, true] {
+            let path = dir.join(format!("oms-bench-executor-{i}-{double_buffered}.oms"));
+            write_stream_file(&graph, &path).expect("can write the stream file");
+            file_mib =
+                std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0) as f64 / (1 << 20) as f64;
+            if cold {
+                drop_page_cache();
+            }
+            let start = Instant::now();
+            let mut stream = DiskStream::open(&path)
+                .unwrap()
+                .double_buffered(double_buffered);
+            let cut = fennel
+                .partition_stream(&mut stream)
+                .unwrap()
+                .edge_cut(&graph);
+            let seconds = start.elapsed().as_secs_f64();
+            std::fs::remove_file(&path).ok();
+            assert!(
+                disk_cut == 0 || disk_cut == cut,
+                "ingest mode must not change the result"
+            );
+            disk_cut = cut;
+            if double_buffered {
+                disk_double_s = disk_double_s.min(seconds);
+            } else {
+                disk_single_s = disk_single_s.min(seconds);
+            }
+        }
+    }
+    assert_eq!(disk_cut, cut_b, "disk and memory runs must agree");
+
+    let speedup_batch = per_node_s / batched_s;
+    let speedup_disk = disk_single_s / disk_double_s;
+    let cache = if cold { "cold" } else { "warm" };
+    println!("{:<42} {:>10} {:>9}", "configuration", "seconds", "speedup");
+    println!(
+        "{:<42} {:>10.3} {:>9}",
+        "memory / per-node drive loop", per_node_s, "1.00x"
+    );
+    println!(
+        "{:<42} {:>10.3} {:>8.2}x",
+        "memory / batched executor", batched_s, speedup_batch
+    );
+    println!(
+        "{:<42} {:>10.3} {:>9}",
+        format!("disk {file_mib:.0} MiB ({cache}) / single-buffered"),
+        disk_single_s,
+        "1.00x"
+    );
+    println!(
+        "{:<42} {:>10.3} {:>8.2}x",
+        format!("disk {file_mib:.0} MiB ({cache}) / double-buffered"),
+        disk_double_s,
+        speedup_disk
+    );
+    println!("edge-cut (all configurations): {cut_b}");
+    let cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let note = if !cold {
+        "page cache could not be dropped; disk numbers measure memcpy, not ingest"
+    } else if cpus == 1 {
+        "single CPU: decode cannot overlap scoring, and virtualised storage may serve reads \
+         from a host cache the guest cannot evict — with no I/O latency to hide, the \
+         double-buffer reader thread measures as pure overhead; on multicore or real disks \
+         the same binary shows the overlap win"
+    } else {
+        ""
+    };
+    if !note.is_empty() {
+        println!("note: {note}");
+    }
+
+    let out = args
+        .rest
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.rest.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_executor.json".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"executor\",\n  \"graph\": \"rmat_scale{scale}\",\n  \"nodes\": {n},\n  \"edges\": {m},\n  \"k\": {K},\n  \"reps\": {reps},\n  \"cpus\": {cpus},\n  \"cold_page_cache\": {cold},\n  \"stream_file_mib\": {file_mib:.1},\n  \"memory_per_node_s\": {per_node_s:.4},\n  \"memory_batched_s\": {batched_s:.4},\n  \"batched_speedup\": {speedup_batch:.3},\n  \"disk_single_buffered_s\": {disk_single_s:.4},\n  \"disk_double_buffered_s\": {disk_double_s:.4},\n  \"double_buffer_speedup\": {speedup_disk:.3},\n  \"edge_cut\": {cut},\n  \"note\": \"{note}\"\n}}\n",
+        m = graph.num_edges(),
+        cut = cut_b,
+        note = note.replace('\n', " "),
+    );
+    let mut file = std::fs::File::create(&out).expect("can create the JSON report");
+    file.write_all(json.as_bytes())
+        .expect("can write the JSON report");
+    println!("\nrecorded {out}");
+}

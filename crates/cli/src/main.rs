@@ -1,8 +1,9 @@
 //! `oms` — command-line streaming graph partitioning and process mapping.
 //!
 //! ```text
-//! oms partition <graph.metis|graph.oms> --k 256 [--algo oms|fennel|ldg|hashing|multilevel|...]
-//!               [--epsilon 0.03] [--threads 4] [--passes 1] [--seed 0] [--output partition.txt]
+//! oms partition <graph.metis|graph.oms> --k 256 [--algo oms|fennel|ldg|hashing|buffered|multilevel|...]
+//!               [--epsilon 0.03] [--threads 4] [--passes 1] [--seed 0] [--buffer 4096]
+//!               [--output partition.txt]
 //! oms partition <graph> --job "oms:4:16:8@eps=0.03,threads=8" [--output FILE]
 //! oms map       <graph.metis|graph.oms> --hierarchy 4:16:8 --distances 1:10:100
 //!               [--algo oms|fennel|hashing|rms] [--threads T] [--output mapping.txt]
@@ -46,7 +47,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  oms partition  <graph> --k <k> [--algo NAME] [--epsilon 0.03] [--threads T] [--passes P] [--seed S] [--output FILE]
+  oms partition  <graph> --k <k> [--algo NAME] [--epsilon 0.03] [--threads T] [--passes P] [--seed S] [--buffer B] [--output FILE]
   oms partition  <graph> --job <spec>  (e.g. \"oms:4:16:8@eps=0.03,threads=8\") [--output FILE]
   oms map        <graph> --hierarchy a1:a2:... [--distances d1:d2:...] [--algo NAME] [--threads T] [--seed S] [--output FILE]
   oms algorithms
@@ -203,6 +204,7 @@ fn job_from_options(
             "threads",
             "passes",
             "seed",
+            "buffer",
             "hierarchy",
             "distances",
         ] {
@@ -232,6 +234,9 @@ fn job_from_options(
     if let Some(seed) = parse_option(options, "seed", "an integer")? {
         job = job.seed(seed);
     }
+    if let Some(buffer) = parse_option(options, "buffer", "a positive integer")? {
+        job = job.buffer(buffer);
+    }
     Ok(job)
 }
 
@@ -239,7 +244,7 @@ fn partition_command(args: &[String]) -> Result<(), Error> {
     let (positional, options) = split_options(
         args,
         &[
-            "k", "job", "algo", "epsilon", "threads", "passes", "seed", "output",
+            "k", "job", "algo", "epsilon", "threads", "passes", "seed", "buffer", "output",
         ],
     )?;
     let Some(path) = positional.first() else {
@@ -371,7 +376,7 @@ fn algorithms_command(args: &[String]) -> Result<(), Error> {
         };
         println!("  {:<12} {}{}", algo.name, algo.description, aliases);
     }
-    println!("\njob spec grammar: <algo>:<k | a1:a2:...>[@eps=..,seed=..,threads=..,passes=..,base=..,hybrid=..,dist=d1:d2:...]");
+    println!("\njob spec grammar: <algo>:<k | a1:a2:...>[@eps=..,seed=..,threads=..,passes=..,base=..,hybrid=..,buf=..,dist=d1:d2:...]");
     Ok(())
 }
 

@@ -175,9 +175,51 @@ fn algorithms_command_lists_the_registry() {
         "nh-oms",
         "multilevel",
         "rms",
+        "buffered",
     ] {
         assert!(stdout.contains(name), "missing '{name}' in: {stdout}");
     }
+}
+
+#[test]
+fn partition_with_buffered_algorithm_and_buffer_flag() {
+    let dir = temp_dir("buffered");
+    let graph_path = dir.join("g.metis");
+    oms()
+        .args(["generate", "rgg", "1200"])
+        .arg(&graph_path)
+        .output()
+        .unwrap();
+    let output = oms()
+        .arg("partition")
+        .arg(&graph_path)
+        .args(["--k", "8", "--algo", "buffered", "--buffer", "256"])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("buffered:8@buf=256"),
+        "the job line must carry buf=: {stdout}"
+    );
+    assert!(stdout.contains("algorithm  : buffered"), "{stdout}");
+
+    // The same job via --job round-trips through the spec string.
+    let output = oms()
+        .arg("partition")
+        .arg(&graph_path)
+        .args(["--job", "buffered:8@buf=256"])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
 }
 
 #[test]

@@ -34,6 +34,9 @@
 //!             base=<u32>          nh-OMS multi-section base    (default 4)
 //!             hybrid=<usize>      bottom tree layers solved with Hashing
 //!                                 (the hybrid mapping of §3.2, default 0)
+//!             buf=<nodes>         buffer size of the buffered streaming
+//!                                 algorithms, in nodes (0 = algorithm
+//!                                 default)
 //!             dist=d1:d2:...      PE distances; enables the mapping
 //!                                 objective J in the report
 //! ```
@@ -411,6 +414,9 @@ pub struct JobSpec {
     /// Number of bottom tree layers solved with Hashing (the hybrid mapping
     /// of §3.2); only meaningful for `oms` / `nh-oms`.
     pub hashing_bottom_layers: usize,
+    /// Buffer size (in nodes) of the buffered streaming algorithms; `0`
+    /// selects the algorithm's default.
+    pub buffer: usize,
     /// PE distances; when present, [`Partitioner::run`] also reports the
     /// mapping objective `J`. Requires a hierarchical shape.
     pub distances: Option<DistanceSpec>,
@@ -428,6 +434,7 @@ impl JobSpec {
             passes: 1,
             base_b: DEFAULT_BASE_B,
             hashing_bottom_layers: 0,
+            buffer: 0,
             distances: None,
         }
     }
@@ -479,6 +486,12 @@ impl JobSpec {
     /// hybrid mapping of §3.2).
     pub fn hashing_bottom_layers(mut self, layers: usize) -> Self {
         self.hashing_bottom_layers = layers;
+        self
+    }
+
+    /// Sets the buffer size (in nodes) of the buffered streaming algorithms.
+    pub fn buffer(mut self, nodes: usize) -> Self {
+        self.buffer = nodes;
         self
     }
 
@@ -593,6 +606,9 @@ impl fmt::Display for JobSpec {
         if self.hashing_bottom_layers != 0 {
             options.push(format!("hybrid={}", self.hashing_bottom_layers));
         }
+        if self.buffer != 0 {
+            options.push(format!("buf={}", self.buffer));
+        }
         if let Some(d) = &self.distances {
             let joined: Vec<String> = d.distances().iter().map(u64::to_string).collect();
             options.push(format!("dist={}", joined.join(":")));
@@ -685,12 +701,15 @@ impl FromStr for JobSpec {
                         spec.hashing_bottom_layers =
                             value.parse().map_err(|_| parse_err("expected an integer"))?;
                     }
+                    "buf" | "buffer" => {
+                        spec.buffer = value.parse().map_err(|_| parse_err("expected an integer"))?;
+                    }
                     "dist" | "distances" => {
                         spec.distances = Some(DistanceSpec::parse(value)?);
                     }
                     _ => {
                         return Err(PartitionError::InvalidSpec(format!(
-                            "unknown job option '{key}' (known: eps, seed, threads, passes, base, hybrid, dist)"
+                            "unknown job option '{key}' (known: eps, seed, threads, passes, base, hybrid, buf, dist)"
                         )))
                     }
                 }
@@ -966,6 +985,8 @@ mod tests {
             "nh-oms:10@seed=7,base=2",
             "oms:2:2:2@dist=1:10:100",
             "oms:4:4:4@hybrid=2",
+            "buffered:4@buf=4096",
+            "buffered:8@eps=0.05,seed=3,buf=2048",
         ] {
             let spec = JobSpec::parse(text).unwrap();
             assert_eq!(spec.to_string(), text, "canonical form");

@@ -18,13 +18,21 @@
 //!   routed down a *multi-section tree* — either the communication hierarchy
 //!   `S = a1:a2:…:aℓ` (process mapping, "OMS") or an artificial recursive
 //!   `b`-section tree for arbitrary `k` (plain partitioning, "nh-OMS").
-//! * [`parallel`] contains the shared-memory parallel drivers (§3.4):
-//!   vertex-centric chunking with atomic block-weight updates.
+//! * [`executor`] is the single drive loop behind all of them: the
+//!   [`BatchExecutor`] pulls [`NodeBatch`](oms_graph::NodeBatch)es from any
+//!   stream (overlapping disk ingest with scoring) and dispatches them
+//!   sequentially to a [`NodeSink`], in parallel over edge-mass-balanced
+//!   chunks, or batch-wise to buffered algorithms.
+//! * [`parallel`] contains the shared-memory parallel scoring kernels
+//!   (§3.4), driven through the executor's parallel dispatch with atomic
+//!   block-weight updates.
 //! * [`restream`] contains the multi-pass restreaming extensions (ReFennel /
 //!   ReLDG style), mentioned in §3.2 of the paper as an extension.
 //! * [`api`] is the unified entry point: an object-safe [`Partitioner`]
-//!   trait, the [`JobSpec`] string format + factory, and the shared dispatch
-//!   registry every frontend resolves algorithms against.
+//!   trait, the [`JobSpec`] string format + factory (including the `buf=`
+//!   key of the buffered algorithms contributed by `oms-multilevel`), and
+//!   the shared dispatch registry every frontend resolves algorithms
+//!   against.
 //!
 //! ## Quick example
 //!
@@ -65,6 +73,7 @@
 
 pub mod api;
 pub mod config;
+pub mod executor;
 pub mod hierarchy;
 pub mod mstree;
 pub mod oms;
@@ -79,6 +88,7 @@ pub use api::{
     JobShape, JobSpec, PartitionReport, Partitioner,
 };
 pub use config::{AlphaMode, OmsConfig, OnePassConfig, ScorerKind};
+pub use executor::{BatchExecutor, NodeSink};
 pub use hierarchy::{DistanceSpec, HierarchySpec};
 pub use mstree::MultisectionTree;
 pub use oms::OnlineMultiSection;

@@ -14,6 +14,7 @@
 //! cost (Theorem 3).
 
 use crate::config::{OmsConfig, ScorerKind};
+use crate::executor::{BatchExecutor, NodeSink};
 use crate::hierarchy::HierarchySpec;
 use crate::mstree::MultisectionTree;
 use crate::onepass::StreamingPartitioner;
@@ -220,11 +221,47 @@ impl OmsState {
     }
 }
 
+/// The multi-section descent as a [`NodeSink`]. From the second pass on
+/// (restreaming / remapping), each node's previous assignment is removed
+/// along its whole tree path before the descent is re-run.
+pub(crate) struct OmsSink<'a> {
+    oms: &'a OnlineMultiSection,
+    state: OmsState,
+    restreaming: bool,
+}
+
+impl<'a> OmsSink<'a> {
+    pub(crate) fn new<S: NodeStream>(oms: &'a OnlineMultiSection, stream: &S) -> Self {
+        OmsSink {
+            oms,
+            state: OmsState::new(oms, stream),
+            restreaming: false,
+        }
+    }
+
+    pub(crate) fn into_partition(self) -> Partition {
+        self.state.into_partition(self.oms.tree.num_blocks())
+    }
+}
+
+impl NodeSink for OmsSink<'_> {
+    fn begin_pass(&mut self, pass: usize) {
+        self.restreaming = pass > 0;
+    }
+
+    fn process(&mut self, node: oms_graph::StreamedNode<'_>) {
+        if self.restreaming {
+            self.state.unassign(self.oms.tree(), node.node);
+        }
+        self.state.assign(self.oms, node);
+    }
+}
+
 impl StreamingPartitioner for OnlineMultiSection {
     fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition> {
-        let mut state = OmsState::new(self, stream);
-        stream.stream_nodes(|node| state.assign(self, node))?;
-        Ok(state.into_partition(self.tree.num_blocks()))
+        let mut sink = OmsSink::new(self, stream);
+        BatchExecutor::default().run(stream, &mut sink)?;
+        Ok(sink.into_partition())
     }
 
     fn num_blocks(&self) -> u32 {

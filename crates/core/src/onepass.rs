@@ -9,6 +9,7 @@
 //! * **Fennel** maximises `ω(N(v) ∩ Vᵢ) − α·γ·c(Vᵢ)^{γ−1}`; `O(m + nk)` time.
 
 use crate::config::OnePassConfig;
+use crate::executor::{BatchExecutor, NodeSink};
 use crate::partition::{Partition, UNASSIGNED};
 use crate::scorer::{fennel_alpha, hash_node};
 use crate::{BlockId, PartitionError, Result};
@@ -61,18 +62,17 @@ impl StreamingPartitioner for Hashing {
     fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition> {
         check_k(self.k)?;
         let n = stream.num_nodes();
-        let mut assignments = vec![UNASSIGNED; n];
-        let mut node_weights: Vec<NodeWeight> = vec![0; n];
-        let k = self.k as u64;
-        let seed = self.config.seed;
-        stream.stream_nodes(|node| {
-            assignments[node.node as usize] = (hash_node(node.node, seed) % k) as BlockId;
-            node_weights[node.node as usize] = node.weight;
-        })?;
+        let mut sink = HashingSink {
+            assignments: vec![UNASSIGNED; n],
+            node_weights: vec![0; n],
+            k: self.k as u64,
+            seed: self.config.seed,
+        };
+        BatchExecutor::default().run(stream, &mut sink)?;
         Ok(Partition::from_assignments(
             self.k,
-            assignments,
-            &node_weights,
+            sink.assignments,
+            &sink.node_weights,
         ))
     }
 
@@ -102,13 +102,9 @@ impl Ldg {
 impl StreamingPartitioner for Ldg {
     fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition> {
         check_k(self.k)?;
-        let mut state = FlatState::new(self.k, stream, self.config);
-        stream.stream_nodes(|node| {
-            state.assign(node, |conn, weight, capacity, _alpha, _gamma| {
-                conn as f64 * (1.0 - weight as f64 / capacity.max(1) as f64)
-            });
-        })?;
-        Ok(state.into_partition(self.k))
+        let mut sink = FlatSink::new(FlatState::new(self.k, stream, self.config), ldg_objective);
+        BatchExecutor::default().run(stream, &mut sink)?;
+        Ok(sink.into_partition(self.k))
     }
 
     fn num_blocks(&self) -> u32 {
@@ -138,13 +134,12 @@ impl Fennel {
 impl StreamingPartitioner for Fennel {
     fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition> {
         check_k(self.k)?;
-        let mut state = FlatState::new(self.k, stream, self.config);
-        stream.stream_nodes(|node| {
-            state.assign(node, |conn, weight, _capacity, alpha, gamma| {
-                conn as f64 - alpha * gamma * (weight as f64).powf(gamma - 1.0)
-            });
-        })?;
-        Ok(state.into_partition(self.k))
+        let mut sink = FlatSink::new(
+            FlatState::new(self.k, stream, self.config),
+            fennel_objective,
+        );
+        BatchExecutor::default().run(stream, &mut sink)?;
+        Ok(sink.into_partition(self.k))
     }
 
     fn num_blocks(&self) -> u32 {
@@ -153,6 +148,88 @@ impl StreamingPartitioner for Fennel {
 
     fn name(&self) -> &'static str {
         "fennel"
+    }
+}
+
+/// Fennel's additive objective as a flat scoring function:
+/// `conn − α·γ·c(Vᵢ)^{γ−1}`.
+pub(crate) fn fennel_objective(
+    conn: u64,
+    weight: NodeWeight,
+    _capacity: NodeWeight,
+    alpha: f64,
+    gamma: f64,
+) -> f64 {
+    conn as f64 - alpha * gamma * (weight as f64).powf(gamma - 1.0)
+}
+
+/// LDG's multiplicative objective as a flat scoring function:
+/// `conn · (1 − c(Vᵢ)/L_max)`.
+pub(crate) fn ldg_objective(
+    conn: u64,
+    weight: NodeWeight,
+    capacity: NodeWeight,
+    _alpha: f64,
+    _gamma: f64,
+) -> f64 {
+    conn as f64 * (1.0 - weight as f64 / capacity.max(1) as f64)
+}
+
+/// The Hashing algorithm as a [`NodeSink`]: stateless per node, no scoring.
+pub(crate) struct HashingSink {
+    pub(crate) assignments: Vec<BlockId>,
+    pub(crate) node_weights: Vec<NodeWeight>,
+    pub(crate) k: u64,
+    pub(crate) seed: u64,
+}
+
+impl NodeSink for HashingSink {
+    fn process(&mut self, node: oms_graph::StreamedNode<'_>) {
+        self.assignments[node.node as usize] =
+            (hash_node(node.node, self.seed) % self.k) as BlockId;
+        self.node_weights[node.node as usize] = node.weight;
+    }
+}
+
+/// A flat one-pass algorithm as a [`NodeSink`]: [`FlatState`] plus its
+/// scoring objective. From the second pass on (restreaming), each node is
+/// unassigned before being re-scored.
+pub(crate) struct FlatSink<F> {
+    state: FlatState,
+    objective: F,
+    restreaming: bool,
+}
+
+impl<F> FlatSink<F>
+where
+    F: Fn(u64, NodeWeight, NodeWeight, f64, f64) -> f64,
+{
+    pub(crate) fn new(state: FlatState, objective: F) -> Self {
+        FlatSink {
+            state,
+            objective,
+            restreaming: false,
+        }
+    }
+
+    pub(crate) fn into_partition(self, k: u32) -> Partition {
+        self.state.into_partition(k)
+    }
+}
+
+impl<F> NodeSink for FlatSink<F>
+where
+    F: Fn(u64, NodeWeight, NodeWeight, f64, f64) -> f64,
+{
+    fn begin_pass(&mut self, pass: usize) {
+        self.restreaming = pass > 0;
+    }
+
+    fn process(&mut self, node: oms_graph::StreamedNode<'_>) {
+        if self.restreaming {
+            self.state.unassign(node.node);
+        }
+        self.state.assign(node, &self.objective);
     }
 }
 

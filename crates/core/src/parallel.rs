@@ -2,8 +2,12 @@
 //!
 //! All streaming algorithms in this crate are vertex-centric, so they are
 //! parallelised by splitting the stream of nodes among threads. The paper's
-//! OpenMP `parallel for` becomes a rayon thread pool over contiguous node
-//! chunks. The only shared mutable state are
+//! OpenMP `parallel for` becomes the batch executor's parallel dispatch
+//! ([`BatchExecutor::run_parallel`]): contiguous node chunks balanced by
+//! *edge mass* rather than node count, so skewed degree distributions do not
+//! starve some threads while a hub-heavy chunk hogs another. This module
+//! only contains the scoring kernels; chunking and pool management live in
+//! [`crate::executor`]. The only shared mutable state are
 //!
 //! * the block (or tree-node) weights, updated with atomic additions so that
 //!   the balance constraint stays consistent, and
@@ -16,36 +20,14 @@
 //! deliberately not synchronised.
 
 use crate::config::{OmsConfig, OnePassConfig, ScorerKind};
+use crate::executor::BatchExecutor;
 use crate::oms::OnlineMultiSection;
+use crate::onepass::{fennel_objective, ldg_objective};
 use crate::partition::{Partition, UNASSIGNED};
 use crate::scorer::{fennel_alpha, hash_node};
 use crate::{BlockId, Result};
 use oms_graph::{CsrGraph, EdgeWeight, NodeWeight};
-use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-
-/// How many chunks each thread gets on average; more chunks smooth the load
-/// imbalance caused by skewed degree distributions.
-const CHUNKS_PER_THREAD: usize = 8;
-
-fn build_pool(threads: usize) -> rayon::ThreadPool {
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(threads.max(1))
-        .build()
-        .expect("failed to build rayon thread pool")
-}
-
-fn chunk_ranges(n: usize, threads: usize) -> Vec<(u32, u32)> {
-    if n == 0 {
-        return Vec::new();
-    }
-    let chunks = (threads.max(1) * CHUNKS_PER_THREAD).min(n);
-    let size = n.div_ceil(chunks);
-    (0..n)
-        .step_by(size)
-        .map(|lo| (lo as u32, (lo + size).min(n) as u32))
-        .collect()
-}
 
 fn collect_partition(
     k: u32,
@@ -66,13 +48,11 @@ pub fn hashing_parallel(
     threads: usize,
 ) -> Result<Partition> {
     let n = graph.num_nodes();
-    let pool = build_pool(threads);
     let mut assignments: Vec<BlockId> = vec![UNASSIGNED; n];
-    pool.install(|| {
-        assignments
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(v, slot)| *slot = (hash_node(v as u32, config.seed) % k as u64) as BlockId);
+    BatchExecutor::default().run_parallel_mut(graph, threads, &mut assignments, |lo, _hi, out| {
+        for (slot, v) in out.iter_mut().zip(lo..) {
+            *slot = (hash_node(v, config.seed) % k as u64) as BlockId;
+        }
     });
     Ok(Partition::from_assignments(
         k,
@@ -106,63 +86,55 @@ pub fn onepass_parallel(
 
     let assignments: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNASSIGNED)).collect();
     let block_weights: Vec<AtomicU64> = (0..k as usize).map(|_| AtomicU64::new(0)).collect();
-    let ranges = chunk_ranges(n, threads);
-    let pool = build_pool(threads);
 
-    pool.install(|| {
-        ranges.par_iter().for_each(|&(lo, hi)| {
-            let mut conn: Vec<EdgeWeight> = vec![0; k as usize];
-            let mut touched: Vec<BlockId> = Vec::new();
-            for v in lo..hi {
-                for (u, w) in graph.neighbors_weighted(v) {
-                    let b = assignments[u as usize].load(Ordering::Relaxed);
-                    if b != UNASSIGNED {
-                        if conn[b as usize] == 0 {
-                            touched.push(b);
-                        }
-                        conn[b as usize] += w;
+    BatchExecutor::default().run_parallel(graph, threads, |lo, hi| {
+        let mut conn: Vec<EdgeWeight> = vec![0; k as usize];
+        let mut touched: Vec<BlockId> = Vec::new();
+        for v in lo..hi {
+            for (u, w) in graph.neighbors_weighted(v) {
+                let b = assignments[u as usize].load(Ordering::Relaxed);
+                if b != UNASSIGNED {
+                    if conn[b as usize] == 0 {
+                        touched.push(b);
                     }
+                    conn[b as usize] += w;
                 }
-                let node_weight = graph.node_weight(v);
-                let mut best: Option<(usize, f64, NodeWeight)> = None;
-                let mut fallback = 0usize;
-                let mut fallback_load = f64::INFINITY;
-                for b in 0..k as usize {
-                    let weight = block_weights[b].load(Ordering::Relaxed);
-                    let load = weight as f64 / capacity.max(1) as f64;
-                    if load < fallback_load {
-                        fallback_load = load;
-                        fallback = b;
-                    }
-                    if weight + node_weight > capacity {
-                        continue;
-                    }
-                    let s = match scorer {
-                        FlatScorer::Fennel => {
-                            conn[b] as f64 - alpha * gamma * (weight as f64).powf(gamma - 1.0)
-                        }
-                        FlatScorer::Ldg => {
-                            conn[b] as f64 * (1.0 - weight as f64 / capacity.max(1) as f64)
-                        }
-                    };
-                    match best {
-                        None => best = Some((b, s, weight)),
-                        Some((_, bs, bw)) => {
-                            if s > bs || (s == bs && weight < bw) {
-                                best = Some((b, s, weight));
-                            }
-                        }
-                    }
-                }
-                let chosen = best.map(|(b, _, _)| b).unwrap_or(fallback);
-                block_weights[chosen].fetch_add(node_weight, Ordering::Relaxed);
-                assignments[v as usize].store(chosen as BlockId, Ordering::Relaxed);
-                for &b in &touched {
-                    conn[b as usize] = 0;
-                }
-                touched.clear();
             }
-        });
+            let node_weight = graph.node_weight(v);
+            let mut best: Option<(usize, f64, NodeWeight)> = None;
+            let mut fallback = 0usize;
+            let mut fallback_load = f64::INFINITY;
+            for b in 0..k as usize {
+                let weight = block_weights[b].load(Ordering::Relaxed);
+                let load = weight as f64 / capacity.max(1) as f64;
+                if load < fallback_load {
+                    fallback_load = load;
+                    fallback = b;
+                }
+                if weight + node_weight > capacity {
+                    continue;
+                }
+                let s = match scorer {
+                    FlatScorer::Fennel => fennel_objective(conn[b], weight, capacity, alpha, gamma),
+                    FlatScorer::Ldg => ldg_objective(conn[b], weight, capacity, alpha, gamma),
+                };
+                match best {
+                    None => best = Some((b, s, weight)),
+                    Some((_, bs, bw)) => {
+                        if s > bs || (s == bs && weight < bw) {
+                            best = Some((b, s, weight));
+                        }
+                    }
+                }
+            }
+            let chosen = best.map(|(b, _, _)| b).unwrap_or(fallback);
+            block_weights[chosen].fetch_add(node_weight, Ordering::Relaxed);
+            assignments[v as usize].store(chosen as BlockId, Ordering::Relaxed);
+            for &b in &touched {
+                conn[b as usize] = 0;
+            }
+            touched.clear();
+        }
     });
     Ok(collect_partition(k, assignments, graph.node_weights()))
 }
@@ -189,89 +161,85 @@ impl OnlineMultiSection {
         let assignments: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNASSIGNED)).collect();
         let tree_weights: Vec<AtomicU64> =
             (0..tree.num_nodes()).map(|_| AtomicU64::new(0)).collect();
-        let ranges = chunk_ranges(n, threads);
-        let pool = build_pool(threads);
 
-        pool.install(|| {
-            ranges.par_iter().for_each(|&(lo, hi)| {
-                let mut conn: Vec<EdgeWeight> = vec![0; max_fan_out];
-                for v in lo..hi {
-                    let node_weight = graph.node_weight(v);
-                    let mut cur = tree.root();
-                    loop {
-                        let children = tree.children(cur);
-                        if children.is_empty() {
-                            break;
-                        }
-                        let child_depth = tree.depth(cur) as usize + 1;
-                        let chosen_idx = if self.hybrid_uses_hashing(child_depth) {
-                            (hash_node(
-                                v,
-                                config.seed ^ (cur as u64).wrapping_mul(0x9E3779B97F4A7C15),
-                            ) % children.len() as u64) as usize
-                        } else {
-                            let path_index = tree.depth(cur) as usize;
-                            conn[..children.len()].fill(0);
-                            for (u, w) in graph.neighbors_weighted(v) {
-                                let b = assignments[u as usize].load(Ordering::Relaxed);
-                                if b == UNASSIGNED {
-                                    continue;
-                                }
-                                let path = tree.path_of_block(b);
-                                if path.len() <= path_index {
-                                    continue;
-                                }
-                                if path_index > 0 && path[path_index - 1] != cur {
-                                    continue;
-                                }
-                                conn[tree.child_index(path[path_index]) as usize] += w;
-                            }
-                            let mut best: Option<(usize, f64, NodeWeight)> = None;
-                            let mut fallback = 0usize;
-                            let mut fallback_load = f64::INFINITY;
-                            for (i, &child) in children.iter().enumerate() {
-                                let weight = tree_weights[child as usize].load(Ordering::Relaxed);
-                                let capacity = capacities[child as usize];
-                                let load = weight as f64 / capacity.max(1) as f64;
-                                if load < fallback_load {
-                                    fallback_load = load;
-                                    fallback = i;
-                                }
-                                if weight + node_weight > capacity {
-                                    continue;
-                                }
-                                let s = match config.scorer {
-                                    ScorerKind::Fennel => {
-                                        conn[i] as f64
-                                            - alphas[child as usize]
-                                                * config.gamma
-                                                * (weight as f64).powf(config.gamma - 1.0)
-                                    }
-                                    ScorerKind::Ldg => {
-                                        conn[i] as f64
-                                            * (1.0 - weight as f64 / capacity.max(1) as f64)
-                                    }
-                                    ScorerKind::Hashing => unreachable!(),
-                                };
-                                match best {
-                                    None => best = Some((i, s, weight)),
-                                    Some((_, bs, bw)) => {
-                                        if s > bs || (s == bs && weight < bw) {
-                                            best = Some((i, s, weight));
-                                        }
-                                    }
-                                }
-                            }
-                            best.map(|(i, _, _)| i).unwrap_or(fallback)
-                        };
-                        let chosen = children[chosen_idx];
-                        tree_weights[chosen as usize].fetch_add(node_weight, Ordering::Relaxed);
-                        cur = chosen;
+        BatchExecutor::default().run_parallel(graph, threads, |lo, hi| {
+            let mut conn: Vec<EdgeWeight> = vec![0; max_fan_out];
+            for v in lo..hi {
+                let node_weight = graph.node_weight(v);
+                let mut cur = tree.root();
+                loop {
+                    let children = tree.children(cur);
+                    if children.is_empty() {
+                        break;
                     }
-                    let block = tree.leaf_block(cur).expect("descent ends at a leaf");
-                    assignments[v as usize].store(block, Ordering::Relaxed);
+                    let child_depth = tree.depth(cur) as usize + 1;
+                    let chosen_idx = if self.hybrid_uses_hashing(child_depth) {
+                        (hash_node(
+                            v,
+                            config.seed ^ (cur as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                        ) % children.len() as u64) as usize
+                    } else {
+                        let path_index = tree.depth(cur) as usize;
+                        conn[..children.len()].fill(0);
+                        for (u, w) in graph.neighbors_weighted(v) {
+                            let b = assignments[u as usize].load(Ordering::Relaxed);
+                            if b == UNASSIGNED {
+                                continue;
+                            }
+                            let path = tree.path_of_block(b);
+                            if path.len() <= path_index {
+                                continue;
+                            }
+                            if path_index > 0 && path[path_index - 1] != cur {
+                                continue;
+                            }
+                            conn[tree.child_index(path[path_index]) as usize] += w;
+                        }
+                        let mut best: Option<(usize, f64, NodeWeight)> = None;
+                        let mut fallback = 0usize;
+                        let mut fallback_load = f64::INFINITY;
+                        for (i, &child) in children.iter().enumerate() {
+                            let weight = tree_weights[child as usize].load(Ordering::Relaxed);
+                            let capacity = capacities[child as usize];
+                            let load = weight as f64 / capacity.max(1) as f64;
+                            if load < fallback_load {
+                                fallback_load = load;
+                                fallback = i;
+                            }
+                            if weight + node_weight > capacity {
+                                continue;
+                            }
+                            let s = match config.scorer {
+                                ScorerKind::Fennel => fennel_objective(
+                                    conn[i],
+                                    weight,
+                                    capacity,
+                                    alphas[child as usize],
+                                    config.gamma,
+                                ),
+                                ScorerKind::Ldg => {
+                                    ldg_objective(conn[i], weight, capacity, 0.0, config.gamma)
+                                }
+                                ScorerKind::Hashing => unreachable!(),
+                            };
+                            match best {
+                                None => best = Some((i, s, weight)),
+                                Some((_, bs, bw)) => {
+                                    if s > bs || (s == bs && weight < bw) {
+                                        best = Some((i, s, weight));
+                                    }
+                                }
+                            }
+                        }
+                        best.map(|(i, _, _)| i).unwrap_or(fallback)
+                    };
+                    let chosen = children[chosen_idx];
+                    tree_weights[chosen as usize].fetch_add(node_weight, Ordering::Relaxed);
+                    cur = chosen;
                 }
-            });
+                let block = tree.leaf_block(cur).expect("descent ends at a leaf");
+                assignments[v as usize].store(block, Ordering::Relaxed);
+            }
         });
         Ok(collect_partition(
             tree.num_blocks(),
@@ -352,15 +320,14 @@ mod tests {
     }
 
     #[test]
-    fn chunk_ranges_cover_everything_exactly_once() {
-        for (n, t) in [(0usize, 4usize), (5, 4), (1000, 3), (17, 32)] {
-            let ranges = chunk_ranges(n, t);
-            let total: usize = ranges.iter().map(|&(lo, hi)| (hi - lo) as usize).sum();
-            assert_eq!(total, n);
-            for w in ranges.windows(2) {
-                assert_eq!(w[0].1, w[1].0);
-            }
-        }
+    fn parallel_fennel_balances_skewed_degrees_across_threads() {
+        // A graph with a few hubs: the edge-mass chunking must still produce
+        // a valid, reasonably balanced partition.
+        let g = oms_gen::barabasi_albert(800, 6, 11);
+        let p = onepass_parallel(&g, 8, FlatScorer::Fennel, OnePassConfig::default(), 4).unwrap();
+        assert_eq!(p.num_nodes(), 800);
+        assert!(p.validate(&vec![1; 800]));
+        assert!(p.imbalance() < 0.25, "imbalance {}", p.imbalance());
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! for both the flat baselines and the multi-section algorithm.
 
 use crate::config::{OmsConfig, OnePassConfig};
-use crate::oms::{OmsState, OnlineMultiSection};
-use crate::onepass::{FlatState, StreamingPartitioner};
+use crate::executor::BatchExecutor;
+use crate::oms::{OmsSink, OnlineMultiSection};
+use crate::onepass::{fennel_objective, ldg_objective, FlatSink, FlatState, StreamingPartitioner};
 use crate::partition::Partition;
 use crate::{PartitionError, Result};
 use oms_graph::NodeStream;
@@ -46,16 +47,12 @@ impl StreamingPartitioner for ReFennel {
         if self.k == 0 {
             return Err(PartitionError::InvalidConfig("k must be positive".into()));
         }
-        let mut state = FlatState::new(self.k, stream, self.config);
-        for _ in 0..self.passes {
-            stream.stream_nodes(|node| {
-                state.unassign(node.node);
-                state.assign(node, |conn, weight, _capacity, alpha, gamma| {
-                    conn as f64 - alpha * gamma * (weight as f64).powf(gamma - 1.0)
-                });
-            })?;
-        }
-        Ok(state.into_partition(self.k))
+        let mut sink = FlatSink::new(
+            FlatState::new(self.k, stream, self.config),
+            fennel_objective,
+        );
+        BatchExecutor::default().run_passes(stream, &mut sink, self.passes)?;
+        Ok(sink.into_partition(self.k))
     }
 
     fn num_blocks(&self) -> u32 {
@@ -88,16 +85,9 @@ impl StreamingPartitioner for ReLdg {
         if self.k == 0 {
             return Err(PartitionError::InvalidConfig("k must be positive".into()));
         }
-        let mut state = FlatState::new(self.k, stream, self.config);
-        for _ in 0..self.passes {
-            stream.stream_nodes(|node| {
-                state.unassign(node.node);
-                state.assign(node, |conn, weight, capacity, _alpha, _gamma| {
-                    conn as f64 * (1.0 - weight as f64 / capacity.max(1) as f64)
-                });
-            })?;
-        }
-        Ok(state.into_partition(self.k))
+        let mut sink = FlatSink::new(FlatState::new(self.k, stream, self.config), ldg_objective);
+        BatchExecutor::default().run_passes(stream, &mut sink, self.passes)?;
+        Ok(sink.into_partition(self.k))
     }
 
     fn num_blocks(&self) -> u32 {
@@ -136,14 +126,9 @@ impl ReOms {
 impl StreamingPartitioner for ReOms {
     fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition> {
         check_passes(self.passes)?;
-        let mut state = OmsState::new(&self.oms, stream);
-        for _ in 0..self.passes {
-            stream.stream_nodes(|node| {
-                state.unassign(self.oms.tree(), node.node);
-                state.assign(&self.oms, node);
-            })?;
-        }
-        Ok(state.into_partition(self.oms.tree().num_blocks()))
+        let mut sink = OmsSink::new(&self.oms, stream);
+        BatchExecutor::default().run_passes(stream, &mut sink, self.passes)?;
+        Ok(sink.into_partition())
     }
 
     fn num_blocks(&self) -> u32 {

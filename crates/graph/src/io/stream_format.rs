@@ -19,11 +19,13 @@
 //! [`DiskStream`] implements [`NodeStream`] on top of the format, so every
 //! streaming partitioner in `oms-core` can run straight off disk.
 
-use crate::stream::{NodeStream, StreamedNode};
+use crate::batch::NodeBatch;
+use crate::stream::{NodeStream, StreamedNode, DEFAULT_BATCH_SIZE};
 use crate::{CsrGraph, EdgeWeight, GraphError, NodeId, NodeWeight, Result};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::mpsc;
 
 const MAGIC: &[u8; 8] = b"OMSSTRM1";
 const FLAG_NODE_WEIGHTS: u8 = 0b01;
@@ -87,14 +89,24 @@ pub fn read_stream_file<P: AsRef<Path>>(path: P) -> Result<CsrGraph> {
 
 /// A one-pass stream read from a vertex-stream file on disk.
 ///
-/// Each call to [`NodeStream::for_each_node`] re-opens the file and performs
-/// a fresh pass, so restreaming algorithms can reuse the same value.
+/// Each pass re-opens the file, so restreaming algorithms can reuse the same
+/// value. Ingest is **double-buffered** by default: a reader thread decodes
+/// batch `B+1` from disk while the consumer processes batch `B`, overlapping
+/// I/O + decode with scoring. [`DiskStream::double_buffered`] switches back
+/// to fully synchronous ingest (used by benchmarks to measure the overlap).
+///
+/// Every pass validates the file body against the header: a file ending
+/// before all `n` announced nodes is a [`GraphError::Truncated`] error, and a
+/// body whose adjacency lists do not sum to `2m` entries is a
+/// [`GraphError::CountMismatch`] — a short file never silently streams short.
 pub struct DiskStream {
     path: PathBuf,
     num_nodes: usize,
     num_edges: usize,
     total_node_weight: NodeWeight,
     flags: u8,
+    double_buffered: bool,
+    read_batch_size: usize,
 }
 
 impl DiskStream {
@@ -124,10 +136,18 @@ impl DiskStream {
             num_edges: m,
             total_node_weight: n as NodeWeight,
             flags,
+            double_buffered: true,
+            read_batch_size: DEFAULT_BATCH_SIZE,
         };
         if flags & FLAG_NODE_WEIGHTS != 0 {
             let mut total: NodeWeight = 0;
-            stream.stream_nodes(|node| total += node.weight)?;
+            // The header pass is synchronous: no compute to overlap with.
+            let mut reader = PassReader::open(&stream)?;
+            let mut batch = NodeBatch::new();
+            while reader.fill(&mut batch, stream.read_batch_size)? {
+                total += batch.iter().map(|node| node.weight).sum::<NodeWeight>();
+            }
+            total += batch.iter().map(|node| node.weight).sum::<NodeWeight>();
             stream.total_node_weight = total;
         }
         Ok(stream)
@@ -136,6 +156,128 @@ impl DiskStream {
     /// Path of the underlying file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Enables or disables double-buffered ingest (enabled by default).
+    pub fn double_buffered(mut self, enabled: bool) -> Self {
+        self.double_buffered = enabled;
+        self
+    }
+
+    /// Whether ingest is double-buffered.
+    pub fn is_double_buffered(&self) -> bool {
+        self.double_buffered
+    }
+
+    /// Sets the number of nodes decoded per ingest batch (used when the
+    /// consumer streams per node rather than per batch).
+    pub fn read_batch_size(mut self, nodes: usize) -> Self {
+        self.read_batch_size = nodes.max(1);
+        self
+    }
+}
+
+/// The decode state of one pass over a vertex-stream file.
+///
+/// Both ingest modes (synchronous and double-buffered) fill batches through
+/// this reader, so header validation happens exactly once, here.
+struct PassReader {
+    r: BufReader<File>,
+    has_node_weights: bool,
+    has_edge_weights: bool,
+    expected_nodes: usize,
+    expected_edge_entries: u64,
+    next_node: usize,
+    edge_entries: u64,
+    scratch_neighbors: Vec<NodeId>,
+    scratch_eweights: Vec<EdgeWeight>,
+}
+
+impl PassReader {
+    fn open(stream: &DiskStream) -> Result<Self> {
+        let file = File::open(&stream.path)?;
+        // A deep read buffer keeps the kernel's readahead busy; the default
+        // 8 KiB would issue one syscall per handful of adjacency lists.
+        let mut r = BufReader::with_capacity(1 << 20, file);
+        let mut skip = [0u8; 8 + 8 + 8 + 1];
+        r.read_exact(&mut skip)?;
+        Ok(PassReader {
+            r,
+            has_node_weights: stream.flags & FLAG_NODE_WEIGHTS != 0,
+            has_edge_weights: stream.flags & FLAG_EDGE_WEIGHTS != 0,
+            expected_nodes: stream.num_nodes,
+            // Each undirected edge appears in both endpoints' lists.
+            expected_edge_entries: 2 * stream.num_edges as u64,
+            next_node: 0,
+            edge_entries: 0,
+            scratch_neighbors: Vec::new(),
+            scratch_eweights: Vec::new(),
+        })
+    }
+
+    /// Maps an early EOF to the typed truncation error.
+    fn truncated(&self, e: GraphError) -> GraphError {
+        match e {
+            GraphError::Io(io) if io.kind() == std::io::ErrorKind::UnexpectedEof => {
+                GraphError::Truncated {
+                    expected_nodes: self.expected_nodes as u64,
+                    read_nodes: self.next_node as u64,
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Clears `batch` and refills it with up to `max_nodes` decoded nodes.
+    /// Returns `true` while more nodes remain after this batch.
+    fn fill(&mut self, batch: &mut NodeBatch, max_nodes: usize) -> Result<bool> {
+        batch.clear();
+        let max_nodes = max_nodes.max(1);
+        while batch.len() < max_nodes && self.next_node < self.expected_nodes {
+            let weight: NodeWeight = if self.has_node_weights {
+                read_u32(&mut self.r).map_err(|e| self.truncated(e))? as NodeWeight
+            } else {
+                1
+            };
+            let degree = read_u32(&mut self.r).map_err(|e| self.truncated(e))? as usize;
+            self.scratch_neighbors.clear();
+            self.scratch_neighbors.reserve(degree);
+            for _ in 0..degree {
+                let u = read_u32(&mut self.r).map_err(|e| self.truncated(e))?;
+                self.scratch_neighbors.push(u);
+            }
+            if self.has_edge_weights {
+                self.scratch_eweights.clear();
+                self.scratch_eweights.reserve(degree);
+                for _ in 0..degree {
+                    let w = read_u32(&mut self.r).map_err(|e| self.truncated(e))?;
+                    self.scratch_eweights.push(w as EdgeWeight);
+                }
+                batch.push_parts(
+                    self.next_node as NodeId,
+                    weight,
+                    &self.scratch_neighbors,
+                    &self.scratch_eweights,
+                );
+            } else {
+                batch.push_unit_weight_edges(
+                    self.next_node as NodeId,
+                    weight,
+                    &self.scratch_neighbors,
+                );
+            }
+            self.edge_entries += degree as u64;
+            self.next_node += 1;
+        }
+        let more = self.next_node < self.expected_nodes;
+        if !more && self.edge_entries != self.expected_edge_entries {
+            return Err(GraphError::CountMismatch {
+                what: "edge entries",
+                expected: self.expected_edge_entries,
+                found: self.edge_entries,
+            });
+        }
+        Ok(more)
     }
 }
 
@@ -153,44 +295,68 @@ impl NodeStream for DiskStream {
     }
 
     fn for_each_node(&mut self, f: &mut dyn FnMut(StreamedNode<'_>)) -> Result<()> {
-        let file = File::open(&self.path)?;
-        let mut r = BufReader::new(file);
-        let mut skip = [0u8; 8 + 8 + 8 + 1];
-        r.read_exact(&mut skip)?;
+        let read_batch = self.read_batch_size;
+        self.for_each_batch(read_batch, &mut |batch| {
+            for node in batch.iter() {
+                f(node);
+            }
+        })
+    }
 
-        let has_nw = self.flags & FLAG_NODE_WEIGHTS != 0;
-        let has_ew = self.flags & FLAG_EDGE_WEIGHTS != 0;
-        let mut neighbors: Vec<NodeId> = Vec::new();
-        let mut eweights: Vec<EdgeWeight> = Vec::new();
-        for v in 0..self.num_nodes {
-            let weight: NodeWeight = if has_nw {
-                read_u32(&mut r)? as NodeWeight
-            } else {
-                1
-            };
-            let degree = read_u32(&mut r)? as usize;
-            neighbors.clear();
-            neighbors.reserve(degree);
-            for _ in 0..degree {
-                neighbors.push(read_u32(&mut r)?);
-            }
-            eweights.clear();
-            if has_ew {
-                eweights.reserve(degree);
-                for _ in 0..degree {
-                    eweights.push(read_u32(&mut r)? as EdgeWeight);
+    fn for_each_batch(&mut self, batch_size: usize, f: &mut dyn FnMut(&NodeBatch)) -> Result<()> {
+        let batch_size = batch_size.max(1);
+        let mut reader = PassReader::open(self)?;
+
+        if !self.double_buffered {
+            let mut batch = NodeBatch::new();
+            loop {
+                let more = reader.fill(&mut batch, batch_size)?;
+                if !batch.is_empty() {
+                    f(&batch);
                 }
-            } else {
-                eweights.resize(degree, 1);
+                if !more {
+                    return Ok(());
+                }
             }
-            f(StreamedNode {
-                node: v as NodeId,
-                weight,
-                neighbors: &neighbors,
-                edge_weights: &eweights,
-            });
         }
-        Ok(())
+
+        // Double-buffered ingest: a scoped reader thread decodes the next
+        // batch while the caller consumes the current one. Two buffers
+        // rotate through a pair of channels, so the steady state allocates
+        // nothing.
+        std::thread::scope(|scope| {
+            let (full_tx, full_rx) = mpsc::sync_channel::<Result<NodeBatch>>(1);
+            let (free_tx, free_rx) = mpsc::channel::<NodeBatch>();
+            for _ in 0..2 {
+                free_tx.send(NodeBatch::new()).expect("receiver alive");
+            }
+            scope.spawn(move || {
+                while let Ok(mut batch) = free_rx.recv() {
+                    match reader.fill(&mut batch, batch_size) {
+                        Ok(more) => {
+                            if !batch.is_empty() && full_tx.send(Ok(batch)).is_err() {
+                                return; // consumer bailed out
+                            }
+                            if !more {
+                                return; // dropping full_tx ends the pass
+                            }
+                        }
+                        Err(e) => {
+                            full_tx.send(Err(e)).ok();
+                            return;
+                        }
+                    }
+                }
+            });
+            while let Ok(item) = full_rx.recv() {
+                let batch = item?;
+                f(&batch);
+                // The reader may already have finished; a dead receiver just
+                // drops the buffer.
+                free_tx.send(batch).ok();
+            }
+            Ok(())
+        })
     }
 }
 
@@ -289,6 +455,88 @@ mod tests {
         let path = temp_path("garbage.oms");
         std::fs::write(&path, b"NOTAGRAPHFILE....").unwrap();
         assert!(DiskStream::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disk_batches_match_per_node_pass_in_both_ingest_modes() {
+        let g = CsrGraph::from_edges(9, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (6, 7), (7, 8)])
+            .unwrap();
+        let path = temp_path("batches.oms");
+        write_stream_file(&g, &path).unwrap();
+        let collect = |stream: &mut DiskStream, batch_size: usize| {
+            let mut seen: Vec<(u32, Vec<u32>)> = Vec::new();
+            stream
+                .for_each_batch(batch_size, &mut |batch| {
+                    for n in batch.iter() {
+                        seen.push((n.node, n.neighbors.to_vec()));
+                    }
+                })
+                .unwrap();
+            seen
+        };
+        let mut reference = Vec::new();
+        let mut sync = DiskStream::open(&path).unwrap().double_buffered(false);
+        sync.stream_nodes(|n| reference.push((n.node, n.neighbors.to_vec())))
+            .unwrap();
+        for batch_size in [1, 2, 4, 100] {
+            assert_eq!(collect(&mut sync, batch_size), reference);
+            let mut buffered = DiskStream::open(&path).unwrap();
+            assert!(buffered.is_double_buffered());
+            assert_eq!(collect(&mut buffered, batch_size), reference);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_a_typed_error() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let path = temp_path("truncated.oms");
+        write_stream_file(&g, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 6]).unwrap();
+        for double_buffered in [false, true] {
+            let mut stream = DiskStream::open(&path)
+                .unwrap()
+                .double_buffered(double_buffered);
+            let err = stream.stream_nodes(|_| {}).unwrap_err();
+            match err {
+                GraphError::Truncated {
+                    expected_nodes,
+                    read_nodes,
+                } => {
+                    assert_eq!(expected_nodes, 6);
+                    assert!(read_nodes < 6, "read {read_nodes} of 6");
+                }
+                other => panic!("expected Truncated, got: {other}"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_body_count_mismatch_is_a_typed_error() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let path = temp_path("mismatch.oms");
+        write_stream_file(&g, &path).unwrap();
+        // Lie in the header: claim one edge more than the body holds.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[16..24].copy_from_slice(&4u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let mut stream = DiskStream::open(&path).unwrap();
+        let err = stream.stream_nodes(|_| {}).unwrap_err();
+        match err {
+            GraphError::CountMismatch {
+                what,
+                expected,
+                found,
+            } => {
+                assert_eq!(what, "edge entries");
+                assert_eq!(expected, 8);
+                assert_eq!(found, 6);
+            }
+            other => panic!("expected CountMismatch, got: {other}"),
+        }
         std::fs::remove_file(&path).ok();
     }
 }

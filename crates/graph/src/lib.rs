@@ -13,6 +13,11 @@
 //! * [`NodeStream`] and its implementations — the *one-pass streaming model*
 //!   used throughout the paper: nodes arrive one at a time together with
 //!   their adjacency lists and must be assigned to blocks immediately.
+//! * [`NodeBatch`] and [`NodeStream::for_each_batch`] — the batched face of
+//!   the same contract: sources fill reusable structure-of-arrays batches
+//!   (and [`io::DiskStream`] decodes the next batch on a reader thread while
+//!   the current one is consumed), which the batch executor in `oms-core`
+//!   drives.
 //! * Graph I/O — the METIS text format, plain edge lists and a compact
 //!   binary *vertex-stream* format that can be streamed from disk.
 //! * [`NodeOrdering`] — stream orders (natural, random, BFS, DFS, degree)
@@ -24,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod builder;
 pub mod csr;
 pub mod io;
@@ -31,10 +37,13 @@ pub mod ordering;
 pub mod stream;
 pub mod traversal;
 
+pub use batch::NodeBatch;
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use ordering::NodeOrdering;
-pub use stream::{ChunkedStream, InMemoryStream, NodeStream, StreamedNode};
+pub use stream::{
+    ChunkedStream, InMemoryStream, NodeStream, PerNodeBatches, StreamedNode, DEFAULT_BATCH_SIZE,
+};
 
 /// Identifier of a node. Graphs in this project are laptop-scale (tens of
 /// millions of nodes at most), so 32 bits are sufficient and halve the memory
@@ -65,6 +74,23 @@ pub enum GraphError {
     Io(std::io::Error),
     /// A structural invariant of the CSR representation was violated.
     Invalid(String),
+    /// A vertex-stream file ended before all nodes announced by its header
+    /// were read.
+    Truncated {
+        /// Number of nodes the header announced.
+        expected_nodes: u64,
+        /// Number of complete node records actually read.
+        read_nodes: u64,
+    },
+    /// The body of a vertex-stream file contradicts its header counts.
+    CountMismatch {
+        /// Which count disagreed (e.g. `"edge entries"`).
+        what: &'static str,
+        /// Value implied by the header.
+        expected: u64,
+        /// Value actually found in the body.
+        found: u64,
+    },
 }
 
 impl std::fmt::Display for GraphError {
@@ -79,6 +105,21 @@ impl std::fmt::Display for GraphError {
             GraphError::Parse(msg) => write!(f, "parse error: {msg}"),
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
             GraphError::Invalid(msg) => write!(f, "invalid graph: {msg}"),
+            GraphError::Truncated {
+                expected_nodes,
+                read_nodes,
+            } => write!(
+                f,
+                "truncated vertex stream: header announces {expected_nodes} nodes but the file ends after {read_nodes}"
+            ),
+            GraphError::CountMismatch {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "vertex stream count mismatch: header implies {expected} {what} but the body holds {found}"
+            ),
         }
     }
 }

@@ -14,7 +14,11 @@
 //! [`crate::io::DiskStream`], streams the binary vertex-stream format from
 //! disk.
 
+use crate::batch::NodeBatch;
 use crate::{CsrGraph, EdgeWeight, NodeId, NodeOrdering, NodeWeight, Result};
+
+/// Default number of nodes per batch when a caller does not specify one.
+pub const DEFAULT_BATCH_SIZE: usize = 4096;
 
 /// A node as it appears on the stream: its id, weight and adjacency list.
 #[derive(Clone, Copy, Debug)]
@@ -67,6 +71,30 @@ pub trait NodeStream {
     /// Performs one pass, invoking `f` for every node in stream order.
     fn for_each_node(&mut self, f: &mut dyn FnMut(StreamedNode<'_>)) -> Result<()>;
 
+    /// Performs one pass delivering the stream in [`NodeBatch`]es of up to
+    /// `batch_size` nodes (in stream order; concatenating all batches yields
+    /// exactly one full pass).
+    ///
+    /// The default implementation accumulates `for_each_node` output into a
+    /// reused batch buffer; sources override it to fill batches directly
+    /// ([`InMemoryStream`], [`ChunkedStream`]) or to overlap ingest with
+    /// consumption on a reader thread ([`crate::io::DiskStream`]).
+    fn for_each_batch(&mut self, batch_size: usize, f: &mut dyn FnMut(&NodeBatch)) -> Result<()> {
+        let batch_size = batch_size.max(1);
+        let mut batch = NodeBatch::new();
+        self.for_each_node(&mut |node| {
+            batch.push(node);
+            if batch.len() >= batch_size {
+                f(&batch);
+                batch.clear();
+            }
+        })?;
+        if !batch.is_empty() {
+            f(&batch);
+        }
+        Ok(())
+    }
+
     /// The in-memory graph behind this stream, when there is one.
     ///
     /// Random-access drivers (the shared-memory parallel partitioners, the
@@ -104,8 +132,80 @@ impl<S: NodeStream + ?Sized> NodeStream for &mut S {
         (**self).for_each_node(f)
     }
 
+    fn for_each_batch(&mut self, batch_size: usize, f: &mut dyn FnMut(&NodeBatch)) -> Result<()> {
+        (**self).for_each_batch(batch_size, f)
+    }
+
     fn as_graph(&self) -> Option<&CsrGraph> {
         (**self).as_graph()
+    }
+}
+
+/// Fills batches straight from a CSR graph for the node sequence `order`,
+/// avoiding the per-node closure round trip of the default implementation.
+fn batches_from_graph(
+    graph: &CsrGraph,
+    order: impl Iterator<Item = NodeId>,
+    batch_size: usize,
+    f: &mut dyn FnMut(&NodeBatch),
+) {
+    let batch_size = batch_size.max(1);
+    let mut batch = NodeBatch::with_capacity(batch_size, 0);
+    for v in order {
+        batch.push_parts(
+            v,
+            graph.node_weight(v),
+            graph.neighbors(v),
+            graph.incident_edge_weights(v),
+        );
+        if batch.len() >= batch_size {
+            f(&batch);
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        f(&batch);
+    }
+}
+
+/// Adapter forcing batch size 1: every node is copied into its own
+/// singleton [`NodeBatch`] before being delivered — both per node
+/// (`for_each_node`) and per batch (`for_each_batch`).
+///
+/// Used by the equivalence test suite as the classic per-node reference
+/// path, and by benchmarks that measure the cost of per-node batch
+/// delivery against the native (zero-copy or bulk-batched) path of the
+/// wrapped source.
+pub struct PerNodeBatches<S>(pub S);
+
+impl<S: NodeStream> NodeStream for PerNodeBatches<S> {
+    fn num_nodes(&self) -> usize {
+        self.0.num_nodes()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.0.num_edges()
+    }
+
+    fn total_node_weight(&self) -> NodeWeight {
+        self.0.total_node_weight()
+    }
+
+    fn for_each_node(&mut self, f: &mut dyn FnMut(StreamedNode<'_>)) -> Result<()> {
+        self.for_each_batch(1, &mut |batch| f(batch.get(0)))
+    }
+
+    fn for_each_batch(&mut self, _batch_size: usize, f: &mut dyn FnMut(&NodeBatch)) -> Result<()> {
+        let mut batch = NodeBatch::new();
+        self.0.for_each_node(&mut |node| {
+            batch.clear();
+            batch.push(node);
+            f(&batch);
+        })
+    }
+
+    fn as_graph(&self) -> Option<&CsrGraph> {
+        self.0.as_graph()
     }
 }
 
@@ -188,6 +288,14 @@ impl<'g> NodeStream for InMemoryStream<'g> {
         }
         Ok(())
     }
+
+    fn for_each_batch(&mut self, batch_size: usize, f: &mut dyn FnMut(&NodeBatch)) -> Result<()> {
+        match &self.order {
+            None => batches_from_graph(self.graph, self.graph.nodes(), batch_size, f),
+            Some(order) => batches_from_graph(self.graph, order.iter().copied(), batch_size, f),
+        }
+        Ok(())
+    }
 }
 
 /// Splits the stream of a [`CsrGraph`] into contiguous chunks of nodes for
@@ -239,6 +347,36 @@ impl<'g> ChunkedStream<'g> {
             neighbors: self.graph.neighbors(v),
             edge_weights: self.graph.incident_edge_weights(v),
         }
+    }
+}
+
+impl<'g> NodeStream for ChunkedStream<'g> {
+    fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    fn total_node_weight(&self) -> NodeWeight {
+        self.graph.total_node_weight()
+    }
+
+    fn as_graph(&self) -> Option<&CsrGraph> {
+        Some(self.graph)
+    }
+
+    fn for_each_node(&mut self, f: &mut dyn FnMut(StreamedNode<'_>)) -> Result<()> {
+        for &v in &self.order {
+            f(self.streamed(v));
+        }
+        Ok(())
+    }
+
+    fn for_each_batch(&mut self, batch_size: usize, f: &mut dyn FnMut(&NodeBatch)) -> Result<()> {
+        batches_from_graph(self.graph, self.order.iter().copied(), batch_size, f);
+        Ok(())
     }
 }
 
@@ -333,5 +471,105 @@ mod tests {
         let g = sample();
         let chunked = ChunkedStream::new(&g, NodeOrdering::Natural);
         assert!(chunked.chunks(0).is_empty());
+    }
+
+    /// Replays a full pass through `for_each_batch` and checks it matches the
+    /// per-node pass exactly (ids, weights, adjacency, order).
+    fn assert_batches_match_nodes<S: NodeStream>(stream: &mut S, batch_size: usize) {
+        let mut per_node: Vec<(NodeId, NodeWeight, Vec<NodeId>, Vec<EdgeWeight>)> = Vec::new();
+        stream
+            .for_each_node(&mut |n| {
+                per_node.push((
+                    n.node,
+                    n.weight,
+                    n.neighbors.to_vec(),
+                    n.edge_weights.to_vec(),
+                ));
+            })
+            .unwrap();
+        let mut batched = Vec::new();
+        let mut sizes = Vec::new();
+        stream
+            .for_each_batch(batch_size, &mut |batch| {
+                sizes.push(batch.len());
+                for n in batch.iter() {
+                    batched.push((
+                        n.node,
+                        n.weight,
+                        n.neighbors.to_vec(),
+                        n.edge_weights.to_vec(),
+                    ));
+                }
+            })
+            .unwrap();
+        assert_eq!(per_node, batched);
+        assert!(sizes.iter().all(|&s| s <= batch_size.max(1)));
+    }
+
+    #[test]
+    fn in_memory_batches_match_per_node_pass() {
+        let g = sample();
+        for batch_size in [1, 2, 3, 100] {
+            assert_batches_match_nodes(&mut InMemoryStream::new(&g), batch_size);
+            assert_batches_match_nodes(
+                &mut InMemoryStream::with_ordering(&g, NodeOrdering::Random(7)),
+                batch_size,
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_stream_batches_match_per_node_pass() {
+        let g = sample();
+        for batch_size in [1, 2, 100] {
+            assert_batches_match_nodes(
+                &mut ChunkedStream::new(&g, NodeOrdering::Natural),
+                batch_size,
+            );
+        }
+    }
+
+    #[test]
+    fn per_node_adapter_emits_singleton_batches() {
+        let g = sample();
+        let mut stream = PerNodeBatches(InMemoryStream::new(&g));
+        let mut sizes = Vec::new();
+        let mut ids = Vec::new();
+        stream
+            .for_each_batch(1000, &mut |batch| {
+                sizes.push(batch.len());
+                ids.extend(batch.iter().map(|n| n.node));
+            })
+            .unwrap();
+        assert!(sizes.iter().all(|&s| s == 1));
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(stream.num_nodes(), 5);
+        assert_eq!(stream.num_edges(), 6);
+    }
+
+    #[test]
+    fn default_for_each_batch_flushes_partial_tail() {
+        // A stream type without a batch override exercises the default impl.
+        struct Wrapper<'g>(InMemoryStream<'g>);
+        impl NodeStream for Wrapper<'_> {
+            fn num_nodes(&self) -> usize {
+                self.0.num_nodes()
+            }
+            fn num_edges(&self) -> usize {
+                self.0.num_edges()
+            }
+            fn total_node_weight(&self) -> NodeWeight {
+                self.0.total_node_weight()
+            }
+            fn for_each_node(&mut self, f: &mut dyn FnMut(StreamedNode<'_>)) -> Result<()> {
+                self.0.for_each_node(f)
+            }
+        }
+        let g = sample();
+        let mut sizes = Vec::new();
+        Wrapper(InMemoryStream::new(&g))
+            .for_each_batch(2, &mut |batch| sizes.push(batch.len()))
+            .unwrap();
+        assert_eq!(sizes, vec![2, 2, 1]);
     }
 }

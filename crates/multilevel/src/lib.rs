@@ -21,6 +21,12 @@
 //! stand-in) applies it recursively along a communication hierarchy so the
 //! result is simultaneously a process mapping.
 //!
+//! [`BufferedMultilevel`] bridges the two worlds: a *buffered streaming*
+//! algorithm (HeiStream-style) that pulls node batches from the batch
+//! executor, solves each batch as an in-memory model graph with the
+//! multilevel machinery and commits the result under the global balance
+//! constraint — streaming memory, multilevel quality.
+//!
 //! Both are orders of magnitude slower and more memory-hungry than the
 //! streaming algorithms in `oms-core` — exactly the trade-off the paper's
 //! Figure 2 illustrates — but produce much better cuts and mappings.
@@ -28,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buffered;
 pub mod clustering;
 pub mod contract;
 pub mod hierarchical;
@@ -36,6 +43,7 @@ pub mod partitioner;
 pub mod refine;
 pub mod registry;
 
+pub use buffered::BufferedMultilevel;
 pub use hierarchical::RecursiveMultisection;
 pub use partitioner::{MultilevelConfig, MultilevelPartitioner};
 pub use registry::register_algorithms;

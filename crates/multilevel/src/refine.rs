@@ -8,7 +8,7 @@
 use oms_core::{BlockId, Partition};
 use oms_graph::{CsrGraph, NodeWeight};
 use rayon::prelude::*;
-use std::collections::HashMap;
+
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Options for the refinement.
@@ -70,25 +70,33 @@ pub fn refine(
                 .par_iter()
                 .map(|&(lo, hi)| {
                     let mut local = Vec::new();
-                    let mut conn: HashMap<BlockId, u64> = HashMap::new();
+                    // Dense connectivity scratchpad with a touched list:
+                    // deterministic iteration (ascending block id breaks
+                    // gain ties) and no hashing on the hot path.
+                    let mut conn: Vec<u64> = vec![0; k as usize];
+                    let mut touched: Vec<BlockId> = Vec::new();
                     for v in lo..hi {
                         if graph.degree(v) == 0 {
                             continue;
                         }
                         let current = assignment[v as usize];
-                        conn.clear();
                         for (u, w) in graph.neighbors_weighted(v) {
-                            *conn.entry(assignment[u as usize]).or_insert(0) += w;
+                            let b = assignment[u as usize];
+                            if conn[b as usize] == 0 {
+                                touched.push(b);
+                            }
+                            conn[b as usize] += w;
                         }
-                        let current_conn = conn.get(&current).copied().unwrap_or(0);
+                        let current_conn = conn[current as usize];
                         let v_weight = graph.node_weight(v);
                         let mut best = current;
                         let mut best_gain = 0i64;
-                        for (&target, &c) in &conn {
+                        touched.sort_unstable();
+                        for &target in &touched {
                             if target == current {
                                 continue;
                             }
-                            let gain = c as i64 - current_conn as i64;
+                            let gain = conn[target as usize] as i64 - current_conn as i64;
                             let target_weight =
                                 block_weights[target as usize].load(Ordering::Relaxed);
                             if gain > best_gain && target_weight + v_weight <= capacity {
@@ -99,6 +107,10 @@ pub fn refine(
                         if best != current {
                             local.push((v, best));
                         }
+                        for &b in &touched {
+                            conn[b as usize] = 0;
+                        }
+                        touched.clear();
                     }
                     local
                 })

@@ -3,9 +3,10 @@
 //! `oms-core` cannot depend on this crate, so the `multilevel` and `rms`
 //! entries are contributed from here: frontends call
 //! [`register_algorithms`] once at startup and every
-//! [`JobSpec`](oms_core::JobSpec) string can then select the in-memory
+//! [`JobSpec`] string can then select the in-memory
 //! baselines exactly like the streaming algorithms.
 
+use crate::buffered::BufferedMultilevel;
 use crate::hierarchical::RecursiveMultisection;
 use crate::partitioner::{MultilevelConfig, MultilevelPartitioner};
 use oms_core::api::{materialize_stream, register_algorithm, AlgorithmInfo, JobSpec, Partitioner};
@@ -39,6 +40,20 @@ impl Partitioner for RecursiveMultisection {
     fn partition(&self, stream: &mut dyn NodeStream) -> Result<Partition> {
         let graph = materialize_stream(stream)?;
         RecursiveMultisection::partition(self, &graph)
+    }
+}
+
+impl Partitioner for BufferedMultilevel {
+    fn name(&self) -> String {
+        "buffered".to_string()
+    }
+
+    fn num_blocks(&self) -> u32 {
+        BufferedMultilevel::num_blocks(self)
+    }
+
+    fn partition(&self, stream: &mut dyn NodeStream) -> Result<Partition> {
+        self.partition_stream(stream)
     }
 }
 
@@ -80,8 +95,22 @@ fn build_rms(spec: &JobSpec) -> Result<Box<dyn Partitioner>> {
     )))
 }
 
-/// Registers the in-memory baselines (`multilevel`, `rms`) in the shared
-/// algorithm registry. Idempotent; call once at frontend startup.
+fn build_buffered(spec: &JobSpec) -> Result<Box<dyn Partitioner>> {
+    if spec.passes > 1 {
+        return Err(PartitionError::InvalidSpec(
+            "buffered does not support restreaming (passes > 1)".into(),
+        ));
+    }
+    Ok(Box::new(BufferedMultilevel::new(
+        spec.num_blocks(),
+        spec.buffer,
+        multilevel_config(spec),
+    )))
+}
+
+/// Registers the in-memory baselines (`multilevel`, `rms`) and the buffered
+/// streaming algorithm (`buffered`) in the shared algorithm registry.
+/// Idempotent; call once at frontend startup.
 pub fn register_algorithms() {
     register_algorithm(AlgorithmInfo {
         name: "multilevel",
@@ -96,6 +125,13 @@ pub fn register_algorithms() {
         description: "offline recursive multi-section along a hierarchy (IntMap stand-in)",
         supports_hierarchy: true,
         build: build_rms,
+    });
+    register_algorithm(AlgorithmInfo {
+        name: "buffered",
+        aliases: &["heistream", "buffered-multilevel"],
+        description: "buffered streaming: per-batch multilevel model solves (buf=<nodes>)",
+        supports_hierarchy: false,
+        build: build_buffered,
     });
 }
 
@@ -138,5 +174,35 @@ mod tests {
     fn rms_requires_a_hierarchy() {
         register_algorithms();
         assert!(oms_core::JobSpec::parse("rms:8").unwrap().build().is_err());
+    }
+
+    #[test]
+    fn jobspec_builds_and_runs_buffered_with_buf_parameter() {
+        register_algorithms();
+        let g = oms_gen::planted_partition(300, 8, 0.1, 0.01, 7);
+        let job = oms_core::JobSpec::parse("buffered:8@seed=3,buf=64").unwrap();
+        assert_eq!(job.buffer, 64);
+        assert_eq!(job.to_string(), "buffered:8@seed=3,buf=64");
+        let report = job
+            .build()
+            .unwrap()
+            .run(&mut InMemoryStream::new(&g))
+            .unwrap();
+        assert_eq!(report.algorithm, "buffered");
+        assert_eq!(report.partition.num_nodes(), 300);
+        assert!(report.partition.validate(&vec![1; 300]));
+    }
+
+    #[test]
+    fn buffered_rejects_restreaming_and_resolves_aliases() {
+        register_algorithms();
+        assert!(oms_core::JobSpec::parse("buffered:4@passes=2")
+            .unwrap()
+            .build()
+            .is_err());
+        assert_eq!(
+            oms_core::find_algorithm("heistream").unwrap().name,
+            "buffered"
+        );
     }
 }

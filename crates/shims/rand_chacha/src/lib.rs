@@ -1,4 +1,4 @@
-//! Offline stand-in for the [`rand_chacha`] crate providing [`ChaCha8Rng`].
+//! Offline stand-in for the [`rand_chacha`](https://crates.io/crates/rand_chacha) crate providing [`ChaCha8Rng`].
 //!
 //! The ChaCha8 block function itself is the real Bernstein construction
 //! (8 rounds, 64-byte blocks, 64-bit block counter), so the stream has the

@@ -20,8 +20,9 @@
 //!
 //! ## Quickstart
 //!
-//! Any algorithm in the workspace can be driven from one [`JobSpec`]
-//! (`prelude::JobSpec`) string through the shared dispatch registry:
+//! Any algorithm in the workspace can be driven from one
+//! [`JobSpec`](prelude::JobSpec) string through the shared dispatch
+//! registry:
 //!
 //! ```
 //! use oms::prelude::*;
@@ -50,9 +51,10 @@
 //! assert_eq!(baseline.partition.num_nodes(), 8);
 //! ```
 //!
-//! The classic concrete-type APIs ([`OnlineMultiSection`]
-//! (`prelude::OnlineMultiSection`), [`Fennel`](prelude::Fennel), …) remain
-//! available for callers that want compile-time dispatch.
+//! The classic concrete-type APIs
+//! ([`OnlineMultiSection`](prelude::OnlineMultiSection),
+//! [`Fennel`](prelude::Fennel), …) remain available for callers that want
+//! compile-time dispatch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -68,19 +70,21 @@ pub use oms_multilevel as multilevel;
 pub mod prelude {
     pub use oms_core::{
         find_algorithm, register_algorithm, registered_algorithms, AlgorithmInfo, AlphaMode,
-        BlockId, DistanceSpec, Fennel, Hashing, HierarchySpec, JobShape, JobSpec, Ldg, OmsConfig,
-        OnePassConfig, OnlineMultiSection, Partition, PartitionReport, Partitioner, ScorerKind,
-        StreamingPartitioner,
+        BatchExecutor, BlockId, DistanceSpec, Fennel, Hashing, HierarchySpec, JobShape, JobSpec,
+        Ldg, NodeSink, OmsConfig, OnePassConfig, OnlineMultiSection, Partition, PartitionReport,
+        Partitioner, ScorerKind, StreamingPartitioner,
     };
     pub use oms_gen::{
         barabasi_albert, delaunay_graph, erdos_renyi_gnm, grid_2d, planted_partition,
         random_geometric_graph, rmat_graph,
     };
-    pub use oms_graph::{CsrGraph, GraphBuilder, InMemoryStream, NodeOrdering, NodeStream};
+    pub use oms_graph::{
+        CsrGraph, GraphBuilder, InMemoryStream, NodeBatch, NodeOrdering, NodeStream, PerNodeBatches,
+    };
     pub use oms_mapping::{mapping_cost, offline_block_mapping, remap_partition, Topology};
     pub use oms_metrics::{edge_cut, geometric_mean, improvement_percent};
     pub use oms_multilevel::{
-        register_algorithms as register_multilevel_algorithms, MultilevelConfig,
-        MultilevelPartitioner, RecursiveMultisection,
+        register_algorithms as register_multilevel_algorithms, BufferedMultilevel,
+        MultilevelConfig, MultilevelPartitioner, RecursiveMultisection,
     };
 }

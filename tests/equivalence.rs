@@ -1,0 +1,148 @@
+//! Equivalence suite for the batch executor.
+//!
+//! The batched streaming pipeline must be a pure execution-model change:
+//! for a fixed seed, every registered algorithm has to produce **byte
+//! identical** assignments no matter
+//!
+//! * how the stream is batched (the per-node path — batch size 1, via
+//!   [`PerNodeBatches`] — against the default batched path), and
+//! * where the stream comes from (in-memory, chunked, or disk, with disk
+//!   ingest both synchronous and double-buffered).
+
+use oms::graph::io::{write_stream_file, DiskStream};
+use oms::graph::ChunkedStream;
+use oms::prelude::*;
+use std::path::PathBuf;
+
+fn temp_stream_file(graph: &CsrGraph, name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("oms-equivalence-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    write_stream_file(graph, &path).unwrap();
+    path
+}
+
+/// The per-node algorithm families, pinned to a fixed seed. Their scorers
+/// only ever see one node at a time, so batching must not change anything.
+fn per_node_algorithm_specs() -> Vec<&'static str> {
+    vec![
+        "fennel:8@seed=3",
+        "ldg:8@seed=3",
+        "hashing:8@seed=3",
+        "oms:2:2:2@seed=3",
+        "nh-oms:8@seed=3",
+        "fennel:8@seed=3,passes=3",
+        "oms:8@seed=3,passes=2",
+        "multilevel:8@seed=3",
+        "rms:2:2:2@seed=3",
+    ]
+}
+
+/// Everything above plus `buffered`, whose batches are part of the
+/// algorithm (the batch is the model graph) — it is therefore only included
+/// where the batch size is held fixed, i.e. the cross-source checks.
+fn all_algorithm_specs() -> Vec<&'static str> {
+    let mut specs = per_node_algorithm_specs();
+    specs.push("buffered:8@seed=3,buf=100");
+    specs
+}
+
+fn assignments(partitioner: &dyn Partitioner, stream: &mut dyn NodeStream) -> Vec<BlockId> {
+    partitioner
+        .partition(stream)
+        .expect("partitioning succeeds")
+        .assignments()
+        .to_vec()
+}
+
+#[test]
+fn batch_executor_matches_per_node_path_for_every_algorithm() {
+    register_multilevel_algorithms();
+    let graph = planted_partition(700, 8, 0.1, 0.005, 17);
+    for spec in per_node_algorithm_specs() {
+        let partitioner = JobSpec::parse(spec).unwrap().build().unwrap();
+        let batched = assignments(&*partitioner, &mut InMemoryStream::new(&graph));
+        let per_node = assignments(
+            &*partitioner,
+            &mut PerNodeBatches(InMemoryStream::new(&graph)),
+        );
+        assert_eq!(
+            batched, per_node,
+            "{spec}: batched and per-node assignments must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn all_stream_sources_produce_identical_assignments() {
+    register_multilevel_algorithms();
+    let graph = planted_partition(600, 8, 0.1, 0.005, 23);
+    let path = temp_stream_file(&graph, "sources.oms");
+    for spec in all_algorithm_specs() {
+        let partitioner = JobSpec::parse(spec).unwrap().build().unwrap();
+        let reference = assignments(&*partitioner, &mut InMemoryStream::new(&graph));
+
+        let chunked = assignments(
+            &*partitioner,
+            &mut ChunkedStream::new(&graph, NodeOrdering::Natural),
+        );
+        assert_eq!(reference, chunked, "{spec}: chunked stream differs");
+
+        let mut disk_sync = DiskStream::open(&path).unwrap().double_buffered(false);
+        assert_eq!(
+            reference,
+            assignments(&*partitioner, &mut disk_sync),
+            "{spec}: synchronous disk stream differs"
+        );
+
+        let mut disk_buffered = DiskStream::open(&path).unwrap();
+        assert_eq!(
+            reference,
+            assignments(&*partitioner, &mut disk_buffered),
+            "{spec}: double-buffered disk stream differs"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn batch_size_does_not_change_sequential_results() {
+    // The executor's batch size is an implementation detail of the drive
+    // loop; streaming scorers only ever see one node at a time, so any
+    // batching must yield the same partition.
+    let graph = planted_partition(500, 8, 0.12, 0.005, 29);
+    let fennel = Fennel::new(8, OnePassConfig::default().seed(7));
+    let reference = fennel
+        .partition_stream(&mut PerNodeBatches(InMemoryStream::new(&graph)))
+        .unwrap();
+    for permuted in [false, true] {
+        let mut stream = if permuted {
+            InMemoryStream::with_ordering(&graph, NodeOrdering::Random(5))
+        } else {
+            InMemoryStream::new(&graph)
+        };
+        let batched = fennel.partition_stream(&mut stream).unwrap();
+        if !permuted {
+            assert_eq!(reference, batched);
+        } else {
+            // A different stream order legitimately changes the result; it
+            // must still be a complete, valid partition.
+            assert_eq!(batched.num_nodes(), 500);
+            assert!(batched.validate(&vec![1; 500]));
+        }
+    }
+}
+
+#[test]
+fn restreaming_equivalence_holds_across_sources() {
+    // Multi-pass algorithms re-open the stream once per pass; disk and
+    // memory must still agree pass for pass.
+    let graph = planted_partition(400, 4, 0.15, 0.01, 31);
+    let path = temp_stream_file(&graph, "restream.oms");
+    let job = JobSpec::parse("fennel:4@seed=1,passes=4").unwrap();
+    let partitioner = job.build().unwrap();
+    let memory = assignments(&*partitioner, &mut InMemoryStream::new(&graph));
+    let mut disk = DiskStream::open(&path).unwrap();
+    assert_eq!(memory, assignments(&*partitioner, &mut disk));
+    std::fs::remove_file(&path).ok();
+}
