@@ -1,0 +1,78 @@
+//! Quality-vs-passes: how much edge-cut does restreaming buy, and when
+//! does it stop paying off?
+//!
+//! For every algorithm that supports multi-pass execution the multi-pass
+//! engine is run with a generous pass budget, and the per-pass trajectory
+//! (cut after each accepted pass, nodes moved, pass time) is reported
+//! together with the total cut reduction and the pass at which the run
+//! effectively converged (< 1 % further improvement). This is the table
+//! behind the README's restreaming section.
+//!
+//! ```text
+//! cargo run --release -p oms-bench --bin restream -- --scale 0.1 --k 32
+//! ```
+
+use oms_bench::{quality_corpus, BenchArgs};
+use oms_core::JobSpec;
+use oms_graph::InMemoryStream;
+use oms_metrics::{cut_reduction_percent, effective_convergence_pass, Table};
+
+fn main() {
+    oms_multilevel::register_algorithms();
+    let args = BenchArgs::from_env();
+    let out_dir = args.ensure_out_dir();
+    let k = args.ks.first().copied().unwrap_or(32);
+    let passes = if args.quick { 3 } else { 8 };
+    let mut corpus = quality_corpus(args.scale, 42);
+    if args.quick {
+        corpus.truncate(2);
+    }
+
+    let specs: Vec<String> = ["fennel", "ldg", "nh-oms", "buffered"]
+        .iter()
+        .map(|algo| format!("{algo}:{k}@seed=3,passes={passes}"))
+        .collect();
+
+    let mut table = Table::new(
+        &format!("Quality vs. restreaming passes, k = {k} (pass budget {passes})"),
+        &[
+            "graph",
+            "algorithm",
+            "pass",
+            "edge_cut",
+            "moved",
+            "seconds",
+            "cut_red_%",
+            "conv_pass",
+        ],
+    );
+    for (name, graph) in &corpus {
+        for spec in &specs {
+            let job: JobSpec = spec.parse().expect("suite specs parse");
+            let partitioner = job.build().expect("suite specs build");
+            let (_, trajectory) = partitioner
+                .partition_tracked(&mut InMemoryStream::new(graph))
+                .unwrap_or_else(|e| panic!("'{spec}' failed on {name}: {e}"));
+            let reduction = cut_reduction_percent(&trajectory.stats);
+            let conv = effective_convergence_pass(&trajectory.stats, 0.01)
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".into());
+            for stats in &trajectory.stats {
+                table.add_row(vec![
+                    name.clone(),
+                    partitioner.name(),
+                    stats.pass.to_string(),
+                    stats.edge_cut.to_string(),
+                    stats.moved.to_string(),
+                    format!("{:.4}", stats.seconds),
+                    format!("{reduction:.2}"),
+                    conv.clone(),
+                ]);
+            }
+        }
+    }
+    println!("{}", table.to_text());
+    let csv = out_dir.join("restream_quality.csv");
+    table.write_csv(&csv).expect("write CSV");
+    println!("CSV written to {}", csv.display());
+}

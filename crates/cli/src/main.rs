@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! oms partition <graph.metis|graph.oms> --k 256 [--algo oms|fennel|ldg|hashing|buffered|multilevel|...]
-//!               [--epsilon 0.03] [--threads 4] [--passes 1] [--seed 0] [--buffer 4096]
-//!               [--output partition.txt]
+//!               [--epsilon 0.03] [--threads 4] [--passes 1] [--converge 0.0] [--seed 0]
+//!               [--buffer 4096] [--output partition.txt]
 //! oms partition <graph> --job "oms:4:16:8@eps=0.03,threads=8" [--output FILE]
 //! oms map       <graph.metis|graph.oms> --hierarchy 4:16:8 --distances 1:10:100
 //!               [--algo oms|fennel|hashing|rms] [--threads T] [--output mapping.txt]
@@ -47,7 +47,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  oms partition  <graph> --k <k> [--algo NAME] [--epsilon 0.03] [--threads T] [--passes P] [--seed S] [--buffer B] [--output FILE]
+  oms partition  <graph> --k <k> [--algo NAME] [--epsilon 0.03] [--threads T] [--passes P] [--converge EPS] [--seed S] [--buffer B] [--output FILE]
   oms partition  <graph> --job <spec>  (e.g. \"oms:4:16:8@eps=0.03,threads=8\") [--output FILE]
   oms map        <graph> --hierarchy a1:a2:... [--distances d1:d2:...] [--algo NAME] [--threads T] [--seed S] [--output FILE]
   oms algorithms
@@ -203,6 +203,7 @@ fn job_from_options(
             "epsilon",
             "threads",
             "passes",
+            "converge",
             "seed",
             "buffer",
             "hierarchy",
@@ -231,6 +232,9 @@ fn job_from_options(
     if let Some(passes) = parse_option(options, "passes", "a positive integer")? {
         job = job.passes(passes);
     }
+    if let Some(converge) = parse_option(options, "converge", "a non-negative number")? {
+        job = job.convergence(converge);
+    }
     if let Some(seed) = parse_option(options, "seed", "an integer")? {
         job = job.seed(seed);
     }
@@ -240,11 +244,26 @@ fn job_from_options(
     Ok(job)
 }
 
+/// Prints the per-pass quality trajectory of a multi-pass run, one line per
+/// accepted pass.
+fn print_trajectory(trajectory: &[oms_core::PassStats]) {
+    if trajectory.len() < 2 {
+        return;
+    }
+    for stats in trajectory {
+        println!(
+            "  pass {:>2}  : cut {} (imbalance {:.4}, {} moved, {:.4} s)",
+            stats.pass, stats.edge_cut, stats.imbalance, stats.moved, stats.seconds
+        );
+    }
+}
+
 fn partition_command(args: &[String]) -> Result<(), Error> {
     let (positional, options) = split_options(
         args,
         &[
-            "k", "job", "algo", "epsilon", "threads", "passes", "seed", "buffer", "output",
+            "k", "job", "algo", "epsilon", "threads", "passes", "converge", "seed", "buffer",
+            "output",
         ],
     )?;
     let Some(path) = positional.first() else {
@@ -275,6 +294,7 @@ fn partition_command(args: &[String]) -> Result<(), Error> {
     println!("edge-cut   : {}", report.edge_cut);
     println!("imbalance  : {:.4}", report.imbalance);
     println!("time       : {:.4} s", report.seconds);
+    print_trajectory(&report.trajectory);
     if let Some(output) = options.get("output") {
         write_assignments(output, report.partition.assignments())?;
         println!("partition written to {output}");
@@ -293,6 +313,7 @@ fn map_command(args: &[String]) -> Result<(), Error> {
             "epsilon",
             "threads",
             "passes",
+            "converge",
             "seed",
             "output",
         ],
@@ -355,6 +376,7 @@ fn map_command(args: &[String]) -> Result<(), Error> {
     println!("edge-cut     : {}", report.edge_cut);
     println!("imbalance    : {:.4}", report.imbalance);
     println!("time         : {:.4} s", report.seconds);
+    print_trajectory(&report.trajectory);
     if let Some(output) = options.get("output") {
         write_assignments(output, report.partition.assignments())?;
         println!("mapping written to {output}");
@@ -376,7 +398,7 @@ fn algorithms_command(args: &[String]) -> Result<(), Error> {
         };
         println!("  {:<12} {}{}", algo.name, algo.description, aliases);
     }
-    println!("\njob spec grammar: <algo>:<k | a1:a2:...>[@eps=..,seed=..,threads=..,passes=..,base=..,hybrid=..,buf=..,dist=d1:d2:...]");
+    println!("\njob spec grammar: <algo>:<k | a1:a2:...>[@eps=..,seed=..,threads=..,passes=..,conv=..,base=..,hybrid=..,buf=..,dist=d1:d2:...]");
     Ok(())
 }
 

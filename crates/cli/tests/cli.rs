@@ -271,3 +271,87 @@ fn partition_requires_k() {
     let output = oms().arg("partition").arg(&graph_path).output().unwrap();
     assert_eq!(output.status.code(), Some(1));
 }
+
+#[test]
+fn partition_with_passes_prints_the_trajectory() {
+    let dir = temp_dir("passes");
+    let graph_path = dir.join("sbm.metis");
+    let output = oms()
+        .args(["generate", "er", "1500"])
+        .arg(&graph_path)
+        .args(["--seed", "11"])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+
+    let output = oms()
+        .arg("partition")
+        .arg(&graph_path)
+        .args([
+            "--k", "8", "--algo", "fennel", "--passes", "3", "--seed", "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("passes=3"), "stdout was: {stdout}");
+    assert!(stdout.contains("pass  0"), "stdout was: {stdout}");
+    assert!(stdout.contains("pass  1"), "stdout was: {stdout}");
+
+    // --converge plumbs through to the job spec (conv=).
+    let output = oms()
+        .arg("partition")
+        .arg(&graph_path)
+        .args([
+            "--k",
+            "8",
+            "--algo",
+            "ldg",
+            "--passes",
+            "5",
+            "--converge",
+            "0.05",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("passes=5,conv=0.05"),
+        "stdout was: {stdout}"
+    );
+}
+
+#[test]
+fn partition_passes_works_for_in_memory_and_buffered_algorithms() {
+    let dir = temp_dir("passes-registry");
+    let graph_path = dir.join("er.metis");
+    let output = oms()
+        .args(["generate", "er", "800"])
+        .arg(&graph_path)
+        .args(["--seed", "13"])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    for algo in ["multilevel", "buffered", "hashing", "oms"] {
+        let output = oms()
+            .arg("partition")
+            .arg(&graph_path)
+            .args(["--k", "4", "--algo", algo, "--passes", "2"])
+            .output()
+            .unwrap();
+        assert!(
+            output.status.success(),
+            "{algo}: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+}

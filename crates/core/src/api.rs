@@ -30,7 +30,12 @@
 //!             eps=<f64>           allowed imbalance ε          (default 0.03)
 //!             seed=<u64>          RNG seed                     (default 0)
 //!             threads=<usize>     shared-memory parallelism    (default 1)
-//!             passes=<usize>      restreaming passes           (default 1)
+//!             passes=<usize>      restreaming passes (upper bound
+//!                                 when conv= is set)           (default 1)
+//!             conv=<f64>          relative edge-cut improvement below
+//!                                 which a multi-pass run stops early
+//!                                 (0 = fixed passes; the run always stops
+//!                                 once no node moves)          (default 0)
 //!             base=<u32>          nh-OMS multi-section base    (default 4)
 //!             hybrid=<usize>      bottom tree layers solved with Hashing
 //!                                 (the hybrid mapping of §3.2, default 0)
@@ -63,12 +68,13 @@
 //! ```
 
 use crate::config::{OmsConfig, OnePassConfig};
+use crate::executor::{PassStats, PassTrajectory};
 use crate::hierarchy::{DistanceSpec, HierarchySpec};
 use crate::oms::OnlineMultiSection;
 use crate::onepass::{Fennel, Hashing, Ldg, StreamingPartitioner};
-use crate::parallel::{hashing_parallel, onepass_parallel, FlatScorer};
+use crate::parallel::{hashing_parallel, onepass_parallel_restream, FlatScorer};
 use crate::partition::Partition;
-use crate::restream::{ReFennel, ReLdg, ReOms};
+use crate::restream::{ReFennel, ReHashing, ReLdg, ReOms};
 use crate::{BlockId, PartitionError, Result};
 use oms_graph::{CsrGraph, EdgeWeight, NodeId, NodeStream, NodeWeight};
 use std::fmt;
@@ -97,6 +103,9 @@ pub struct PartitionReport {
     pub mapping_cost: Option<u64>,
     /// Wall time of the partitioning pass in seconds.
     pub seconds: f64,
+    /// Per-pass quality trajectory of a multi-pass (restreaming) run, in
+    /// pass order. Empty for algorithms that do not track passes.
+    pub trajectory: Vec<PassStats>,
     /// The partition itself.
     pub partition: Partition,
 }
@@ -133,6 +142,17 @@ pub trait Partitioner {
     /// Computes the partition for the nodes delivered by `stream`.
     fn partition(&self, stream: &mut dyn NodeStream) -> Result<Partition>;
 
+    /// Like [`Partitioner::partition`], but additionally returns the
+    /// per-pass quality trajectory of multi-pass (restreaming) runs. The
+    /// default wraps [`Partitioner::partition`] with an empty trajectory;
+    /// restreaming algorithms override it.
+    fn partition_tracked(
+        &self,
+        stream: &mut dyn NodeStream,
+    ) -> Result<(Partition, PassTrajectory)> {
+        Ok((self.partition(stream)?, PassTrajectory::default()))
+    }
+
     /// The topology this job maps onto, when one was specified.
     fn topology(&self) -> Option<(&HierarchySpec, &DistanceSpec)> {
         None
@@ -140,20 +160,35 @@ pub trait Partitioner {
 
     /// Runs the partitioner and evaluates the result into a
     /// [`PartitionReport`] (edge-cut, imbalance, optional mapping cost `J`,
-    /// wall time). Metrics are computed with one extra pass over the stream;
-    /// only the partitioning pass itself is timed.
+    /// wall time). The final edge-cut is taken from the engine's last
+    /// metric pass when a trajectory was tracked; untracked runs pay one
+    /// extra metric pass over the stream. `seconds` covers everything
+    /// [`Partitioner::partition_tracked`] does — for multi-pass runs that
+    /// includes the engine's per-pass metric passes (the per-pass
+    /// [`PassStats::seconds`] exclude them).
     fn run(&self, stream: &mut dyn NodeStream) -> Result<PartitionReport> {
         let start = Instant::now();
-        let partition = self.partition(stream)?;
+        let (partition, trajectory) = self.partition_tracked(stream)?;
         let seconds = start.elapsed().as_secs_f64();
-        let edge_cut = stream_edge_cut(stream, partition.assignments())?;
+        let edge_cut = match trajectory.final_edge_cut() {
+            // The trajectory's last accepted pass is the returned
+            // partition; its cut was already measured stream-side.
+            Some(cut) => cut,
+            None => {
+                stream.reset()?;
+                stream_edge_cut(stream, partition.assignments())?
+            }
+        };
         let mapping_cost = match self.topology() {
-            Some((hierarchy, distances)) => Some(stream_mapping_cost(
-                stream,
-                partition.assignments(),
-                hierarchy,
-                distances,
-            )?),
+            Some((hierarchy, distances)) => {
+                stream.reset()?;
+                Some(stream_mapping_cost(
+                    stream,
+                    partition.assignments(),
+                    hierarchy,
+                    distances,
+                )?)
+            }
             None => None,
         };
         Ok(PartitionReport {
@@ -162,6 +197,7 @@ pub trait Partitioner {
             imbalance: partition.imbalance(),
             mapping_cost,
             seconds,
+            trajectory: trajectory.stats,
             partition,
         })
     }
@@ -179,18 +215,27 @@ impl<T: StreamingPartitioner> Partitioner for T {
     fn partition(&self, mut stream: &mut dyn NodeStream) -> Result<Partition> {
         self.partition_stream(&mut stream)
     }
+
+    fn partition_tracked(
+        &self,
+        mut stream: &mut dyn NodeStream,
+    ) -> Result<(Partition, PassTrajectory)> {
+        self.partition_stream_tracked(&mut stream)
+    }
 }
 
 // ------------------------------------------------------------ stream metrics
 
 /// Edge-cut of `assignments`, computed with one pass over the stream (each
-/// undirected edge is seen from both endpoints, so the sum is halved).
+/// undirected edge is seen from both endpoints, so the sum is halved). An
+/// edge incident to an unassigned node counts as cut, matching
+/// [`crate::executor::measure_pass`].
 pub fn stream_edge_cut(stream: &mut dyn NodeStream, assignments: &[BlockId]) -> Result<u64> {
     let mut twice = 0u64;
     stream.for_each_node(&mut |node| {
         let own = assignments[node.node as usize];
         for (u, w) in node.neighbors_weighted() {
-            if assignments[u as usize] != own {
+            if own == crate::partition::UNASSIGNED || assignments[u as usize] != own {
                 twice += w;
             }
         }
@@ -258,11 +303,52 @@ enum ParFlatKind {
 
 /// Adapter running the shared-memory parallel one-pass drivers (§3.4) behind
 /// the object-safe API. Streams without an in-memory graph are materialised.
+/// `passes > 1` restreams the graph with the same parallel kernel.
 struct ParallelFlat {
     k: u32,
     kind: ParFlatKind,
     config: OnePassConfig,
     threads: usize,
+    passes: usize,
+    convergence: f64,
+}
+
+impl ParallelFlat {
+    fn run_parallel(
+        &self,
+        stream: &mut dyn NodeStream,
+        tracked: bool,
+    ) -> Result<(Partition, PassTrajectory)> {
+        let graph = materialize_stream(stream)?;
+        match self.kind {
+            ParFlatKind::Hashing => {
+                // Hashing never moves a node across passes; a single
+                // parallel pass is the fixed point.
+                let partition = hashing_parallel(&graph, self.k, self.config, self.threads)?;
+                Ok((partition, PassTrajectory::default()))
+            }
+            ParFlatKind::Fennel => onepass_parallel_restream(
+                &graph,
+                self.k,
+                FlatScorer::Fennel,
+                self.config,
+                self.threads,
+                self.passes,
+                self.convergence,
+                tracked,
+            ),
+            ParFlatKind::Ldg => onepass_parallel_restream(
+                &graph,
+                self.k,
+                FlatScorer::Ldg,
+                self.config,
+                self.threads,
+                self.passes,
+                self.convergence,
+                tracked,
+            ),
+        }
+    }
 }
 
 impl Partitioner for ParallelFlat {
@@ -280,20 +366,14 @@ impl Partitioner for ParallelFlat {
     }
 
     fn partition(&self, stream: &mut dyn NodeStream) -> Result<Partition> {
-        let graph = materialize_stream(stream)?;
-        match self.kind {
-            ParFlatKind::Hashing => hashing_parallel(&graph, self.k, self.config, self.threads),
-            ParFlatKind::Fennel => onepass_parallel(
-                &graph,
-                self.k,
-                FlatScorer::Fennel,
-                self.config,
-                self.threads,
-            ),
-            ParFlatKind::Ldg => {
-                onepass_parallel(&graph, self.k, FlatScorer::Ldg, self.config, self.threads)
-            }
-        }
+        Ok(self.run_parallel(stream, false)?.0)
+    }
+
+    fn partition_tracked(
+        &self,
+        stream: &mut dyn NodeStream,
+    ) -> Result<(Partition, PassTrajectory)> {
+        self.run_parallel(stream, true)
     }
 }
 
@@ -302,6 +382,8 @@ impl Partitioner for ParallelFlat {
 struct ParallelOms {
     oms: OnlineMultiSection,
     threads: usize,
+    passes: usize,
+    convergence: f64,
 }
 
 impl Partitioner for ParallelOms {
@@ -315,7 +397,30 @@ impl Partitioner for ParallelOms {
 
     fn partition(&self, stream: &mut dyn NodeStream) -> Result<Partition> {
         let graph = materialize_stream(stream)?;
-        self.oms.partition_graph_parallel(&graph, self.threads)
+        Ok(self
+            .oms
+            .partition_graph_parallel_restream(
+                &graph,
+                self.threads,
+                self.passes,
+                self.convergence,
+                false,
+            )?
+            .0)
+    }
+
+    fn partition_tracked(
+        &self,
+        stream: &mut dyn NodeStream,
+    ) -> Result<(Partition, PassTrajectory)> {
+        let graph = materialize_stream(stream)?;
+        self.oms.partition_graph_parallel_restream(
+            &graph,
+            self.threads,
+            self.passes,
+            self.convergence,
+            true,
+        )
     }
 }
 
@@ -339,6 +444,13 @@ impl Partitioner for JobPartitioner {
 
     fn partition(&self, stream: &mut dyn NodeStream) -> Result<Partition> {
         self.inner.partition(stream)
+    }
+
+    fn partition_tracked(
+        &self,
+        stream: &mut dyn NodeStream,
+    ) -> Result<(Partition, PassTrajectory)> {
+        self.inner.partition_tracked(stream)
     }
 
     fn topology(&self) -> Option<(&HierarchySpec, &DistanceSpec)> {
@@ -407,8 +519,13 @@ pub struct JobSpec {
     pub seed: u64,
     /// Shared-memory threads (`> 1` selects the parallel drivers).
     pub threads: usize,
-    /// Stream passes (`> 1` selects the restreaming variants).
+    /// Stream passes (`> 1` selects the restreaming variants; an upper
+    /// bound when `convergence` is set).
     pub passes: usize,
+    /// Relative edge-cut improvement below which a multi-pass run stops
+    /// early (`0.0` = run the fixed number of passes; the engine still
+    /// stops once no node moves between passes).
+    pub convergence: f64,
     /// Multi-section base for nh-OMS.
     pub base_b: u32,
     /// Number of bottom tree layers solved with Hashing (the hybrid mapping
@@ -432,6 +549,7 @@ impl JobSpec {
             seed: 0,
             threads: 1,
             passes: 1,
+            convergence: 0.0,
             base_b: DEFAULT_BASE_B,
             hashing_bottom_layers: 0,
             buffer: 0,
@@ -473,6 +591,13 @@ impl JobSpec {
     /// Sets the number of restreaming passes.
     pub fn passes(mut self, passes: usize) -> Self {
         self.passes = passes;
+        self
+    }
+
+    /// Sets the convergence threshold of multi-pass runs (relative
+    /// edge-cut improvement below which the run stops early).
+    pub fn convergence(mut self, min_improvement: f64) -> Self {
+        self.convergence = min_improvement;
         self
     }
 
@@ -557,6 +682,17 @@ impl JobSpec {
                 "epsilon must be non-negative".into(),
             ));
         }
+        if !self.convergence.is_finite() || self.convergence < 0.0 {
+            return Err(PartitionError::InvalidConfig(
+                "conv must be non-negative".into(),
+            ));
+        }
+        if self.convergence > 0.0 && self.passes <= 1 {
+            return Err(PartitionError::InvalidConfig(
+                "conv= only applies to multi-pass runs; set passes=<N> (the pass budget) as well"
+                    .into(),
+            ));
+        }
         let inner = (info.build)(self)?;
         let topology = match (&self.shape, &self.distances) {
             (_, None) => None,
@@ -599,6 +735,9 @@ impl fmt::Display for JobSpec {
         }
         if self.passes != 1 {
             options.push(format!("passes={}", self.passes));
+        }
+        if self.convergence != 0.0 {
+            options.push(format!("conv={}", self.convergence));
         }
         if self.base_b != DEFAULT_BASE_B {
             options.push(format!("base={}", self.base_b));
@@ -694,6 +833,14 @@ impl FromStr for JobSpec {
                             return Err(parse_err("passes must be at least 1"));
                         }
                     }
+                    "conv" | "convergence" => {
+                        spec.convergence = value
+                            .parse()
+                            .map_err(|_| parse_err("expected a floating-point value"))?;
+                        if !spec.convergence.is_finite() || spec.convergence < 0.0 {
+                            return Err(parse_err("conv must be non-negative"));
+                        }
+                    }
                     "base" => {
                         spec.base_b = value.parse().map_err(|_| parse_err("expected an integer"))?;
                     }
@@ -709,7 +856,7 @@ impl FromStr for JobSpec {
                     }
                     _ => {
                         return Err(PartitionError::InvalidSpec(format!(
-                            "unknown job option '{key}' (known: eps, seed, threads, passes, base, hybrid, buf, dist)"
+                            "unknown job option '{key}' (known: eps, seed, threads, passes, conv, base, hybrid, buf, dist)"
                         )))
                     }
                 }
@@ -783,36 +930,22 @@ pub fn find_algorithm(name: &str) -> Option<AlgorithmInfo> {
         .find(|a| a.name == wanted || a.aliases.iter().any(|&alias| alias == wanted))
 }
 
-fn no_passes(spec: &JobSpec, algorithm: &str) -> Result<()> {
-    if spec.passes > 1 {
-        Err(PartitionError::InvalidSpec(format!(
-            "{algorithm} does not support restreaming (passes > 1)"
-        )))
-    } else {
-        Ok(())
-    }
-}
-
-fn no_threads_with_passes(spec: &JobSpec, algorithm: &str) -> Result<()> {
-    if spec.passes > 1 && spec.threads > 1 {
-        Err(PartitionError::InvalidSpec(format!(
-            "{algorithm}: restreaming (passes > 1) and parallel execution (threads > 1) cannot be combined"
-        )))
-    } else {
-        Ok(())
-    }
-}
-
 fn build_hashing(spec: &JobSpec) -> Result<Box<dyn Partitioner>> {
-    no_passes(spec, "hashing")?;
     let k = spec.num_blocks();
     let config = spec.one_pass_config();
-    Ok(if spec.threads > 1 {
+    // Hashing is a fixed point after one pass no matter how it is driven,
+    // so restreaming (sequential, with the immediate fixed-point exit)
+    // takes precedence over the parallel driver.
+    Ok(if spec.passes > 1 {
+        Box::new(ReHashing::new(k, config, spec.passes).convergence(spec.convergence))
+    } else if spec.threads > 1 {
         Box::new(ParallelFlat {
             k,
             kind: ParFlatKind::Hashing,
             config,
             threads: spec.threads,
+            passes: 1,
+            convergence: 0.0,
         })
     } else {
         Box::new(Hashing::new(k, config))
@@ -820,36 +953,38 @@ fn build_hashing(spec: &JobSpec) -> Result<Box<dyn Partitioner>> {
 }
 
 fn build_ldg(spec: &JobSpec) -> Result<Box<dyn Partitioner>> {
-    no_threads_with_passes(spec, "ldg")?;
     let k = spec.num_blocks();
     let config = spec.one_pass_config();
-    Ok(if spec.passes > 1 {
-        Box::new(ReLdg::new(k, config, spec.passes))
-    } else if spec.threads > 1 {
+    Ok(if spec.threads > 1 {
         Box::new(ParallelFlat {
             k,
             kind: ParFlatKind::Ldg,
             config,
             threads: spec.threads,
+            passes: spec.passes,
+            convergence: spec.convergence,
         })
+    } else if spec.passes > 1 {
+        Box::new(ReLdg::new(k, config, spec.passes).convergence(spec.convergence))
     } else {
         Box::new(Ldg::new(k, config))
     })
 }
 
 fn build_fennel(spec: &JobSpec) -> Result<Box<dyn Partitioner>> {
-    no_threads_with_passes(spec, "fennel")?;
     let k = spec.num_blocks();
     let config = spec.one_pass_config();
-    Ok(if spec.passes > 1 {
-        Box::new(ReFennel::new(k, config, spec.passes))
-    } else if spec.threads > 1 {
+    Ok(if spec.threads > 1 {
         Box::new(ParallelFlat {
             k,
             kind: ParFlatKind::Fennel,
             config,
             threads: spec.threads,
+            passes: spec.passes,
+            convergence: spec.convergence,
         })
+    } else if spec.passes > 1 {
+        Box::new(ReFennel::new(k, config, spec.passes).convergence(spec.convergence))
     } else {
         Box::new(Fennel::new(k, config))
     })
@@ -857,17 +992,18 @@ fn build_fennel(spec: &JobSpec) -> Result<Box<dyn Partitioner>> {
 
 fn finish_oms(
     spec: &JobSpec,
-    algorithm: &str,
+    _algorithm: &str,
     oms: OnlineMultiSection,
 ) -> Result<Box<dyn Partitioner>> {
-    no_threads_with_passes(spec, algorithm)?;
-    Ok(if spec.passes > 1 {
-        Box::new(ReOms::new(oms, spec.passes))
-    } else if spec.threads > 1 {
+    Ok(if spec.threads > 1 {
         Box::new(ParallelOms {
             oms,
             threads: spec.threads,
+            passes: spec.passes,
+            convergence: spec.convergence,
         })
+    } else if spec.passes > 1 {
+        Box::new(ReOms::new(oms, spec.passes).convergence(spec.convergence))
     } else {
         Box::new(oms)
     })
@@ -983,6 +1119,7 @@ mod tests {
             "oms:4:16:8@eps=0.05,threads=8",
             "ldg:16@passes=3",
             "nh-oms:10@seed=7,base=2",
+            "ldg:16@passes=4,conv=0.02",
             "oms:2:2:2@dist=1:10:100",
             "oms:4:4:4@hybrid=2",
             "buffered:4@buf=4096",
@@ -1152,12 +1289,71 @@ mod tests {
     }
 
     #[test]
-    fn invalid_combinations_are_rejected() {
-        assert!(JobSpec::parse("hashing:4@passes=2")
+    fn every_builtin_supports_passes() {
+        let graph = two_communities();
+        for text in [
+            "hashing:4@passes=3",
+            "ldg:4@passes=3",
+            "fennel:4@passes=2,threads=2",
+            "oms:4@passes=2,threads=2",
+            "nh-oms:4@passes=2",
+        ] {
+            let report = JobSpec::parse(text)
+                .unwrap()
+                .build()
+                .unwrap_or_else(|e| panic!("{text}: {e}"))
+                .run(&mut InMemoryStream::new(&graph))
+                .unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(report.partition.num_nodes(), 8, "{text}");
+            assert!(report.partition.validate(&[1; 8]), "{text}");
+        }
+    }
+
+    #[test]
+    fn multi_pass_reports_carry_a_trajectory() {
+        let graph = two_communities();
+        let report = JobSpec::parse("fennel:2@passes=4,seed=1")
             .unwrap()
             .build()
-            .is_err());
-        assert!(JobSpec::parse("fennel:4@passes=2,threads=2")
+            .unwrap()
+            .run(&mut InMemoryStream::new(&graph))
+            .unwrap();
+        assert!(!report.trajectory.is_empty());
+        assert!(
+            report
+                .trajectory
+                .windows(2)
+                .all(|w| w[1].edge_cut <= w[0].edge_cut),
+            "trajectory must be non-increasing: {:?}",
+            report.trajectory
+        );
+        assert_eq!(
+            report.trajectory.last().unwrap().edge_cut,
+            report.edge_cut,
+            "the reported cut is the final accepted pass"
+        );
+        // Single-pass runs keep an empty trajectory.
+        let single = JobSpec::parse("fennel:2@seed=1")
+            .unwrap()
+            .build()
+            .unwrap()
+            .run(&mut InMemoryStream::new(&graph))
+            .unwrap();
+        assert!(single.trajectory.is_empty());
+    }
+
+    #[test]
+    fn convergence_spec_round_trips_and_validates() {
+        let spec = JobSpec::parse("fennel:8@passes=5,conv=0.01").unwrap();
+        assert_eq!(spec.passes, 5);
+        assert_eq!(spec.convergence, 0.01);
+        assert_eq!(spec.to_string(), "fennel:8@passes=5,conv=0.01");
+        assert!(JobSpec::parse("fennel:8@conv=-0.5").is_err());
+        assert!(JobSpec::parse("fennel:8@conv=abc").is_err());
+        // conv without a multi-pass budget parses but does not build: a
+        // single pass can never converge, so the flag would silently do
+        // nothing.
+        assert!(JobSpec::parse("fennel:8@conv=0.01")
             .unwrap()
             .build()
             .is_err());

@@ -20,13 +20,20 @@
 //!   [`NodeBatch`]es to buffered algorithms that solve each batch as a
 //!   model graph.
 //!
-//! Restreaming is a first-class concept: [`BatchExecutor::run_passes`] calls
-//! [`NodeSink::begin_pass`] before each pass, so multi-pass algorithms reuse
-//! the same sink.
+//! Restreaming is a first-class concept: [`BatchExecutor::run_restream`]
+//! drives `P` passes over the same (rewound) stream, calling
+//! [`NodeSink::begin_pass`] before each one so multi-pass algorithms reuse
+//! the same sink, and — for sinks that expose their assignment array —
+//! records a per-pass [`PassStats`] trajectory, stops early once the
+//! partition converges (no node moved, or the edge-cut improvement dropped
+//! below the configured threshold) and reverts a pass that made the cut
+//! worse.
 
-use crate::Result;
+use crate::partition::UNASSIGNED;
+use crate::{BlockId, Result};
 use oms_graph::{CsrGraph, NodeBatch, NodeId, NodeStream, StreamedNode};
 use rayon::prelude::*;
+use std::time::Instant;
 
 /// Default number of nodes the executor pulls per batch.
 pub const DEFAULT_BATCH_SIZE: usize = oms_graph::DEFAULT_BATCH_SIZE;
@@ -46,6 +53,250 @@ pub trait NodeSink {
 
     /// Consumes the next node of the stream.
     fn process(&mut self, node: StreamedNode<'_>);
+
+    /// The sink's current per-node assignment array, when it maintains one.
+    ///
+    /// Sinks that return `Some` opt into the multi-pass quality machinery of
+    /// [`BatchExecutor::run_restream`]: per-pass edge-cut/imbalance stats,
+    /// moved-node counting, convergence-based early exit and the
+    /// revert-on-worsen guard. Returning `None` (the default) falls back to
+    /// plain fixed-pass execution.
+    fn assignments(&self) -> Option<&[BlockId]> {
+        None
+    }
+
+    /// Number of blocks the sink assigns into (used for the imbalance of
+    /// per-pass stats); `0` when unknown.
+    fn num_blocks(&self) -> u32 {
+        0
+    }
+
+    /// Restores a previously observed assignment array (same length as
+    /// [`NodeSink::assignments`]), rebuilding any derived state (block or
+    /// tree weights). Returns `false` when the sink does not support
+    /// restoration — the executor then keeps the current (worse) pass
+    /// instead of reverting.
+    fn restore(&mut self, assignments: &[BlockId]) -> bool {
+        let _ = assignments;
+        false
+    }
+}
+
+/// Quality and movement statistics of one accepted restreaming pass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PassStats {
+    /// Pass index (0 = the initial streaming pass).
+    pub pass: usize,
+    /// Edge-cut of the assignment after this pass.
+    pub edge_cut: u64,
+    /// Imbalance `max_i c(V_i)/(c(V)/k) − 1` after this pass.
+    pub imbalance: f64,
+    /// Number of nodes whose block changed in this pass, compared with the
+    /// state before the pass (`n` for the initial pass of a fresh run,
+    /// where every node goes from unassigned to assigned; `0` for a
+    /// measured seed partition).
+    pub moved: usize,
+    /// Wall time of the pass itself (metric passes excluded), in seconds
+    /// (`0.0` for a measured seed partition).
+    pub seconds: f64,
+}
+
+/// The outcome of a multi-pass run: the per-pass quality trajectory and
+/// whether the engine stopped before exhausting its pass budget.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PassTrajectory {
+    /// Stats of every *accepted* pass, in order. A pass that worsened the
+    /// edge cut is reverted and not recorded. Empty when the sink does not
+    /// expose assignments (untracked run).
+    pub stats: Vec<PassStats>,
+    /// Whether the run stopped before its pass budget was exhausted (no
+    /// node moved, improvement below the threshold, or a reverted pass).
+    pub converged: bool,
+}
+
+impl PassTrajectory {
+    /// Final edge-cut of the run, when the trajectory was tracked.
+    pub fn final_edge_cut(&self) -> Option<u64> {
+        self.stats.last().map(|s| s.edge_cut)
+    }
+
+    /// Number of accepted passes.
+    pub fn num_passes(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Whether every recorded pass kept or improved the edge cut.
+    pub fn is_non_increasing(&self) -> bool {
+        self.stats
+            .windows(2)
+            .all(|w| w[1].edge_cut <= w[0].edge_cut)
+    }
+}
+
+/// Configuration of a multi-pass restreaming run.
+#[derive(Clone, Copy, Debug)]
+pub struct RestreamOptions {
+    /// Maximum number of passes (≥ 1).
+    pub passes: usize,
+    /// Relative edge-cut improvement below which the run stops (`0.02` =
+    /// stop once a pass improves the cut by less than 2 %). `0.0` disables
+    /// the threshold; the run still stops when no node moves at all.
+    pub min_improvement: f64,
+    /// Whether to measure per-pass quality (one extra metric pass over the
+    /// stream per partitioning pass). Without tracking the engine runs the
+    /// fixed number of passes and returns an empty trajectory.
+    pub track_quality: bool,
+}
+
+impl RestreamOptions {
+    /// A fixed-pass run without quality tracking (the classic behavior of
+    /// multi-pass restreaming).
+    pub fn fixed(passes: usize) -> Self {
+        RestreamOptions {
+            passes: passes.max(1),
+            min_improvement: 0.0,
+            track_quality: false,
+        }
+    }
+
+    /// A tracked run: per-pass stats, early exit and the revert guard.
+    pub fn tracked(passes: usize, min_improvement: f64) -> Self {
+        RestreamOptions {
+            passes: passes.max(1),
+            min_improvement: min_improvement.max(0.0),
+            track_quality: true,
+        }
+    }
+}
+
+/// The verdict of [`PassTracker::observe`] for one measured pass.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PassOutcome {
+    /// The pass kept or improved the best cut and the run has budget left:
+    /// keep going.
+    Continue,
+    /// The run converged (fixed point, improvement below the threshold, or
+    /// a zero cut): stop; the current assignment stands and is recorded.
+    Stop,
+    /// The pass worsened the cut: restore the contained (best) assignment,
+    /// then stop. A driver whose state cannot be restored must call
+    /// [`PassTracker::accept_unreverted`] with the worsened pass instead,
+    /// so the trajectory still ends on the assignment actually returned.
+    Revert(Vec<BlockId>),
+}
+
+/// The accept / converge / revert bookkeeping shared by every multi-pass
+/// driver (the sequential engine, the parallel kernels, the buffered
+/// algorithm): feed it one measured pass at a time, act on the returned
+/// [`PassOutcome`], and take the trajectory at the end. Keeping the rules
+/// in one place guarantees that `passes=N` means the same thing no matter
+/// how an algorithm drives its passes.
+#[derive(Clone, Debug)]
+pub struct PassTracker {
+    opts: RestreamOptions,
+    trajectory: PassTrajectory,
+    best: Option<(u64, Vec<BlockId>)>,
+    pass_no: usize,
+}
+
+impl PassTracker {
+    /// A tracker for one run under `opts`.
+    pub fn new(opts: RestreamOptions) -> Self {
+        PassTracker {
+            opts,
+            trajectory: PassTrajectory::default(),
+            best: None,
+            pass_no: 0,
+        }
+    }
+
+    /// Records a pre-existing partition as pass 0 of the trajectory (used
+    /// when the passes refine a seed solution); the revert guard then
+    /// protects the seed. Returns `true` when the seed is already optimal
+    /// (cut 0) and no pass needs to run.
+    pub fn seed(&mut self, edge_cut: u64, imbalance: f64, snapshot: &[BlockId]) -> bool {
+        self.trajectory.stats.push(PassStats {
+            pass: 0,
+            edge_cut,
+            imbalance,
+            moved: 0,
+            seconds: 0.0,
+        });
+        self.best = Some((edge_cut, snapshot.to_vec()));
+        self.pass_no = 1;
+        if edge_cut == 0 {
+            self.trajectory.converged = true;
+            return true;
+        }
+        false
+    }
+
+    /// Records one measured pass (`snapshot` is the assignment it
+    /// produced) and decides how the run continues. `last_pass` marks the
+    /// final budgeted pass, so the trajectory can distinguish early
+    /// convergence from an exhausted budget.
+    pub fn observe(
+        &mut self,
+        last_pass: bool,
+        moved: usize,
+        seconds: f64,
+        edge_cut: u64,
+        imbalance: f64,
+        snapshot: &[BlockId],
+    ) -> PassOutcome {
+        if let Some((best_cut, best_assign)) = &self.best {
+            if edge_cut > *best_cut {
+                self.trajectory.converged = true;
+                return PassOutcome::Revert(best_assign.clone());
+            }
+        }
+        self.trajectory.stats.push(PassStats {
+            pass: self.pass_no,
+            edge_cut,
+            imbalance,
+            moved,
+            seconds,
+        });
+        let improvement_too_small = match &self.best {
+            Some((best_cut, _)) => {
+                let gained = best_cut.saturating_sub(edge_cut) as f64;
+                self.opts.min_improvement > 0.0
+                    && gained < self.opts.min_improvement * (*best_cut).max(1) as f64
+            }
+            None => false,
+        };
+        if self.best.as_ref().is_none_or(|(c, _)| edge_cut <= *c) {
+            self.best = Some((edge_cut, snapshot.to_vec()));
+        }
+        let has_prev_state = self.pass_no > 0;
+        self.pass_no += 1;
+        if has_prev_state && (moved == 0 || improvement_too_small) || edge_cut == 0 {
+            self.trajectory.converged = !last_pass;
+            return PassOutcome::Stop;
+        }
+        PassOutcome::Continue
+    }
+
+    /// Records a worsened pass whose state could *not* be rolled back
+    /// (the sink does not support [`NodeSink::restore`]): the pass enters
+    /// the trajectory as-is — breaking monotonicity, but keeping the
+    /// invariant that the last recorded entry is the assignment actually
+    /// returned.
+    pub fn accept_unreverted(&mut self, moved: usize, seconds: f64, edge_cut: u64, imbalance: f64) {
+        self.trajectory.stats.push(PassStats {
+            pass: self.pass_no,
+            edge_cut,
+            imbalance,
+            moved,
+            seconds,
+        });
+        self.pass_no += 1;
+    }
+
+    /// The recorded trajectory.
+    pub fn finish(self) -> PassTrajectory {
+        self.trajectory
+    }
 }
 
 /// Drives [`NodeSink`]s over node streams in batches.
@@ -88,22 +339,135 @@ impl BatchExecutor {
         self.run_passes(stream, sink, 1)
     }
 
-    /// `passes` sequential passes over the same stream (restreaming).
+    /// `passes` sequential passes over the same stream (restreaming),
+    /// without quality tracking. See [`BatchExecutor::run_restream`] for the
+    /// converging variant.
     pub fn run_passes(
         &self,
         stream: &mut dyn NodeStream,
         sink: &mut dyn NodeSink,
         passes: usize,
     ) -> Result<()> {
-        for pass in 0..passes {
-            sink.begin_pass(pass);
+        self.run_restream(stream, sink, &RestreamOptions::fixed(passes))
+            .map(|_| ())
+    }
+
+    /// The multi-pass restreaming engine: up to [`RestreamOptions::passes`]
+    /// sequential passes over the same stream, rewinding it
+    /// ([`NodeStream::reset`]) before every additional pass.
+    ///
+    /// From the second pass on, the sink re-scores every node against the
+    /// previous pass's assignment (its [`NodeSink::begin_pass`] switches it
+    /// into unassign-then-reassign mode). When quality tracking is enabled
+    /// and the sink exposes its assignments, each pass is followed by one
+    /// metric pass measuring edge-cut and imbalance, and the engine
+    ///
+    /// * stops once no node moved in a pass (the run has reached a fixed
+    ///   point — all further passes would reproduce it exactly),
+    /// * stops once the relative cut improvement falls below
+    ///   [`RestreamOptions::min_improvement`], and
+    /// * reverts a pass that *worsened* the cut (restreaming is greedy and
+    ///   can overshoot) through [`NodeSink::restore`], keeping the best
+    ///   assignment seen.
+    ///
+    /// A single-pass run (`passes == 1`) performs exactly the same stream
+    /// pass as [`BatchExecutor::run`]; tracking only adds the metric pass.
+    pub fn run_restream(
+        &self,
+        stream: &mut dyn NodeStream,
+        sink: &mut dyn NodeSink,
+        opts: &RestreamOptions,
+    ) -> Result<PassTrajectory> {
+        self.run_restream_seeded(stream, sink, opts, None)
+    }
+
+    /// [`BatchExecutor::run_restream`] for a sink seeded from an existing
+    /// partition (`baseline`): the baseline is measured and recorded as
+    /// pass 0 of the trajectory, and the revert-on-worsen guard protects it
+    /// — the run never returns an assignment worse than the seed. Used by
+    /// the in-memory algorithms whose additional passes are restreaming
+    /// refinement of their one-shot solution.
+    pub fn run_restream_seeded(
+        &self,
+        stream: &mut dyn NodeStream,
+        sink: &mut dyn NodeSink,
+        opts: &RestreamOptions,
+        baseline: Option<&[BlockId]>,
+    ) -> Result<PassTrajectory> {
+        let passes = opts.passes.max(1);
+        let tracked = opts.track_quality && sink.assignments().is_some();
+        let mut tracker = PassTracker::new(*opts);
+        let mut prev_assign: Vec<BlockId> = Vec::new();
+        // The stream starts rewound; every use after the first must rewind
+        // it again.
+        let mut needs_reset = false;
+        let reset = |stream: &mut dyn NodeStream, needs_reset: &mut bool| -> Result<()> {
+            if *needs_reset {
+                stream.reset()?;
+            }
+            *needs_reset = true;
+            Ok(())
+        };
+
+        if tracked {
+            if let Some(seed) = baseline {
+                reset(stream, &mut needs_reset)?;
+                let (edge_cut, imbalance) = measure_pass(stream, seed, sink.num_blocks())?;
+                if tracker.seed(edge_cut, imbalance, seed) {
+                    return Ok(tracker.finish());
+                }
+            }
+        }
+
+        for i in 0..passes {
+            reset(stream, &mut needs_reset)?;
+            if tracked {
+                prev_assign.clear();
+                prev_assign.extend_from_slice(sink.assignments().expect("tracked"));
+            }
+
+            sink.begin_pass(i);
+            let start = Instant::now();
             // for_each_node, not for_each_batch: in-memory sources serve
             // borrowed CSR slices with no copy, and sources with real
             // ingest (disk) implement it on top of their batched —
             // double-buffered — reader anyway.
             stream.for_each_node(&mut |node| sink.process(node))?;
+            let seconds = start.elapsed().as_secs_f64();
+
+            if !tracked {
+                continue;
+            }
+            let assignments = sink.assignments().expect("tracked");
+            let moved = prev_assign
+                .iter()
+                .zip(assignments)
+                .filter(|(a, b)| a != b)
+                .count();
+            reset(stream, &mut needs_reset)?;
+            let (edge_cut, imbalance) = measure_pass(stream, assignments, sink.num_blocks())?;
+            match tracker.observe(
+                i + 1 == passes,
+                moved,
+                seconds,
+                edge_cut,
+                imbalance,
+                assignments,
+            ) {
+                PassOutcome::Continue => {}
+                PassOutcome::Stop => break,
+                PassOutcome::Revert(best) => {
+                    // The pass overshot; put the best assignment back. A
+                    // sink without restore support keeps the worse state —
+                    // record it so the trajectory ends on what is returned.
+                    if !sink.restore(&best) {
+                        tracker.accept_unreverted(moved, seconds, edge_cut, imbalance);
+                    }
+                    break;
+                }
+            }
         }
-        Ok(())
+        Ok(tracker.finish())
     }
 
     /// One sequential pass delivering whole batches (used by the buffered
@@ -176,6 +540,53 @@ impl BatchExecutor {
                 .for_each(|((lo, hi), window)| process_range(*lo, *hi, window));
         });
     }
+}
+
+/// One metric pass over the stream: edge-cut of `assignments` (each
+/// undirected edge is seen from both endpoints, so the doubled sum is
+/// halved) and imbalance over `k` blocks (`k == 0` derives the block count
+/// from the assignments). Unassigned nodes count towards the cut of every
+/// incident edge and towards no block.
+pub fn measure_pass(
+    stream: &mut dyn NodeStream,
+    assignments: &[BlockId],
+    k: u32,
+) -> Result<(u64, f64)> {
+    let k = if k == 0 {
+        assignments
+            .iter()
+            .filter(|&&b| b != UNASSIGNED)
+            .map(|&b| b + 1)
+            .max()
+            .unwrap_or(1)
+    } else {
+        k
+    };
+    let mut block_weights = vec![0u64; k as usize];
+    let mut total = 0u64;
+    let mut twice = 0u64;
+    stream.for_each_node(&mut |node| {
+        let own = assignments[node.node as usize];
+        total += node.weight;
+        if own != UNASSIGNED {
+            block_weights[own as usize] += node.weight;
+        }
+        for (u, w) in node.neighbors_weighted() {
+            // An unassigned endpoint makes the edge cut regardless of the
+            // other side (including two unassigned endpoints).
+            if own == UNASSIGNED || assignments[u as usize] != own {
+                twice += w;
+            }
+        }
+    })?;
+    let max = block_weights.iter().copied().max().unwrap_or(0);
+    let average = total as f64 / k.max(1) as f64;
+    let imbalance = if average > 0.0 {
+        max as f64 / average - 1.0
+    } else {
+        0.0
+    };
+    Ok((twice / 2, imbalance))
 }
 
 /// Builds the rayon pool used by the parallel dispatch.

@@ -27,7 +27,11 @@
 //!   (§3.4), driven through the executor's parallel dispatch with atomic
 //!   block-weight updates.
 //! * [`restream`] contains the multi-pass restreaming extensions (ReFennel /
-//!   ReLDG style), mentioned in §3.2 of the paper as an extension.
+//!   ReLDG style, §3.2), all thin wrappers around the executor's multi-pass
+//!   engine: the stream is rewound between passes, a per-pass quality
+//!   trajectory is recorded, runs stop early on convergence, and a pass
+//!   that worsened the cut is reverted. [`refine_partition`] reuses the
+//!   same loop to refine partitions of non-streaming algorithms.
 //! * [`api`] is the unified entry point: an object-safe [`Partitioner`]
 //!   trait, the [`JobSpec`] string format + factory (including the `buf=`
 //!   key of the buffered algorithms contributed by `oms-multilevel`), and
@@ -88,12 +92,13 @@ pub use api::{
     JobShape, JobSpec, PartitionReport, Partitioner,
 };
 pub use config::{AlphaMode, OmsConfig, OnePassConfig, ScorerKind};
-pub use executor::{BatchExecutor, NodeSink};
+pub use executor::{BatchExecutor, NodeSink, PassStats, PassTrajectory, RestreamOptions};
 pub use hierarchy::{DistanceSpec, HierarchySpec};
 pub use mstree::MultisectionTree;
 pub use oms::OnlineMultiSection;
 pub use onepass::{Fennel, Hashing, Ldg, StreamingPartitioner};
 pub use partition::{BlockId, Partition};
+pub use restream::{refine_partition, ReFennel, ReHashing, ReLdg, ReOms};
 
 /// Errors produced by the partitioning algorithms.
 #[derive(Debug)]

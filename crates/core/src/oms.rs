@@ -219,6 +219,22 @@ impl OmsState {
     pub(crate) fn into_partition(self, k: u32) -> Partition {
         Partition::from_assignments(k, self.assignments, &self.node_weights)
     }
+
+    /// Replaces the assignment array and rebuilds every tree-node weight
+    /// along the blocks' paths (the executor's revert-on-worsen guard).
+    pub(crate) fn restore(&mut self, tree: &MultisectionTree, assignments: &[BlockId]) {
+        self.assignments.copy_from_slice(assignments);
+        self.tree_weights.fill(0);
+        for (v, &b) in self.assignments.iter().enumerate() {
+            if b == UNASSIGNED {
+                continue;
+            }
+            let w = self.node_weights[v];
+            for &tree_node in tree.path_of_block(b) {
+                self.tree_weights[tree_node as usize] += w;
+            }
+        }
+    }
 }
 
 /// The multi-section descent as a [`NodeSink`]. From the second pass on
@@ -254,6 +270,19 @@ impl NodeSink for OmsSink<'_> {
             self.state.unassign(self.oms.tree(), node.node);
         }
         self.state.assign(self.oms, node);
+    }
+
+    fn assignments(&self) -> Option<&[BlockId]> {
+        Some(&self.state.assignments)
+    }
+
+    fn num_blocks(&self) -> u32 {
+        self.oms.tree.num_blocks()
+    }
+
+    fn restore(&mut self, assignments: &[BlockId]) -> bool {
+        self.state.restore(self.oms.tree(), assignments);
+        true
     }
 }
 

@@ -9,7 +9,7 @@
 //! * **Fennel** maximises `ω(N(v) ∩ Vᵢ) − α·γ·c(Vᵢ)^{γ−1}`; `O(m + nk)` time.
 
 use crate::config::OnePassConfig;
-use crate::executor::{BatchExecutor, NodeSink};
+use crate::executor::{BatchExecutor, NodeSink, PassTrajectory};
 use crate::partition::{Partition, UNASSIGNED};
 use crate::scorer::{fennel_alpha, hash_node};
 use crate::{BlockId, PartitionError, Result};
@@ -21,6 +21,17 @@ pub trait StreamingPartitioner {
     /// Partitions the nodes delivered by `stream` in a single pass (or a
     /// fixed number of passes for restreaming algorithms).
     fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition>;
+
+    /// Like [`StreamingPartitioner::partition_stream`], but additionally
+    /// returns the per-pass quality trajectory recorded by the multi-pass
+    /// engine. Single-pass algorithms return an empty trajectory by
+    /// default; restreaming algorithms override this.
+    fn partition_stream_tracked<S: NodeStream>(
+        &self,
+        stream: &mut S,
+    ) -> Result<(Partition, PassTrajectory)> {
+        Ok((self.partition_stream(stream)?, PassTrajectory::default()))
+    }
 
     /// Number of blocks this partitioner produces.
     fn num_blocks(&self) -> u32;
@@ -189,15 +200,30 @@ impl NodeSink for HashingSink {
             (hash_node(node.node, self.seed) % self.k) as BlockId;
         self.node_weights[node.node as usize] = node.weight;
     }
+
+    fn assignments(&self) -> Option<&[BlockId]> {
+        Some(&self.assignments)
+    }
+
+    fn num_blocks(&self) -> u32 {
+        self.k as u32
+    }
+
+    fn restore(&mut self, assignments: &[BlockId]) -> bool {
+        self.assignments.copy_from_slice(assignments);
+        true
+    }
 }
 
 /// A flat one-pass algorithm as a [`NodeSink`]: [`FlatState`] plus its
 /// scoring objective. From the second pass on (restreaming), each node is
-/// unassigned before being re-scored.
+/// unassigned before being re-scored; a *seeded* sink (refinement of an
+/// existing partition) restreams from the very first pass.
 pub(crate) struct FlatSink<F> {
     state: FlatState,
     objective: F,
     restreaming: bool,
+    seeded: bool,
 }
 
 impl<F> FlatSink<F>
@@ -209,6 +235,18 @@ where
             state,
             objective,
             restreaming: false,
+            seeded: false,
+        }
+    }
+
+    /// A sink whose state was seeded from an existing partition: every pass
+    /// (including the first) unassigns each node before re-scoring it.
+    pub(crate) fn seeded(state: FlatState, objective: F) -> Self {
+        FlatSink {
+            state,
+            objective,
+            restreaming: true,
+            seeded: true,
         }
     }
 
@@ -222,14 +260,27 @@ where
     F: Fn(u64, NodeWeight, NodeWeight, f64, f64) -> f64,
 {
     fn begin_pass(&mut self, pass: usize) {
-        self.restreaming = pass > 0;
+        self.restreaming = self.seeded || pass > 0;
     }
 
     fn process(&mut self, node: oms_graph::StreamedNode<'_>) {
         if self.restreaming {
-            self.state.unassign(node.node);
+            self.state.unassign(node.node, node.weight);
         }
         self.state.assign(node, &self.objective);
+    }
+
+    fn assignments(&self) -> Option<&[BlockId]> {
+        Some(&self.state.assignments)
+    }
+
+    fn num_blocks(&self) -> u32 {
+        self.state.block_weights.len() as u32
+    }
+
+    fn restore(&mut self, assignments: &[BlockId]) -> bool {
+        self.state.restore(assignments);
+        true
     }
 }
 
@@ -315,12 +366,40 @@ impl FlatState {
         self.touched.clear();
     }
 
-    /// Removes a node's previous assignment (used by restreaming passes).
-    pub(crate) fn unassign(&mut self, node: oms_graph::NodeId) {
+    /// Removes a node's previous assignment before it is re-scored (used
+    /// by restreaming passes). The weight comes from the streamed node, so
+    /// unassignment is correct even when the state was seeded from an
+    /// existing partition and the node has not been streamed yet.
+    pub(crate) fn unassign(&mut self, node: oms_graph::NodeId, weight: NodeWeight) {
         let b = self.assignments[node as usize];
         if b != UNASSIGNED {
-            self.block_weights[b as usize] -= self.node_weights[node as usize];
+            self.block_weights[b as usize] -= weight;
             self.assignments[node as usize] = UNASSIGNED;
+        }
+    }
+
+    /// Seeds the state from an existing partition (refinement mode). The
+    /// per-node weights fill in as the first pass streams them;
+    /// [`FlatState::unassign`] takes the weight from the streamed node, so
+    /// they are not needed up front.
+    pub(crate) fn seed_from(&mut self, assignments: &[BlockId], block_weights: &[NodeWeight]) {
+        self.assignments.copy_from_slice(assignments);
+        self.block_weights.copy_from_slice(block_weights);
+    }
+
+    /// Replaces the assignment array and rebuilds the block weights (the
+    /// executor's revert-on-worsen guard).
+    pub(crate) fn restore(&mut self, assignments: &[BlockId]) {
+        self.assignments.copy_from_slice(assignments);
+        self.rebuild_block_weights();
+    }
+
+    fn rebuild_block_weights(&mut self) {
+        self.block_weights.fill(0);
+        for (v, &b) in self.assignments.iter().enumerate() {
+            if b != UNASSIGNED {
+                self.block_weights[b as usize] += self.node_weights[v];
+            }
         }
     }
 

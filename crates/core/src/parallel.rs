@@ -20,14 +20,17 @@
 //! deliberately not synchronised.
 
 use crate::config::{OmsConfig, OnePassConfig, ScorerKind};
-use crate::executor::BatchExecutor;
+use crate::executor::{
+    measure_pass, BatchExecutor, PassOutcome, PassTracker, PassTrajectory, RestreamOptions,
+};
 use crate::oms::OnlineMultiSection;
 use crate::onepass::{fennel_objective, ldg_objective};
 use crate::partition::{Partition, UNASSIGNED};
 use crate::scorer::{fennel_alpha, hash_node};
 use crate::{BlockId, Result};
-use oms_graph::{CsrGraph, EdgeWeight, NodeWeight};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use oms_graph::{CsrGraph, EdgeWeight, InMemoryStream, NodeWeight};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 fn collect_partition(
     k: u32,
@@ -36,6 +39,40 @@ fn collect_partition(
 ) -> Partition {
     let assignments: Vec<BlockId> = assignments.into_iter().map(|a| a.into_inner()).collect();
     Partition::from_assignments(k, assignments, node_weights)
+}
+
+/// One tracked pass of a parallel restreaming driver: snapshot the atomic
+/// assignment array, measure it on the in-memory graph, and let the shared
+/// [`PassTracker`] apply the engine's accept / converge / revert rules.
+/// `restore` puts a snapshot back into the kernel's atomic state. Returns
+/// `true` when the pass loop should stop.
+#[allow(clippy::too_many_arguments)]
+fn track_parallel_pass(
+    graph: &CsrGraph,
+    assignments: &[AtomicU32],
+    num_blocks: u32,
+    last_pass: bool,
+    moved: usize,
+    seconds: f64,
+    tracker: &mut PassTracker,
+    restore: &mut dyn FnMut(&[BlockId]),
+) -> Result<bool> {
+    let snapshot: Vec<BlockId> = assignments
+        .iter()
+        .map(|a| a.load(Ordering::Relaxed))
+        .collect();
+    let (edge_cut, imbalance) =
+        measure_pass(&mut InMemoryStream::new(graph), &snapshot, num_blocks)?;
+    Ok(
+        match tracker.observe(last_pass, moved, seconds, edge_cut, imbalance, &snapshot) {
+            PassOutcome::Continue => false,
+            PassOutcome::Stop => true,
+            PassOutcome::Revert(best) => {
+                restore(&best);
+                true
+            }
+        },
+    )
 }
 
 /// Parallel Hashing: embarrassingly parallel, provided for the scalability
@@ -79,64 +116,144 @@ pub fn onepass_parallel(
     config: OnePassConfig,
     threads: usize,
 ) -> Result<Partition> {
+    onepass_parallel_restream(graph, k, scorer, config, threads, 1, 0.0, false).map(|(p, _)| p)
+}
+
+/// Multi-pass parallel flat partitioning: up to `passes` vertex-centric
+/// parallel passes; from the second pass on each node is unassigned (its
+/// weight atomically removed from its block) before being re-scored against
+/// the previous pass's assignment.
+///
+/// Per-pass quality is measured on the in-memory graph with the same
+/// early-exit rules as the sequential engine: the loop stops once no node
+/// moved, once the relative cut improvement drops below `convergence`, and
+/// a pass that worsened the cut is reverted. With `threads > 1` the node
+/// moves inside one pass are racy (the paper's relaxation), so the
+/// trajectory — while always non-increasing — is not deterministic.
+#[allow(clippy::too_many_arguments)]
+pub fn onepass_parallel_restream(
+    graph: &CsrGraph,
+    k: u32,
+    scorer: FlatScorer,
+    config: OnePassConfig,
+    threads: usize,
+    passes: usize,
+    convergence: f64,
+    tracked: bool,
+) -> Result<(Partition, PassTrajectory)> {
     let n = graph.num_nodes();
+    let passes = passes.max(1);
     let capacity = Partition::capacity(graph.total_node_weight(), k, config.epsilon);
     let alpha = fennel_alpha(k, graph.num_edges(), n);
     let gamma = config.gamma;
 
     let assignments: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNASSIGNED)).collect();
     let block_weights: Vec<AtomicU64> = (0..k as usize).map(|_| AtomicU64::new(0)).collect();
+    let mut tracker = PassTracker::new(RestreamOptions::tracked(passes, convergence));
+    let measure = tracked || passes > 1;
 
-    BatchExecutor::default().run_parallel(graph, threads, |lo, hi| {
-        let mut conn: Vec<EdgeWeight> = vec![0; k as usize];
-        let mut touched: Vec<BlockId> = Vec::new();
-        for v in lo..hi {
-            for (u, w) in graph.neighbors_weighted(v) {
-                let b = assignments[u as usize].load(Ordering::Relaxed);
-                if b != UNASSIGNED {
-                    if conn[b as usize] == 0 {
-                        touched.push(b);
+    for pass in 0..passes {
+        let moved = AtomicUsize::new(0);
+        let start = Instant::now();
+        BatchExecutor::default().run_parallel(graph, threads, |lo, hi| {
+            let mut conn: Vec<EdgeWeight> = vec![0; k as usize];
+            let mut touched: Vec<BlockId> = Vec::new();
+            let mut local_moved = 0usize;
+            for v in lo..hi {
+                let node_weight = graph.node_weight(v);
+                let old = assignments[v as usize].load(Ordering::Relaxed);
+                if pass > 0 && old != UNASSIGNED {
+                    // Restreaming: remove the previous assignment before
+                    // re-scoring, exactly like the sequential sink.
+                    block_weights[old as usize].fetch_sub(node_weight, Ordering::Relaxed);
+                    assignments[v as usize].store(UNASSIGNED, Ordering::Relaxed);
+                }
+                for (u, w) in graph.neighbors_weighted(v) {
+                    let b = assignments[u as usize].load(Ordering::Relaxed);
+                    if b != UNASSIGNED {
+                        if conn[b as usize] == 0 {
+                            touched.push(b);
+                        }
+                        conn[b as usize] += w;
                     }
-                    conn[b as usize] += w;
                 }
-            }
-            let node_weight = graph.node_weight(v);
-            let mut best: Option<(usize, f64, NodeWeight)> = None;
-            let mut fallback = 0usize;
-            let mut fallback_load = f64::INFINITY;
-            for b in 0..k as usize {
-                let weight = block_weights[b].load(Ordering::Relaxed);
-                let load = weight as f64 / capacity.max(1) as f64;
-                if load < fallback_load {
-                    fallback_load = load;
-                    fallback = b;
-                }
-                if weight + node_weight > capacity {
-                    continue;
-                }
-                let s = match scorer {
-                    FlatScorer::Fennel => fennel_objective(conn[b], weight, capacity, alpha, gamma),
-                    FlatScorer::Ldg => ldg_objective(conn[b], weight, capacity, alpha, gamma),
-                };
-                match best {
-                    None => best = Some((b, s, weight)),
-                    Some((_, bs, bw)) => {
-                        if s > bs || (s == bs && weight < bw) {
-                            best = Some((b, s, weight));
+                let mut best: Option<(usize, f64, NodeWeight)> = None;
+                let mut fallback = 0usize;
+                let mut fallback_load = f64::INFINITY;
+                for b in 0..k as usize {
+                    let weight = block_weights[b].load(Ordering::Relaxed);
+                    let load = weight as f64 / capacity.max(1) as f64;
+                    if load < fallback_load {
+                        fallback_load = load;
+                        fallback = b;
+                    }
+                    if weight + node_weight > capacity {
+                        continue;
+                    }
+                    let s = match scorer {
+                        FlatScorer::Fennel => {
+                            fennel_objective(conn[b], weight, capacity, alpha, gamma)
+                        }
+                        FlatScorer::Ldg => ldg_objective(conn[b], weight, capacity, alpha, gamma),
+                    };
+                    match best {
+                        None => best = Some((b, s, weight)),
+                        Some((_, bs, bw)) => {
+                            if s > bs || (s == bs && weight < bw) {
+                                best = Some((b, s, weight));
+                            }
                         }
                     }
                 }
+                let chosen = best.map(|(b, _, _)| b).unwrap_or(fallback);
+                block_weights[chosen].fetch_add(node_weight, Ordering::Relaxed);
+                assignments[v as usize].store(chosen as BlockId, Ordering::Relaxed);
+                if chosen as BlockId != old {
+                    local_moved += 1;
+                }
+                for &b in &touched {
+                    conn[b as usize] = 0;
+                }
+                touched.clear();
             }
-            let chosen = best.map(|(b, _, _)| b).unwrap_or(fallback);
-            block_weights[chosen].fetch_add(node_weight, Ordering::Relaxed);
-            assignments[v as usize].store(chosen as BlockId, Ordering::Relaxed);
-            for &b in &touched {
-                conn[b as usize] = 0;
+            if local_moved > 0 {
+                moved.fetch_add(local_moved, Ordering::Relaxed);
             }
-            touched.clear();
+        });
+        let seconds = start.elapsed().as_secs_f64();
+
+        if measure {
+            let mut restore = |snapshot: &[BlockId]| {
+                for w in &block_weights {
+                    w.store(0, Ordering::Relaxed);
+                }
+                for (v, &b) in snapshot.iter().enumerate() {
+                    assignments[v].store(b, Ordering::Relaxed);
+                    if b != UNASSIGNED {
+                        block_weights[b as usize]
+                            .fetch_add(graph.node_weight(v as u32), Ordering::Relaxed);
+                    }
+                }
+            };
+            let stop = track_parallel_pass(
+                graph,
+                &assignments,
+                k,
+                pass + 1 == passes,
+                moved.into_inner(),
+                seconds,
+                &mut tracker,
+                &mut restore,
+            )?;
+            if stop {
+                break;
+            }
         }
-    });
-    Ok(collect_partition(k, assignments, graph.node_weights()))
+    }
+    Ok((
+        collect_partition(k, assignments, graph.node_weights()),
+        tracker.finish(),
+    ))
 }
 
 impl OnlineMultiSection {
@@ -147,9 +264,28 @@ impl OnlineMultiSection {
     /// be visible when a node gathers its neighbors' assignments — the same
     /// relaxation the paper's OpenMP implementation makes.
     pub fn partition_graph_parallel(&self, graph: &CsrGraph, threads: usize) -> Result<Partition> {
+        self.partition_graph_parallel_restream(graph, threads, 1, 0.0, false)
+            .map(|(p, _)| p)
+    }
+
+    /// Multi-pass parallel OMS: up to `passes` parallel passes; from the
+    /// second pass on, a node's weight is removed along its whole tree path
+    /// before the descent is re-run against the previous pass's assignment
+    /// (restreaming / remapping). Per-pass quality tracking, convergence
+    /// early exit and the revert-on-worsen guard follow the sequential
+    /// engine ([`BatchExecutor::run_restream`]).
+    pub fn partition_graph_parallel_restream(
+        &self,
+        graph: &CsrGraph,
+        threads: usize,
+        passes: usize,
+        convergence: f64,
+        tracked: bool,
+    ) -> Result<(Partition, PassTrajectory)> {
         let tree = self.tree();
         let config: &OmsConfig = self.config();
         let n = graph.num_nodes();
+        let passes = passes.max(1);
         let capacities = tree.capacities(graph.total_node_weight(), config.epsilon);
         let alphas = tree.alphas(graph.num_edges(), n, config.alpha_mode);
         let max_fan_out = (0..tree.num_nodes() as u32)
@@ -161,11 +297,92 @@ impl OnlineMultiSection {
         let assignments: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNASSIGNED)).collect();
         let tree_weights: Vec<AtomicU64> =
             (0..tree.num_nodes()).map(|_| AtomicU64::new(0)).collect();
+        let mut tracker = PassTracker::new(RestreamOptions::tracked(passes, convergence));
+        let measure = tracked || passes > 1;
 
+        for pass in 0..passes {
+            let moved = AtomicUsize::new(0);
+            let start = Instant::now();
+            self.parallel_pass(
+                graph,
+                threads,
+                pass,
+                &assignments,
+                &tree_weights,
+                &capacities,
+                &alphas,
+                max_fan_out,
+                &moved,
+            );
+            let seconds = start.elapsed().as_secs_f64();
+
+            if measure {
+                let mut restore = |snapshot: &[BlockId]| {
+                    for w in &tree_weights {
+                        w.store(0, Ordering::Relaxed);
+                    }
+                    for (v, &b) in snapshot.iter().enumerate() {
+                        assignments[v].store(b, Ordering::Relaxed);
+                        if b == UNASSIGNED {
+                            continue;
+                        }
+                        let w = graph.node_weight(v as u32);
+                        for &tree_node in tree.path_of_block(b) {
+                            tree_weights[tree_node as usize].fetch_add(w, Ordering::Relaxed);
+                        }
+                    }
+                };
+                let stop = track_parallel_pass(
+                    graph,
+                    &assignments,
+                    tree.num_blocks(),
+                    pass + 1 == passes,
+                    moved.into_inner(),
+                    seconds,
+                    &mut tracker,
+                    &mut restore,
+                )?;
+                if stop {
+                    break;
+                }
+            }
+        }
+        Ok((
+            collect_partition(tree.num_blocks(), assignments, graph.node_weights()),
+            tracker.finish(),
+        ))
+    }
+
+    /// One vertex-centric parallel pass of the multi-section descent.
+    #[allow(clippy::too_many_arguments)]
+    fn parallel_pass(
+        &self,
+        graph: &CsrGraph,
+        threads: usize,
+        pass: usize,
+        assignments: &[AtomicU32],
+        tree_weights: &[AtomicU64],
+        capacities: &[NodeWeight],
+        alphas: &[f64],
+        max_fan_out: usize,
+        moved: &AtomicUsize,
+    ) {
+        let tree = self.tree();
+        let config: &OmsConfig = self.config();
         BatchExecutor::default().run_parallel(graph, threads, |lo, hi| {
             let mut conn: Vec<EdgeWeight> = vec![0; max_fan_out];
+            let mut local_moved = 0usize;
             for v in lo..hi {
                 let node_weight = graph.node_weight(v);
+                let old = assignments[v as usize].load(Ordering::Relaxed);
+                if pass > 0 && old != UNASSIGNED {
+                    // Restreaming: remove the node along its whole previous
+                    // tree path before re-running the descent.
+                    for &tree_node in tree.path_of_block(old) {
+                        tree_weights[tree_node as usize].fetch_sub(node_weight, Ordering::Relaxed);
+                    }
+                    assignments[v as usize].store(UNASSIGNED, Ordering::Relaxed);
+                }
                 let mut cur = tree.root();
                 loop {
                     let children = tree.children(cur);
@@ -239,13 +456,14 @@ impl OnlineMultiSection {
                 }
                 let block = tree.leaf_block(cur).expect("descent ends at a leaf");
                 assignments[v as usize].store(block, Ordering::Relaxed);
+                if block != old {
+                    local_moved += 1;
+                }
+            }
+            if local_moved > 0 {
+                moved.fetch_add(local_moved, Ordering::Relaxed);
             }
         });
-        Ok(collect_partition(
-            tree.num_blocks(),
-            assignments,
-            graph.node_weights(),
-        ))
     }
 }
 

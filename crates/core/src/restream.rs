@@ -1,17 +1,28 @@
-//! Restreaming extensions: ReFennel, ReLDG and restreamed OMS ("remapping").
+//! Restreaming extensions: ReFennel, ReLDG, ReHashing and restreamed OMS
+//! ("remapping").
 //!
 //! Restreaming (Nishimura & Ugander) performs several passes over the same
 //! stream; from the second pass on, a node's previous assignment is removed
 //! before it is re-scored, so each pass can only improve on the information
 //! available to the previous one. The paper lists remapping through
 //! restreaming as a natural extension of OMS (§3.2); this module provides it
-//! for both the flat baselines and the multi-section algorithm.
+//! for the flat baselines and the multi-section algorithm.
+//!
+//! All types here are thin wrappers around the shared multi-pass engine
+//! ([`BatchExecutor::run_restream`]): they plug their scoring sink into the
+//! executor, which rewinds the stream between passes, records the per-pass
+//! quality trajectory, stops early once the partition converges and reverts
+//! a pass that worsened the edge cut. [`refine_partition`] exposes the same
+//! loop as restreaming *refinement* of an existing partition, used by the
+//! in-memory algorithms to support `passes > 1`.
 
 use crate::config::{OmsConfig, OnePassConfig};
-use crate::executor::BatchExecutor;
+use crate::executor::{BatchExecutor, PassTrajectory, RestreamOptions};
 use crate::oms::{OmsSink, OnlineMultiSection};
-use crate::onepass::{fennel_objective, ldg_objective, FlatSink, FlatState, StreamingPartitioner};
-use crate::partition::Partition;
+use crate::onepass::{
+    fennel_objective, ldg_objective, FlatSink, FlatState, HashingSink, StreamingPartitioner,
+};
+use crate::partition::{Partition, UNASSIGNED};
 use crate::{PartitionError, Result};
 use oms_graph::NodeStream;
 
@@ -25,24 +36,51 @@ fn check_passes(passes: usize) -> Result<()> {
     }
 }
 
-/// Restreaming Fennel (ReFennel): `passes` passes of the Fennel objective,
-/// unassigning each node before re-scoring it.
+/// The engine options for `passes` passes with convergence threshold
+/// `convergence`. Multi-pass runs are always quality-tracked so that the
+/// early exit and the revert guard apply no matter how the caller obtains
+/// the partition; a single pass only pays for tracking when the caller asked
+/// for the trajectory.
+fn options(passes: usize, convergence: f64, tracked: bool) -> RestreamOptions {
+    if passes > 1 || tracked {
+        RestreamOptions::tracked(passes, convergence)
+    } else {
+        RestreamOptions::fixed(passes)
+    }
+}
+
+/// Restreaming Fennel (ReFennel): up to `passes` passes of the Fennel
+/// objective, unassigning each node before re-scoring it.
 #[derive(Clone, Copy, Debug)]
 pub struct ReFennel {
     k: u32,
     config: OnePassConfig,
     passes: usize,
+    convergence: f64,
 }
 
 impl ReFennel {
-    /// Creates a ReFennel partitioner running `passes` passes.
+    /// Creates a ReFennel partitioner running up to `passes` passes.
     pub fn new(k: u32, config: OnePassConfig, passes: usize) -> Self {
-        ReFennel { k, config, passes }
+        ReFennel {
+            k,
+            config,
+            passes,
+            convergence: 0.0,
+        }
     }
-}
 
-impl StreamingPartitioner for ReFennel {
-    fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition> {
+    /// Sets the relative edge-cut improvement below which the run stops.
+    pub fn convergence(mut self, min_improvement: f64) -> Self {
+        self.convergence = min_improvement.max(0.0);
+        self
+    }
+
+    fn run<S: NodeStream>(
+        &self,
+        stream: &mut S,
+        tracked: bool,
+    ) -> Result<(Partition, PassTrajectory)> {
         check_passes(self.passes)?;
         if self.k == 0 {
             return Err(PartitionError::InvalidConfig("k must be positive".into()));
@@ -51,8 +89,25 @@ impl StreamingPartitioner for ReFennel {
             FlatState::new(self.k, stream, self.config),
             fennel_objective,
         );
-        BatchExecutor::default().run_passes(stream, &mut sink, self.passes)?;
-        Ok(sink.into_partition(self.k))
+        let trajectory = BatchExecutor::default().run_restream(
+            stream,
+            &mut sink,
+            &options(self.passes, self.convergence, tracked),
+        )?;
+        Ok((sink.into_partition(self.k), trajectory))
+    }
+}
+
+impl StreamingPartitioner for ReFennel {
+    fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition> {
+        Ok(self.run(stream, false)?.0)
+    }
+
+    fn partition_stream_tracked<S: NodeStream>(
+        &self,
+        stream: &mut S,
+    ) -> Result<(Partition, PassTrajectory)> {
+        self.run(stream, true)
     }
 
     fn num_blocks(&self) -> u32 {
@@ -70,24 +125,55 @@ pub struct ReLdg {
     k: u32,
     config: OnePassConfig,
     passes: usize,
+    convergence: f64,
 }
 
 impl ReLdg {
-    /// Creates a ReLDG partitioner running `passes` passes.
+    /// Creates a ReLDG partitioner running up to `passes` passes.
     pub fn new(k: u32, config: OnePassConfig, passes: usize) -> Self {
-        ReLdg { k, config, passes }
+        ReLdg {
+            k,
+            config,
+            passes,
+            convergence: 0.0,
+        }
     }
-}
 
-impl StreamingPartitioner for ReLdg {
-    fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition> {
+    /// Sets the relative edge-cut improvement below which the run stops.
+    pub fn convergence(mut self, min_improvement: f64) -> Self {
+        self.convergence = min_improvement.max(0.0);
+        self
+    }
+
+    fn run<S: NodeStream>(
+        &self,
+        stream: &mut S,
+        tracked: bool,
+    ) -> Result<(Partition, PassTrajectory)> {
         check_passes(self.passes)?;
         if self.k == 0 {
             return Err(PartitionError::InvalidConfig("k must be positive".into()));
         }
         let mut sink = FlatSink::new(FlatState::new(self.k, stream, self.config), ldg_objective);
-        BatchExecutor::default().run_passes(stream, &mut sink, self.passes)?;
-        Ok(sink.into_partition(self.k))
+        let trajectory = BatchExecutor::default().run_restream(
+            stream,
+            &mut sink,
+            &options(self.passes, self.convergence, tracked),
+        )?;
+        Ok((sink.into_partition(self.k), trajectory))
+    }
+}
+
+impl StreamingPartitioner for ReLdg {
+    fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition> {
+        Ok(self.run(stream, false)?.0)
+    }
+
+    fn partition_stream_tracked<S: NodeStream>(
+        &self,
+        stream: &mut S,
+    ) -> Result<(Partition, PassTrajectory)> {
+        self.run(stream, true)
     }
 
     fn num_blocks(&self) -> u32 {
@@ -99,19 +185,102 @@ impl StreamingPartitioner for ReLdg {
     }
 }
 
+/// Restreaming Hashing: provided for registry uniformity (`passes=N` works
+/// for every algorithm). The hash of a node never changes, so the second
+/// pass moves nothing and the engine's fixed-point exit fires immediately.
+#[derive(Clone, Copy, Debug)]
+pub struct ReHashing {
+    k: u32,
+    config: OnePassConfig,
+    passes: usize,
+    convergence: f64,
+}
+
+impl ReHashing {
+    /// Creates a restreamed Hashing partitioner running up to `passes`
+    /// passes.
+    pub fn new(k: u32, config: OnePassConfig, passes: usize) -> Self {
+        ReHashing {
+            k,
+            config,
+            passes,
+            convergence: 0.0,
+        }
+    }
+
+    /// Sets the relative edge-cut improvement below which the run stops.
+    pub fn convergence(mut self, min_improvement: f64) -> Self {
+        self.convergence = min_improvement.max(0.0);
+        self
+    }
+
+    fn run<S: NodeStream>(
+        &self,
+        stream: &mut S,
+        tracked: bool,
+    ) -> Result<(Partition, PassTrajectory)> {
+        check_passes(self.passes)?;
+        if self.k == 0 {
+            return Err(PartitionError::InvalidConfig("k must be positive".into()));
+        }
+        let n = stream.num_nodes();
+        let mut sink = HashingSink {
+            assignments: vec![UNASSIGNED; n],
+            node_weights: vec![0; n],
+            k: self.k as u64,
+            seed: self.config.seed,
+        };
+        let trajectory = BatchExecutor::default().run_restream(
+            stream,
+            &mut sink,
+            &options(self.passes, self.convergence, tracked),
+        )?;
+        Ok((
+            Partition::from_assignments(self.k, sink.assignments, &sink.node_weights),
+            trajectory,
+        ))
+    }
+}
+
+impl StreamingPartitioner for ReHashing {
+    fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition> {
+        Ok(self.run(stream, false)?.0)
+    }
+
+    fn partition_stream_tracked<S: NodeStream>(
+        &self,
+        stream: &mut S,
+    ) -> Result<(Partition, PassTrajectory)> {
+        self.run(stream, true)
+    }
+
+    fn num_blocks(&self) -> u32 {
+        self.k
+    }
+
+    fn name(&self) -> &'static str {
+        "rehashing"
+    }
+}
+
 /// Restreamed online multi-section: iteratively improves a hierarchical
 /// partition / process mapping by re-running the multi-section descent.
 #[derive(Clone, Debug)]
 pub struct ReOms {
     oms: OnlineMultiSection,
     passes: usize,
+    convergence: f64,
 }
 
 impl ReOms {
-    /// Wraps an [`OnlineMultiSection`] instance for `passes` restreaming
-    /// passes.
+    /// Wraps an [`OnlineMultiSection`] instance for up to `passes`
+    /// restreaming passes.
     pub fn new(oms: OnlineMultiSection, passes: usize) -> Self {
-        ReOms { oms, passes }
+        ReOms {
+            oms,
+            passes,
+            convergence: 0.0,
+        }
     }
 
     /// Restreamed nh-OMS for `k` blocks.
@@ -119,16 +288,42 @@ impl ReOms {
         Ok(ReOms {
             oms: OnlineMultiSection::flat(k, config)?,
             passes,
+            convergence: 0.0,
         })
+    }
+
+    /// Sets the relative edge-cut improvement below which the run stops.
+    pub fn convergence(mut self, min_improvement: f64) -> Self {
+        self.convergence = min_improvement.max(0.0);
+        self
+    }
+
+    fn run<S: NodeStream>(
+        &self,
+        stream: &mut S,
+        tracked: bool,
+    ) -> Result<(Partition, PassTrajectory)> {
+        check_passes(self.passes)?;
+        let mut sink = OmsSink::new(&self.oms, stream);
+        let trajectory = BatchExecutor::default().run_restream(
+            stream,
+            &mut sink,
+            &options(self.passes, self.convergence, tracked),
+        )?;
+        Ok((sink.into_partition(), trajectory))
     }
 }
 
 impl StreamingPartitioner for ReOms {
     fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition> {
-        check_passes(self.passes)?;
-        let mut sink = OmsSink::new(&self.oms, stream);
-        BatchExecutor::default().run_passes(stream, &mut sink, self.passes)?;
-        Ok(sink.into_partition())
+        Ok(self.run(stream, false)?.0)
+    }
+
+    fn partition_stream_tracked<S: NodeStream>(
+        &self,
+        stream: &mut S,
+    ) -> Result<(Partition, PassTrajectory)> {
+        self.run(stream, true)
     }
 
     fn num_blocks(&self) -> u32 {
@@ -140,11 +335,50 @@ impl StreamingPartitioner for ReOms {
     }
 }
 
+/// Restreaming refinement of an existing partition.
+///
+/// Seeds a Fennel-scored flat sink with `seed`, then runs up to `passes`
+/// unassign-and-re-score passes over the stream under the balance
+/// constraint derived from `config` — the multi-pass bridge for algorithms
+/// that are not themselves streaming (multilevel, rms): the seed becomes
+/// pass 0 of the trajectory and the engine's guard ensures the result is
+/// never worse than it. Works on any stream source (the graph is never
+/// materialised here).
+pub fn refine_partition(
+    stream: &mut dyn NodeStream,
+    seed: Partition,
+    config: OnePassConfig,
+    passes: usize,
+    convergence: f64,
+) -> Result<(Partition, PassTrajectory)> {
+    check_passes(passes)?;
+    let k = seed.num_blocks();
+    if k == 0 {
+        return Err(PartitionError::InvalidConfig("k must be positive".into()));
+    }
+    let mut state = FlatState::new(k, &stream, config);
+    state.seed_from(seed.assignments(), seed.block_weights());
+    let mut sink = FlatSink::seeded(state, fennel_objective);
+    let trajectory = BatchExecutor::default().run_restream_seeded(
+        stream,
+        &mut sink,
+        &RestreamOptions::tracked(passes, convergence),
+        Some(seed.assignments()),
+    )?;
+    if trajectory.num_passes() <= 1 {
+        // Nothing beyond the seed was accepted (already optimal, or the
+        // only refinement pass was reverted): the seed *is* the result.
+        return Ok((seed, trajectory));
+    }
+    Ok((sink.into_partition(k), trajectory))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::onepass::Fennel;
+    use crate::onepass::{Fennel, Hashing};
     use oms_gen::planted_partition;
+    use oms_graph::InMemoryStream;
 
     #[test]
     fn refennel_with_one_pass_equals_fennel() {
@@ -156,7 +390,7 @@ mod tests {
     }
 
     #[test]
-    fn refennel_never_hurts_much_and_usually_improves() {
+    fn refennel_never_worsens_the_cut() {
         let g = planted_partition(500, 8, 0.1, 0.01, 5);
         let cfg = OnePassConfig::default();
         let once = Fennel::new(8, cfg).partition_graph(&g).unwrap();
@@ -200,8 +434,86 @@ mod tests {
             .unwrap()
             .partition_graph(&g)
             .unwrap();
-        assert!(re.edge_cut(&g) <= once.edge_cut(&g) + 5);
+        // The engine's revert guard makes this a hard guarantee now.
+        assert!(re.edge_cut(&g) <= once.edge_cut(&g));
         assert!(re.is_balanced(0.031));
+    }
+
+    #[test]
+    fn rehashing_is_a_fixed_point_after_one_pass() {
+        let g = planted_partition(300, 4, 0.1, 0.01, 13);
+        let cfg = OnePassConfig::default().seed(5);
+        let once = Hashing::new(8, cfg).partition_graph(&g).unwrap();
+        let re = ReHashing::new(8, cfg, 4);
+        let (p, trajectory) = re
+            .partition_stream_tracked(&mut InMemoryStream::new(&g))
+            .unwrap();
+        assert_eq!(once, p, "hashing never moves a node across passes");
+        assert!(
+            trajectory.converged,
+            "the fixed-point exit must fire before the pass budget"
+        );
+        assert!(trajectory.num_passes() <= 2, "{trajectory:?}");
+    }
+
+    #[test]
+    fn tracked_trajectories_are_non_increasing_and_balanced() {
+        let g = planted_partition(500, 8, 0.1, 0.008, 17);
+        let cfg = OnePassConfig::default();
+        let (p, trajectory) = ReFennel::new(8, cfg, 4)
+            .partition_stream_tracked(&mut InMemoryStream::new(&g))
+            .unwrap();
+        assert!(!trajectory.stats.is_empty());
+        assert!(trajectory.is_non_increasing(), "{trajectory:?}");
+        assert_eq!(
+            trajectory.final_edge_cut().unwrap(),
+            p.edge_cut(&g),
+            "the last accepted pass is the returned partition"
+        );
+        // Every pass honours L_max = ceil((1+ε)·c(V)/k); the ceiling allows
+        // an imbalance slightly above ε itself.
+        let allowed = Partition::capacity(500, 8, 0.03) as f64 / (500.0 / 8.0) - 1.0;
+        for stats in &trajectory.stats {
+            assert!(stats.imbalance <= allowed + 1e-9, "{stats:?}");
+        }
+    }
+
+    #[test]
+    fn convergence_threshold_stops_early() {
+        let g = planted_partition(500, 8, 0.1, 0.008, 19);
+        let cfg = OnePassConfig::default();
+        // A 100 % improvement requirement can never be met: exactly one
+        // additional pass runs, then the threshold exit fires.
+        let (_, trajectory) = ReFennel::new(8, cfg, 6)
+            .convergence(1.0)
+            .partition_stream_tracked(&mut InMemoryStream::new(&g))
+            .unwrap();
+        assert!(trajectory.num_passes() <= 2, "{trajectory:?}");
+        assert!(trajectory.converged);
+    }
+
+    #[test]
+    fn refinement_never_worsens_the_seed() {
+        let g = planted_partition(400, 8, 0.1, 0.01, 23);
+        let seed_partition = Hashing::new(8, OnePassConfig::default())
+            .partition_graph(&g)
+            .unwrap();
+        let seed_cut = seed_partition.edge_cut(&g);
+        let (refined, trajectory) = refine_partition(
+            &mut InMemoryStream::new(&g),
+            seed_partition,
+            OnePassConfig::default(),
+            3,
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(trajectory.stats[0].edge_cut, seed_cut, "pass 0 = the seed");
+        assert!(
+            refined.edge_cut(&g) <= seed_cut,
+            "refinement must not worsen the seed: {} vs {seed_cut}",
+            refined.edge_cut(&g)
+        );
+        assert!(trajectory.is_non_increasing(), "{trajectory:?}");
     }
 
     #[test]
@@ -211,6 +523,9 @@ mod tests {
             .partition_graph(&g)
             .is_err());
         assert!(ReLdg::new(4, OnePassConfig::default(), 0)
+            .partition_graph(&g)
+            .is_err());
+        assert!(ReHashing::new(4, OnePassConfig::default(), 0)
             .partition_graph(&g)
             .is_err());
         assert!(ReOms::flat(4, OmsConfig::default(), 0)
@@ -226,6 +541,10 @@ mod tests {
             "refennel"
         );
         assert_eq!(ReLdg::new(2, OnePassConfig::default(), 2).name(), "reldg");
+        assert_eq!(
+            ReHashing::new(2, OnePassConfig::default(), 2).name(),
+            "rehashing"
+        );
         assert_eq!(
             ReOms::flat(2, OmsConfig::default(), 2).unwrap().name(),
             "reoms"

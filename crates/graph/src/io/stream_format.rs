@@ -175,6 +175,50 @@ impl DiskStream {
         self.read_batch_size = nodes.max(1);
         self
     }
+
+    /// Re-reads the file header and checks it against the counts announced
+    /// when the stream was opened.
+    ///
+    /// Every pass starts from the top of the file anyway (see
+    /// [`PassReader::open`]), so a rewind can never resume mid-file — but a
+    /// file that was swapped or rewritten *between* passes would silently
+    /// change the data under a restreaming run. This check turns that into a
+    /// typed error before the next pass starts.
+    fn revalidate_header(&self) -> Result<()> {
+        let file = File::open(&self.path)?;
+        let mut r = BufReader::new(file);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(GraphError::Parse(
+                "not an OMS vertex-stream file (header changed between passes)".into(),
+            ));
+        }
+        let n = read_u64(&mut r)? as usize;
+        let m = read_u64(&mut r)? as usize;
+        let mut flags = [0u8; 1];
+        r.read_exact(&mut flags)?;
+        if n != self.num_nodes {
+            return Err(GraphError::CountMismatch {
+                what: "header nodes after rewind",
+                expected: self.num_nodes as u64,
+                found: n as u64,
+            });
+        }
+        if m != self.num_edges {
+            return Err(GraphError::CountMismatch {
+                what: "header edges after rewind",
+                expected: self.num_edges as u64,
+                found: m as u64,
+            });
+        }
+        if flags[0] != self.flags {
+            return Err(GraphError::Parse(
+                "vertex-stream flags changed between passes".into(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// The decode state of one pass over a vertex-stream file.
@@ -292,6 +336,10 @@ impl NodeStream for DiskStream {
 
     fn total_node_weight(&self) -> NodeWeight {
         self.total_node_weight
+    }
+
+    fn reset(&mut self) -> Result<()> {
+        self.revalidate_header()
     }
 
     fn for_each_node(&mut self, f: &mut dyn FnMut(StreamedNode<'_>)) -> Result<()> {
@@ -511,6 +559,108 @@ mod tests {
                 other => panic!("expected Truncated, got: {other}"),
             }
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rewind_after_truncation_error_fails_identically() {
+        // Regression: after a pass died on a truncated file, rewinding and
+        // streaming again must fail with the *same* typed error from the
+        // top of the file — never resume mid-file or stream short.
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let path = temp_path("truncated-rewind.oms");
+        write_stream_file(&g, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 6]).unwrap();
+        for double_buffered in [false, true] {
+            let mut stream = DiskStream::open(&path)
+                .unwrap()
+                .double_buffered(double_buffered);
+            let expect_truncated = |err: GraphError| match err {
+                GraphError::Truncated {
+                    expected_nodes,
+                    read_nodes,
+                } => (expected_nodes, read_nodes),
+                other => panic!("expected Truncated, got: {other}"),
+            };
+            let mut count_first = 0usize;
+            let first = expect_truncated(stream.stream_nodes(|_| count_first += 1).unwrap_err());
+            stream.reset().unwrap();
+            let mut count_second = 0usize;
+            let second = expect_truncated(stream.stream_nodes(|_| count_second += 1).unwrap_err());
+            assert_eq!(first, second, "second pass must restart from the top");
+            assert_eq!(
+                count_first, count_second,
+                "second pass must deliver the same (truncated) prefix, not resume mid-file"
+            );
+            assert!(count_second < 6);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rewind_after_count_mismatch_fails_identically() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let path = temp_path("mismatch-rewind.oms");
+        write_stream_file(&g, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[16..24].copy_from_slice(&4u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let mut stream = DiskStream::open(&path).unwrap();
+        let as_mismatch = |err: GraphError| match err {
+            GraphError::CountMismatch {
+                what,
+                expected,
+                found,
+            } => (what, expected, found),
+            other => panic!("expected CountMismatch, got: {other}"),
+        };
+        let first = as_mismatch(stream.stream_nodes(|_| {}).unwrap_err());
+        stream.reset().unwrap();
+        let second = as_mismatch(stream.stream_nodes(|_| {}).unwrap_err());
+        assert_eq!(first, second);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reset_detects_a_file_swapped_between_passes() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let path = temp_path("swapped.oms");
+        write_stream_file(&g, &path).unwrap();
+        let mut stream = DiskStream::open(&path).unwrap();
+        stream.stream_nodes(|_| {}).unwrap();
+        // Swap in a file with a different node count under the same path.
+        let other = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        write_stream_file(&other, &path).unwrap();
+        match stream.reset().unwrap_err() {
+            GraphError::CountMismatch {
+                what,
+                expected,
+                found,
+            } => {
+                assert_eq!(what, "header nodes after rewind");
+                assert_eq!(expected, 5);
+                assert_eq!(found, 3);
+            }
+            other => panic!("expected CountMismatch, got: {other}"),
+        }
+        // A deleted file is an I/O error, not a silent empty pass.
+        std::fs::remove_file(&path).unwrap();
+        assert!(stream.reset().is_err());
+    }
+
+    #[test]
+    fn reset_on_an_intact_file_allows_further_passes() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let path = temp_path("reset-ok.oms");
+        write_stream_file(&g, &path).unwrap();
+        let mut stream = DiskStream::open(&path).unwrap();
+        let mut first = Vec::new();
+        stream.stream_nodes(|n| first.push(n.node)).unwrap();
+        stream.reset().unwrap();
+        let mut second = Vec::new();
+        stream.stream_nodes(|n| second.push(n.node)).unwrap();
+        assert_eq!(first, second);
         std::fs::remove_file(&path).ok();
     }
 

@@ -68,6 +68,21 @@ pub trait NodeStream {
     /// Total node weight `c(V)` of the streamed graph.
     fn total_node_weight(&self) -> NodeWeight;
 
+    /// Rewinds the stream to its beginning, so the next
+    /// [`NodeStream::for_each_node`] / [`NodeStream::for_each_batch`] call
+    /// delivers a full pass starting from the first node.
+    ///
+    /// Multi-pass (restreaming) drivers call this between passes. In-memory
+    /// sources rewind trivially (every pass starts from the front anyway);
+    /// sources with external state re-open and re-validate it — e.g.
+    /// [`crate::io::DiskStream`] re-opens the file and checks that its header
+    /// still matches the counts announced when the stream was first opened,
+    /// so a file that was truncated or swapped between passes fails with a
+    /// typed error instead of silently streaming different data.
+    fn reset(&mut self) -> Result<()> {
+        Ok(())
+    }
+
     /// Performs one pass, invoking `f` for every node in stream order.
     fn for_each_node(&mut self, f: &mut dyn FnMut(StreamedNode<'_>)) -> Result<()>;
 
@@ -126,6 +141,10 @@ impl<S: NodeStream + ?Sized> NodeStream for &mut S {
 
     fn total_node_weight(&self) -> NodeWeight {
         (**self).total_node_weight()
+    }
+
+    fn reset(&mut self) -> Result<()> {
+        (**self).reset()
     }
 
     fn for_each_node(&mut self, f: &mut dyn FnMut(StreamedNode<'_>)) -> Result<()> {
@@ -189,6 +208,10 @@ impl<S: NodeStream> NodeStream for PerNodeBatches<S> {
 
     fn total_node_weight(&self) -> NodeWeight {
         self.0.total_node_weight()
+    }
+
+    fn reset(&mut self) -> Result<()> {
+        self.0.reset()
     }
 
     fn for_each_node(&mut self, f: &mut dyn FnMut(StreamedNode<'_>)) -> Result<()> {

@@ -15,7 +15,8 @@
 //! * [`profile`] — performance profiles (the τ-curves of Fig. 2d–f);
 //! * [`memory`] — the `O(n + k)` vs `O(n + m)` memory accounting of §4.1;
 //! * [`timing`] — wall-clock measurement with repetitions;
-//! * [`report`] — plain-text and CSV table output.
+//! * [`report`] — plain-text and CSV table output;
+//! * [`trajectory`] — per-pass quality trajectories of restreaming runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +27,7 @@ pub mod quality;
 pub mod report;
 pub mod stats;
 pub mod timing;
+pub mod trajectory;
 
 pub use memory::{graph_memory_bytes, streaming_memory_bytes, MemoryEstimate};
 pub use profile::PerformanceProfile;
@@ -33,3 +35,4 @@ pub use quality::{edge_cut, imbalance};
 pub use report::Table;
 pub use stats::{arithmetic_mean, geometric_mean, improvement_percent, speedup};
 pub use timing::{measure, measure_repeated};
+pub use trajectory::{cut_reduction_percent, effective_convergence_pass, trajectory_table};

@@ -1,0 +1,103 @@
+//! Per-pass trajectory reporting for multi-pass (restreaming) runs.
+//!
+//! The multi-pass engine in `oms-core` records one
+//! [`PassStats`] per accepted pass; this module turns such trajectories
+//! into the evaluation pipeline's terms: a [`Table`] row per pass for the
+//! experiment CSVs, and aggregate measures (total cut reduction, the pass
+//! at which the run effectively converged) used by the quality-vs-passes
+//! experiments.
+
+use crate::report::Table;
+use oms_core::PassStats;
+
+/// Renders a trajectory as a table with one row per pass
+/// (`pass, edge_cut, imbalance, moved, seconds`).
+pub fn trajectory_table(title: &str, stats: &[PassStats]) -> Table {
+    let mut table = Table::new(
+        title,
+        &["pass", "edge_cut", "imbalance", "moved", "seconds"],
+    );
+    for s in stats {
+        table.add_row(vec![
+            s.pass.to_string(),
+            s.edge_cut.to_string(),
+            format!("{:.4}", s.imbalance),
+            s.moved.to_string(),
+            format!("{:.4}", s.seconds),
+        ]);
+    }
+    table
+}
+
+/// Total relative edge-cut reduction of the run, in percent:
+/// `(cut_first − cut_last) / cut_first · 100`. `0` for empty or
+/// single-entry trajectories and for a zero initial cut.
+pub fn cut_reduction_percent(stats: &[PassStats]) -> f64 {
+    match (stats.first(), stats.last()) {
+        (Some(first), Some(last)) if first.edge_cut > 0 => {
+            (first.edge_cut.saturating_sub(last.edge_cut)) as f64 / first.edge_cut as f64 * 100.0
+        }
+        _ => 0.0,
+    }
+}
+
+/// The pass index after which further passes stopped paying off: the first
+/// pass whose relative improvement over its predecessor fell below
+/// `threshold` (e.g. `0.01` = 1 %), or the last pass when every step kept
+/// improving. `None` for empty trajectories.
+pub fn effective_convergence_pass(stats: &[PassStats], threshold: f64) -> Option<usize> {
+    if stats.is_empty() {
+        return None;
+    }
+    for w in stats.windows(2) {
+        let (prev, cur) = (w[0].edge_cut, w[1].edge_cut);
+        let gained = prev.saturating_sub(cur) as f64;
+        if gained < threshold * prev.max(1) as f64 {
+            return Some(w[1].pass);
+        }
+    }
+    stats.last().map(|s| s.pass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(cuts: &[u64]) -> Vec<PassStats> {
+        cuts.iter()
+            .enumerate()
+            .map(|(i, &c)| PassStats {
+                pass: i,
+                edge_cut: c,
+                imbalance: 0.01,
+                moved: 10,
+                seconds: 0.1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn table_has_one_row_per_pass() {
+        let t = trajectory_table("run", &stats(&[100, 80, 75]));
+        assert_eq!(t.num_rows(), 3);
+        assert!(t.to_csv().contains("pass,edge_cut,imbalance,moved,seconds"));
+        assert!(t.to_csv().contains("1,80,"));
+    }
+
+    #[test]
+    fn cut_reduction_is_relative_to_the_first_pass() {
+        assert!((cut_reduction_percent(&stats(&[100, 80, 75])) - 25.0).abs() < 1e-12);
+        assert_eq!(cut_reduction_percent(&stats(&[0, 0])), 0.0);
+        assert_eq!(cut_reduction_percent(&[]), 0.0);
+    }
+
+    #[test]
+    fn convergence_pass_finds_the_first_small_step() {
+        // 100 → 80 (20 %), 80 → 79 (1.25 %), 79 → 78 — with a 5 % threshold
+        // the second step is the first that is too small.
+        let s = stats(&[100, 80, 79, 78]);
+        assert_eq!(effective_convergence_pass(&s, 0.05), Some(2));
+        assert_eq!(effective_convergence_pass(&s, 0.001), Some(3));
+        assert_eq!(effective_convergence_pass(&[], 0.05), None);
+    }
+}

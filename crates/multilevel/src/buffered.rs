@@ -30,12 +30,15 @@
 //! `buffer ≥ n` and to a Fennel-flavoured heuristic when `buffer` is tiny.
 
 use crate::partitioner::{MultilevelConfig, MultilevelPartitioner};
-use oms_core::executor::BatchExecutor;
+use oms_core::executor::{
+    measure_pass, BatchExecutor, PassOutcome, PassTracker, PassTrajectory, RestreamOptions,
+};
 use oms_core::partition::UNASSIGNED;
 use oms_core::scorer::fennel_alpha;
 use oms_core::{BlockId, Partition, PartitionError, Result};
 use oms_graph::{GraphBuilder, NodeBatch, NodeStream, NodeWeight};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Default buffer size (nodes per model graph).
 pub const DEFAULT_BUFFER: usize = 4096;
@@ -44,11 +47,17 @@ pub const DEFAULT_BUFFER: usize = 4096;
 const GAMMA: f64 = 1.5;
 
 /// The buffered streaming partitioner: per-batch multilevel model solves
-/// with a greedy global commit.
+/// with a greedy global commit. `passes > 1` restreams the graph: in later
+/// passes the nodes of each batch are first *released* from their previous
+/// blocks and the batch is re-solved and re-committed under the global
+/// balance constraint, now seeing the connectivity of the whole previous
+/// assignment instead of only the prefix streamed so far.
 #[derive(Clone, Copy, Debug)]
 pub struct BufferedMultilevel {
     k: u32,
     buffer: usize,
+    passes: usize,
+    convergence: f64,
     config: MultilevelConfig,
 }
 
@@ -60,8 +69,23 @@ impl BufferedMultilevel {
         BufferedMultilevel {
             k,
             buffer: if buffer == 0 { DEFAULT_BUFFER } else { buffer },
+            passes: 1,
+            convergence: 0.0,
             config,
         }
+    }
+
+    /// Sets the number of restreaming passes (≥ 1).
+    pub fn passes(mut self, passes: usize) -> Self {
+        self.passes = passes.max(1);
+        self
+    }
+
+    /// Sets the relative edge-cut improvement below which a multi-pass run
+    /// stops early.
+    pub fn convergence(mut self, min_improvement: f64) -> Self {
+        self.convergence = min_improvement.max(0.0);
+        self
     }
 
     /// Number of blocks.
@@ -76,6 +100,20 @@ impl BufferedMultilevel {
 
     /// Partitions the nodes delivered by `stream`, batch by batch.
     pub fn partition_stream(&self, stream: &mut dyn NodeStream) -> Result<Partition> {
+        Ok(self.partition_restream(stream, false)?.0)
+    }
+
+    /// Like [`BufferedMultilevel::partition_stream`], returning the
+    /// per-pass quality trajectory of a multi-pass run as well. The pass
+    /// loop follows the engine's rules: the stream is rewound between
+    /// passes, the run stops once no node moved or the relative cut
+    /// improvement fell below the convergence threshold, and a pass that
+    /// worsened the cut is rolled back.
+    pub fn partition_restream(
+        &self,
+        stream: &mut dyn NodeStream,
+        tracked: bool,
+    ) -> Result<(Partition, PassTrajectory)> {
         if self.k == 0 {
             return Err(PartitionError::InvalidConfig(
                 "the number of blocks k must be positive".into(),
@@ -83,6 +121,7 @@ impl BufferedMultilevel {
         }
         let n = stream.num_nodes();
         let k = self.k as usize;
+        let passes = self.passes.max(1);
         let capacity = Partition::capacity(stream.total_node_weight(), self.k, self.config.epsilon);
         let alpha = fennel_alpha(self.k, stream.num_edges(), n);
 
@@ -94,32 +133,81 @@ impl BufferedMultilevel {
             alpha,
         };
         let mut local: HashMap<u32, u32> = HashMap::new();
-        let mut error: Option<PartitionError> = None;
+        let measure = tracked || passes > 1;
+        let mut tracker = PassTracker::new(RestreamOptions::tracked(passes, self.convergence));
+        let mut prev_assign: Vec<BlockId> = Vec::new();
+        let mut needs_reset = false;
+        let reset = |stream: &mut dyn NodeStream, needs_reset: &mut bool| -> Result<()> {
+            if *needs_reset {
+                stream.reset().map_err(PartitionError::Graph)?;
+            }
+            *needs_reset = true;
+            Ok(())
+        };
 
-        BatchExecutor::new(self.buffer).run_batches(stream, &mut |batch| {
-            if error.is_some() || batch.is_empty() {
-                return;
+        for pass in 0..passes {
+            reset(stream, &mut needs_reset)?;
+            if measure {
+                prev_assign.clear();
+                prev_assign.extend_from_slice(&state.assignments);
             }
-            if let Err(e) = self.commit_batch(batch, &mut local, &mut state) {
-                error = Some(e);
+            let restreaming = pass > 0;
+            let mut error: Option<PartitionError> = None;
+            let start = Instant::now();
+            BatchExecutor::new(self.buffer).run_batches(stream, &mut |batch| {
+                if error.is_some() || batch.is_empty() {
+                    return;
+                }
+                if let Err(e) = self.commit_batch(batch, &mut local, &mut state, restreaming) {
+                    error = Some(e);
+                }
+            })?;
+            if let Some(e) = error {
+                return Err(e);
             }
-        })?;
-        if let Some(e) = error {
-            return Err(e);
+            let seconds = start.elapsed().as_secs_f64();
+
+            if !measure {
+                continue;
+            }
+            let moved = prev_assign
+                .iter()
+                .zip(&state.assignments)
+                .filter(|(a, b)| a != b)
+                .count();
+            reset(stream, &mut needs_reset)?;
+            let (edge_cut, imbalance) = measure_pass(stream, &state.assignments, self.k)?;
+            match tracker.observe(
+                pass + 1 == passes,
+                moved,
+                seconds,
+                edge_cut,
+                imbalance,
+                &state.assignments,
+            ) {
+                PassOutcome::Continue => {}
+                PassOutcome::Stop => break,
+                PassOutcome::Revert(best) => {
+                    state.restore(&best);
+                    break;
+                }
+            }
         }
-        Ok(Partition::from_assignments(
-            self.k,
-            state.assignments,
-            &state.node_weights,
+        Ok((
+            Partition::from_assignments(self.k, state.assignments, &state.node_weights),
+            tracker.finish(),
         ))
     }
 
-    /// Solves one batch (steps 2–4 of the module-level recipe).
+    /// Solves one batch (steps 2–4 of the module-level recipe). In a
+    /// restreaming pass the batch's nodes are first released from their
+    /// previous blocks, so the re-commit decides under up-to-date weights.
     fn commit_batch(
         &self,
         batch: &NodeBatch,
         local: &mut HashMap<u32, u32>,
         state: &mut CommitState,
+        restreaming: bool,
     ) -> Result<()> {
         let b = batch.len();
         let k = self.k as usize;
@@ -128,6 +216,19 @@ impl BufferedMultilevel {
         local.clear();
         for (i, &id) in batch.ids().iter().enumerate() {
             local.insert(id, i as u32);
+        }
+
+        if restreaming {
+            // Release the whole batch from its previous blocks before
+            // re-deciding: the re-commit must see block weights without the
+            // batch, or full blocks could never be re-entered (or left).
+            for node in batch.iter() {
+                let b = state.assignments[node.node as usize];
+                if b != UNASSIGNED {
+                    state.block_weights[b as usize] -= state.node_weights[node.node as usize];
+                    state.assignments[node.node as usize] = UNASSIGNED;
+                }
+            }
         }
 
         // Model graph: batch nodes + batch-internal edges.
@@ -237,6 +338,18 @@ impl CommitState {
             }
         }
         best.map(|(gb, _, _)| gb).unwrap_or(fallback)
+    }
+
+    /// Rolls the state back to a previously observed assignment (the pass
+    /// loop's revert-on-worsen guard), rebuilding the block weights.
+    fn restore(&mut self, assignments: &[BlockId]) {
+        self.assignments.copy_from_slice(assignments);
+        self.block_weights.fill(0);
+        for (v, &b) in self.assignments.iter().enumerate() {
+            if b != UNASSIGNED {
+                self.block_weights[b as usize] += self.node_weights[v];
+            }
+        }
     }
 }
 

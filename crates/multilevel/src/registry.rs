@@ -10,8 +10,10 @@ use crate::buffered::BufferedMultilevel;
 use crate::hierarchical::RecursiveMultisection;
 use crate::partitioner::{MultilevelConfig, MultilevelPartitioner};
 use oms_core::api::{materialize_stream, register_algorithm, AlgorithmInfo, JobSpec, Partitioner};
-use oms_core::{Partition, PartitionError, Result};
+use oms_core::executor::PassTrajectory;
+use oms_core::{refine_partition, OnePassConfig, Partition, PartitionError, Result};
 use oms_graph::NodeStream;
+use std::time::Instant;
 
 impl Partitioner for MultilevelPartitioner {
     fn name(&self) -> String {
@@ -55,6 +57,77 @@ impl Partitioner for BufferedMultilevel {
     fn partition(&self, stream: &mut dyn NodeStream) -> Result<Partition> {
         self.partition_stream(stream)
     }
+
+    fn partition_tracked(
+        &self,
+        stream: &mut dyn NodeStream,
+    ) -> Result<(Partition, PassTrajectory)> {
+        self.partition_restream(stream, true)
+    }
+}
+
+/// `passes > 1` for the in-memory one-shot algorithms (`multilevel`, `rms`):
+/// the base solve becomes pass 0 and the remaining passes are restreaming
+/// refinement ([`refine_partition`]) of its partition under the balance
+/// constraint — the engine's guard makes the result never worse than the
+/// base solve.
+struct RefinedInMemory {
+    base: Box<dyn Partitioner>,
+    config: OnePassConfig,
+    passes: usize,
+    convergence: f64,
+}
+
+impl RefinedInMemory {
+    fn run(&self, stream: &mut dyn NodeStream) -> Result<(Partition, PassTrajectory)> {
+        let start = Instant::now();
+        let seed = self.base.partition(stream)?;
+        let solve_seconds = start.elapsed().as_secs_f64();
+        // The base solve consumed (at least) one pass; the refinement
+        // streams the same source from the top.
+        stream.reset()?;
+        let (refined, mut trajectory) =
+            refine_partition(stream, seed, self.config, self.passes - 1, self.convergence)?;
+        if let Some(first) = trajectory.stats.first_mut() {
+            first.seconds = solve_seconds;
+        }
+        Ok((refined, trajectory))
+    }
+}
+
+impl Partitioner for RefinedInMemory {
+    fn name(&self) -> String {
+        self.base.name()
+    }
+
+    fn num_blocks(&self) -> u32 {
+        self.base.num_blocks()
+    }
+
+    fn partition(&self, stream: &mut dyn NodeStream) -> Result<Partition> {
+        Ok(self.run(stream)?.0)
+    }
+
+    fn partition_tracked(
+        &self,
+        stream: &mut dyn NodeStream,
+    ) -> Result<(Partition, PassTrajectory)> {
+        self.run(stream)
+    }
+}
+
+/// Wraps `base` for restreaming refinement when the job asks for more than
+/// one pass.
+fn with_refinement(base: Box<dyn Partitioner>, spec: &JobSpec) -> Box<dyn Partitioner> {
+    if spec.passes <= 1 {
+        return base;
+    }
+    Box::new(RefinedInMemory {
+        base,
+        config: spec.one_pass_config(),
+        passes: spec.passes,
+        convergence: spec.convergence,
+    })
 }
 
 fn multilevel_config(spec: &JobSpec) -> MultilevelConfig {
@@ -67,45 +140,46 @@ fn multilevel_config(spec: &JobSpec) -> MultilevelConfig {
 }
 
 fn build_multilevel(spec: &JobSpec) -> Result<Box<dyn Partitioner>> {
-    if spec.passes > 1 {
-        return Err(PartitionError::InvalidSpec(
-            "multilevel is not a streaming algorithm and does not support passes > 1".into(),
-        ));
-    }
-    Ok(Box::new(MultilevelPartitioner::new(
-        spec.num_blocks(),
-        multilevel_config(spec),
-    )))
+    Ok(with_refinement(
+        Box::new(MultilevelPartitioner::new(
+            spec.num_blocks(),
+            multilevel_config(spec),
+        )),
+        spec,
+    ))
 }
 
 fn build_rms(spec: &JobSpec) -> Result<Box<dyn Partitioner>> {
-    if spec.passes > 1 {
-        return Err(PartitionError::InvalidSpec(
-            "rms is not a streaming algorithm and does not support passes > 1".into(),
-        ));
-    }
     let Some(hierarchy) = spec.shape.hierarchy() else {
         return Err(PartitionError::InvalidSpec(
             "rms needs a hierarchical shape (e.g. rms:4:16:8)".into(),
         ));
     };
-    Ok(Box::new(RecursiveMultisection::new(
-        hierarchy.clone(),
-        multilevel_config(spec),
-    )))
+    // The refinement passes optimize edge-cut with a flat objective; on a
+    // mapping job (dist=) they could silently worsen the objective J the
+    // run is evaluated on, so the combination is rejected.
+    if spec.passes > 1 && spec.distances.is_some() {
+        return Err(PartitionError::InvalidSpec(
+            "rms: passes>1 refines the edge-cut only and cannot be combined with dist= \
+             (it could worsen the mapping objective J); drop dist= or use oms with passes>1"
+                .into(),
+        ));
+    }
+    Ok(with_refinement(
+        Box::new(RecursiveMultisection::new(
+            hierarchy.clone(),
+            multilevel_config(spec),
+        )),
+        spec,
+    ))
 }
 
 fn build_buffered(spec: &JobSpec) -> Result<Box<dyn Partitioner>> {
-    if spec.passes > 1 {
-        return Err(PartitionError::InvalidSpec(
-            "buffered does not support restreaming (passes > 1)".into(),
-        ));
-    }
-    Ok(Box::new(BufferedMultilevel::new(
-        spec.num_blocks(),
-        spec.buffer,
-        multilevel_config(spec),
-    )))
+    Ok(Box::new(
+        BufferedMultilevel::new(spec.num_blocks(), spec.buffer, multilevel_config(spec))
+            .passes(spec.passes)
+            .convergence(spec.convergence),
+    ))
 }
 
 /// Registers the in-memory baselines (`multilevel`, `rms`) and the buffered
@@ -115,21 +189,22 @@ pub fn register_algorithms() {
     register_algorithm(AlgorithmInfo {
         name: "multilevel",
         aliases: &["ml", "kaminpar"],
-        description: "in-memory multilevel k-way baseline (coarsen / partition / refine)",
+        description: "in-memory multilevel k-way baseline; passes>1 adds restream refinement",
         supports_hierarchy: false,
         build: build_multilevel,
     });
     register_algorithm(AlgorithmInfo {
         name: "rms",
         aliases: &["offline-oms", "intmap"],
-        description: "offline recursive multi-section along a hierarchy (IntMap stand-in)",
+        description: "offline recursive multi-section along a hierarchy; passes>1 refines",
         supports_hierarchy: true,
         build: build_rms,
     });
     register_algorithm(AlgorithmInfo {
         name: "buffered",
         aliases: &["heistream", "buffered-multilevel"],
-        description: "buffered streaming: per-batch multilevel model solves (buf=<nodes>)",
+        description:
+            "buffered streaming: per-batch multilevel solves (buf=<nodes>); passes>1 re-commits",
         supports_hierarchy: false,
         build: build_buffered,
     });
@@ -194,15 +269,74 @@ mod tests {
     }
 
     #[test]
-    fn buffered_rejects_restreaming_and_resolves_aliases() {
+    fn buffered_restreams_and_resolves_aliases() {
         register_algorithms();
-        assert!(oms_core::JobSpec::parse("buffered:4@passes=2")
+        let g = oms_gen::planted_partition(300, 8, 0.1, 0.01, 9);
+        let report = oms_core::JobSpec::parse("buffered:8@seed=3,buf=64,passes=3")
             .unwrap()
             .build()
-            .is_err());
+            .unwrap()
+            .run(&mut InMemoryStream::new(&g))
+            .unwrap();
+        assert!(!report.trajectory.is_empty());
+        assert!(
+            report
+                .trajectory
+                .windows(2)
+                .all(|w| w[1].edge_cut <= w[0].edge_cut),
+            "buffered restreaming must not worsen the cut: {:?}",
+            report.trajectory
+        );
+        assert_eq!(
+            report.trajectory.last().unwrap().edge_cut,
+            report.edge_cut,
+            "the reported cut is the last accepted pass"
+        );
         assert_eq!(
             oms_core::find_algorithm("heistream").unwrap().name,
             "buffered"
         );
+    }
+
+    #[test]
+    fn rms_rejects_refinement_passes_on_mapping_jobs() {
+        register_algorithms();
+        let Err(err) = oms_core::JobSpec::parse("rms:2:2:2@dist=1:10:100,passes=2")
+            .unwrap()
+            .build()
+        else {
+            panic!("rms with dist= and passes>1 must be rejected");
+        };
+        assert!(err.to_string().contains("dist="), "{err}");
+        // Without distances the refinement is fine.
+        assert!(oms_core::JobSpec::parse("rms:2:2:2@passes=2")
+            .unwrap()
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn multilevel_and_rms_support_refinement_passes() {
+        register_algorithms();
+        let g = oms_gen::planted_partition(300, 8, 0.1, 0.01, 11);
+        for spec in ["multilevel:8@seed=3,passes=3", "rms:2:2:2@seed=3,passes=2"] {
+            let report = oms_core::JobSpec::parse(spec)
+                .unwrap()
+                .build()
+                .unwrap()
+                .run(&mut InMemoryStream::new(&g))
+                .unwrap();
+            assert!(!report.trajectory.is_empty(), "{spec}");
+            assert!(
+                report
+                    .trajectory
+                    .windows(2)
+                    .all(|w| w[1].edge_cut <= w[0].edge_cut),
+                "{spec}: refinement must not worsen the base solve: {:?}",
+                report.trajectory
+            );
+            assert_eq!(report.trajectory.last().unwrap().edge_cut, report.edge_cut);
+            assert_eq!(report.partition.num_nodes(), 300, "{spec}");
+        }
     }
 }

@@ -69,10 +69,11 @@ pub use oms_multilevel as multilevel;
 /// The most common imports in one place.
 pub mod prelude {
     pub use oms_core::{
-        find_algorithm, register_algorithm, registered_algorithms, AlgorithmInfo, AlphaMode,
-        BatchExecutor, BlockId, DistanceSpec, Fennel, Hashing, HierarchySpec, JobShape, JobSpec,
-        Ldg, NodeSink, OmsConfig, OnePassConfig, OnlineMultiSection, Partition, PartitionReport,
-        Partitioner, ScorerKind, StreamingPartitioner,
+        find_algorithm, refine_partition, register_algorithm, registered_algorithms, AlgorithmInfo,
+        AlphaMode, BatchExecutor, BlockId, DistanceSpec, Fennel, Hashing, HierarchySpec, JobShape,
+        JobSpec, Ldg, NodeSink, OmsConfig, OnePassConfig, OnlineMultiSection, Partition,
+        PartitionReport, Partitioner, PassStats, PassTrajectory, ReFennel, ReHashing, ReLdg, ReOms,
+        RestreamOptions, ScorerKind, StreamingPartitioner,
     };
     pub use oms_gen::{
         barabasi_albert, delaunay_graph, erdos_renyi_gnm, grid_2d, planted_partition,

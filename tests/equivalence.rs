@@ -33,7 +33,11 @@ fn per_node_algorithm_specs() -> Vec<&'static str> {
         "nh-oms:8@seed=3",
         "fennel:8@seed=3,passes=3",
         "oms:8@seed=3,passes=2",
+        "ldg:8@seed=3,passes=2",
+        "hashing:8@seed=3,passes=2",
+        "fennel:8@seed=3,passes=4,conv=0.01",
         "multilevel:8@seed=3",
+        "multilevel:8@seed=3,passes=2",
         "rms:2:2:2@seed=3",
     ]
 }
@@ -44,6 +48,7 @@ fn per_node_algorithm_specs() -> Vec<&'static str> {
 fn all_algorithm_specs() -> Vec<&'static str> {
     let mut specs = per_node_algorithm_specs();
     specs.push("buffered:8@seed=3,buf=100");
+    specs.push("buffered:8@seed=3,buf=100,passes=2");
     specs
 }
 
@@ -144,5 +149,64 @@ fn restreaming_equivalence_holds_across_sources() {
     let memory = assignments(&*partitioner, &mut InMemoryStream::new(&graph));
     let mut disk = DiskStream::open(&path).unwrap();
     assert_eq!(memory, assignments(&*partitioner, &mut disk));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn multi_pass_over_a_corrupt_disk_file_fails_with_the_typed_error() {
+    // The multi-pass engine rewinds the stream between passes; over a
+    // truncated file every pass must die with the typed truncation error —
+    // never stream short and partition a prefix.
+    let graph = planted_partition(200, 4, 0.1, 0.01, 31);
+    let path = temp_stream_file(&graph, "corrupt-multipass.oms");
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 8]).unwrap();
+    let mut stream = DiskStream::open(&path).unwrap();
+    let partitioner = JobSpec::parse("fennel:4@seed=3,passes=3")
+        .unwrap()
+        .build()
+        .unwrap();
+    let err = partitioner.partition(&mut stream).unwrap_err();
+    assert!(
+        err.to_string().contains("truncated"),
+        "expected the typed truncation error, got: {err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn multi_pass_trajectories_agree_across_stream_sources() {
+    // Not only the final assignment: the whole per-pass quality trajectory
+    // (cuts, moved counts, early-exit behavior) must be identical no matter
+    // where the stream comes from.
+    register_multilevel_algorithms();
+    let graph = planted_partition(500, 8, 0.1, 0.005, 37);
+    let path = temp_stream_file(&graph, "trajectory-sources.oms");
+    for spec in [
+        "fennel:8@seed=3,passes=4",
+        "ldg:8@seed=3,passes=3,conv=0.01",
+        "buffered:8@seed=3,buf=100,passes=3",
+    ] {
+        let partitioner = JobSpec::parse(spec).unwrap().build().unwrap();
+        let strip = |t: Vec<oms::core::PassStats>| -> Vec<(usize, u64, usize)> {
+            t.into_iter()
+                .map(|s| (s.pass, s.edge_cut, s.moved))
+                .collect()
+        };
+        let (_, reference) = partitioner
+            .partition_tracked(&mut InMemoryStream::new(&graph))
+            .unwrap();
+        let reference = strip(reference.stats);
+        assert!(!reference.is_empty(), "{spec}");
+
+        let (_, chunked) = partitioner
+            .partition_tracked(&mut ChunkedStream::new(&graph, NodeOrdering::Natural))
+            .unwrap();
+        assert_eq!(reference, strip(chunked.stats), "{spec}: chunked differs");
+
+        let mut disk = DiskStream::open(&path).unwrap();
+        let (_, disk_t) = partitioner.partition_tracked(&mut disk).unwrap();
+        assert_eq!(reference, strip(disk_t.stats), "{spec}: disk differs");
+    }
     std::fs::remove_file(&path).ok();
 }

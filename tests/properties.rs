@@ -267,6 +267,9 @@ fn arbitrary_jobspec(rng: &mut ChaCha8Rng) -> JobSpec {
         spec = spec.passes(rng.gen_range(2usize..8));
     }
     if rng.gen_range(0..3usize) == 0 {
+        spec = spec.convergence([0.01, 0.02, 0.05, 0.25][rng.gen_range(0..4usize)]);
+    }
+    if rng.gen_range(0..3usize) == 0 {
         spec = spec.base_b(rng.gen_range(2u32..8));
     }
     if rng.gen_range(0..3usize) == 0 {
@@ -306,5 +309,121 @@ fn multilevel_valid_on_arbitrary_graphs() {
             .unwrap();
         assert_eq!(p.num_nodes(), graph.num_nodes());
         assert!(p.validate(graph.node_weights()));
+    });
+}
+
+/// A restreaming run with `passes=1` is byte-identical to the plain
+/// single-pass algorithm: the multi-pass engine must be a pure superset of
+/// today's single-pass behavior.
+#[test]
+fn single_pass_restream_is_byte_identical_to_one_pass() {
+    run_cases(32, |rng| {
+        let graph = arbitrary_graph(rng, 20, 150);
+        let k = rng.gen_range(1u32..12);
+        let seed = rng.gen_range(0u64..1000);
+        for (multi, single) in [
+            (
+                format!("fennel:{k}@seed={seed},passes=1"),
+                format!("fennel:{k}@seed={seed}"),
+            ),
+            (
+                format!("ldg:{k}@seed={seed},passes=1"),
+                format!("ldg:{k}@seed={seed}"),
+            ),
+            (
+                format!("hashing:{k}@seed={seed},passes=1"),
+                format!("hashing:{k}@seed={seed}"),
+            ),
+            (
+                format!("nh-oms:{k}@seed={seed},passes=1"),
+                format!("nh-oms:{k}@seed={seed}"),
+            ),
+        ] {
+            let a = JobSpec::parse(&multi)
+                .unwrap()
+                .build()
+                .unwrap()
+                .partition(&mut InMemoryStream::new(&graph))
+                .unwrap();
+            let b = JobSpec::parse(&single)
+                .unwrap()
+                .build()
+                .unwrap()
+                .partition(&mut InMemoryStream::new(&graph))
+                .unwrap();
+            assert_eq!(a, b, "{multi} vs {single}");
+        }
+    });
+}
+
+/// Multi-pass restreaming keeps the balance constraint
+/// `L_max = ⌈(1+ε)·c(V)/k⌉` in *every* accepted pass, and the recorded
+/// edge-cut trajectory is non-increasing (the engine reverts a pass that
+/// overshoots).
+#[test]
+fn multi_pass_balance_holds_and_cut_never_increases() {
+    run_cases(24, |rng| {
+        let graph = arbitrary_graph(rng, 30, 150);
+        let n = graph.num_nodes() as u64;
+        let k = rng.gen_range(2u32..8);
+        let seed = rng.gen_range(0u64..1000);
+        let passes = rng.gen_range(2usize..5);
+        let capacity = Partition::capacity(graph.total_node_weight(), k, 0.03);
+        let allowed = capacity as f64 / (n as f64 / k as f64) - 1.0;
+        for algo in ["fennel", "ldg", "nh-oms"] {
+            let spec = format!("{algo}:{k}@seed={seed},passes={passes}");
+            let report = JobSpec::parse(&spec)
+                .unwrap()
+                .build()
+                .unwrap()
+                .run(&mut InMemoryStream::new(&graph))
+                .unwrap();
+            assert!(!report.trajectory.is_empty(), "{spec}");
+            assert!(
+                report
+                    .trajectory
+                    .windows(2)
+                    .all(|w| w[1].edge_cut <= w[0].edge_cut),
+                "{spec}: non-increasing trajectory violated: {:?}",
+                report.trajectory
+            );
+            for stats in &report.trajectory {
+                assert!(
+                    stats.imbalance <= allowed + 1e-9,
+                    "{spec}: pass {} violates L_max: {stats:?} (allowed {allowed:.4})",
+                    stats.pass
+                );
+            }
+            assert_eq!(
+                report.trajectory.last().unwrap().edge_cut,
+                report.edge_cut,
+                "{spec}: final pass is the returned partition"
+            );
+            assert!(report.partition.max_block_weight() <= capacity, "{spec}");
+        }
+    });
+}
+
+/// The engine's fixed-point exit: once a pass moves no node, further
+/// passes are skipped — a generous pass budget therefore never runs the
+/// full budget on a converged instance (hashing converges after pass 1 by
+/// construction).
+#[test]
+fn fixed_point_exit_fires_for_hashing() {
+    run_cases(24, |rng| {
+        let graph = arbitrary_graph(rng, 10, 100);
+        let k = rng.gen_range(1u32..8);
+        let seed = rng.gen_range(0u64..1000);
+        let report = JobSpec::parse(&format!("hashing:{k}@seed={seed},passes=9"))
+            .unwrap()
+            .build()
+            .unwrap()
+            .run(&mut InMemoryStream::new(&graph))
+            .unwrap();
+        assert!(
+            report.trajectory.len() <= 2,
+            "hashing must reach its fixed point after one pass: {:?}",
+            report.trajectory
+        );
     });
 }
