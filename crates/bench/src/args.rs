@@ -2,8 +2,10 @@
 //!
 //! Only a handful of flags are needed, so this avoids an external argument
 //! parser: `--scale <f64>`, `--reps <usize>`, `--out <dir>`, `--k <u32>`
-//! (repeatable), `--threads <usize>` (repeatable), `--quick`.
+//! (repeatable), `--threads <usize>` (repeatable), `--quick`,
+//! `--weights <unit|nodes|edges|full>` (the weighted-corpus knob).
 
+use oms_gen::WeightScheme;
 use std::path::PathBuf;
 
 /// Parsed benchmark options.
@@ -21,6 +23,8 @@ pub struct BenchArgs {
     pub threads: Vec<usize>,
     /// Quick mode: smallest possible configuration (used by CI / tests).
     pub quick: bool,
+    /// Corpus weighting scheme (`--weights unit|nodes|edges|full`).
+    pub weights: WeightScheme,
     /// Remaining positional arguments.
     pub rest: Vec<String>,
 }
@@ -34,6 +38,7 @@ impl Default for BenchArgs {
             ks: Vec::new(),
             threads: Vec::new(),
             quick: false,
+            weights: WeightScheme::Unit,
             rest: Vec::new(),
         }
     }
@@ -77,6 +82,11 @@ impl BenchArgs {
                     }
                 }
                 "--quick" => parsed.quick = true,
+                "--weights" => {
+                    if let Some(v) = iter.next().and_then(|s| WeightScheme::parse(&s)) {
+                        parsed.weights = v;
+                    }
+                }
                 other => parsed.rest.push(other.to_string()),
             }
         }
@@ -175,6 +185,13 @@ mod tests {
         assert!(a.scale <= 0.02);
         assert_eq!(a.reps, 1);
         assert_eq!(a.k_values(), vec![64, 256]);
+    }
+
+    #[test]
+    fn weights_knob_parses() {
+        assert_eq!(parse(&[]).weights, WeightScheme::Unit);
+        assert_eq!(parse(&["--weights", "full"]).weights, WeightScheme::Full);
+        assert_eq!(parse(&["--weights", "nodes"]).weights, WeightScheme::Nodes);
     }
 
     #[test]

@@ -2,10 +2,14 @@
 //!
 //! ```text
 //! cargo run --release -p oms-bench --bin corpus_table -- --scale 0.1
+//! cargo run --release -p oms-bench --bin corpus_table -- --weights full
 //! ```
+//!
+//! `--weights nodes|edges|full` prints the weighted corpus instead (the
+//! weighted columns `c(V)` and `ω(E)` then diverge from `n` and `m`).
 
 use oms_bench::BenchArgs;
-use oms_gen::scaled_corpus;
+use oms_gen::scaled_corpus_weighted;
 use oms_metrics::Table;
 
 fn main() {
@@ -13,14 +17,29 @@ fn main() {
     let out_dir = args.ensure_out_dir();
 
     let mut table = Table::new(
-        &format!("Table 1 — synthetic corpus (scale {})", args.scale),
-        &["graph", "n", "m", "type", "max degree", "avg degree"],
+        &format!(
+            "Table 1 — synthetic corpus (scale {}, weights {})",
+            args.scale,
+            args.weights.name()
+        ),
+        &[
+            "graph",
+            "n",
+            "m",
+            "c(V)",
+            "w(E)",
+            "type",
+            "max degree",
+            "avg degree",
+        ],
     );
-    for (name, class, graph) in scaled_corpus(args.scale, 42) {
+    for (name, class, graph) in scaled_corpus_weighted(args.scale, 42, args.weights) {
         table.add_row(vec![
             name,
             graph.num_nodes().to_string(),
             graph.num_edges().to_string(),
+            graph.total_node_weight().to_string(),
+            graph.total_edge_weight().to_string(),
             class.name().to_string(),
             graph.max_degree().to_string(),
             format!("{:.2}", graph.average_degree()),

@@ -3,15 +3,22 @@
 //! ```text
 //! oms partition <graph.metis|graph.oms> --k 256 [--algo oms|fennel|ldg|hashing|buffered|multilevel|...]
 //!               [--epsilon 0.03] [--threads 4] [--passes 1] [--converge 0.0] [--seed 0]
-//!               [--buffer 4096] [--output partition.txt]
+//!               [--buffer 4096] [--format metis|edgelist|stream] [--output partition.txt]
 //! oms partition <graph> --job "oms:4:16:8@eps=0.03,threads=8" [--output FILE]
 //! oms map       <graph.metis|graph.oms> --hierarchy 4:16:8 --distances 1:10:100
 //!               [--algo oms|fennel|hashing|rms] [--threads T] [--output mapping.txt]
 //! oms algorithms                              # list the registered algorithms
-//! oms convert   <graph.metis> <graph.oms>     # to the binary vertex-stream format
+//! oms convert   <graph.metis> <graph.oms>     # to/from the binary vertex-stream format
 //! oms generate  <family> <n> <out.metis>      # rgg | delaunay | ba | rmat | grid | er
+//!               [--weights unit|nodes|edges|full]   # weighted variants
 //! oms info      <graph.metis|graph.oms>
 //! ```
+//!
+//! `--format` overrides the extension-based sniffing (`.oms` = binary
+//! vertex stream, `.txt`/`.edges`/`.el` = edge list, everything else =
+//! METIS text); node/edge-weighted graphs are supported in all formats and
+//! weighted runs report `c(V)`, `ω(E)` and the heaviest block next to the
+//! cut.
 //!
 //! Every algorithm is dispatched through the shared `oms-core::api` registry:
 //! the CLI builds one [`JobSpec`] per invocation and runs whatever
@@ -21,7 +28,9 @@
 //! Exit code 0 on success, 1 on user error, 2 on internal error.
 
 use oms_core::{registered_algorithms, JobSpec};
-use oms_graph::io::{read_edge_list, read_metis, read_stream_file, write_metis, write_stream_file};
+use oms_graph::io::{
+    read_edge_list, read_metis, read_stream_file, write_edge_list, write_metis, write_stream_file,
+};
 use oms_graph::{CsrGraph, InMemoryStream};
 use std::collections::HashMap;
 use std::io::Write;
@@ -47,13 +56,15 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  oms partition  <graph> --k <k> [--algo NAME] [--epsilon 0.03] [--threads T] [--passes P] [--converge EPS] [--seed S] [--buffer B] [--output FILE]
+  oms partition  <graph> --k <k> [--algo NAME] [--epsilon 0.03] [--threads T] [--passes P] [--converge EPS] [--seed S] [--buffer B] [--format F] [--output FILE]
   oms partition  <graph> --job <spec>  (e.g. \"oms:4:16:8@eps=0.03,threads=8\") [--output FILE]
-  oms map        <graph> --hierarchy a1:a2:... [--distances d1:d2:...] [--algo NAME] [--threads T] [--seed S] [--output FILE]
+  oms map        <graph> --hierarchy a1:a2:... [--distances d1:d2:...] [--algo NAME] [--threads T] [--seed S] [--format F] [--output FILE]
   oms algorithms
-  oms convert    <in.metis|in.txt> <out.oms>
-  oms generate   <rgg|delaunay|ba|rmat|grid|er> <n> <out.metis> [--seed S]
-  oms info       <graph>";
+  oms convert    <in> <out>  (out format by extension: .oms = vertex stream, .txt/.edges/.el = edge list, else METIS) [--format F]
+  oms generate   <rgg|delaunay|ba|rmat|grid|er> <n> <out.metis> [--seed S] [--weights unit|nodes|edges|full]
+  oms info       <graph> [--format F]
+
+  --format F selects the input format (auto | metis | edgelist | stream); auto sniffs the extension.";
 
 enum Error {
     Usage(String),
@@ -133,15 +144,44 @@ fn split_options(
     Ok((positional, options))
 }
 
-fn load_graph(path: &str) -> Result<CsrGraph, Error> {
+/// Input formats accepted by `--format` (default `auto` sniffs the
+/// extension: `.oms` = vertex stream, `.txt`/`.edges`/`.el` = edge list,
+/// anything else = METIS).
+const FORMATS: &[&str] = &["auto", "metis", "edgelist", "stream"];
+
+/// The one extension table shared by input sniffing and `convert`'s output
+/// dispatch, so a file written under some extension is read back the same
+/// way.
+fn sniff_format(path: &Path) -> &'static str {
+    match path.extension().and_then(|e| e.to_str()).unwrap_or("") {
+        "oms" => "stream",
+        "txt" | "edges" | "el" => "edgelist",
+        _ => "metis",
+    }
+}
+
+fn load_graph_as(path: &str, format: Option<&str>) -> Result<CsrGraph, Error> {
     let p = Path::new(path);
-    let ext = p.extension().and_then(|e| e.to_str()).unwrap_or("");
-    let graph = match ext {
-        "oms" => read_stream_file(p)?,
-        "txt" | "edges" | "el" => read_edge_list(p, None)?,
-        _ => read_metis(p)?,
+    let format = match format.unwrap_or("auto").to_ascii_lowercase().as_str() {
+        "auto" => sniff_format(p).to_string(),
+        explicit => explicit.to_string(),
+    };
+    let graph = match format.as_str() {
+        "stream" => read_stream_file(p)?,
+        "edgelist" => read_edge_list(p, None)?,
+        "metis" => read_metis(p)?,
+        other => {
+            return Err(Error::Usage(format!(
+                "unknown input format '{other}' (known: {})",
+                FORMATS.join(", ")
+            )))
+        }
     };
     Ok(graph)
+}
+
+fn load_graph_opt(path: &str, options: &HashMap<String, String>) -> Result<CsrGraph, Error> {
+    load_graph_as(path, options.get("format").map(|s| s.as_str()))
 }
 
 /// Writes one block id per line through a sizeable buffer with manual
@@ -263,7 +303,7 @@ fn partition_command(args: &[String]) -> Result<(), Error> {
         args,
         &[
             "k", "job", "algo", "epsilon", "threads", "passes", "converge", "seed", "buffer",
-            "output",
+            "format", "output",
         ],
     )?;
     let Some(path) = positional.first() else {
@@ -277,7 +317,7 @@ fn partition_command(args: &[String]) -> Result<(), Error> {
     let job = job_from_options(&options, shape, "oms")?;
     let partitioner = job.build()?;
 
-    let graph = load_graph(path)?;
+    let graph = load_graph_opt(path, &options)?;
     let report = partitioner.run(&mut InMemoryStream::new(&graph))?;
 
     println!(
@@ -293,6 +333,14 @@ fn partition_command(args: &[String]) -> Result<(), Error> {
     );
     println!("edge-cut   : {}", report.edge_cut);
     println!("imbalance  : {:.4}", report.imbalance);
+    if !graph.is_unweighted() {
+        println!(
+            "weights    : c(V) = {}, ω(E) = {}, max block = {}",
+            report.total_node_weight(),
+            graph.total_edge_weight(),
+            report.max_block_weight()
+        );
+    }
     println!("time       : {:.4} s", report.seconds);
     print_trajectory(&report.trajectory);
     if let Some(output) = options.get("output") {
@@ -315,6 +363,7 @@ fn map_command(args: &[String]) -> Result<(), Error> {
             "passes",
             "converge",
             "seed",
+            "format",
             "output",
         ],
     )?;
@@ -343,7 +392,7 @@ fn map_command(args: &[String]) -> Result<(), Error> {
     }
     let partitioner = job.build()?;
 
-    let graph = load_graph(path)?;
+    let graph = load_graph_opt(path, &options)?;
     let report = partitioner.run(&mut InMemoryStream::new(&graph))?;
 
     let hierarchy = job.shape.hierarchy().expect("map jobs are hierarchical");
@@ -403,22 +452,39 @@ fn algorithms_command(args: &[String]) -> Result<(), Error> {
 }
 
 fn convert_command(args: &[String]) -> Result<(), Error> {
-    let (positional, _) = split_options(args, &[])?;
+    let (positional, options) = split_options(args, &["format"])?;
     let (Some(input), Some(output)) = (positional.first(), positional.get(1)) else {
         return Err(Error::Usage("convert: need <input> and <output>".into()));
     };
-    let graph = load_graph(input)?;
-    write_stream_file(&graph, output)?;
+    let graph = load_graph_opt(input, &options)?;
+    // The output format follows the same extension table as input
+    // sniffing, so `convert a.metis b.edges && info b.edges` round-trips.
+    match sniff_format(Path::new(output)) {
+        "metis" => write_metis(&graph, output)?,
+        "edgelist" => {
+            // The edge-list format has no weight columns; refusing beats
+            // silently stripping the weights.
+            if !graph.is_unweighted() {
+                return Err(Error::Usage(format!(
+                    "convert: the edge-list format drops node/edge weights; \
+                     write {output} as .metis or .oms instead"
+                )));
+            }
+            write_edge_list(&graph, output)?
+        }
+        _ => write_stream_file(&graph, output)?,
+    }
     println!(
-        "wrote {output} (n = {}, m = {})",
+        "wrote {output} (n = {}, m = {}, c(V) = {})",
         graph.num_nodes(),
-        graph.num_edges()
+        graph.num_edges(),
+        graph.total_node_weight()
     );
     Ok(())
 }
 
 fn generate_command(args: &[String]) -> Result<(), Error> {
-    let (positional, options) = split_options(args, &["seed"])?;
+    let (positional, options) = split_options(args, &["seed", "weights"])?;
     let (Some(family), Some(n), Some(output)) =
         (positional.first(), positional.get(1), positional.get(2))
     else {
@@ -428,6 +494,14 @@ fn generate_command(args: &[String]) -> Result<(), Error> {
         .parse()
         .map_err(|_| Error::Usage("generate: <n> must be an integer".into()))?;
     let seed: u64 = parse_option(&options, "seed", "an integer")?.unwrap_or(42);
+    let scheme = match options.get("weights") {
+        None => oms_gen::WeightScheme::Unit,
+        Some(raw) => oms_gen::WeightScheme::parse(raw).ok_or_else(|| {
+            Error::Usage(format!(
+                "--weights must be unit, nodes, edges or full, got '{raw}'"
+            ))
+        })?,
+    };
     let graph = match family.as_str() {
         "rgg" => oms_gen::random_geometric_graph(n, seed),
         "delaunay" => oms_gen::delaunay_graph(n, seed),
@@ -443,27 +517,31 @@ fn generate_command(args: &[String]) -> Result<(), Error> {
         "er" => oms_gen::erdos_renyi_gnm(n, n * 4, seed),
         other => return Err(Error::Usage(format!("unknown graph family '{other}'"))),
     };
+    let graph = scheme.apply(&graph, seed);
     write_metis(&graph, output)?;
     println!(
-        "wrote {output} ({family}, n = {}, m = {})",
+        "wrote {output} ({family}, weights = {}, n = {}, m = {}, c(V) = {})",
+        scheme.name(),
         graph.num_nodes(),
-        graph.num_edges()
+        graph.num_edges(),
+        graph.total_node_weight()
     );
     Ok(())
 }
 
 fn info_command(args: &[String]) -> Result<(), Error> {
-    let (positional, _) = split_options(args, &[])?;
+    let (positional, options) = split_options(args, &["format"])?;
     let Some(path) = positional.first() else {
         return Err(Error::Usage("info: missing graph file".into()));
     };
-    let graph = load_graph(path)?;
+    let graph = load_graph_opt(path, &options)?;
     println!("file         : {path}");
     println!("nodes        : {}", graph.num_nodes());
     println!("edges        : {}", graph.num_edges());
     println!("max degree   : {}", graph.max_degree());
     println!("avg degree   : {:.2}", graph.average_degree());
     println!("total weight : {}", graph.total_node_weight());
+    println!("edge weight  : {}", graph.total_edge_weight());
     println!("unweighted   : {}", graph.is_unweighted());
     println!(
         "connected    : {}",

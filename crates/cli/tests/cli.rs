@@ -331,6 +331,161 @@ fn partition_with_passes_prints_the_trajectory() {
 }
 
 #[test]
+fn weighted_generate_partition_and_info() {
+    let dir = temp_dir("weighted");
+    let graph_path = dir.join("weighted.metis");
+
+    // generate with the full weighting scheme
+    let output = oms()
+        .args(["generate", "ba", "1500"])
+        .arg(&graph_path)
+        .args(["--seed", "7", "--weights", "full"])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("weights = full"), "stdout was: {stdout}");
+
+    // info reports it as weighted
+    let output = oms().arg("info").arg(&graph_path).output().unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("unweighted   : false"),
+        "stdout was: {stdout}"
+    );
+    assert!(stdout.contains("edge weight"), "stdout was: {stdout}");
+
+    // weighted partitions surface c(V), ω(E) and the heaviest block
+    let output = oms()
+        .arg("partition")
+        .arg(&graph_path)
+        .args(["--k", "8", "--algo", "fennel"])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("weights    : c(V) ="),
+        "stdout was: {stdout}"
+    );
+    assert!(stdout.contains("max block ="), "stdout was: {stdout}");
+
+    // a bad --weights value is a usage error
+    let output = oms()
+        .args(["generate", "ba", "100"])
+        .arg(dir.join("bad.metis"))
+        .args(["--weights", "frobnicate"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1));
+}
+
+#[test]
+fn format_flag_overrides_extension_sniffing() {
+    let dir = temp_dir("format-flag");
+    // A METIS file under an extension that auto-sniffs as edge list.
+    let metis_path = dir.join("g.metis");
+    let odd_path = dir.join("g.txt");
+    let output = oms()
+        .args(["generate", "grid", "400"])
+        .arg(&metis_path)
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    std::fs::copy(&metis_path, &odd_path).unwrap();
+
+    // Auto-sniffing misreads it; --format metis fixes it.
+    let output = oms()
+        .arg("info")
+        .arg(&odd_path)
+        .args(["--format", "metis"])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("nodes        : 400"),
+        "stdout was: {stdout}"
+    );
+
+    // An unknown format value is a usage error.
+    let output = oms()
+        .arg("info")
+        .arg(&metis_path)
+        .args(["--format", "hdf5"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown input format"), "stderr: {stderr}");
+
+    // partition accepts --format too.
+    let output = oms()
+        .arg("partition")
+        .arg(&odd_path)
+        .args(["--format", "metis", "--k", "4", "--algo", "ldg"])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn convert_round_trips_weighted_graphs_through_both_formats() {
+    let dir = temp_dir("weighted-convert");
+    let metis_path = dir.join("w.metis");
+    let stream_path = dir.join("w.oms");
+    let back_path = dir.join("w-back.metis");
+
+    let output = oms()
+        .args(["generate", "er", "600"])
+        .arg(&metis_path)
+        .args(["--seed", "3", "--weights", "full"])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+
+    // METIS → vertex stream → METIS; the final info must agree with the
+    // first (identical n, m and total weights).
+    for (from, to) in [(&metis_path, &stream_path), (&stream_path, &back_path)] {
+        let output = oms().arg("convert").arg(from).arg(to).output().unwrap();
+        assert!(
+            output.status.success(),
+            "{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+    let info = |path: &std::path::Path| {
+        let output = oms().arg("info").arg(path).output().unwrap();
+        assert!(output.status.success());
+        let text = String::from_utf8_lossy(&output.stdout).to_string();
+        // Strip the file line; everything else must match.
+        text.lines()
+            .filter(|l| !l.starts_with("file"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(info(&metis_path), info(&stream_path));
+    assert_eq!(info(&metis_path), info(&back_path));
+}
+
+#[test]
 fn partition_passes_works_for_in_memory_and_buffered_algorithms() {
     let dir = temp_dir("passes-registry");
     let graph_path = dir.join("er.metis");

@@ -120,6 +120,19 @@ impl PartitionReport {
     pub fn is_balanced(&self, epsilon: f64) -> bool {
         self.partition.is_balanced(epsilon)
     }
+
+    /// Total node weight `c(V)` of the partitioned graph. Equals `n` on
+    /// unweighted graphs.
+    pub fn total_node_weight(&self) -> NodeWeight {
+        self.partition.total_weight()
+    }
+
+    /// Weight of the heaviest block `max_i c(V_i)` — the quantity the
+    /// balance constraint `L_max` bounds. Equals the largest block *size*
+    /// only on unweighted graphs.
+    pub fn max_block_weight(&self) -> NodeWeight {
+        self.partition.max_block_weight()
+    }
 }
 
 /// An object-safe partitioner: any algorithm that can turn a node stream
@@ -226,21 +239,14 @@ impl<T: StreamingPartitioner> Partitioner for T {
 
 // ------------------------------------------------------------ stream metrics
 
-/// Edge-cut of `assignments`, computed with one pass over the stream (each
-/// undirected edge is seen from both endpoints, so the sum is halved). An
-/// edge incident to an unassigned node counts as cut, matching
-/// [`crate::executor::measure_pass`].
+/// Weighted edge-cut of `assignments`, computed with one pass over the
+/// stream. An edge incident to an unassigned node counts as cut.
+///
+/// This is a thin wrapper around [`crate::executor::measure_pass`] — the
+/// *one* weighted edge-walk in the workspace — so the cut reported here can
+/// never drift from the per-pass cut the restreaming engine measures.
 pub fn stream_edge_cut(stream: &mut dyn NodeStream, assignments: &[BlockId]) -> Result<u64> {
-    let mut twice = 0u64;
-    stream.for_each_node(&mut |node| {
-        let own = assignments[node.node as usize];
-        for (u, w) in node.neighbors_weighted() {
-            if own == crate::partition::UNASSIGNED || assignments[u as usize] != own {
-                twice += w;
-            }
-        }
-    })?;
-    Ok(twice / 2)
+    crate::executor::measure_pass(stream, assignments, 0).map(|(cut, _)| cut)
 }
 
 /// Mapping cost `J(C, D, Π) = Σ_{u,v} ω(u,v) · D(Π(u), Π(v))`, computed with

@@ -88,8 +88,8 @@ pub mod restream;
 pub mod scorer;
 
 pub use api::{
-    find_algorithm, materialize_stream, register_algorithm, registered_algorithms, AlgorithmInfo,
-    JobShape, JobSpec, PartitionReport, Partitioner,
+    find_algorithm, materialize_stream, register_algorithm, registered_algorithms, stream_edge_cut,
+    AlgorithmInfo, JobShape, JobSpec, PartitionReport, Partitioner,
 };
 pub use config::{AlphaMode, OmsConfig, OnePassConfig, ScorerKind};
 pub use executor::{BatchExecutor, NodeSink, PassStats, PassTrajectory, RestreamOptions};

@@ -283,6 +283,27 @@ pub fn corpus_graph(entry: &CorpusEntry, scale: f64, seed: u64) -> CsrGraph {
     }
 }
 
+/// Builds a single corpus instance at the given `scale` and reweights it
+/// with `scheme` (the `weights=` corpus knob).
+///
+/// The topology is byte-identical to [`corpus_graph`] at the same
+/// `(scale, seed)` — only the weights change — so weighted and unweighted
+/// runs of the same instance see the same stream order.
+pub fn corpus_graph_weighted(
+    entry: &CorpusEntry,
+    scale: f64,
+    seed: u64,
+    scheme: crate::weights::WeightScheme,
+) -> CsrGraph {
+    let graph = corpus_graph(entry, scale, seed);
+    // Unit is the identity; skip WeightScheme::apply's clone so unweighted
+    // corpus builds (every pre-existing caller) stay copy-free.
+    match scheme {
+        crate::weights::WeightScheme::Unit => graph,
+        scheme => scheme.apply(&graph, seed),
+    }
+}
+
 /// Helper trait used by [`corpus_graph`] to pick the denser of two candidate
 /// graphs (the planted-partition generator can come out too sparse at very
 /// small scales).
@@ -303,13 +324,22 @@ impl MaxByEdges for CsrGraph {
 /// Builds the whole corpus at the given scale. Returns `(name, class, graph)`
 /// triples in Table 1 order.
 pub fn scaled_corpus(scale: f64, seed: u64) -> Vec<(String, CorpusClass, CsrGraph)> {
+    scaled_corpus_weighted(scale, seed, crate::weights::WeightScheme::Unit)
+}
+
+/// [`scaled_corpus`] with the `weights=` knob applied to every instance.
+pub fn scaled_corpus_weighted(
+    scale: f64,
+    seed: u64,
+    scheme: crate::weights::WeightScheme,
+) -> Vec<(String, CorpusClass, CsrGraph)> {
     CORPUS
         .iter()
         .map(|entry| {
             (
                 entry.name.to_string(),
                 entry.class,
-                corpus_graph(entry, scale, seed),
+                corpus_graph_weighted(entry, scale, seed, scheme),
             )
         })
         .collect()

@@ -21,6 +21,9 @@
 //!   ground truth, useful for sanity-checking partition quality.
 //! * [`corpus`] — a named benchmark corpus mirroring Table 1 of the paper,
 //!   scaled by a user-chosen factor.
+//! * [`weights`] — deterministic reweighting schemes (power-law node
+//!   weights, degree-proportional edge weights) behind the `weights=` corpus
+//!   knob, opening the weighted workload axis on any generated graph.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,12 +36,17 @@ pub mod grid;
 pub mod rgg;
 pub mod rmat;
 pub mod sbm;
+pub mod weights;
 
 pub use ba::barabasi_albert;
-pub use corpus::{corpus_graph, scaled_corpus, CorpusClass, CorpusEntry};
+pub use corpus::{
+    corpus_graph, corpus_graph_weighted, scaled_corpus, scaled_corpus_weighted, CorpusClass,
+    CorpusEntry,
+};
 pub use delaunay::delaunay_graph;
 pub use er::{erdos_renyi_gnm, erdos_renyi_gnp};
 pub use grid::{grid_2d, grid_3d, torus_2d};
 pub use rgg::random_geometric_graph;
 pub use rmat::{rmat_graph, RmatParams};
 pub use sbm::planted_partition;
+pub use weights::{degree_proportional_edge_weights, power_law_node_weights, WeightScheme};

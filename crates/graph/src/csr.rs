@@ -339,6 +339,79 @@ impl CsrGraph {
         )
     }
 
+    /// Returns a copy of this graph with the node weights replaced.
+    ///
+    /// The adjacency arrays are copied as-is — an `O(n + m)` memcpy with
+    /// **no** symmetry re-check (unlike [`CsrGraph::from_csr`], which walks
+    /// every arc twice). Errors when the weight slice length differs from
+    /// the node count or a weight is zero.
+    pub fn with_node_weights(&self, nweights: Vec<NodeWeight>) -> Result<Self> {
+        if nweights.len() != self.num_nodes() {
+            return Err(GraphError::Invalid(format!(
+                "node weight array has length {} but the graph has {} nodes",
+                nweights.len(),
+                self.num_nodes()
+            )));
+        }
+        if let Some(v) = nweights.iter().position(|&w| w == 0) {
+            return Err(GraphError::WeightOutOfRange {
+                what: "node",
+                node: v as u64,
+                value: 0,
+                max: NodeWeight::MAX,
+            });
+        }
+        let total_node_weight = nweights.iter().sum();
+        Ok(CsrGraph {
+            xadj: self.xadj.clone(),
+            adjncy: self.adjncy.clone(),
+            eweights: self.eweights.clone(),
+            nweights,
+            total_node_weight,
+            total_edge_weight: self.total_edge_weight,
+        })
+    }
+
+    /// Returns a copy of this graph with every edge weight replaced by
+    /// `f(u, v, w)`, where `u < v` are the edge's endpoints and `w` its
+    /// current weight.
+    ///
+    /// `f` is evaluated exactly **once per undirected edge** and the value
+    /// is written to both arc slots, so the result is symmetric even for
+    /// stateful or randomized closures; `f` returning zero is an error.
+    pub fn map_edge_weights(
+        &self,
+        mut f: impl FnMut(NodeId, NodeId, EdgeWeight) -> EdgeWeight,
+    ) -> Result<Self> {
+        let mut eweights = self.eweights.clone();
+        let mut computed: std::collections::HashMap<(NodeId, NodeId), EdgeWeight> =
+            std::collections::HashMap::with_capacity(self.num_edges());
+        for v in self.nodes() {
+            for (i, (u, w)) in self.neighbors_weighted(v).enumerate() {
+                let key = if v < u { (v, u) } else { (u, v) };
+                let nw = *computed.entry(key).or_insert_with(|| f(key.0, key.1, w));
+                if nw == 0 {
+                    return Err(GraphError::WeightOutOfRange {
+                        what: "edge",
+                        node: v as u64,
+                        value: 0,
+                        max: EdgeWeight::MAX,
+                    });
+                }
+                eweights[self.xadj[v as usize] + i] = nw;
+            }
+        }
+        let total_edge_weight = eweights.iter().sum::<EdgeWeight>() / 2;
+        Ok(CsrGraph {
+            xadj: self.xadj.clone(),
+            adjncy: self.adjncy.clone(),
+            eweights,
+            nweights: self.nweights.clone(),
+            total_node_weight: self.total_node_weight,
+            total_edge_weight,
+        })
+    }
+
     /// Approximate number of bytes used by the CSR arrays.
     ///
     /// Used by the memory experiment (§4.1 of the paper) to contrast the
@@ -473,6 +546,40 @@ mod tests {
         let small = path_graph(10);
         let large = path_graph(1000);
         assert!(large.memory_bytes() > small.memory_bytes());
+    }
+
+    #[test]
+    fn with_node_weights_replaces_weights_and_rejects_zero() {
+        let g = path_graph(4);
+        let w = g.with_node_weights(vec![2, 3, 4, 5]).unwrap();
+        assert_eq!(w.total_node_weight(), 14);
+        assert_eq!(w.adjncy(), g.adjncy());
+        w.validate().unwrap();
+        assert!(g.with_node_weights(vec![1, 1]).is_err(), "wrong length");
+        assert!(
+            g.with_node_weights(vec![1, 0, 1, 1]).is_err(),
+            "zero weight"
+        );
+    }
+
+    #[test]
+    fn map_edge_weights_calls_f_once_per_edge_and_stays_symmetric() {
+        // A stateful (counting) closure must still produce a symmetric
+        // graph: f runs once per undirected edge, not once per arc.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let mut calls = 0u64;
+        let w = g
+            .map_edge_weights(|_, _, _| {
+                calls += 1;
+                calls
+            })
+            .unwrap();
+        assert_eq!(calls, g.num_edges() as u64);
+        w.validate().unwrap();
+        for (u, v, ew) in w.edges() {
+            assert_eq!(w.edge_weight(v, u), Some(ew));
+        }
+        assert!(g.map_edge_weights(|_, _, _| 0).is_err(), "zero weight");
     }
 
     #[test]

@@ -4,6 +4,13 @@
 //! the last digit enables edge weights, the middle digit node weights (the
 //! first digit, vertex sizes, is not supported). Node ids in the body are
 //! 1-based. Comment lines start with `%`.
+//!
+//! Every malformed input is a typed [`GraphError::MetisParse`] carrying the
+//! 1-based line number of the offending line (truncated files report line 0,
+//! the virtual end of file), so corpus tooling can point at the byte that
+//! broke. Zero node or edge weights are rejected — the METIS balance
+//! constraint divides by block weights, and a weight-0 node would silently
+//! corrupt every capacity computation downstream.
 
 use crate::{CsrGraph, EdgeWeight, GraphBuilder, GraphError, NodeId, NodeWeight, Result};
 use std::fs::File;
@@ -21,42 +28,64 @@ pub fn read_metis_str(contents: &str) -> Result<CsrGraph> {
     read_metis_from(BufReader::new(contents.as_bytes()))
 }
 
+/// Builds the typed METIS error for 1-based line `line` (0 = end of file).
+fn metis_err(line: u64, msg: impl Into<String>) -> GraphError {
+    GraphError::MetisParse {
+        line,
+        msg: msg.into(),
+    }
+}
+
 fn read_metis_from<R: BufRead>(reader: R) -> Result<CsrGraph> {
-    let mut lines = reader.lines();
+    let mut lines = reader.lines().enumerate();
 
     // Header: n m [fmt]
-    let header = loop {
+    let (header_line, header) = loop {
         match lines.next() {
-            Some(line) => {
+            Some((i, line)) => {
                 let line = line?;
                 let trimmed = line.trim();
                 if trimmed.is_empty() || trimmed.starts_with('%') {
                     continue;
                 }
-                break trimmed.to_string();
+                break (i as u64 + 1, trimmed.to_string());
             }
-            None => return Err(GraphError::Parse("missing METIS header line".into())),
+            None => return Err(metis_err(0, "missing METIS header line")),
         }
     };
     let mut parts = header.split_whitespace();
-    let n: usize = parse_field(parts.next(), "node count")?;
-    let m: usize = parse_field(parts.next(), "edge count")?;
+    let n: usize = parse_field(header_line, parts.next(), "node count")?;
+    let m: usize = parse_field(header_line, parts.next(), "edge count")?;
     let fmt = parts.next().unwrap_or("0");
     let (has_node_weights, has_edge_weights) = match fmt {
         "0" | "00" | "000" => (false, false),
         "1" | "01" | "001" => (false, true),
         "10" | "010" => (true, false),
         "11" | "011" => (true, true),
+        other if other.len() == 3 && other.starts_with('1') => {
+            return Err(metis_err(
+                header_line,
+                format!("METIS fmt '{other}' requests vertex sizes, which are not supported"),
+            ))
+        }
         other => {
-            return Err(GraphError::Parse(format!(
-                "unsupported METIS fmt field '{other}'"
-            )))
+            return Err(metis_err(
+                header_line,
+                format!("unsupported METIS fmt field '{other}' (expected 0, 1, 10 or 11)"),
+            ))
         }
     };
+    if let Some(extra) = parts.next() {
+        return Err(metis_err(
+            header_line,
+            format!("unexpected extra header token '{extra}' (header is 'n m [fmt]')"),
+        ));
+    }
 
     let mut builder = GraphBuilder::with_capacity(n, m);
     let mut node: usize = 0;
-    for line in lines {
+    for (i, line) in lines {
+        let lineno = i as u64 + 1;
         let line = line?;
         let trimmed = line.trim();
         if trimmed.starts_with('%') {
@@ -66,26 +95,44 @@ fn read_metis_from<R: BufRead>(reader: R) -> Result<CsrGraph> {
             if trimmed.is_empty() {
                 continue;
             }
-            return Err(GraphError::Parse(format!(
-                "more than {n} node lines in METIS file"
-            )));
+            return Err(metis_err(
+                lineno,
+                format!("more than {n} node lines in METIS file"),
+            ));
         }
         let mut tokens = trimmed.split_whitespace();
         if has_node_weights {
-            let w: NodeWeight = parse_field(tokens.next(), "node weight")?;
+            let w: NodeWeight = parse_field(lineno, tokens.next(), "node weight")?;
+            if w == 0 {
+                return Err(metis_err(
+                    lineno,
+                    format!("node {} has weight 0 (weights must be positive)", node + 1),
+                ));
+            }
             builder.set_node_weight(node as NodeId, w)?;
         }
         while let Some(tok) = tokens.next() {
             let neighbor: usize = tok
                 .parse()
-                .map_err(|_| GraphError::Parse(format!("invalid neighbor id '{tok}'")))?;
+                .map_err(|_| metis_err(lineno, format!("invalid neighbor id '{tok}'")))?;
             if neighbor == 0 || neighbor > n {
-                return Err(GraphError::Parse(format!(
-                    "neighbor id {neighbor} out of range 1..={n}"
-                )));
+                return Err(metis_err(
+                    lineno,
+                    format!("neighbor id {neighbor} out of range 1..={n}"),
+                ));
             }
             let weight: EdgeWeight = if has_edge_weights {
-                parse_field(tokens.next(), "edge weight")?
+                let w = parse_field(lineno, tokens.next(), "edge weight")?;
+                if w == 0 {
+                    return Err(metis_err(
+                        lineno,
+                        format!(
+                            "edge {{{}, {neighbor}}} has weight 0 (weights must be positive)",
+                            node + 1
+                        ),
+                    ));
+                }
+                w
             } else {
                 1
             };
@@ -100,9 +147,10 @@ fn read_metis_from<R: BufRead>(reader: R) -> Result<CsrGraph> {
         node += 1;
     }
     if node != n {
-        return Err(GraphError::Parse(format!(
-            "expected {n} node lines, found {node}"
-        )));
+        return Err(metis_err(
+            0,
+            format!("expected {n} node lines, found {node}"),
+        ));
     }
     let graph = builder.build();
     if graph.num_edges() != m {
@@ -110,18 +158,21 @@ fn read_metis_from<R: BufRead>(reader: R) -> Result<CsrGraph> {
         // headers after duplicate removal — but a mismatch by more than the
         // removed duplicates usually indicates a parsing problem, so surface
         // it as an error to keep the test corpus honest.
-        return Err(GraphError::Parse(format!(
-            "header declares {m} edges but {found} were read",
-            found = graph.num_edges()
-        )));
+        return Err(metis_err(
+            header_line,
+            format!(
+                "header declares {m} edges but {found} were read",
+                found = graph.num_edges()
+            ),
+        ));
     }
     Ok(graph)
 }
 
-fn parse_field<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T> {
-    let tok = tok.ok_or_else(|| GraphError::Parse(format!("missing {what}")))?;
+fn parse_field<T: std::str::FromStr>(line: u64, tok: Option<&str>, what: &str) -> Result<T> {
+    let tok = tok.ok_or_else(|| metis_err(line, format!("missing {what}")))?;
     tok.parse()
-        .map_err(|_| GraphError::Parse(format!("invalid {what}: '{tok}'")))
+        .map_err(|_| metis_err(line, format!("invalid {what}: '{tok}'")))
 }
 
 /// Writes a graph in METIS format to a file.
@@ -132,13 +183,36 @@ pub fn write_metis<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<()> {
 }
 
 /// Serialises a graph to a METIS-format string.
-pub fn write_metis_string(graph: &CsrGraph) -> String {
+///
+/// Errors only when the graph carries a zero weight (which the format
+/// round-trip would reject on read anyway).
+pub fn write_metis_string(graph: &CsrGraph) -> Result<String> {
     let mut buf = Vec::new();
-    write_metis_to(graph, &mut buf).expect("writing to a Vec cannot fail");
-    String::from_utf8(buf).expect("METIS output is ASCII")
+    write_metis_to(graph, &mut buf)?;
+    Ok(String::from_utf8(buf).expect("METIS output is ASCII"))
 }
 
 fn write_metis_to<W: Write>(graph: &CsrGraph, writer: &mut W) -> Result<()> {
+    if let Some(v) = graph.node_weights().iter().position(|&w| w == 0) {
+        return Err(GraphError::WeightOutOfRange {
+            what: "node",
+            node: v as u64,
+            value: 0,
+            max: NodeWeight::MAX,
+        });
+    }
+    if graph.edge_weights().contains(&0) {
+        let v = graph
+            .nodes()
+            .find(|&v| graph.incident_edge_weights(v).contains(&0))
+            .unwrap_or(0);
+        return Err(GraphError::WeightOutOfRange {
+            what: "edge",
+            node: v as u64,
+            value: 0,
+            max: EdgeWeight::MAX,
+        });
+    }
     let has_node_weights = graph.node_weights().iter().any(|&w| w != 1);
     let has_edge_weights = graph.edge_weights().iter().any(|&w| w != 1);
     let fmt = match (has_node_weights, has_edge_weights) {
@@ -186,7 +260,7 @@ mod tests {
     #[test]
     fn roundtrip_unweighted() {
         let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
-        let s = write_metis_string(&g);
+        let s = write_metis_string(&g).unwrap();
         let back = read_metis_str(&s).unwrap();
         assert_eq!(g, back);
     }
@@ -198,9 +272,102 @@ mod tests {
         b.add_weighted_edge(0, 1, 2).unwrap();
         b.add_weighted_edge(1, 2, 9).unwrap();
         let g = b.build();
-        let s = write_metis_string(&g);
+        let s = write_metis_string(&g).unwrap();
         let back = read_metis_str(&s).unwrap();
         assert_eq!(g, back);
+    }
+
+    /// Extracts the typed (line, message) pair or panics.
+    fn expect_metis_err(r: Result<CsrGraph>) -> (u64, String) {
+        match r.unwrap_err() {
+            GraphError::MetisParse { line, msg } => (line, msg),
+            other => panic!("expected MetisParse, got: {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_fmt_codes_are_typed_errors() {
+        for fmt in ["2", "abc", "12", "012", "0110"] {
+            let (line, msg) = expect_metis_err(read_metis_str(&format!("2 1 {fmt}\n2\n1\n")));
+            assert_eq!(line, 1, "fmt '{fmt}'");
+            assert!(msg.contains("fmt"), "fmt '{fmt}': {msg}");
+        }
+        // The vertex-size digit gets its own diagnostic.
+        let (line, msg) = expect_metis_err(read_metis_str("2 1 100\n2\n1\n"));
+        assert_eq!(line, 1);
+        assert!(msg.contains("vertex sizes"), "{msg}");
+    }
+
+    #[test]
+    fn truncated_file_reports_missing_lines() {
+        // Header says 4 nodes, body holds 2.
+        let (line, msg) = expect_metis_err(read_metis_str("4 3\n2\n1 3\n"));
+        assert_eq!(line, 0);
+        assert!(msg.contains("expected 4 node lines"), "{msg}");
+    }
+
+    #[test]
+    fn weight_count_mismatch_is_a_typed_error_with_line() {
+        // fmt=1: every neighbor needs a weight; node 2's line has a dangling
+        // neighbor without one.
+        let (line, msg) = expect_metis_err(read_metis_str("3 2 1\n2 5\n1 5 3\n2 7\n"));
+        assert_eq!(line, 3);
+        assert!(msg.contains("edge weight"), "{msg}");
+        // fmt=10: the first token is the node weight; a line with no token
+        // at all is a missing node weight.
+        let (line, msg) = expect_metis_err(read_metis_str("2 0 10\n\n4\n"));
+        assert_eq!(line, 2);
+        assert!(msg.contains("node weight"), "{msg}");
+    }
+
+    #[test]
+    fn zero_weights_are_rejected() {
+        let (line, msg) = expect_metis_err(read_metis_str("2 1 10\n0 2\n4 1\n"));
+        assert_eq!(line, 2);
+        assert!(msg.contains("weight 0"), "{msg}");
+        let (line, msg) = expect_metis_err(read_metis_str("2 1 1\n2 0\n1 0\n"));
+        assert_eq!(line, 2);
+        assert!(msg.contains("weight 0"), "{msg}");
+    }
+
+    #[test]
+    fn overflowing_weights_are_typed_errors() {
+        // 2^64 does not fit a u64 weight.
+        let text = "2 1 10\n18446744073709551616 2\n1 1\n";
+        let (line, msg) = expect_metis_err(read_metis_str(text));
+        assert_eq!(line, 2);
+        assert!(msg.contains("invalid node weight"), "{msg}");
+    }
+
+    #[test]
+    fn header_garbage_is_a_typed_error() {
+        let (line, _) = expect_metis_err(read_metis_str("x y\n"));
+        assert_eq!(line, 1);
+        let (line, msg) = expect_metis_err(read_metis_str("2 1 0 9\n2\n1\n"));
+        assert_eq!(line, 1);
+        assert!(msg.contains("extra header token"), "{msg}");
+    }
+
+    #[test]
+    fn error_lines_account_for_comments() {
+        // Comment lines shift the body; the error must name the physical
+        // line in the file, not the logical node index.
+        let text = "% leading comment\n3 2\n2\n% body comment\n1 3\nbroken\n";
+        let (line, msg) = expect_metis_err(read_metis_str(text));
+        assert_eq!(line, 6);
+        assert!(msg.contains("invalid neighbor id"), "{msg}");
+    }
+
+    #[test]
+    fn zero_weight_graph_is_rejected_at_write_time() {
+        let g = CsrGraph::from_csr(vec![0, 1, 2], vec![1, 0], vec![0, 0], vec![1, 1]).unwrap();
+        match write_metis_string(&g).unwrap_err() {
+            GraphError::WeightOutOfRange { what, value, .. } => {
+                assert_eq!(what, "edge");
+                assert_eq!(value, 0);
+            }
+            other => panic!("expected WeightOutOfRange, got: {other}"),
+        }
     }
 
     #[test]

@@ -2,19 +2,37 @@
 //!
 //! The paper converts every benchmark graph to a *vertex-stream* format so
 //! that one-pass algorithms can consume it either from memory or directly
-//! from disk with `O(Δ)` working memory. This module defines such a format:
+//! from disk with `O(Δ)` working memory. Two on-disk versions exist:
 //!
 //! ```text
-//! magic   : 8 bytes  "OMSSTRM1"
-//! n       : u64 LE   number of nodes
-//! m       : u64 LE   number of undirected edges
-//! flags   : u8       bit 0 = node weights present, bit 1 = edge weights present
-//! per node (in id order):
-//!   [node weight : u32 LE]            (if flag bit 0)
-//!   degree       : u32 LE
-//!   neighbors    : degree × u32 LE
-//!   [edge weights: degree × u32 LE]   (if flag bit 1)
+//! v2 (current, magic "OMSSTRM2"):
+//!   magic   : 8 bytes  "OMSSTRM2"
+//!   n       : u64 LE   number of nodes
+//!   m       : u64 LE   number of undirected edges
+//!   c(V)    : u64 LE   total node weight (n when node weights are absent)
+//!   flags   : u8       bit 0 = node weights present, bit 1 = edge weights present
+//!   per node (in id order):
+//!     [node weight : u64 LE]            (if flag bit 0)
+//!     degree       : u32 LE
+//!     neighbors    : degree × u32 LE
+//!     [edge weights: degree × u64 LE]   (if flag bit 1)
+//!
+//! v1 (legacy, magic "OMSSTRM1"):
+//!   same layout but without the c(V) header field and with u32 weights.
 //! ```
+//!
+//! Version 2 fixes two weighted-graph defects of v1: weights are stored as
+//! `u64` (v1 silently truncated weights above `u32::MAX`; writing such a
+//! weight is now a typed [`GraphError::WeightOutOfRange`] error in v1 and
+//! lossless in v2), and the total node weight `c(V)` lives in the header, so
+//! [`DiskStream::open`] no longer needs a full decode pass over a weighted
+//! file just to learn the capacity input `c(V)`.
+//!
+//! v1 files remain fully readable (weights default to 1 when the flags are
+//! clear, exactly as before); [`write_stream_file`] writes v2. Zero weights
+//! are invalid in both versions — reads and writes reject them with
+//! [`GraphError::WeightOutOfRange`] instead of letting a weight-0 node
+//! corrupt capacity math downstream.
 //!
 //! [`DiskStream`] implements [`NodeStream`] on top of the format, so every
 //! streaming partitioner in `oms-core` can run straight off disk.
@@ -27,16 +45,119 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 
-const MAGIC: &[u8; 8] = b"OMSSTRM1";
+const MAGIC_V1: &[u8; 8] = b"OMSSTRM1";
+const MAGIC_V2: &[u8; 8] = b"OMSSTRM2";
 const FLAG_NODE_WEIGHTS: u8 = 0b01;
 const FLAG_EDGE_WEIGHTS: u8 = 0b10;
 
-/// Writes `graph` to `path` in the binary vertex-stream format.
+/// On-disk version of the vertex-stream format.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StreamFormatVersion {
+    /// Legacy format: u32 weights, no total weight in the header.
+    V1,
+    /// Current format: u64 weights, total node weight in the header.
+    #[default]
+    V2,
+}
+
+impl StreamFormatVersion {
+    fn magic(self) -> &'static [u8; 8] {
+        match self {
+            StreamFormatVersion::V1 => MAGIC_V1,
+            StreamFormatVersion::V2 => MAGIC_V2,
+        }
+    }
+
+    fn header_len(self) -> usize {
+        match self {
+            StreamFormatVersion::V1 => 8 + 8 + 8 + 1,
+            StreamFormatVersion::V2 => 8 + 8 + 8 + 8 + 1,
+        }
+    }
+
+    /// Largest weight this version can represent.
+    fn max_weight(self) -> u64 {
+        match self {
+            StreamFormatVersion::V1 => u32::MAX as u64,
+            StreamFormatVersion::V2 => u64::MAX,
+        }
+    }
+}
+
+/// Options of [`write_stream_file_with`].
+///
+/// By default the writer picks v2 and emits weight sections only when some
+/// weight differs from 1. The `force_*` flags emit the sections regardless —
+/// the equivalence test-suite uses them to prove that a file with *explicit*
+/// unit weights streams byte-identically to one with implicit unit weights.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamWriteOptions {
+    /// On-disk version to write.
+    pub version: StreamFormatVersion,
+    /// Write the node-weight section even when all node weights are 1.
+    pub force_node_weights: bool,
+    /// Write the edge-weight section even when all edge weights are 1.
+    pub force_edge_weights: bool,
+}
+
+/// Writes `graph` to `path` in the current (v2) vertex-stream format.
 pub fn write_stream_file<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<()> {
+    write_stream_file_with(graph, path, StreamWriteOptions::default())
+}
+
+/// Writes `graph` to `path` in the legacy v1 vertex-stream format.
+///
+/// Returns [`GraphError::WeightOutOfRange`] when a weight exceeds `u32::MAX`
+/// (v1 cannot represent it); v1 files written by this function are readable
+/// by every past and present reader.
+pub fn write_stream_file_v1<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<()> {
+    write_stream_file_with(
+        graph,
+        path,
+        StreamWriteOptions {
+            version: StreamFormatVersion::V1,
+            ..StreamWriteOptions::default()
+        },
+    )
+}
+
+/// Writes `graph` to `path` in the vertex-stream format described by
+/// `options`.
+pub fn write_stream_file_with<P: AsRef<Path>>(
+    graph: &CsrGraph,
+    path: P,
+    options: StreamWriteOptions,
+) -> Result<()> {
+    let version = options.version;
+    let max = version.max_weight();
+    // Validate weights up front so a bad graph never leaves a half-written
+    // file with a valid header behind.
+    for v in graph.nodes() {
+        let w = graph.node_weight(v);
+        if w == 0 || w > max {
+            return Err(GraphError::WeightOutOfRange {
+                what: "node",
+                node: v as u64,
+                value: w,
+                max,
+            });
+        }
+        for &ew in graph.incident_edge_weights(v) {
+            if ew == 0 || ew > max {
+                return Err(GraphError::WeightOutOfRange {
+                    what: "edge",
+                    node: v as u64,
+                    value: ew,
+                    max,
+                });
+            }
+        }
+    }
+
     let file = File::create(path)?;
     let mut w = BufWriter::new(file);
-    let has_nw = graph.node_weights().iter().any(|&x| x != 1);
-    let has_ew = graph.edge_weights().iter().any(|&x| x != 1);
+    let has_nw = options.force_node_weights || graph.node_weights().iter().any(|&x| x != 1);
+    let has_ew = options.force_edge_weights || graph.edge_weights().iter().any(|&x| x != 1);
     let mut flags = 0u8;
     if has_nw {
         flags |= FLAG_NODE_WEIGHTS;
@@ -44,13 +165,23 @@ pub fn write_stream_file<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<()
     if has_ew {
         flags |= FLAG_EDGE_WEIGHTS;
     }
-    w.write_all(MAGIC)?;
+    w.write_all(version.magic())?;
     w.write_all(&(graph.num_nodes() as u64).to_le_bytes())?;
     w.write_all(&(graph.num_edges() as u64).to_le_bytes())?;
+    if version == StreamFormatVersion::V2 {
+        w.write_all(&graph.total_node_weight().to_le_bytes())?;
+    }
     w.write_all(&[flags])?;
+    let write_weight = |w: &mut BufWriter<File>, value: u64| -> Result<()> {
+        match version {
+            StreamFormatVersion::V1 => w.write_all(&(value as u32).to_le_bytes())?,
+            StreamFormatVersion::V2 => w.write_all(&value.to_le_bytes())?,
+        }
+        Ok(())
+    };
     for v in graph.nodes() {
         if has_nw {
-            w.write_all(&(graph.node_weight(v) as u32).to_le_bytes())?;
+            write_weight(&mut w, graph.node_weight(v))?;
         }
         let neighbors = graph.neighbors(v);
         w.write_all(&(neighbors.len() as u32).to_le_bytes())?;
@@ -59,7 +190,7 @@ pub fn write_stream_file<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<()
         }
         if has_ew {
             for &ew in graph.incident_edge_weights(v) {
-                w.write_all(&(ew as u32).to_le_bytes())?;
+                write_weight(&mut w, ew)?;
             }
         }
     }
@@ -67,7 +198,8 @@ pub fn write_stream_file<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> Result<()
     Ok(())
 }
 
-/// Reads a whole vertex-stream file back into an in-memory [`CsrGraph`].
+/// Reads a whole vertex-stream file (either version) back into an in-memory
+/// [`CsrGraph`].
 pub fn read_stream_file<P: AsRef<Path>>(path: P) -> Result<CsrGraph> {
     let mut stream = DiskStream::open(path)?;
     let n = stream.num_nodes();
@@ -96,11 +228,16 @@ pub fn read_stream_file<P: AsRef<Path>>(path: P) -> Result<CsrGraph> {
 /// to fully synchronous ingest (used by benchmarks to measure the overlap).
 ///
 /// Every pass validates the file body against the header: a file ending
-/// before all `n` announced nodes is a [`GraphError::Truncated`] error, and a
+/// before all `n` announced nodes is a [`GraphError::Truncated`] error, a
 /// body whose adjacency lists do not sum to `2m` entries is a
-/// [`GraphError::CountMismatch`] — a short file never silently streams short.
+/// [`GraphError::CountMismatch`], and (v2) a body whose node weights do not
+/// sum to the header's `c(V)` is a [`GraphError::CountMismatch`] too — a
+/// corrupt file never silently streams wrong data. Zero weights anywhere in
+/// the body are a [`GraphError::WeightOutOfRange`] error.
+#[derive(Debug)]
 pub struct DiskStream {
     path: PathBuf,
+    version: StreamFormatVersion,
     num_nodes: usize,
     num_edges: usize,
     total_node_weight: NodeWeight,
@@ -109,46 +246,94 @@ pub struct DiskStream {
     read_batch_size: usize,
 }
 
+/// The header of a vertex-stream file, as read from disk.
+struct Header {
+    version: StreamFormatVersion,
+    n: usize,
+    m: usize,
+    /// Total node weight; `None` for v1 files with node weights (they carry
+    /// no total in the header, it must be counted).
+    total_node_weight: Option<NodeWeight>,
+    flags: u8,
+}
+
+fn read_header<R: Read>(r: &mut R) -> Result<Header> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    let version = if &magic == MAGIC_V2 {
+        StreamFormatVersion::V2
+    } else if &magic == MAGIC_V1 {
+        StreamFormatVersion::V1
+    } else {
+        return Err(GraphError::Parse("not an OMS vertex-stream file".into()));
+    };
+    let n = read_u64(r)? as usize;
+    let m = read_u64(r)? as usize;
+    let header_total = if version == StreamFormatVersion::V2 {
+        Some(read_u64(r)?)
+    } else {
+        None
+    };
+    let mut flags = [0u8; 1];
+    r.read_exact(&mut flags)?;
+    let flags = flags[0];
+    let total_node_weight = match (version, flags & FLAG_NODE_WEIGHTS != 0) {
+        // v2 always states c(V); a header claiming unit weights must state n.
+        (StreamFormatVersion::V2, false) => {
+            let total = header_total.expect("v2 header carries a total");
+            if total != n as u64 {
+                return Err(GraphError::CountMismatch {
+                    what: "header total node weight (unit weights imply n)",
+                    expected: n as u64,
+                    found: total,
+                });
+            }
+            Some(total)
+        }
+        (StreamFormatVersion::V2, true) => header_total,
+        (StreamFormatVersion::V1, false) => Some(n as u64),
+        // v1 with node weights: the total is not in the header.
+        (StreamFormatVersion::V1, true) => None,
+    };
+    Ok(Header {
+        version,
+        n,
+        m,
+        total_node_weight,
+        flags,
+    })
+}
+
 impl DiskStream {
-    /// Opens a vertex-stream file and reads its header.
+    /// Opens a vertex-stream file (v1 or v2) and reads its header.
     ///
-    /// The total node weight is computed with one lightweight pass over the
-    /// file when node weights are present (streaming algorithms need `c(V)`
-    /// up front to compute `L_max`).
+    /// v2 headers state the total node weight `c(V)` directly (streaming
+    /// algorithms need it up front to compute `L_max`); for legacy v1 files
+    /// with node weights it is computed with one lightweight pass over the
+    /// file.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         let file = File::open(&path)?;
         let mut r = BufReader::new(file);
-        let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(GraphError::Parse("not an OMS vertex-stream file".into()));
-        }
-        let n = read_u64(&mut r)? as usize;
-        let m = read_u64(&mut r)? as usize;
-        let mut flags = [0u8; 1];
-        r.read_exact(&mut flags)?;
-        let flags = flags[0];
+        let header = read_header(&mut r)?;
 
         let mut stream = DiskStream {
             path,
-            num_nodes: n,
-            num_edges: m,
-            total_node_weight: n as NodeWeight,
-            flags,
+            version: header.version,
+            num_nodes: header.n,
+            num_edges: header.m,
+            total_node_weight: header.total_node_weight.unwrap_or(header.n as u64),
+            flags: header.flags,
             double_buffered: true,
             read_batch_size: DEFAULT_BATCH_SIZE,
         };
-        if flags & FLAG_NODE_WEIGHTS != 0 {
-            let mut total: NodeWeight = 0;
-            // The header pass is synchronous: no compute to overlap with.
+        if header.total_node_weight.is_none() {
+            // The header pass is synchronous: no compute to overlap with;
+            // the reader's own checked accumulator supplies the total.
             let mut reader = PassReader::open(&stream)?;
             let mut batch = NodeBatch::new();
-            while reader.fill(&mut batch, stream.read_batch_size)? {
-                total += batch.iter().map(|node| node.weight).sum::<NodeWeight>();
-            }
-            total += batch.iter().map(|node| node.weight).sum::<NodeWeight>();
-            stream.total_node_weight = total;
+            while reader.fill(&mut batch, stream.read_batch_size)? {}
+            stream.total_node_weight = reader.weight_sum;
         }
         Ok(stream)
     }
@@ -156,6 +341,11 @@ impl DiskStream {
     /// Path of the underlying file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// On-disk format version of the underlying file.
+    pub fn version(&self) -> StreamFormatVersion {
+        self.version
     }
 
     /// Enables or disables double-buffered ingest (enabled by default).
@@ -187,32 +377,41 @@ impl DiskStream {
     fn revalidate_header(&self) -> Result<()> {
         let file = File::open(&self.path)?;
         let mut r = BufReader::new(file);
-        let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(GraphError::Parse(
+        let header = read_header(&mut r).map_err(|e| match e {
+            GraphError::Parse(_) => GraphError::Parse(
                 "not an OMS vertex-stream file (header changed between passes)".into(),
+            ),
+            other => other,
+        })?;
+        if header.version != self.version {
+            return Err(GraphError::Parse(
+                "vertex-stream format version changed between passes".into(),
             ));
         }
-        let n = read_u64(&mut r)? as usize;
-        let m = read_u64(&mut r)? as usize;
-        let mut flags = [0u8; 1];
-        r.read_exact(&mut flags)?;
-        if n != self.num_nodes {
+        if header.n != self.num_nodes {
             return Err(GraphError::CountMismatch {
                 what: "header nodes after rewind",
                 expected: self.num_nodes as u64,
-                found: n as u64,
+                found: header.n as u64,
             });
         }
-        if m != self.num_edges {
+        if header.m != self.num_edges {
             return Err(GraphError::CountMismatch {
                 what: "header edges after rewind",
                 expected: self.num_edges as u64,
-                found: m as u64,
+                found: header.m as u64,
             });
         }
-        if flags[0] != self.flags {
+        if let Some(total) = header.total_node_weight {
+            if total != self.total_node_weight {
+                return Err(GraphError::CountMismatch {
+                    what: "header total node weight after rewind",
+                    expected: self.total_node_weight,
+                    found: total,
+                });
+            }
+        }
+        if header.flags != self.flags {
             return Err(GraphError::Parse(
                 "vertex-stream flags changed between passes".into(),
             ));
@@ -227,12 +426,16 @@ impl DiskStream {
 /// this reader, so header validation happens exactly once, here.
 struct PassReader {
     r: BufReader<File>,
+    version: StreamFormatVersion,
     has_node_weights: bool,
     has_edge_weights: bool,
     expected_nodes: usize,
     expected_edge_entries: u64,
+    /// `c(V)` announced by a v2 header; validated against the body sum.
+    expected_total_weight: Option<NodeWeight>,
     next_node: usize,
     edge_entries: u64,
+    weight_sum: NodeWeight,
     scratch_neighbors: Vec<NodeId>,
     scratch_eweights: Vec<EdgeWeight>,
 }
@@ -243,17 +446,22 @@ impl PassReader {
         // A deep read buffer keeps the kernel's readahead busy; the default
         // 8 KiB would issue one syscall per handful of adjacency lists.
         let mut r = BufReader::with_capacity(1 << 20, file);
-        let mut skip = [0u8; 8 + 8 + 8 + 1];
+        let mut skip = vec![0u8; stream.version.header_len()];
         r.read_exact(&mut skip)?;
+        let has_node_weights = stream.flags & FLAG_NODE_WEIGHTS != 0;
         Ok(PassReader {
             r,
-            has_node_weights: stream.flags & FLAG_NODE_WEIGHTS != 0,
+            version: stream.version,
+            has_node_weights,
             has_edge_weights: stream.flags & FLAG_EDGE_WEIGHTS != 0,
             expected_nodes: stream.num_nodes,
             // Each undirected edge appears in both endpoints' lists.
             expected_edge_entries: 2 * stream.num_edges as u64,
+            expected_total_weight: (stream.version == StreamFormatVersion::V2 && has_node_weights)
+                .then_some(stream.total_node_weight),
             next_node: 0,
             edge_entries: 0,
+            weight_sum: 0,
             scratch_neighbors: Vec::new(),
             scratch_eweights: Vec::new(),
         })
@@ -272,6 +480,15 @@ impl PassReader {
         }
     }
 
+    /// Reads one weight in this file's width.
+    fn read_weight(&mut self) -> Result<u64> {
+        match self.version {
+            StreamFormatVersion::V1 => read_u32(&mut self.r).map(|w| w as u64),
+            StreamFormatVersion::V2 => read_u64(&mut self.r),
+        }
+        .map_err(|e| self.truncated(e))
+    }
+
     /// Clears `batch` and refills it with up to `max_nodes` decoded nodes.
     /// Returns `true` while more nodes remain after this batch.
     fn fill(&mut self, batch: &mut NodeBatch, max_nodes: usize) -> Result<bool> {
@@ -279,7 +496,16 @@ impl PassReader {
         let max_nodes = max_nodes.max(1);
         while batch.len() < max_nodes && self.next_node < self.expected_nodes {
             let weight: NodeWeight = if self.has_node_weights {
-                read_u32(&mut self.r).map_err(|e| self.truncated(e))? as NodeWeight
+                let w = self.read_weight()?;
+                if w == 0 {
+                    return Err(GraphError::WeightOutOfRange {
+                        what: "node",
+                        node: self.next_node as u64,
+                        value: 0,
+                        max: self.version.max_weight(),
+                    });
+                }
+                w
             } else {
                 1
             };
@@ -294,7 +520,15 @@ impl PassReader {
                 self.scratch_eweights.clear();
                 self.scratch_eweights.reserve(degree);
                 for _ in 0..degree {
-                    let w = read_u32(&mut self.r).map_err(|e| self.truncated(e))?;
+                    let w = self.read_weight()?;
+                    if w == 0 {
+                        return Err(GraphError::WeightOutOfRange {
+                            what: "edge",
+                            node: self.next_node as u64,
+                            value: 0,
+                            max: self.version.max_weight(),
+                        });
+                    }
                     self.scratch_eweights.push(w as EdgeWeight);
                 }
                 batch.push_parts(
@@ -310,16 +544,37 @@ impl PassReader {
                     &self.scratch_neighbors,
                 );
             }
-            self.edge_entries += degree as u64;
+            self.edge_entries = self.edge_entries.saturating_add(degree as u64);
+            // An adversarial file can hold weights that individually fit u64
+            // but overflow the running total; that must be a typed error,
+            // not a debug-build panic / release-build wraparound that could
+            // collide with a crafted header total.
+            self.weight_sum = self.weight_sum.checked_add(weight).ok_or_else(|| {
+                GraphError::Parse(format!(
+                    "total node weight overflows u64 at node {}",
+                    self.next_node
+                ))
+            })?;
             self.next_node += 1;
         }
         let more = self.next_node < self.expected_nodes;
-        if !more && self.edge_entries != self.expected_edge_entries {
-            return Err(GraphError::CountMismatch {
-                what: "edge entries",
-                expected: self.expected_edge_entries,
-                found: self.edge_entries,
-            });
+        if !more {
+            if self.edge_entries != self.expected_edge_entries {
+                return Err(GraphError::CountMismatch {
+                    what: "edge entries",
+                    expected: self.expected_edge_entries,
+                    found: self.edge_entries,
+                });
+            }
+            if let Some(expected) = self.expected_total_weight {
+                if self.weight_sum != expected {
+                    return Err(GraphError::CountMismatch {
+                        what: "total node weight",
+                        expected,
+                        found: self.weight_sum,
+                    });
+                }
+            }
         }
         Ok(more)
     }
@@ -431,6 +686,16 @@ mod tests {
         dir.join(name)
     }
 
+    fn weighted_sample() -> CsrGraph {
+        let mut b = GraphBuilder::new(4);
+        b.set_node_weight(0, 3).unwrap();
+        b.set_node_weight(3, 7).unwrap();
+        b.add_weighted_edge(0, 1, 2).unwrap();
+        b.add_weighted_edge(1, 2, 5).unwrap();
+        b.add_weighted_edge(2, 3, 1).unwrap();
+        b.build()
+    }
+
     #[test]
     fn roundtrip_unweighted() {
         let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
@@ -443,17 +708,227 @@ mod tests {
 
     #[test]
     fn roundtrip_weighted() {
-        let mut b = GraphBuilder::new(4);
-        b.set_node_weight(0, 3).unwrap();
-        b.set_node_weight(3, 7).unwrap();
-        b.add_weighted_edge(0, 1, 2).unwrap();
-        b.add_weighted_edge(1, 2, 5).unwrap();
-        b.add_weighted_edge(2, 3, 1).unwrap();
-        let g = b.build();
+        let g = weighted_sample();
         let path = temp_path("weighted.oms");
         write_stream_file(&g, &path).unwrap();
         let back = read_stream_file(&path).unwrap();
         assert_eq!(g, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn roundtrip_weighted_v1() {
+        let g = weighted_sample();
+        let path = temp_path("weighted-v1.oms");
+        write_stream_file_v1(&g, &path).unwrap();
+        let stream = DiskStream::open(&path).unwrap();
+        assert_eq!(stream.version(), StreamFormatVersion::V1);
+        assert_eq!(stream.total_node_weight(), g.total_node_weight());
+        let back = read_stream_file(&path).unwrap();
+        assert_eq!(g, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_files_read_with_implicit_unit_weights() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let path = temp_path("v1-implicit.oms");
+        write_stream_file_v1(&g, &path).unwrap();
+        let mut stream = DiskStream::open(&path).unwrap();
+        assert_eq!(stream.version(), StreamFormatVersion::V1);
+        assert_eq!(stream.total_node_weight(), 5);
+        stream
+            .stream_nodes(|node| {
+                assert_eq!(node.weight, 1);
+                assert!(node.edge_weights.iter().all(|&w| w == 1));
+            })
+            .unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn forced_weight_sections_stream_identically() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let plain = temp_path("forced-plain.oms");
+        let forced = temp_path("forced-explicit.oms");
+        write_stream_file(&g, &plain).unwrap();
+        write_stream_file_with(
+            &g,
+            &forced,
+            StreamWriteOptions {
+                force_node_weights: true,
+                force_edge_weights: true,
+                ..StreamWriteOptions::default()
+            },
+        )
+        .unwrap();
+        let collect = |path: &Path| {
+            let mut seen: Vec<(NodeId, NodeWeight, Vec<NodeId>, Vec<EdgeWeight>)> = Vec::new();
+            DiskStream::open(path)
+                .unwrap()
+                .stream_nodes(|n| {
+                    seen.push((
+                        n.node,
+                        n.weight,
+                        n.neighbors.to_vec(),
+                        n.edge_weights.to_vec(),
+                    ));
+                })
+                .unwrap();
+            seen
+        };
+        assert_eq!(collect(&plain), collect(&forced));
+        std::fs::remove_file(&plain).ok();
+        std::fs::remove_file(&forced).ok();
+    }
+
+    #[test]
+    fn v2_header_carries_total_weight_without_a_counting_pass() {
+        let g = weighted_sample();
+        let path = temp_path("header-total.oms");
+        write_stream_file(&g, &path).unwrap();
+        let stream = DiskStream::open(&path).unwrap();
+        assert_eq!(stream.version(), StreamFormatVersion::V2);
+        assert_eq!(stream.total_node_weight(), 3 + 1 + 1 + 7);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_total_weight_mismatch_is_a_typed_error() {
+        let g = weighted_sample();
+        let path = temp_path("total-mismatch.oms");
+        write_stream_file(&g, &path).unwrap();
+        // Corrupt the header total (bytes 24..32 in v2).
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[24..32].copy_from_slice(&99u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let mut stream = DiskStream::open(&path).unwrap();
+        assert_eq!(stream.total_node_weight(), 99);
+        match stream.stream_nodes(|_| {}).unwrap_err() {
+            GraphError::CountMismatch {
+                what,
+                expected,
+                found,
+            } => {
+                assert_eq!(what, "total node weight");
+                assert_eq!(expected, 99);
+                assert_eq!(found, 12);
+            }
+            other => panic!("expected CountMismatch, got: {other}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_unit_weight_header_total_must_equal_n() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let path = temp_path("unit-total.oms");
+        write_stream_file(&g, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[24..32].copy_from_slice(&17u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        match DiskStream::open(&path).unwrap_err() {
+            GraphError::CountMismatch {
+                expected, found, ..
+            } => {
+                assert_eq!(expected, 4);
+                assert_eq!(found, 17);
+            }
+            other => panic!("expected CountMismatch, got: {other}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn zero_node_weight_in_body_is_a_typed_error() {
+        let g = weighted_sample();
+        let path = temp_path("zero-weight.oms");
+        write_stream_file(&g, &path).unwrap();
+        // First body byte after the 33-byte v2 header is node 0's weight.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[33..41].copy_from_slice(&0u64.to_le_bytes());
+        // Keep the header total consistent with the tampered body so the
+        // zero-weight check is what fires.
+        bytes[24..32].copy_from_slice(&(12u64 - 3).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let mut stream = DiskStream::open(&path).unwrap();
+        match stream.stream_nodes(|_| {}).unwrap_err() {
+            GraphError::WeightOutOfRange {
+                what, node, value, ..
+            } => {
+                assert_eq!(what, "node");
+                assert_eq!(node, 0);
+                assert_eq!(value, 0);
+            }
+            other => panic!("expected WeightOutOfRange, got: {other}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn overflowing_weight_total_is_a_typed_error_not_a_panic() {
+        // Two node weights of 2^63 each fit u64 individually but overflow
+        // the running total; the reader must return a typed error.
+        let mut b = GraphBuilder::new(2);
+        b.set_node_weight(0, 2).unwrap();
+        b.set_node_weight(1, 3).unwrap();
+        b.add_edge(0, 1).unwrap();
+        let g = b.build();
+        let path = temp_path("overflow-total.oms");
+        write_stream_file(&g, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let half = 1u64 << 63;
+        // v2 header is 33 bytes; node 0's weight follows, node 1's weight
+        // sits after node 0's degree (4) + one neighbor (4).
+        bytes[33..41].copy_from_slice(&half.to_le_bytes());
+        bytes[49..57].copy_from_slice(&half.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let mut stream = DiskStream::open(&path).unwrap();
+        match stream.stream_nodes(|_| {}).unwrap_err() {
+            GraphError::Parse(msg) => assert!(msg.contains("overflow"), "{msg}"),
+            other => panic!("expected a typed overflow error, got: {other}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_write_rejects_weights_beyond_u32() {
+        let mut b = GraphBuilder::new(2);
+        b.set_node_weight(0, u32::MAX as u64 + 1).unwrap();
+        b.add_edge(0, 1).unwrap();
+        let g = b.build();
+        let path = temp_path("overflow-v1.oms");
+        match write_stream_file_v1(&g, &path).unwrap_err() {
+            GraphError::WeightOutOfRange {
+                what, value, max, ..
+            } => {
+                assert_eq!(what, "node");
+                assert_eq!(value, u32::MAX as u64 + 1);
+                assert_eq!(max, u32::MAX as u64);
+            }
+            other => panic!("expected WeightOutOfRange, got: {other}"),
+        }
+        // v2 represents the same weight losslessly.
+        write_stream_file(&g, &path).unwrap();
+        let back = read_stream_file(&path).unwrap();
+        assert_eq!(back.node_weight(0), u32::MAX as u64 + 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn zero_weight_graph_is_rejected_at_write_time() {
+        // A hand-built graph with a zero edge weight must not produce a file.
+        let g = CsrGraph::from_csr(vec![0, 1, 2], vec![1, 0], vec![0, 0], vec![1, 1]).unwrap();
+        let path = temp_path("zero-write.oms");
+        std::fs::remove_file(&path).ok();
+        match write_stream_file(&g, &path).unwrap_err() {
+            GraphError::WeightOutOfRange { what, value, .. } => {
+                assert_eq!(what, "edge");
+                assert_eq!(value, 0);
+            }
+            other => panic!("expected WeightOutOfRange, got: {other}"),
+        }
+        assert!(!path.exists(), "no half-written file may remain");
         std::fs::remove_file(&path).ok();
     }
 
@@ -476,11 +951,24 @@ mod tests {
         b.set_node_weight(1, 20).unwrap();
         b.add_edge(0, 1).unwrap();
         let g = b.build();
-        let path = temp_path("weights.oms");
-        write_stream_file(&g, &path).unwrap();
-        let stream = DiskStream::open(&path).unwrap();
-        assert_eq!(stream.total_node_weight(), 31);
-        std::fs::remove_file(&path).ok();
+        for (name, version) in [
+            ("weights-v2.oms", StreamFormatVersion::V2),
+            ("weights-v1.oms", StreamFormatVersion::V1),
+        ] {
+            let path = temp_path(name);
+            write_stream_file_with(
+                &g,
+                &path,
+                StreamWriteOptions {
+                    version,
+                    ..StreamWriteOptions::default()
+                },
+            )
+            .unwrap();
+            let stream = DiskStream::open(&path).unwrap();
+            assert_eq!(stream.total_node_weight(), 31, "{name}");
+            std::fs::remove_file(&path).ok();
+        }
     }
 
     #[test]
@@ -539,27 +1027,40 @@ mod tests {
     #[test]
     fn truncated_file_is_a_typed_error() {
         let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
-        let path = temp_path("truncated.oms");
-        write_stream_file(&g, &path).unwrap();
-        let bytes = std::fs::read(&path).unwrap();
-        std::fs::write(&path, &bytes[..bytes.len() - 6]).unwrap();
-        for double_buffered in [false, true] {
-            let mut stream = DiskStream::open(&path)
-                .unwrap()
-                .double_buffered(double_buffered);
-            let err = stream.stream_nodes(|_| {}).unwrap_err();
-            match err {
-                GraphError::Truncated {
-                    expected_nodes,
-                    read_nodes,
-                } => {
-                    assert_eq!(expected_nodes, 6);
-                    assert!(read_nodes < 6, "read {read_nodes} of 6");
+        for (name, version) in [
+            ("truncated-v2.oms", StreamFormatVersion::V2),
+            ("truncated-v1.oms", StreamFormatVersion::V1),
+        ] {
+            let path = temp_path(name);
+            write_stream_file_with(
+                &g,
+                &path,
+                StreamWriteOptions {
+                    version,
+                    ..StreamWriteOptions::default()
+                },
+            )
+            .unwrap();
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &bytes[..bytes.len() - 6]).unwrap();
+            for double_buffered in [false, true] {
+                let mut stream = DiskStream::open(&path)
+                    .unwrap()
+                    .double_buffered(double_buffered);
+                let err = stream.stream_nodes(|_| {}).unwrap_err();
+                match err {
+                    GraphError::Truncated {
+                        expected_nodes,
+                        read_nodes,
+                    } => {
+                        assert_eq!(expected_nodes, 6);
+                        assert!(read_nodes < 6, "read {read_nodes} of 6");
+                    }
+                    other => panic!("expected Truncated, got: {other}"),
                 }
-                other => panic!("expected Truncated, got: {other}"),
             }
+            std::fs::remove_file(&path).ok();
         }
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -647,6 +1148,18 @@ mod tests {
         // A deleted file is an I/O error, not a silent empty pass.
         std::fs::remove_file(&path).unwrap();
         assert!(stream.reset().is_err());
+    }
+
+    #[test]
+    fn reset_detects_a_version_swap_between_passes() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let path = temp_path("version-swap.oms");
+        write_stream_file(&g, &path).unwrap();
+        let mut stream = DiskStream::open(&path).unwrap();
+        stream.stream_nodes(|_| {}).unwrap();
+        write_stream_file_v1(&g, &path).unwrap();
+        assert!(stream.reset().is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -91,6 +91,27 @@ pub enum GraphError {
         /// Value actually found in the body.
         found: u64,
     },
+    /// A node or edge weight outside the valid range of the format being
+    /// read or written (zero, or larger than the format can represent).
+    WeightOutOfRange {
+        /// `"node"` or `"edge"`.
+        what: &'static str,
+        /// Node the weight belongs to (for edge weights, the node whose
+        /// adjacency list carried the weight).
+        node: u64,
+        /// The offending weight value.
+        value: u64,
+        /// Largest weight the format can represent.
+        max: u64,
+    },
+    /// A METIS text file was malformed; `line` is the 1-based line number
+    /// of the offending input line (0 when the file ended prematurely).
+    MetisParse {
+        /// 1-based line number of the offending line.
+        line: u64,
+        /// What was wrong.
+        msg: String,
+    },
 }
 
 impl std::fmt::Display for GraphError {
@@ -120,6 +141,22 @@ impl std::fmt::Display for GraphError {
                 f,
                 "vertex stream count mismatch: header implies {expected} {what} but the body holds {found}"
             ),
+            GraphError::WeightOutOfRange {
+                what,
+                node,
+                value,
+                max,
+            } => write!(
+                f,
+                "invalid {what} weight {value} at node {node}: weights must be between 1 and {max}"
+            ),
+            GraphError::MetisParse { line, msg } => {
+                if *line == 0 {
+                    write!(f, "METIS parse error: {msg}")
+                } else {
+                    write!(f, "METIS parse error at line {line}: {msg}")
+                }
+            }
         }
     }
 }

@@ -31,7 +31,7 @@ pub mod trajectory;
 
 pub use memory::{graph_memory_bytes, streaming_memory_bytes, MemoryEstimate};
 pub use profile::PerformanceProfile;
-pub use quality::{edge_cut, imbalance};
+pub use quality::{block_weights, edge_cut, imbalance, max_block_weight};
 pub use report::Table;
 pub use stats::{arithmetic_mean, geometric_mean, improvement_percent, speedup};
 pub use timing::{measure, measure_repeated};

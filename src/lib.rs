@@ -76,8 +76,9 @@ pub mod prelude {
         RestreamOptions, ScorerKind, StreamingPartitioner,
     };
     pub use oms_gen::{
-        barabasi_albert, delaunay_graph, erdos_renyi_gnm, grid_2d, planted_partition,
-        random_geometric_graph, rmat_graph,
+        barabasi_albert, degree_proportional_edge_weights, delaunay_graph, erdos_renyi_gnm,
+        grid_2d, planted_partition, power_law_node_weights, random_geometric_graph, rmat_graph,
+        WeightScheme,
     };
     pub use oms_graph::{
         CsrGraph, GraphBuilder, InMemoryStream, NodeBatch, NodeOrdering, NodeStream, PerNodeBatches,

@@ -117,7 +117,7 @@ fn disk_stream_and_memory_stream_agree() {
 #[test]
 fn metis_roundtrip_preserves_partitioning() {
     let graph = delaunay_graph(1_000, 5);
-    let text = write_metis_string(&graph);
+    let text = write_metis_string(&graph).unwrap();
     let reread = read_metis_str(&text).unwrap();
     assert_eq!(graph, reread);
 

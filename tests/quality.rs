@@ -189,6 +189,158 @@ fn restreaming_improves_monotonically_and_converges_on_the_corpus() {
     }
 }
 
+// --------------------------------------------------------- weighted corpus
+
+/// The weighted corpus: the er/ba/rmat instances of [`corpus`] reweighted
+/// with the `full` scheme (power-law node weights + degree-proportional
+/// edge weights) at a fixed seed, so the *weighted* quality path — weighted
+/// scoring, weight-capacity `L_max`, weighted cut and imbalance — is under
+/// the same golden-bound regression control as the unweighted one.
+fn weighted_corpus() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        (
+            "er-w",
+            WeightScheme::Full.apply(&erdos_renyi_gnm(1200, 4800, 42), 42),
+        ),
+        (
+            "ba-w",
+            WeightScheme::Full.apply(&barabasi_albert(1200, 4, 42), 42),
+        ),
+        (
+            "rmat-w",
+            WeightScheme::Full.apply(&rmat_graph(10, 8192, RmatParams::GRAPH500, 42), 42),
+        ),
+    ]
+}
+
+/// The weighted job strings under regression control.
+fn weighted_jobs() -> Vec<&'static str> {
+    vec![
+        "ldg:8@seed=3",
+        "fennel:8@seed=3",
+        "oms:2:2:2@seed=3",
+        "nh-oms:8@seed=3",
+        "fennel:8@seed=3,passes=3",
+        "multilevel:8@seed=3",
+        "buffered:8@seed=3,buf=128",
+    ]
+}
+
+/// Committed weighted bounds: `(graph, job, max weighted cut, max
+/// imbalance)`. Regenerate with
+/// `cargo test --release --test quality print_weighted_actuals -- --nocapture --ignored`
+/// and re-apply ~10 % cut headroom / +0.02 imbalance headroom.
+const WEIGHTED_BOUNDS: &[(&str, &str, u64, f64)] = &[
+    ("er-w", "ldg:8@seed=3", 31241, 0.0373),
+    ("er-w", "fennel:8@seed=3", 31746, 0.0518),
+    ("er-w", "oms:2:2:2@seed=3", 33721, 0.0518),
+    ("er-w", "nh-oms:8@seed=3", 32998, 0.0518),
+    ("er-w", "fennel:8@seed=3,passes=3", 28793, 0.0518),
+    ("er-w", "multilevel:8@seed=3", 29278, 0.0518),
+    ("er-w", "buffered:8@seed=3,buf=128", 40681, 0.0518),
+    ("ba-w", "ldg:8@seed=3", 68168, 0.0518),
+    ("ba-w", "fennel:8@seed=3", 68470, 0.0518),
+    ("ba-w", "oms:2:2:2@seed=3", 73440, 0.0518),
+    ("ba-w", "nh-oms:8@seed=3", 70887, 0.0518),
+    ("ba-w", "fennel:8@seed=3,passes=3", 67714, 0.0518),
+    ("ba-w", "multilevel:8@seed=3", 61777, 0.0518),
+    ("ba-w", "buffered:8@seed=3,buf=128", 79626, 0.0518),
+    ("rmat-w", "ldg:8@seed=3", 306516, 0.0507),
+    ("rmat-w", "fennel:8@seed=3", 303882, 0.0507),
+    ("rmat-w", "oms:2:2:2@seed=3", 316811, 0.0507),
+    ("rmat-w", "nh-oms:8@seed=3", 310940, 0.0507),
+    ("rmat-w", "fennel:8@seed=3,passes=3", 300839, 0.0507),
+    ("rmat-w", "multilevel:8@seed=3", 319459, 0.0507),
+    ("rmat-w", "buffered:8@seed=3,buf=128", 345474, 0.0608),
+];
+
+fn weighted_bound_for(graph: &str, job: &str) -> (u64, f64) {
+    WEIGHTED_BOUNDS
+        .iter()
+        .find(|&&(g, j, _, _)| g == graph && j == job)
+        .map(|&(_, _, cut, imb)| (cut, imb))
+        .unwrap_or_else(|| {
+            panic!("no committed weighted bound for ({graph}, {job}) — add it to WEIGHTED_BOUNDS")
+        })
+}
+
+#[test]
+fn weighted_corpus_quality_stays_within_committed_bounds() {
+    register_multilevel_algorithms();
+    let mut failures = Vec::new();
+    for (name, graph) in weighted_corpus() {
+        assert!(!graph.is_unweighted(), "{name} must be weighted");
+        for job in weighted_jobs() {
+            let report = JobSpec::parse(job)
+                .unwrap()
+                .build()
+                .unwrap()
+                .run(&mut InMemoryStream::new(&graph))
+                .unwrap();
+            assert_eq!(
+                report.partition.num_nodes(),
+                graph.num_nodes(),
+                "({name}, {job}): incomplete partition"
+            );
+            assert_eq!(
+                report.total_node_weight(),
+                graph.total_node_weight(),
+                "({name}, {job}): block weights must sum to c(V)"
+            );
+            let (max_cut, max_imbalance) = weighted_bound_for(name, job);
+            if report.edge_cut > max_cut {
+                failures.push(format!(
+                    "({name}, {job}): weighted cut {} exceeds the committed bound {max_cut}",
+                    report.edge_cut
+                ));
+            }
+            if report.imbalance > max_imbalance {
+                failures.push(format!(
+                    "({name}, {job}): weighted imbalance {:.4} exceeds the committed bound {max_imbalance}",
+                    report.imbalance
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "weighted quality regressions detected:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// Weighted restreaming trajectories are non-increasing in the *weighted*
+/// cut and end on the reported value — the multi-pass engine's guarantees
+/// carry over verbatim to weighted graphs.
+#[test]
+fn weighted_restreaming_improves_monotonically() {
+    register_multilevel_algorithms();
+    for (name, graph) in weighted_corpus() {
+        for job in ["fennel:8@seed=3,passes=4", "ldg:8@seed=3,passes=4"] {
+            let report = JobSpec::parse(job)
+                .unwrap()
+                .build()
+                .unwrap()
+                .run(&mut InMemoryStream::new(&graph))
+                .unwrap();
+            assert!(!report.trajectory.is_empty(), "({name}, {job})");
+            assert!(
+                report
+                    .trajectory
+                    .windows(2)
+                    .all(|w| w[1].edge_cut <= w[0].edge_cut),
+                "({name}, {job}): weighted trajectory must be non-increasing: {:?}",
+                report.trajectory
+            );
+            assert_eq!(
+                report.trajectory.last().unwrap().edge_cut,
+                report.edge_cut,
+                "({name}, {job}): the reported weighted cut is the final accepted pass"
+            );
+        }
+    }
+}
+
 /// Regenerates the `BOUNDS` table (run manually, see the module docs).
 #[test]
 #[ignore = "manual helper for regenerating the BOUNDS table"]
@@ -196,6 +348,27 @@ fn print_actuals() {
     register_multilevel_algorithms();
     for (name, graph) in corpus() {
         for job in jobs() {
+            let report = JobSpec::parse(job)
+                .unwrap()
+                .build()
+                .unwrap()
+                .run(&mut InMemoryStream::new(&graph))
+                .unwrap();
+            println!(
+                "(\"{name}\", \"{job}\", {}, {:.4}),",
+                report.edge_cut, report.imbalance
+            );
+        }
+    }
+}
+
+/// Regenerates the `WEIGHTED_BOUNDS` table (run manually).
+#[test]
+#[ignore = "manual helper for regenerating the WEIGHTED_BOUNDS table"]
+fn print_weighted_actuals() {
+    register_multilevel_algorithms();
+    for (name, graph) in weighted_corpus() {
+        for job in weighted_jobs() {
             let report = JobSpec::parse(job)
                 .unwrap()
                 .build()
