@@ -1,0 +1,81 @@
+//! Vertex-cut quality: replication factor of the streaming edge
+//! partitioners over the synthetic corpus.
+//!
+//! For every corpus instance and every registered edge algorithm the
+//! replication factor, max replica count, edge-load imbalance and running
+//! time are reported; `e-greedy` additionally sweeps the λ balance knob so
+//! the RF-vs-λ trade-off (the README table) can be regenerated. Hub-heavy
+//! instances (preferential-attachment / skewed-RMAT classes) are marked —
+//! they are where vertex-cut beats edge-cut and where `e-greedy`'s margin
+//! over `e-hash` is widest.
+//!
+//! ```text
+//! cargo run --release -p oms-bench --bin edgepart -- --scale 0.1 --k 32
+//! ```
+
+use oms_bench::BenchArgs;
+use oms_core::JobSpec;
+use oms_edgepart::build_edge_partitioner;
+use oms_gen::scaled_corpus;
+use oms_graph::{EdgesOf, InMemoryStream};
+use oms_metrics::Table;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let out_dir = args.ensure_out_dir();
+    let k = args.ks.first().copied().unwrap_or(32);
+    let passes = if args.quick { 1 } else { 3 };
+    let lambdas: &[f64] = if args.quick { &[1.0] } else { &[0.1, 1.0, 5.0] };
+
+    let mut corpus = scaled_corpus(args.scale, 42);
+    if args.quick {
+        corpus.truncate(3);
+    }
+
+    let mut specs: Vec<String> = vec![
+        format!("e-hash:{k}@seed=3"),
+        format!("e-dbh:{k}@seed=3"),
+        format!("e-dbh:{k}@seed=3,passes={passes}"),
+    ];
+    for lambda in lambdas {
+        specs.push(format!("e-greedy:{k}@seed=3,lambda={lambda}"));
+    }
+    specs.push(format!("e-greedy:{k}@seed=3,passes={passes}"));
+
+    let mut table = Table::new(
+        &format!("Vertex-cut replication factor, k = {k}"),
+        &[
+            "graph",
+            "class",
+            "hub_heavy",
+            "job",
+            "rf",
+            "max_replicas",
+            "imbalance",
+            "seconds",
+        ],
+    );
+    for (name, class, graph) in &corpus {
+        for spec in &specs {
+            let job: JobSpec = spec.parse().expect("suite specs parse");
+            let partitioner = build_edge_partitioner(&job).expect("suite specs build");
+            let report = partitioner
+                .run(&mut EdgesOf(InMemoryStream::new(graph)))
+                .unwrap_or_else(|e| panic!("'{spec}' failed on {name}: {e}"));
+            table.add_row(vec![
+                name.clone(),
+                class.name().to_string(),
+                if class.hub_heavy() { "yes" } else { "no" }.to_string(),
+                spec.clone(),
+                format!("{:.4}", report.replication_factor),
+                report.max_replicas.to_string(),
+                format!("{:.4}", report.imbalance),
+                format!("{:.4}", report.seconds),
+            ]);
+        }
+    }
+    println!("{}", table.to_text());
+    let csv = out_dir.join("edgepart_quality.csv");
+    table.write_csv(&csv).expect("write CSV");
+    println!("CSV written to {}", csv.display());
+}

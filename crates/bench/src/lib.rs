@@ -11,6 +11,7 @@
 //! | `fig2_runtime`  | Fig. 2c (speedup over Fennel) and Fig. 2f (profile)    |
 //! | `scalability`   | Table 2 and Fig. 3 (threads sweep)                     |
 //! | `memory`        | §4.1 memory-requirements paragraph                     |
+//! | `edgepart`      | vertex-cut replication factor (beyond the paper)       |
 //!
 //! All binaries accept `--scale <f>` (instance size multiplier, default
 //! 0.05), `--reps <n>` (repetitions, default 2), `--out <dir>` (CSV output

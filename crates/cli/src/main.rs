@@ -4,6 +4,9 @@
 //! oms partition <graph.metis|graph.oms> --k 256 [--algo oms|fennel|ldg|hashing|buffered|multilevel|...]
 //!               [--epsilon 0.03] [--threads 4] [--passes 1] [--converge 0.0] [--seed 0]
 //!               [--buffer 4096] [--format metis|edgelist|stream] [--output partition.txt]
+//! oms partition <graph> --k 256 --algo e-hash|e-dbh|e-greedy [--lambda 1.0] [--passes P]
+//!               # vertex-cut edge partitioning: reports the replication factor and
+//!               # writes one "u v block" line per edge
 //! oms partition <graph> --job "oms:4:16:8@eps=0.03,threads=8" [--output FILE]
 //! oms map       <graph.metis|graph.oms> --hierarchy 4:16:8 --distances 1:10:100
 //!               [--algo oms|fennel|hashing|rms] [--threads T] [--output mapping.txt]
@@ -31,7 +34,7 @@ use oms_core::{registered_algorithms, JobSpec};
 use oms_graph::io::{
     read_edge_list, read_metis, read_stream_file, write_edge_list, write_metis, write_stream_file,
 };
-use oms_graph::{CsrGraph, InMemoryStream};
+use oms_graph::{CsrGraph, EdgesOf, InMemoryStream};
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::Path;
@@ -56,8 +59,8 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  oms partition  <graph> --k <k> [--algo NAME] [--epsilon 0.03] [--threads T] [--passes P] [--converge EPS] [--seed S] [--buffer B] [--format F] [--output FILE]
-  oms partition  <graph> --job <spec>  (e.g. \"oms:4:16:8@eps=0.03,threads=8\") [--output FILE]
+  oms partition  <graph> --k <k> [--algo NAME] [--epsilon 0.03] [--threads T] [--passes P] [--converge EPS] [--seed S] [--buffer B] [--lambda L] [--format F] [--output FILE]
+  oms partition  <graph> --job <spec>  (e.g. \"oms:4:16:8@eps=0.03,threads=8\" or \"e-greedy:256@lambda=1.5\") [--output FILE]
   oms map        <graph> --hierarchy a1:a2:... [--distances d1:d2:...] [--algo NAME] [--threads T] [--seed S] [--format F] [--output FILE]
   oms algorithms
   oms convert    <in> <out>  (out format by extension: .oms = vertex stream, .txt/.edges/.el = edge list, else METIS) [--format F]
@@ -246,6 +249,7 @@ fn job_from_options(
             "converge",
             "seed",
             "buffer",
+            "lambda",
             "hierarchy",
             "distances",
         ] {
@@ -281,6 +285,9 @@ fn job_from_options(
     if let Some(buffer) = parse_option(options, "buffer", "a positive integer")? {
         job = job.buffer(buffer);
     }
+    if let Some(lambda) = parse_option(options, "lambda", "a non-negative number")? {
+        job = job.lambda(lambda);
+    }
     Ok(job)
 }
 
@@ -303,7 +310,7 @@ fn partition_command(args: &[String]) -> Result<(), Error> {
         args,
         &[
             "k", "job", "algo", "epsilon", "threads", "passes", "converge", "seed", "buffer",
-            "format", "output",
+            "lambda", "format", "output",
         ],
     )?;
     let Some(path) = positional.first() else {
@@ -315,6 +322,11 @@ fn partition_command(args: &[String]) -> Result<(), Error> {
         None => return Err(Error::Usage("partition: --k (or --job) is required".into())),
     };
     let job = job_from_options(&options, shape, "oms")?;
+    if oms_edgepart::is_edge_algorithm(&job.algorithm) {
+        // The e-* algorithms partition *edges* (vertex-cut objective);
+        // they report the replication factor instead of the edge-cut.
+        return edge_partition_command(path, &options, &job);
+    }
     let partitioner = job.build()?;
 
     let graph = load_graph_opt(path, &options)?;
@@ -348,6 +360,70 @@ fn partition_command(args: &[String]) -> Result<(), Error> {
         println!("partition written to {output}");
     }
     Ok(())
+}
+
+/// The vertex-cut pipeline behind `partition --algo e-*`: runs an edge
+/// partitioner from the `oms-edgepart` registry, reports the replication
+/// factor and (with `--output`) writes one `u v block` line per edge in
+/// stream order.
+fn edge_partition_command(
+    path: &str,
+    options: &HashMap<String, String>,
+    job: &JobSpec,
+) -> Result<(), Error> {
+    let partitioner = oms_edgepart::build_edge_partitioner(job)?;
+    let graph = load_graph_opt(path, options)?;
+    let report = partitioner.run(&mut EdgesOf(InMemoryStream::new(&graph)))?;
+
+    println!(
+        "graph       : {path} (n = {}, m = {})",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    println!("job         : {job}");
+    println!(
+        "algorithm   : {}, k = {} (vertex-cut)",
+        report.algorithm,
+        report.num_blocks()
+    );
+    println!(
+        "replication : {:.4} (total replicas {}, max {})",
+        report.replication_factor, report.total_replicas, report.max_replicas
+    );
+    println!("edge-balance: {:.4}", report.imbalance);
+    if !graph.is_unweighted() {
+        println!(
+            "weights     : ω(E) = {}, max block load = {}",
+            report.partition.total_load(),
+            report.partition.max_block_load()
+        );
+    }
+    println!("time        : {:.4} s", report.seconds);
+    if report.trajectory.len() >= 2 {
+        for stats in &report.trajectory {
+            println!(
+                "  pass {:>2}  : replication {:.4} (imbalance {:.4}, {} moved, {:.4} s)",
+                stats.pass, stats.replication_factor, stats.imbalance, stats.moved, stats.seconds
+            );
+        }
+    }
+    if let Some(output) = options.get("output") {
+        write_edge_assignments(output, &graph, report.partition.assignments())?;
+        println!("edge partition written to {output}");
+    }
+    Ok(())
+}
+
+/// Writes one `u v block` line per edge, in the edge-stream order the
+/// assignment was produced in.
+fn write_edge_assignments(path: &str, graph: &CsrGraph, assignments: &[u32]) -> Result<(), Error> {
+    let io_err = |e: std::io::Error| Error::Internal(format!("cannot write {path}: {e}"));
+    let file = std::fs::File::create(path).map_err(io_err)?;
+    let mut w = std::io::BufWriter::with_capacity(1 << 20, file);
+    for (i, (u, v, _)) in graph.edges().enumerate() {
+        writeln!(w, "{u} {v} {}", assignments[i]).map_err(io_err)?;
+    }
+    w.flush().map_err(io_err)
 }
 
 fn map_command(args: &[String]) -> Result<(), Error> {
@@ -447,7 +523,16 @@ fn algorithms_command(args: &[String]) -> Result<(), Error> {
         };
         println!("  {:<12} {}{}", algo.name, algo.description, aliases);
     }
-    println!("\njob spec grammar: <algo>:<k | a1:a2:...>[@eps=..,seed=..,threads=..,passes=..,conv=..,base=..,hybrid=..,buf=..,dist=d1:d2:...]");
+    println!("\nedge (vertex-cut) algorithms — partition edges, report the replication factor:\n");
+    for algo in oms_edgepart::registered_edge_algorithms() {
+        let aliases = if algo.aliases.is_empty() {
+            String::new()
+        } else {
+            format!(" (aliases: {})", algo.aliases.join(", "))
+        };
+        println!("  {:<12} {}{}", algo.name, algo.description, aliases);
+    }
+    println!("\njob spec grammar: <algo>:<k | a1:a2:...>[@eps=..,seed=..,threads=..,passes=..,conv=..,base=..,hybrid=..,buf=..,lambda=..,dist=d1:d2:...]");
     Ok(())
 }
 
@@ -540,6 +625,16 @@ fn info_command(args: &[String]) -> Result<(), Error> {
     println!("edges        : {}", graph.num_edges());
     println!("max degree   : {}", graph.max_degree());
     println!("avg degree   : {:.2}", graph.average_degree());
+    // Degree skew: a p99/max ratio near 0 means a few hubs dominate — the
+    // signal that vertex-cut (e-*) partitioning will beat edge-cut.
+    let p99 = graph.degree_percentile(0.99);
+    let skew = if graph.max_degree() == 0 {
+        1.0
+    } else {
+        p99 as f64 / graph.max_degree() as f64
+    };
+    println!("p99 degree   : {p99}");
+    println!("degree skew  : {skew:.4} (p99/max; small = hub-dominated, favors vertex-cut)");
     println!("total weight : {}", graph.total_node_weight());
     println!("edge weight  : {}", graph.total_edge_weight());
     println!("unweighted   : {}", graph.is_unweighted());

@@ -176,9 +176,112 @@ fn algorithms_command_lists_the_registry() {
         "multilevel",
         "rms",
         "buffered",
+        "e-hash",
+        "e-dbh",
+        "e-greedy",
     ] {
         assert!(stdout.contains(name), "missing '{name}' in: {stdout}");
     }
+    assert!(stdout.contains("vertex-cut"), "stdout was: {stdout}");
+}
+
+#[test]
+fn info_prints_the_degree_skew_summary() {
+    let dir = temp_dir("degree-skew");
+    let graph_path = dir.join("ba.metis");
+    let output = oms()
+        .args(["generate", "ba", "2000"])
+        .arg(&graph_path)
+        .args(["--seed", "5"])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+
+    let output = oms().arg("info").arg(&graph_path).output().unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("p99 degree   :"), "stdout was: {stdout}");
+    assert!(stdout.contains("degree skew  :"), "stdout was: {stdout}");
+    assert!(stdout.contains("p99/max"), "stdout was: {stdout}");
+    // Preferential attachment produces hubs: the skew ratio must come out
+    // well below 1 on a BA graph.
+    let skew: f64 = stdout
+        .lines()
+        .find(|l| l.starts_with("degree skew"))
+        .and_then(|l| l.split(':').nth(1))
+        .and_then(|v| v.trim().split(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no skew value in: {stdout}"));
+    assert!(skew < 0.8, "BA graphs are hub-dominated, got skew {skew}");
+}
+
+#[test]
+fn edge_partitioning_reports_replication_and_writes_edge_assignments() {
+    let dir = temp_dir("edgepart");
+    let graph_path = dir.join("ba.metis");
+    let out_path = dir.join("edges.txt");
+    let output = oms()
+        .args(["generate", "ba", "1500"])
+        .arg(&graph_path)
+        .args(["--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+
+    let output = oms()
+        .arg("partition")
+        .arg(&graph_path)
+        .args([
+            "--k", "8", "--algo", "e-greedy", "--lambda", "1.5", "--output",
+        ])
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("vertex-cut"), "stdout was: {stdout}");
+    assert!(stdout.contains("replication :"), "stdout was: {stdout}");
+    assert!(stdout.contains("lambda=1.5"), "stdout was: {stdout}");
+    assert!(stdout.contains("edge-balance:"), "stdout was: {stdout}");
+
+    // One "u v block" line per edge, blocks in range.
+    let lines = std::fs::read_to_string(&out_path).unwrap();
+    assert!(lines.lines().count() > 1000);
+    for line in lines.lines() {
+        let fields: Vec<&str> = line.split(' ').collect();
+        assert_eq!(fields.len(), 3, "line was: {line}");
+        let b: u32 = fields[2].parse().unwrap();
+        assert!(b < 8, "line was: {line}");
+    }
+
+    // Multi-pass e-* runs print a replication trajectory.
+    let output = oms()
+        .arg("partition")
+        .arg(&graph_path)
+        .args(["--k", "8", "--algo", "e-greedy", "--passes", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("pass  0"), "stdout was: {stdout}");
+    assert!(stdout.contains("replication"), "stdout was: {stdout}");
+
+    // threads= cannot mean anything for the sequential edge pipeline.
+    let output = oms()
+        .arg("partition")
+        .arg(&graph_path)
+        .args(["--k", "8", "--algo", "e-hash", "--threads", "4"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1));
 }
 
 #[test]

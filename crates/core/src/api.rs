@@ -42,9 +42,19 @@
 //!             buf=<nodes>         buffer size of the buffered streaming
 //!                                 algorithms, in nodes (0 = algorithm
 //!                                 default)
+//!             lambda=<f64>        balance weight λ of the vertex-cut edge
+//!                                 partitioners (the `e-*` algorithms of
+//!                                 `oms-edgepart`; HDRF's balance knob)
+//!                                 (default 1)
 //!             dist=d1:d2:...      PE distances; enables the mapping
 //!                                 objective J in the report
 //! ```
+//!
+//! Algorithm names starting with `e-` (`e-hash`, `e-dbh`, `e-greedy`)
+//! describe **edge partitioning** jobs under the vertex-cut objective; they
+//! share this grammar (the shape is the flat block count `k`, `lambda=`
+//! tunes the balance term) but are dispatched through the edge-partitioner
+//! registry of the `oms-edgepart` crate rather than [`JobSpec::build`].
 //!
 //! `Display` renders the canonical form (options at non-default values only,
 //! in the fixed order above), so `JobSpec` round-trips through strings.
@@ -470,6 +480,9 @@ impl Partitioner for JobPartitioner {
 pub const DEFAULT_EPSILON: f64 = 0.03;
 /// Default nh-OMS multi-section base (the paper's tuned `b = 4`).
 pub const DEFAULT_BASE_B: u32 = 4;
+/// Default balance weight λ of the vertex-cut edge partitioners (HDRF's
+/// recommended λ = 1: replica affinity and balance weighted equally).
+pub const DEFAULT_LAMBDA: f64 = 1.0;
 
 /// The block structure a job asks for: flat `k`-way or hierarchical.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -540,6 +553,10 @@ pub struct JobSpec {
     /// Buffer size (in nodes) of the buffered streaming algorithms; `0`
     /// selects the algorithm's default.
     pub buffer: usize,
+    /// Balance weight λ of the vertex-cut edge partitioners (the `e-*`
+    /// algorithms); larger values trade replication factor for edge-count
+    /// balance. Ignored by node partitioners.
+    pub lambda: f64,
     /// PE distances; when present, [`Partitioner::run`] also reports the
     /// mapping objective `J`. Requires a hierarchical shape.
     pub distances: Option<DistanceSpec>,
@@ -559,6 +576,7 @@ impl JobSpec {
             base_b: DEFAULT_BASE_B,
             hashing_bottom_layers: 0,
             buffer: 0,
+            lambda: DEFAULT_LAMBDA,
             distances: None,
         }
     }
@@ -623,6 +641,12 @@ impl JobSpec {
     /// Sets the buffer size (in nodes) of the buffered streaming algorithms.
     pub fn buffer(mut self, nodes: usize) -> Self {
         self.buffer = nodes;
+        self
+    }
+
+    /// Sets the balance weight λ of the vertex-cut edge partitioners.
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
         self
     }
 
@@ -693,6 +717,11 @@ impl JobSpec {
                 "conv must be non-negative".into(),
             ));
         }
+        if !self.lambda.is_finite() || self.lambda < 0.0 {
+            return Err(PartitionError::InvalidConfig(
+                "lambda must be non-negative".into(),
+            ));
+        }
         if self.convergence > 0.0 && self.passes <= 1 {
             return Err(PartitionError::InvalidConfig(
                 "conv= only applies to multi-pass runs; set passes=<N> (the pass budget) as well"
@@ -753,6 +782,9 @@ impl fmt::Display for JobSpec {
         }
         if self.buffer != 0 {
             options.push(format!("buf={}", self.buffer));
+        }
+        if self.lambda != DEFAULT_LAMBDA {
+            options.push(format!("lambda={}", self.lambda));
         }
         if let Some(d) = &self.distances {
             let joined: Vec<String> = d.distances().iter().map(u64::to_string).collect();
@@ -857,12 +889,20 @@ impl FromStr for JobSpec {
                     "buf" | "buffer" => {
                         spec.buffer = value.parse().map_err(|_| parse_err("expected an integer"))?;
                     }
+                    "lambda" => {
+                        spec.lambda = value
+                            .parse()
+                            .map_err(|_| parse_err("expected a floating-point value"))?;
+                        if !spec.lambda.is_finite() || spec.lambda < 0.0 {
+                            return Err(parse_err("lambda must be non-negative"));
+                        }
+                    }
                     "dist" | "distances" => {
                         spec.distances = Some(DistanceSpec::parse(value)?);
                     }
                     _ => {
                         return Err(PartitionError::InvalidSpec(format!(
-                            "unknown job option '{key}' (known: eps, seed, threads, passes, conv, base, hybrid, buf, dist)"
+                            "unknown job option '{key}' (known: eps, seed, threads, passes, conv, base, hybrid, buf, lambda, dist)"
                         )))
                     }
                 }
@@ -1130,6 +1170,10 @@ mod tests {
             "oms:4:4:4@hybrid=2",
             "buffered:4@buf=4096",
             "buffered:8@eps=0.05,seed=3,buf=2048",
+            "e-greedy:32@lambda=1.5",
+            "e-hash:8@seed=7",
+            "e-dbh:16@passes=3",
+            "e-greedy:8@seed=3,passes=3,lambda=0.5",
         ] {
             let spec = JobSpec::parse(text).unwrap();
             assert_eq!(spec.to_string(), text, "canonical form");
@@ -1153,6 +1197,8 @@ mod tests {
             "fennel:16@passes=0",
             "fennel:16@eps=-1",
             "oms:4:1:8",
+            "e-greedy:8@lambda=-1",
+            "e-greedy:8@lambda=abc",
         ] {
             assert!(JobSpec::parse(bad).is_err(), "'{bad}' should not parse");
         }

@@ -1,0 +1,666 @@
+//! The streaming edge-partitioning algorithms: `e-hash`, `e-dbh` and the
+//! HDRF-style `e-greedy`.
+//!
+//! All three share one crate-internal sink (`AlgoSink`) holding the
+//! vertex-cut state — per-edge assignments, per-block edge loads, per-vertex
+//! partial degrees and per-vertex replica multisets — and differ only in how
+//! a block is chosen for the edge at hand:
+//!
+//! * **`e-hash`** hashes the edge key `(u, v)`: perfectly balanced in
+//!   expectation and oblivious to structure — the quality floor every
+//!   smarter partitioner must beat. A fixed point after one pass.
+//! * **`e-dbh`** (degree-based hashing) hashes the endpoint with the
+//!   *smaller* partial degree: a hub's edges follow the hashes of its many
+//!   low-degree neighbors and spread across blocks, while each low-degree
+//!   vertex keeps its edges together. On the first pass degrees are the
+//!   partial counts observed so far; once a pass completes they are exact,
+//!   so a second pass re-hashes under full degrees and a third pass is a
+//!   fixed point.
+//! * **`e-greedy`** (HDRF) scores every block `b` by replica affinity plus a
+//!   λ-weighted balance term and assigns greedily:
+//!
+//!   ```text
+//!   score(b) = g(u, b) + g(v, b) + λ · (maxload − load(b)) / (1 + maxload − minload)
+//!   g(x, b)  = 1 + (1 − θ(x))   if b ∈ R(x), else 0,    θ(x) = δ(x) / (δ(u) + δ(v))
+//!   ```
+//!
+//!   The degree-normalised affinity `1 + (1 − θ)` prefers co-locating the
+//!   *lower*-degree endpoint's replicas (its few edges are cheap to keep
+//!   together; the hub is replicated anyway — the highest-degree-replicated
+//!   intuition HDRF is named after). Ties break towards the smallest block
+//!   id, so the algorithm is deterministic.
+//!
+//!   The soft term alone cannot guarantee balance: affinity contributes at
+//!   least 1 whenever an endpoint is already replicated, while the balance
+//!   term is bounded by λ — on a connected graph streamed in vertex order
+//!   every edge after the first has a replicated endpoint, so small λ would
+//!   collapse the whole stream into one block. `e-greedy` therefore also
+//!   enforces a **hard capacity** of `L_max = ⌈(1+ε)·m/k⌉` *edges* per
+//!   block (`m` is announced by every stream up front, weighted or not):
+//!   full blocks are excluded from selection, and since the capacities sum
+//!   to more than `m` a feasible block always remains. λ then tunes the
+//!   replication-vs-balance trade-off *inside* the feasible region.
+//!
+//! Multi-pass behavior re-streams edges through the shared engine
+//! ([`crate::engine::run_edge_restream`]): each edge is un-assigned (replica
+//! counts and loads are decremented) and re-scored against the rest of the
+//! current assignment.
+
+use crate::api::EdgePartitioner;
+use crate::engine::{run_edge_restream, EdgePassStats, EdgeQuality, EdgeSink};
+use crate::partition::EdgePartition;
+use oms_core::partition::UNASSIGNED;
+use oms_core::{BlockId, PartitionError, RestreamOptions, Result};
+use oms_graph::{EdgeStream, NodeId, StreamedEdge};
+
+/// Which block-selection rule a [`StreamingEdgePartitioner`] applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeAlgoKind {
+    /// Uniform hashing of the edge key (`e-hash`).
+    Hash,
+    /// Degree-based hashing of the lower-degree endpoint (`e-dbh`).
+    Dbh,
+    /// HDRF-style greedy with the λ balance knob (`e-greedy`).
+    Greedy,
+}
+
+impl EdgeAlgoKind {
+    /// Registry name of the rule.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EdgeAlgoKind::Hash => "e-hash",
+            EdgeAlgoKind::Dbh => "e-dbh",
+            EdgeAlgoKind::Greedy => "e-greedy",
+        }
+    }
+}
+
+/// A configured streaming edge partitioner (any of the three rules).
+#[derive(Clone, Copy, Debug)]
+pub struct StreamingEdgePartitioner {
+    kind: EdgeAlgoKind,
+    k: u32,
+    seed: u64,
+    lambda: f64,
+    epsilon: f64,
+    passes: usize,
+    convergence: f64,
+}
+
+impl StreamingEdgePartitioner {
+    /// A partitioner of the given `kind` into `k` blocks, with default
+    /// options (seed 0, λ = 1, a single pass).
+    pub fn new(kind: EdgeAlgoKind, k: u32) -> Self {
+        StreamingEdgePartitioner {
+            kind,
+            k,
+            seed: 0,
+            lambda: oms_core::api::DEFAULT_LAMBDA,
+            epsilon: oms_core::api::DEFAULT_EPSILON,
+            passes: 1,
+            convergence: 0.0,
+        }
+    }
+
+    /// The `e-hash` rule for `k` blocks.
+    pub fn hashing(k: u32) -> Self {
+        Self::new(EdgeAlgoKind::Hash, k)
+    }
+
+    /// The `e-dbh` rule for `k` blocks.
+    pub fn degree_hashing(k: u32) -> Self {
+        Self::new(EdgeAlgoKind::Dbh, k)
+    }
+
+    /// The `e-greedy` (HDRF) rule for `k` blocks.
+    pub fn greedy(k: u32) -> Self {
+        Self::new(EdgeAlgoKind::Greedy, k)
+    }
+
+    /// Sets the hash seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the balance weight λ (only `e-greedy` reads it).
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets the allowed edge-count imbalance ε of `e-greedy`'s hard
+    /// capacity `L_max = ⌈(1+ε)·m/k⌉`.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon.max(0.0);
+        self
+    }
+
+    /// Sets the re-streaming pass budget.
+    pub fn passes(mut self, passes: usize) -> Self {
+        self.passes = passes.max(1);
+        self
+    }
+
+    /// Sets the relative total-replica improvement below which a multi-pass
+    /// run stops early.
+    pub fn convergence(mut self, min_improvement: f64) -> Self {
+        self.convergence = min_improvement.max(0.0);
+        self
+    }
+
+    fn run_engine(
+        &self,
+        stream: &mut dyn EdgeStream,
+    ) -> Result<(EdgePartition, Vec<EdgePassStats>)> {
+        if self.k == 0 {
+            return Err(PartitionError::InvalidConfig(
+                "the number of blocks k must be positive".into(),
+            ));
+        }
+        let mut sink = Box::new(AlgoSink::new(
+            self.kind,
+            self.k,
+            self.seed,
+            self.lambda,
+            self.epsilon,
+            stream.num_nodes(),
+            stream.num_edges(),
+        ));
+        let opts = RestreamOptions::tracked(self.passes, self.convergence);
+        let trajectory = run_edge_restream(stream, &mut *sink, &opts)?;
+        Ok((sink.into_partition(), trajectory))
+    }
+}
+
+impl EdgePartitioner for StreamingEdgePartitioner {
+    fn name(&self) -> String {
+        self.kind.name().to_string()
+    }
+
+    fn num_blocks(&self) -> u32 {
+        self.k
+    }
+
+    fn partition_edges(&self, stream: &mut dyn EdgeStream) -> Result<EdgePartition> {
+        Ok(self.run_engine(stream)?.0)
+    }
+
+    fn partition_edges_tracked(
+        &self,
+        stream: &mut dyn EdgeStream,
+    ) -> Result<(EdgePartition, Vec<EdgePassStats>)> {
+        self.run_engine(stream)
+    }
+}
+
+/// SplitMix64-style finalizer shared by both hashing rules.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Hash of the undirected edge key `(u, v)` (with `u < v` on the stream the
+/// key is already canonical).
+fn hash_edge(u: NodeId, v: NodeId, seed: u64) -> u64 {
+    mix(((u as u64) << 32 | v as u64).wrapping_add(seed))
+}
+
+/// Hash of a single vertex.
+fn hash_vertex(x: NodeId, seed: u64) -> u64 {
+    mix((x as u64).wrapping_add(seed))
+}
+
+/// The shared vertex-cut sink: assignment array, block loads, partial
+/// degrees and per-vertex replica multisets (block → incident-edge count,
+/// so un-assignment can shrink a replica set exactly).
+struct AlgoSink {
+    kind: EdgeAlgoKind,
+    k: u32,
+    seed: u64,
+    lambda: f64,
+    pass: usize,
+    num_nodes: usize,
+    assignments: Vec<BlockId>,
+    block_loads: Vec<u64>,
+    /// Edges per block (`e-greedy`'s hard capacity counts edges, so it is
+    /// enforceable even when the total edge *weight* is unknown up front).
+    block_counts: Vec<u64>,
+    /// `e-greedy`'s hard capacity `L_max = ⌈(1+ε)·m/k⌉` in edges.
+    count_capacity: u64,
+    degrees: Vec<u64>,
+    replicas: Vec<Vec<(BlockId, u32)>>,
+    total_replicas: u64,
+}
+
+impl AlgoSink {
+    fn new(
+        kind: EdgeAlgoKind,
+        k: u32,
+        seed: u64,
+        lambda: f64,
+        epsilon: f64,
+        n: usize,
+        m: usize,
+    ) -> Self {
+        AlgoSink {
+            kind,
+            k,
+            seed,
+            lambda,
+            pass: 0,
+            num_nodes: n,
+            assignments: vec![UNASSIGNED; m],
+            block_loads: vec![0; k as usize],
+            block_counts: vec![0; k as usize],
+            count_capacity: oms_core::Partition::capacity(m as u64, k.max(1), epsilon),
+            degrees: vec![0; n],
+            replicas: vec![Vec::new(); n],
+            total_replicas: 0,
+        }
+    }
+
+    fn has_replica(&self, x: NodeId, b: BlockId) -> bool {
+        self.replicas[x as usize].iter().any(|&(rb, _)| rb == b)
+    }
+
+    fn add_replica(&mut self, x: NodeId, b: BlockId) {
+        let set = &mut self.replicas[x as usize];
+        match set.iter_mut().find(|(rb, _)| *rb == b) {
+            Some((_, count)) => *count += 1,
+            None => {
+                set.push((b, 1));
+                self.total_replicas += 1;
+            }
+        }
+    }
+
+    fn remove_replica(&mut self, x: NodeId, b: BlockId) {
+        let set = &mut self.replicas[x as usize];
+        let i = set
+            .iter()
+            .position(|&(rb, _)| rb == b)
+            .expect("removing a replica that was never added");
+        set[i].1 -= 1;
+        if set[i].1 == 0 {
+            set.swap_remove(i);
+            self.total_replicas -= 1;
+        }
+    }
+
+    fn assign(&mut self, index: usize, edge: StreamedEdge, b: BlockId) {
+        self.assignments[index] = b;
+        self.block_loads[b as usize] += edge.weight;
+        self.block_counts[b as usize] += 1;
+        self.add_replica(edge.u, b);
+        self.add_replica(edge.v, b);
+    }
+
+    fn unassign(&mut self, index: usize, edge: StreamedEdge) {
+        let b = self.assignments[index];
+        self.assignments[index] = UNASSIGNED;
+        self.block_loads[b as usize] -= edge.weight;
+        self.block_counts[b as usize] -= 1;
+        self.remove_replica(edge.u, b);
+        self.remove_replica(edge.v, b);
+    }
+
+    /// HDRF block selection (see the [module docs](self)).
+    fn select_greedy(&self, edge: StreamedEdge) -> BlockId {
+        let du = self.degrees[edge.u as usize] as f64;
+        let dv = self.degrees[edge.v as usize] as f64;
+        // Both degrees count the current edge, so du + dv ≥ 2.
+        let theta_u = du / (du + dv);
+        let theta_v = 1.0 - theta_u;
+        let min_load = self.block_loads.iter().copied().min().unwrap_or(0);
+        let max_load = self.block_loads.iter().copied().max().unwrap_or(0);
+        let denom = 1.0 + (max_load - min_load) as f64;
+        let mut best = 0 as BlockId;
+        let mut best_score = f64::NEG_INFINITY;
+        for b in 0..self.k {
+            // The hard capacity: a full block is not a candidate. The
+            // capacities sum to more than m, so some block always remains.
+            if self.block_counts[b as usize] >= self.count_capacity {
+                continue;
+            }
+            let mut score = self.lambda * (max_load - self.block_loads[b as usize]) as f64 / denom;
+            if self.has_replica(edge.u, b) {
+                score += 1.0 + (1.0 - theta_u);
+            }
+            if self.has_replica(edge.v, b) {
+                score += 1.0 + (1.0 - theta_v);
+            }
+            if score > best_score {
+                best_score = score;
+                best = b;
+            }
+        }
+        best
+    }
+
+    fn select(&self, edge: StreamedEdge) -> BlockId {
+        match self.kind {
+            EdgeAlgoKind::Hash => (hash_edge(edge.u, edge.v, self.seed) % self.k as u64) as BlockId,
+            EdgeAlgoKind::Dbh => {
+                let du = self.degrees[edge.u as usize];
+                let dv = self.degrees[edge.v as usize];
+                let key = match du.cmp(&dv) {
+                    std::cmp::Ordering::Less => edge.u,
+                    std::cmp::Ordering::Greater => edge.v,
+                    std::cmp::Ordering::Equal => edge.u.min(edge.v),
+                };
+                (hash_vertex(key, self.seed) % self.k as u64) as BlockId
+            }
+            EdgeAlgoKind::Greedy => self.select_greedy(edge),
+        }
+    }
+}
+
+impl EdgeSink for AlgoSink {
+    fn begin_pass(&mut self, pass: usize) {
+        self.pass = pass;
+    }
+
+    fn process(&mut self, index: usize, edge: StreamedEdge) {
+        if self.pass == 0 {
+            // Partial degrees, counted up to and including the current
+            // edge; after the first pass they are exact and stay fixed.
+            self.degrees[edge.u as usize] += 1;
+            self.degrees[edge.v as usize] += 1;
+        } else {
+            self.unassign(index, edge);
+        }
+        let b = self.select(edge);
+        self.assign(index, edge, b);
+    }
+
+    fn assignments(&self) -> &[BlockId] {
+        &self.assignments
+    }
+
+    fn num_blocks(&self) -> u32 {
+        self.k
+    }
+
+    fn quality(&self) -> EdgeQuality {
+        let covered = self.replicas.iter().filter(|r| !r.is_empty()).count() as u64;
+        let max_replicas = self
+            .replicas
+            .iter()
+            .map(|r| r.len() as u32)
+            .max()
+            .unwrap_or(0);
+        EdgeQuality {
+            total_replicas: self.total_replicas,
+            covered_vertices: covered,
+            max_replicas,
+            max_load: self.block_loads.iter().copied().max().unwrap_or(0),
+            total_load: self.block_loads.iter().sum(),
+        }
+    }
+
+    fn begin_restore(&mut self) {
+        self.assignments.fill(UNASSIGNED);
+        self.block_loads.fill(0);
+        self.block_counts.fill(0);
+        for set in &mut self.replicas {
+            set.clear();
+        }
+        self.total_replicas = 0;
+    }
+
+    fn restore_edge(&mut self, index: usize, edge: StreamedEdge, block: BlockId) {
+        self.assign(index, edge, block);
+    }
+
+    fn into_partition(self: Box<Self>) -> EdgePartition {
+        let quality = self.quality();
+        EdgePartition::new(
+            self.k,
+            self.num_nodes,
+            self.assignments,
+            self.block_loads,
+            quality.total_replicas,
+            quality.covered_vertices,
+            quality.max_replicas,
+        )
+    }
+}
+
+/// Re-measures the replication summary of `report` from scratch by replaying
+/// `stream` against the recorded assignment — a cross-check used by tests
+/// (the incremental sink state must agree with a cold recount).
+pub fn recount_replicas(
+    stream: &mut dyn EdgeStream,
+    assignments: &[BlockId],
+    k: u32,
+) -> Result<EdgeQuality> {
+    if assignments.len() < stream.num_edges() {
+        return Err(PartitionError::InvalidConfig(format!(
+            "assignment covers {} edges but the stream announces {}",
+            assignments.len(),
+            stream.num_edges()
+        )));
+    }
+    let n = stream.num_nodes();
+    let mut replicas: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+    let mut block_loads = vec![0u64; k as usize];
+    let mut index = 0usize;
+    stream.for_each_edge(&mut |edge| {
+        let b = assignments[index];
+        index += 1;
+        if b == UNASSIGNED {
+            return;
+        }
+        block_loads[b as usize] += edge.weight;
+        for x in [edge.u, edge.v] {
+            let set = &mut replicas[x as usize];
+            if !set.contains(&b) {
+                set.push(b);
+            }
+        }
+    })?;
+    let total_replicas: u64 = replicas.iter().map(|r| r.len() as u64).sum();
+    Ok(EdgeQuality {
+        total_replicas,
+        covered_vertices: replicas.iter().filter(|r| !r.is_empty()).count() as u64,
+        max_replicas: replicas.iter().map(|r| r.len() as u32).max().unwrap_or(0),
+        max_load: block_loads.iter().copied().max().unwrap_or(0),
+        total_load: block_loads.iter().sum(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oms_graph::{CsrGraph, EdgesOf, InMemoryStream};
+
+    fn star_plus_path() -> CsrGraph {
+        // Node 0 is a hub; 6..9 form a path appended to keep some
+        // low-degree structure.
+        CsrGraph::from_edges(
+            10,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (6, 7),
+                (7, 8),
+                (8, 9),
+                (5, 6),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn run(p: &StreamingEdgePartitioner, g: &CsrGraph) -> EdgePartition {
+        p.partition_edges(&mut EdgesOf(InMemoryStream::new(g)))
+            .unwrap()
+    }
+
+    #[test]
+    fn every_algorithm_assigns_every_edge() {
+        let g = star_plus_path();
+        for p in [
+            StreamingEdgePartitioner::hashing(3),
+            StreamingEdgePartitioner::degree_hashing(3),
+            StreamingEdgePartitioner::greedy(3),
+        ] {
+            let partition = run(&p, &g);
+            assert_eq!(partition.num_edges(), g.num_edges());
+            assert!(partition.validate());
+            assert_eq!(partition.total_load(), g.total_edge_weight());
+            assert!(partition.replication_factor() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = star_plus_path();
+        for kind in [EdgeAlgoKind::Hash, EdgeAlgoKind::Dbh, EdgeAlgoKind::Greedy] {
+            let a = run(&StreamingEdgePartitioner::new(kind, 4).seed(9), &g);
+            let b = run(&StreamingEdgePartitioner::new(kind, 4).seed(9), &g);
+            assert_eq!(a, b, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn k_equals_one_gives_replication_factor_one() {
+        let g = star_plus_path();
+        for kind in [EdgeAlgoKind::Hash, EdgeAlgoKind::Dbh, EdgeAlgoKind::Greedy] {
+            let partition = run(&StreamingEdgePartitioner::new(kind, 1), &g);
+            assert!(
+                (partition.replication_factor() - 1.0).abs() < 1e-12,
+                "{kind:?}"
+            );
+            assert_eq!(partition.max_replicas(), 1);
+        }
+    }
+
+    #[test]
+    fn greedy_keeps_low_degree_vertices_together() {
+        // On the path 6-7-8-9 HDRF should not scatter the edges of a
+        // degree-2 vertex without need: its replication factor must beat
+        // plain hashing on this structure-rich graph.
+        let g = star_plus_path();
+        let greedy = run(&StreamingEdgePartitioner::greedy(3), &g);
+        let hash = run(&StreamingEdgePartitioner::hashing(3), &g);
+        assert!(
+            greedy.total_replicas() <= hash.total_replicas(),
+            "greedy {} vs hash {}",
+            greedy.total_replicas(),
+            hash.total_replicas()
+        );
+    }
+
+    #[test]
+    fn hash_reaches_its_fixed_point_after_one_extra_pass() {
+        let g = star_plus_path();
+        let p = StreamingEdgePartitioner::hashing(4).passes(6);
+        let (partition, trajectory) = p
+            .partition_edges_tracked(&mut EdgesOf(InMemoryStream::new(&g)))
+            .unwrap();
+        assert!(trajectory.len() <= 2, "{trajectory:?}");
+        assert_eq!(trajectory.last().unwrap().moved, 0);
+        assert_eq!(partition, run(&StreamingEdgePartitioner::hashing(4), &g));
+    }
+
+    #[test]
+    fn multi_pass_trajectory_is_non_increasing_and_ends_on_the_result() {
+        let g = oms_gen::barabasi_albert(300, 4, 11);
+        for kind in [EdgeAlgoKind::Dbh, EdgeAlgoKind::Greedy] {
+            let p = StreamingEdgePartitioner::new(kind, 8).passes(4);
+            let (partition, trajectory) = p
+                .partition_edges_tracked(&mut EdgesOf(InMemoryStream::new(&g)))
+                .unwrap();
+            assert!(!trajectory.is_empty());
+            assert!(
+                trajectory
+                    .windows(2)
+                    .all(|w| w[1].total_replicas <= w[0].total_replicas),
+                "{kind:?}: {trajectory:?}"
+            );
+            assert_eq!(
+                trajectory.last().unwrap().total_replicas,
+                partition.total_replicas(),
+                "{kind:?}: the trajectory must end on the returned assignment"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_state_agrees_with_a_cold_recount() {
+        let g = oms_gen::rmat_graph(9, 4096, oms_gen::RmatParams::GRAPH500, 5);
+        for kind in [EdgeAlgoKind::Hash, EdgeAlgoKind::Dbh, EdgeAlgoKind::Greedy] {
+            let p = StreamingEdgePartitioner::new(kind, 8).passes(2);
+            let partition = run(&p, &g);
+            let recount = recount_replicas(
+                &mut EdgesOf(InMemoryStream::new(&g)),
+                partition.assignments(),
+                8,
+            )
+            .unwrap();
+            assert_eq!(
+                recount.total_replicas,
+                partition.total_replicas(),
+                "{kind:?}"
+            );
+            assert_eq!(recount.max_replicas, partition.max_replicas(), "{kind:?}");
+            assert_eq!(
+                recount.covered_vertices,
+                partition.covered_vertices(),
+                "{kind:?}"
+            );
+            assert_eq!(recount.total_load, partition.total_load(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn lambda_zero_still_respects_the_hard_capacity() {
+        // With λ = 0 the soft balance term vanishes and ties break to the
+        // lowest block id — but the hard capacity L_max = ⌈(1+ε)·m/k⌉
+        // still forces the stream to spill into fresh blocks instead of
+        // collapsing into block 0.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let p = StreamingEdgePartitioner::greedy(4).lambda(0.0);
+        let partition = run(&p, &g);
+        // m = 2, k = 4 → capacity 1: the two edges must use two blocks.
+        assert_eq!(partition.assignments(), &[0, 1]);
+    }
+
+    #[test]
+    fn greedy_never_exceeds_the_hard_capacity() {
+        let g = oms_gen::barabasi_albert(400, 3, 7);
+        for lambda in [0.0, 0.1, 1.0, 10.0] {
+            for passes in [1, 3] {
+                let p = StreamingEdgePartitioner::greedy(8)
+                    .lambda(lambda)
+                    .passes(passes);
+                let partition = run(&p, &g);
+                let capacity = oms_core::Partition::capacity(g.num_edges() as u64, 8, 0.03);
+                let mut counts = [0u64; 8];
+                for &b in partition.assignments() {
+                    counts[b as usize] += 1;
+                }
+                let max = counts.iter().copied().max().unwrap();
+                assert!(
+                    max <= capacity,
+                    "lambda {lambda}, passes {passes}: max block count {max} > L_max {capacity}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_blocks_is_a_typed_error() {
+        let g = star_plus_path();
+        let err = StreamingEdgePartitioner::hashing(0)
+            .partition_edges(&mut EdgesOf(InMemoryStream::new(&g)))
+            .unwrap_err();
+        assert!(err.to_string().contains("positive"), "{err}");
+    }
+}

@@ -1,0 +1,384 @@
+//! The object-safe edge-partitioner API and the `e-*` dispatch registry.
+//!
+//! Mirrors `oms_core::api` for the vertex-cut objective: frontends hold a
+//! `Box<dyn EdgePartitioner>` built from the same [`JobSpec`] strings the
+//! node pipeline uses (`"e-greedy:32@seed=3,passes=3,lambda=1.5"`), and the
+//! registry ([`register_edge_algorithm`] / [`registered_edge_algorithms`] /
+//! [`find_edge_algorithm`]) is the one name → constructor table every
+//! frontend resolves `e-*` jobs against. [`build_edge_partitioner`] is the
+//! factory; [`is_edge_algorithm`] is the routing predicate frontends use to
+//! decide between the node and the edge pipeline.
+
+use crate::algorithms::StreamingEdgePartitioner;
+use crate::engine::EdgePassStats;
+use crate::partition::EdgePartition;
+use oms_core::{JobSpec, PartitionError, Result};
+use oms_graph::EdgeStream;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// The unified result of one edge-partitioning run.
+#[derive(Clone, Debug)]
+pub struct EdgePartitionReport {
+    /// Registry name of the algorithm that produced the partition.
+    pub algorithm: String,
+    /// Replication factor `RF(Π)` of the produced vertex-cut.
+    pub replication_factor: f64,
+    /// Total replica count `Σ_v |R(v)|` (the exact integer behind `RF`).
+    pub total_replicas: u64,
+    /// Largest per-vertex replica set `max_v |R(v)|`.
+    pub max_replicas: u32,
+    /// Edge-load imbalance `max_b ω(E_b) / (ω(E)/k) − 1`.
+    pub imbalance: f64,
+    /// Wall time of the partitioning passes in seconds.
+    pub seconds: f64,
+    /// Per-pass quality trajectory of a multi-pass run, in pass order
+    /// (a single entry for single-pass runs).
+    pub trajectory: Vec<EdgePassStats>,
+    /// The edge partition itself.
+    pub partition: EdgePartition,
+}
+
+impl EdgePartitionReport {
+    /// Number of blocks of the underlying partition.
+    pub fn num_blocks(&self) -> u32 {
+        self.partition.num_blocks()
+    }
+}
+
+/// An object-safe edge partitioner: any algorithm that can turn an edge
+/// stream into an [`EdgePartition`].
+pub trait EdgePartitioner {
+    /// Registry name of the algorithm (used in reports).
+    fn name(&self) -> String;
+
+    /// Number of blocks this partitioner produces.
+    fn num_blocks(&self) -> u32;
+
+    /// Computes the edge partition for the edges delivered by `stream`.
+    fn partition_edges(&self, stream: &mut dyn EdgeStream) -> Result<EdgePartition>;
+
+    /// Like [`EdgePartitioner::partition_edges`], but additionally returns
+    /// the per-pass quality trajectory.
+    fn partition_edges_tracked(
+        &self,
+        stream: &mut dyn EdgeStream,
+    ) -> Result<(EdgePartition, Vec<EdgePassStats>)>;
+
+    /// Runs the partitioner and evaluates the result into an
+    /// [`EdgePartitionReport`]. All quality numbers come from the sink's
+    /// incrementally maintained state — no extra metric pass is paid.
+    fn run(&self, stream: &mut dyn EdgeStream) -> Result<EdgePartitionReport> {
+        let start = Instant::now();
+        let (partition, trajectory) = self.partition_edges_tracked(stream)?;
+        let seconds = start.elapsed().as_secs_f64();
+        Ok(EdgePartitionReport {
+            algorithm: self.name(),
+            replication_factor: partition.replication_factor(),
+            total_replicas: partition.total_replicas(),
+            max_replicas: partition.max_replicas(),
+            imbalance: partition.imbalance(),
+            seconds,
+            trajectory,
+            partition,
+        })
+    }
+}
+
+// ----------------------------------------------------------------- registry
+
+/// One entry of the edge-algorithm registry.
+#[derive(Clone, Copy)]
+pub struct EdgeAlgorithmInfo {
+    /// Canonical registry name (always `e-`-prefixed).
+    pub name: &'static str,
+    /// Accepted alternative spellings.
+    pub aliases: &'static [&'static str],
+    /// One-line description for `--help`-style listings.
+    pub description: &'static str,
+    /// Constructor turning a [`JobSpec`] into the boxed algorithm.
+    pub build: fn(&JobSpec) -> Result<Box<dyn EdgePartitioner>>,
+}
+
+impl fmt::Debug for EdgeAlgorithmInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EdgeAlgorithmInfo")
+            .field("name", &self.name)
+            .field("aliases", &self.aliases)
+            .field("description", &self.description)
+            .finish()
+    }
+}
+
+static REGISTRY: OnceLock<Mutex<Vec<EdgeAlgorithmInfo>>> = OnceLock::new();
+
+fn registry() -> &'static Mutex<Vec<EdgeAlgorithmInfo>> {
+    REGISTRY.get_or_init(|| Mutex::new(builtin_edge_algorithms()))
+}
+
+/// Registers (or replaces, by name) an edge algorithm in the registry.
+pub fn register_edge_algorithm(info: EdgeAlgorithmInfo) {
+    let mut algorithms = registry().lock().expect("edge registry poisoned");
+    match algorithms.iter_mut().find(|a| a.name == info.name) {
+        Some(slot) => *slot = info,
+        None => algorithms.push(info),
+    }
+}
+
+/// A snapshot of every registered edge algorithm, in registration order.
+pub fn registered_edge_algorithms() -> Vec<EdgeAlgorithmInfo> {
+    registry().lock().expect("edge registry poisoned").clone()
+}
+
+/// Looks an edge algorithm up by canonical name or alias
+/// (case-insensitive).
+pub fn find_edge_algorithm(name: &str) -> Option<EdgeAlgorithmInfo> {
+    let wanted = name.to_ascii_lowercase();
+    registered_edge_algorithms()
+        .into_iter()
+        .find(|a| a.name == wanted || a.aliases.iter().any(|&alias| alias == wanted))
+}
+
+/// Whether `name` resolves to a registered edge (vertex-cut) algorithm —
+/// the predicate frontends use to route a [`JobSpec`] to the edge pipeline.
+pub fn is_edge_algorithm(name: &str) -> bool {
+    find_edge_algorithm(name).is_some()
+}
+
+/// Builds the edge partitioner described by `spec`, dispatching through the
+/// edge registry. The shared option-validation rules of the node pipeline
+/// apply (`passes ≥ 1`, `conv=` needs a multi-pass budget, λ ≥ 0);
+/// node-pipeline-only options that cannot mean anything for a vertex-cut
+/// (`threads=`, `dist=`, hierarchical shapes, `buf=`, `base=`, `hybrid=`)
+/// are rejected rather than silently ignored.
+pub fn build_edge_partitioner(spec: &JobSpec) -> Result<Box<dyn EdgePartitioner>> {
+    let info = find_edge_algorithm(&spec.algorithm).ok_or_else(|| {
+        let known: Vec<&str> = registered_edge_algorithms()
+            .iter()
+            .map(|a| a.name)
+            .collect();
+        PartitionError::InvalidSpec(format!(
+            "unknown edge algorithm '{}' (registered: {})",
+            spec.algorithm,
+            known.join(", ")
+        ))
+    })?;
+    if spec.num_blocks() == 0 {
+        return Err(PartitionError::InvalidConfig(
+            "the number of blocks k must be positive".into(),
+        ));
+    }
+    if spec.passes == 0 {
+        return Err(PartitionError::InvalidConfig(
+            "passes must be at least 1".into(),
+        ));
+    }
+    if spec.convergence > 0.0 && spec.passes <= 1 {
+        return Err(PartitionError::InvalidConfig(
+            "conv= only applies to multi-pass runs; set passes=<N> (the pass budget) as well"
+                .into(),
+        ));
+    }
+    if !spec.lambda.is_finite() || spec.lambda < 0.0 {
+        return Err(PartitionError::InvalidConfig(
+            "lambda must be non-negative".into(),
+        ));
+    }
+    if spec.threads > 1 {
+        return Err(PartitionError::InvalidConfig(
+            "edge partitioners are sequential streaming algorithms; drop threads=".into(),
+        ));
+    }
+    if spec.distances.is_some() {
+        return Err(PartitionError::InvalidConfig(
+            "dist= (the mapping objective) does not apply to edge partitioning".into(),
+        ));
+    }
+    if spec.shape.hierarchy().is_some() {
+        return Err(PartitionError::InvalidConfig(
+            "edge partitioners are flat; write the shape as a plain block count k".into(),
+        ));
+    }
+    if spec.buffer != 0 {
+        return Err(PartitionError::InvalidConfig(
+            "buf= (buffered node streaming) does not apply to edge partitioning".into(),
+        ));
+    }
+    if spec.base_b != oms_core::api::DEFAULT_BASE_B {
+        return Err(PartitionError::InvalidConfig(
+            "base= (the nh-OMS multi-section base) does not apply to edge partitioning".into(),
+        ));
+    }
+    if spec.hashing_bottom_layers != 0 {
+        return Err(PartitionError::InvalidConfig(
+            "hybrid= (the OMS hybrid mapping) does not apply to edge partitioning".into(),
+        ));
+    }
+    (info.build)(spec)
+}
+
+fn configured(p: StreamingEdgePartitioner, spec: &JobSpec) -> Box<dyn EdgePartitioner> {
+    Box::new(
+        p.seed(spec.seed)
+            .lambda(spec.lambda)
+            .epsilon(spec.epsilon)
+            .passes(spec.passes)
+            .convergence(spec.convergence),
+    )
+}
+
+fn build_e_hash(spec: &JobSpec) -> Result<Box<dyn EdgePartitioner>> {
+    Ok(configured(
+        StreamingEdgePartitioner::hashing(spec.num_blocks()),
+        spec,
+    ))
+}
+
+fn build_e_dbh(spec: &JobSpec) -> Result<Box<dyn EdgePartitioner>> {
+    Ok(configured(
+        StreamingEdgePartitioner::degree_hashing(spec.num_blocks()),
+        spec,
+    ))
+}
+
+fn build_e_greedy(spec: &JobSpec) -> Result<Box<dyn EdgePartitioner>> {
+    Ok(configured(
+        StreamingEdgePartitioner::greedy(spec.num_blocks()),
+        spec,
+    ))
+}
+
+fn builtin_edge_algorithms() -> Vec<EdgeAlgorithmInfo> {
+    vec![
+        EdgeAlgorithmInfo {
+            name: "e-hash",
+            aliases: &["ehash"],
+            description: "edge hashing (vertex-cut; balanced, worst replication)",
+            build: build_e_hash,
+        },
+        EdgeAlgorithmInfo {
+            name: "e-dbh",
+            aliases: &["edbh", "dbh"],
+            description: "degree-based hashing (vertex-cut; hashes the lower-degree endpoint)",
+            build: build_e_dbh,
+        },
+        EdgeAlgorithmInfo {
+            name: "e-greedy",
+            aliases: &["egreedy", "hdrf"],
+            description:
+                "HDRF-style greedy (vertex-cut; replica affinity + lambda-weighted balance)",
+            build: build_e_greedy,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oms_graph::{CsrGraph, EdgesOf, InMemoryStream};
+
+    fn sample() -> CsrGraph {
+        oms_gen::planted_partition(300, 4, 0.1, 0.01, 3)
+    }
+
+    #[test]
+    fn registry_lists_the_three_builtins() {
+        let names: Vec<&str> = registered_edge_algorithms()
+            .iter()
+            .map(|a| a.name)
+            .collect();
+        for name in ["e-hash", "e-dbh", "e-greedy"] {
+            assert!(names.contains(&name), "{name} missing from {names:?}");
+        }
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        assert_eq!(find_edge_algorithm("hdrf").unwrap().name, "e-greedy");
+        assert_eq!(find_edge_algorithm("E-DBH").unwrap().name, "e-dbh");
+        assert!(find_edge_algorithm("fennel").is_none());
+        assert!(is_edge_algorithm("e-hash"));
+        assert!(!is_edge_algorithm("oms"));
+    }
+
+    #[test]
+    fn specs_build_and_run_to_reports() {
+        let graph = sample();
+        for text in [
+            "e-hash:8@seed=3",
+            "e-dbh:8@seed=3",
+            "e-greedy:8@seed=3",
+            "e-greedy:8@seed=3,lambda=2.5",
+            "e-greedy:8@seed=3,passes=3",
+            "e-dbh:8@passes=4,conv=0.01",
+        ] {
+            let spec = JobSpec::parse(text).unwrap();
+            let partitioner =
+                build_edge_partitioner(&spec).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(partitioner.num_blocks(), 8, "{text}");
+            let report = partitioner
+                .run(&mut EdgesOf(InMemoryStream::new(&graph)))
+                .unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(report.partition.num_edges(), graph.num_edges(), "{text}");
+            assert!(report.partition.validate(), "{text}");
+            assert!(report.replication_factor >= 1.0, "{text}");
+            assert!(!report.trajectory.is_empty(), "{text}");
+            assert_eq!(
+                report.trajectory.last().unwrap().total_replicas,
+                report.total_replicas,
+                "{text}: the trajectory ends on the reported quality"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_edge_specs_are_rejected() {
+        for (text, needle) in [
+            ("e-frobnicate:8", "unknown edge algorithm"),
+            ("e-greedy:0", "positive"),
+            ("e-greedy:8@threads=4", "sequential"),
+            ("e-greedy:8@conv=0.1", "multi-pass"),
+            ("e-greedy:4:4", "flat"),
+            ("e-greedy:8@buf=4096", "buf="),
+            ("e-greedy:8@base=8", "base="),
+            ("e-greedy:8@hybrid=2", "hybrid="),
+        ] {
+            let spec = JobSpec::parse(text).unwrap();
+            let Err(err) = build_edge_partitioner(&spec) else {
+                panic!("'{text}' must not build");
+            };
+            assert!(err.to_string().contains(needle), "{text}: {err}");
+        }
+        let spec = JobSpec::parse("e-greedy:2:2@dist=1:10").unwrap();
+        let Err(err) = build_edge_partitioner(&spec) else {
+            panic!("dist= must not build for edge algorithms");
+        };
+        assert!(err.to_string().contains("mapping objective"), "{err}");
+    }
+
+    #[test]
+    fn registry_can_be_extended_and_replaced() {
+        fn build_dummy(spec: &JobSpec) -> Result<Box<dyn EdgePartitioner>> {
+            build_e_hash(spec)
+        }
+        register_edge_algorithm(EdgeAlgorithmInfo {
+            name: "e-dummy",
+            aliases: &[],
+            description: "test-only",
+            build: build_dummy,
+        });
+        assert!(is_edge_algorithm("e-dummy"));
+        register_edge_algorithm(EdgeAlgorithmInfo {
+            name: "e-dummy",
+            aliases: &[],
+            description: "replaced",
+            build: build_dummy,
+        });
+        let count = registered_edge_algorithms()
+            .iter()
+            .filter(|a| a.name == "e-dummy")
+            .count();
+        assert_eq!(count, 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! # oms-edgepart
+//!
+//! Streaming **edge partitioning** under the vertex-cut objective.
+//!
+//! The rest of the workspace partitions *nodes* and minimises the edge-cut.
+//! Production graph systems that serve heavy traffic overwhelmingly shard by
+//! *edges* instead: power-law graphs (the RMAT / Barabási–Albert families of
+//! the corpus) have hub vertices whose adjacency no balanced edge-cut
+//! partition can localise, while a vertex-cut partition simply *replicates*
+//! the hub across blocks. The quality objective becomes the **replication
+//! factor**
+//!
+//! ```text
+//! RF(Π) = (Σ_v |R(v)|) / |{v : deg(v) > 0}|,   R(v) = { b : some edge of v is in block b }
+//! ```
+//!
+//! — the average number of block replicas per (non-isolated) vertex — under
+//! an edge-count (edge-weight) balance constraint over the blocks.
+//!
+//! Three streaming edge partitioners are provided, mirroring the classic
+//! line-up (PowerGraph / DBH / HDRF):
+//!
+//! * `e-hash` — uniform hashing of the edge key; perfectly balanced in
+//!   expectation, worst replication.
+//! * `e-dbh` — degree-based hashing: an edge follows the hash of its
+//!   *lower-degree* endpoint, so hub adjacency lists stay spread while
+//!   low-degree vertices keep their edges together.
+//! * `e-greedy` — an HDRF-style greedy: blocks are scored by partial-degree
+//!   replica affinity plus a λ-weighted balance term ([`JobSpec::lambda`]).
+//!
+//! All three run single- or multi-pass: the [`engine`] re-streams the edges,
+//! un-assigns and re-scores each one (the same snapshot / revert / converge
+//! discipline as the node restreaming engine in `oms-core`), and records a
+//! per-pass [`EdgePassStats`] trajectory that is non-increasing in the total
+//! replica count by construction.
+//!
+//! Edges are consumed through [`oms_graph::EdgeStream`] — any node-stream
+//! source (in-memory, chunked, disk v1/v2, unit or weighted) adapts via
+//! [`oms_graph::EdgesOf`], so edge partitioning needs no new on-disk format
+//! and inherits byte-identical behavior across sources.
+//!
+//! Jobs are described by the same [`JobSpec`] grammar as the node
+//! partitioners (`"e-greedy:32@seed=3,passes=3,lambda=1.5"`) and dispatched
+//! through this crate's own registry: [`build_edge_partitioner`] turns a
+//! spec into a `Box<dyn EdgePartitioner>`, and
+//! [`registered_edge_algorithms`] / [`find_edge_algorithm`] let frontends
+//! (CLI, bench) enumerate and route `e-*` algorithm names.
+//!
+//! ## Example
+//!
+//! ```
+//! use oms_core::JobSpec;
+//! use oms_edgepart::build_edge_partitioner;
+//! use oms_graph::{CsrGraph, EdgesOf, InMemoryStream};
+//!
+//! let graph = CsrGraph::from_edges(6, &[
+//!     (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 2), (3, 4),
+//! ]).unwrap();
+//! let job: JobSpec = "e-greedy:2@lambda=1".parse().unwrap();
+//! let partitioner = build_edge_partitioner(&job).unwrap();
+//! let report = partitioner.run(&mut EdgesOf(InMemoryStream::new(&graph))).unwrap();
+//! assert_eq!(report.partition.num_edges(), 7);
+//! assert!(report.replication_factor >= 1.0);
+//! ```
+//!
+//! [`JobSpec`]: oms_core::JobSpec
+//! [`JobSpec::lambda`]: oms_core::JobSpec::lambda
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod api;
+pub mod engine;
+pub mod partition;
+
+pub use algorithms::{EdgeAlgoKind, StreamingEdgePartitioner};
+pub use api::{
+    build_edge_partitioner, find_edge_algorithm, is_edge_algorithm, register_edge_algorithm,
+    registered_edge_algorithms, EdgeAlgorithmInfo, EdgePartitionReport, EdgePartitioner,
+};
+pub use engine::{run_edge_restream, EdgePassStats, EdgeQuality, EdgeSink};
+pub use partition::EdgePartition;

@@ -44,6 +44,19 @@ pub enum CorpusClass {
 }
 
 impl CorpusClass {
+    /// Whether instances of this class have heavy-tailed (hub-dominated)
+    /// degree distributions — preferential attachment and skewed-RMAT
+    /// families. These are the graphs on which balanced edge-cut
+    /// partitioning turns pathological and vertex-cut (edge) partitioning
+    /// is the right model; the `edgepart` bench uses this to annotate its
+    /// tables.
+    pub fn hub_heavy(&self) -> bool {
+        matches!(
+            self,
+            CorpusClass::Citations | CorpusClass::Web | CorpusClass::Social
+        )
+    }
+
     /// Short lowercase name used in reports.
     pub fn name(&self) -> &'static str {
         match self {

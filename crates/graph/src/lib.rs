@@ -18,6 +18,10 @@
 //!   (and [`io::DiskStream`] decodes the next batch on a reader thread while
 //!   the current one is consumed), which the batch executor in `oms-core`
 //!   drives.
+//! * [`EdgeStream`] and the [`EdgesOf`] adapter — the streaming
+//!   *edge*-partitioning (vertex-cut) face of the same sources: every
+//!   [`NodeStream`] becomes a batched `(u, v, w)` edge stream with
+//!   multi-pass `reset()`, no separate on-disk format required.
 //! * Graph I/O — the METIS text format, plain edge lists and a compact
 //!   binary *vertex-stream* format that can be streamed from disk.
 //! * [`NodeOrdering`] — stream orders (natural, random, BFS, DFS, degree)
@@ -32,6 +36,7 @@
 pub mod batch;
 pub mod builder;
 pub mod csr;
+pub mod edge_stream;
 pub mod io;
 pub mod ordering;
 pub mod stream;
@@ -40,6 +45,7 @@ pub mod traversal;
 pub use batch::NodeBatch;
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
+pub use edge_stream::{EdgeBatch, EdgeStream, EdgesOf, StreamedEdge, DEFAULT_EDGE_BATCH_SIZE};
 pub use ordering::NodeOrdering;
 pub use stream::{
     ChunkedStream, InMemoryStream, NodeStream, PerNodeBatches, StreamedNode, DEFAULT_BATCH_SIZE,

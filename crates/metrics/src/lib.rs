@@ -16,7 +16,9 @@
 //! * [`memory`] — the `O(n + k)` vs `O(n + m)` memory accounting of §4.1;
 //! * [`timing`] — wall-clock measurement with repetitions;
 //! * [`report`] — plain-text and CSV table output;
-//! * [`trajectory`] — per-pass quality trajectories of restreaming runs.
+//! * [`trajectory`] — per-pass quality trajectories of restreaming runs;
+//! * [`vertex_cut`] — replication factor and edge-balance of vertex-cut
+//!   (edge) partitions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +30,7 @@ pub mod report;
 pub mod stats;
 pub mod timing;
 pub mod trajectory;
+pub mod vertex_cut;
 
 pub use memory::{graph_memory_bytes, streaming_memory_bytes, MemoryEstimate};
 pub use profile::PerformanceProfile;
@@ -36,3 +39,4 @@ pub use report::Table;
 pub use stats::{arithmetic_mean, geometric_mean, improvement_percent, speedup};
 pub use timing::{measure, measure_repeated};
 pub use trajectory::{cut_reduction_percent, effective_convergence_pass, trajectory_table};
+pub use vertex_cut::{replication_factor, vertex_cut_metrics, VertexCutMetrics};

@@ -1,0 +1,233 @@
+//! Vertex-cut (edge partitioning) quality metrics.
+//!
+//! A vertex-cut assigns every **edge** to one of `k` blocks; a vertex is
+//! *replicated* into every block that holds at least one of its incident
+//! edges. Quality is the **replication factor** — the average number of
+//! replicas per non-isolated vertex — under an edge-weight balance
+//! constraint over the blocks. These helpers recompute all of it from
+//! scratch, independently of the incremental state the streaming
+//! partitioners in `oms-edgepart` maintain, so the two implementations
+//! cross-check each other.
+//!
+//! Edge indexing follows [`CsrGraph::edges`] order (each undirected edge
+//! once, `u < v`, grouped by the smaller endpoint) — the same order every
+//! [`oms_graph::EdgesOf`] stream induces, so an assignment produced by the
+//! streaming pipeline can be evaluated here directly.
+
+use oms_core::BlockId;
+use oms_graph::CsrGraph;
+
+/// The recomputed quality of one edge assignment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VertexCutMetrics {
+    /// Replication factor `Σ_v |R(v)| / |{v : deg(v) > 0}|` (`1.0` when the
+    /// graph has no edges).
+    pub replication_factor: f64,
+    /// Total replica count `Σ_v |R(v)|`.
+    pub total_replicas: u64,
+    /// Number of non-isolated vertices (the denominator of the replication
+    /// factor).
+    pub covered_vertices: u64,
+    /// Largest per-vertex replica set `max_v |R(v)|`.
+    pub max_replicas: u32,
+    /// Mean replicas per non-isolated vertex — an alias for the replication
+    /// factor, kept for symmetry with `max_replicas`.
+    pub mean_replicas: f64,
+    /// Edge-weight imbalance `max_b ω(E_b) / (ω(E)/k) − 1`.
+    pub imbalance: f64,
+    /// Total assigned edge weight per block, `ω(E_b)`.
+    pub block_loads: Vec<u64>,
+}
+
+/// Per-vertex replica counts `|R(v)|` of an edge assignment (zero for
+/// isolated vertices). `assignments[i]` is the block of the `i`-th edge in
+/// [`CsrGraph::edges`] order.
+pub fn replica_counts(graph: &CsrGraph, assignments: &[BlockId]) -> Vec<u32> {
+    assert!(
+        assignments.len() >= graph.num_edges(),
+        "assignment must cover every edge"
+    );
+    let mut replicas: Vec<Vec<BlockId>> = vec![Vec::new(); graph.num_nodes()];
+    for (i, (u, v, _)) in graph.edges().enumerate() {
+        let b = assignments[i];
+        for x in [u, v] {
+            let set = &mut replicas[x as usize];
+            if !set.contains(&b) {
+                set.push(b);
+            }
+        }
+    }
+    replicas.into_iter().map(|r| r.len() as u32).collect()
+}
+
+/// The replication factor implied by per-vertex replica counts (`1.0` when
+/// no vertex is covered).
+pub fn replication_factor(replica_counts: &[u32]) -> f64 {
+    let covered = replica_counts.iter().filter(|&&r| r > 0).count();
+    if covered == 0 {
+        return 1.0;
+    }
+    let total: u64 = replica_counts.iter().map(|&r| r as u64).sum();
+    total as f64 / covered as f64
+}
+
+/// Total assigned edge weight per block, `ω(E_b)`.
+pub fn edge_block_loads(graph: &CsrGraph, assignments: &[BlockId], k: u32) -> Vec<u64> {
+    assert!(assignments.len() >= graph.num_edges());
+    let mut loads = vec![0u64; k as usize];
+    for (i, (_, _, w)) in graph.edges().enumerate() {
+        loads[assignments[i] as usize] += w;
+    }
+    loads
+}
+
+/// Recomputes the full [`VertexCutMetrics`] of an edge assignment into `k`
+/// blocks.
+pub fn vertex_cut_metrics(graph: &CsrGraph, assignments: &[BlockId], k: u32) -> VertexCutMetrics {
+    let counts = replica_counts(graph, assignments);
+    let total_replicas: u64 = counts.iter().map(|&r| r as u64).sum();
+    let covered_vertices = counts.iter().filter(|&&r| r > 0).count() as u64;
+    let max_replicas = counts.iter().copied().max().unwrap_or(0);
+    let rf = replication_factor(&counts);
+    let block_loads = edge_block_loads(graph, assignments, k);
+    let total: u64 = block_loads.iter().sum();
+    let imbalance = if total == 0 {
+        0.0
+    } else {
+        let max = *block_loads.iter().max().unwrap() as f64;
+        max / (total as f64 / k.max(1) as f64) - 1.0
+    };
+    VertexCutMetrics {
+        replication_factor: rf,
+        total_replicas,
+        covered_vertices,
+        max_replicas,
+        mean_replicas: rf,
+        imbalance,
+        block_loads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn path(n: usize) -> CsrGraph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|v| (v, v + 1)).collect();
+        CsrGraph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn single_block_assignment_has_replication_factor_one() {
+        let g = path(6);
+        let m = vertex_cut_metrics(&g, &vec![0; g.num_edges()], 4);
+        assert_eq!(m.replication_factor, 1.0);
+        assert_eq!(m.max_replicas, 1);
+        assert_eq!(m.total_replicas, 6);
+        assert_eq!(m.covered_vertices, 6);
+        // All weight in one of four blocks: imbalance = k − 1.
+        assert!((m.imbalance - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternating_assignment_replicates_interior_vertices() {
+        // Path 0-1-2-3 with edges alternating between blocks 0 and 1: the
+        // interior vertices 1 and 2 hold two replicas each.
+        let g = path(4);
+        let m = vertex_cut_metrics(&g, &[0, 1, 0], 2);
+        assert_eq!(m.total_replicas, 6);
+        assert_eq!(m.max_replicas, 2);
+        assert!((m.replication_factor - 1.5).abs() < 1e-12);
+        assert_eq!(m.block_loads, vec![2, 1]);
+    }
+
+    #[test]
+    fn isolated_vertices_do_not_dilute_the_replication_factor() {
+        let g = CsrGraph::from_edges(5, &[(0, 1)]).unwrap();
+        let m = vertex_cut_metrics(&g, &[2], 4);
+        assert_eq!(m.covered_vertices, 2);
+        assert_eq!(m.replication_factor, 1.0);
+        let counts = replica_counts(&g, &[2]);
+        assert_eq!(counts, vec![1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn empty_graph_is_unreplicated() {
+        let g = CsrGraph::empty(3);
+        let m = vertex_cut_metrics(&g, &[], 2);
+        assert_eq!(m.replication_factor, 1.0);
+        assert_eq!(m.imbalance, 0.0);
+        assert_eq!(m.total_replicas, 0);
+    }
+
+    /// Property: RF == 1.0 *exactly* when every vertex's incident edges
+    /// land in a single block, whatever the graph and assignment.
+    #[test]
+    fn replication_factor_is_one_iff_every_vertex_is_single_block() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xEDBE);
+        for case in 0..64 {
+            let n = rng.gen_range(2..60usize);
+            let g = oms_gen::erdos_renyi_gnm(n, rng.gen_range(0..3 * n), case);
+            let k = rng.gen_range(1u32..8);
+            // Mix single-block and random assignments across cases.
+            let assignments: Vec<BlockId> = if case % 2 == 0 {
+                vec![rng.gen_range(0..k); g.num_edges()]
+            } else {
+                (0..g.num_edges()).map(|_| rng.gen_range(0..k)).collect()
+            };
+            let counts = replica_counts(&g, &assignments);
+            let rf = replication_factor(&counts);
+            let single_block_everywhere = counts.iter().all(|&r| r <= 1);
+            assert_eq!(
+                rf == 1.0,
+                single_block_everywhere || g.num_edges() == 0,
+                "case {case}: rf = {rf}, counts = {counts:?}"
+            );
+        }
+    }
+
+    /// Property: on any graph and any assignment into `k` blocks,
+    /// `RF ≤ min(k, Δ)` where `Δ` is the maximum degree — a vertex cannot
+    /// be replicated into more blocks than exist, nor more often than it
+    /// has edges.
+    #[test]
+    fn replication_factor_is_bounded_by_k_and_max_degree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xEDBF);
+        for case in 0..64 {
+            let n = rng.gen_range(2..80usize);
+            let g = oms_gen::erdos_renyi_gnm(n, rng.gen_range(1..4 * n), case + 1000);
+            if g.num_edges() == 0 {
+                continue;
+            }
+            let k = rng.gen_range(1u32..12);
+            let assignments: Vec<BlockId> =
+                (0..g.num_edges()).map(|_| rng.gen_range(0..k)).collect();
+            let counts = replica_counts(&g, &assignments);
+            // The per-vertex bound is the sharp one; the aggregate bound
+            // follows from it.
+            for (v, &r) in counts.iter().enumerate() {
+                let bound = (k as usize).min(g.degree(v as u32));
+                assert!(
+                    r as usize <= bound,
+                    "case {case}: vertex {v} has {r} replicas, bound {bound}"
+                );
+            }
+            let rf = replication_factor(&counts);
+            let bound = (k as usize).min(g.max_degree()) as f64;
+            assert!(rf <= bound + 1e-12, "case {case}: rf = {rf} > {bound}");
+            assert!(rf >= 1.0, "case {case}");
+        }
+    }
+
+    #[test]
+    fn weighted_loads_follow_edge_weights() {
+        let mut b = oms_graph::GraphBuilder::new(3);
+        b.add_weighted_edge(0, 1, 5).unwrap();
+        b.add_weighted_edge(1, 2, 7).unwrap();
+        let g = b.build();
+        let loads = edge_block_loads(&g, &[1, 0], 2);
+        assert_eq!(loads, vec![7, 5]);
+    }
+}

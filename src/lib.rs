@@ -15,6 +15,9 @@
 //! * [`mapping`] (`oms-mapping`) — hierarchical topologies, the mapping
 //!   objective `J(C, D, Π)`, greedy block→PE construction and local search;
 //! * [`multilevel`] (`oms-multilevel`) — the in-memory multilevel baseline;
+//! * [`edgepart`] (`oms-edgepart`) — streaming **vertex-cut** edge
+//!   partitioning (`e-hash`, `e-dbh`, the HDRF-style `e-greedy`) with
+//!   replication-factor tracking and multi-pass re-streaming;
 //! * [`metrics`] (`oms-metrics`) — evaluation statistics, performance
 //!   profiles, memory accounting and reporting.
 //!
@@ -60,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub use oms_core as core;
+pub use oms_edgepart as edgepart;
 pub use oms_gen as gen;
 pub use oms_graph as graph;
 pub use oms_mapping as mapping;
@@ -75,13 +79,19 @@ pub mod prelude {
         PartitionReport, Partitioner, PassStats, PassTrajectory, ReFennel, ReHashing, ReLdg, ReOms,
         RestreamOptions, ScorerKind, StreamingPartitioner,
     };
+    pub use oms_edgepart::{
+        build_edge_partitioner, find_edge_algorithm, is_edge_algorithm, registered_edge_algorithms,
+        EdgePartition, EdgePartitionReport, EdgePartitioner, EdgePassStats,
+        StreamingEdgePartitioner,
+    };
     pub use oms_gen::{
         barabasi_albert, degree_proportional_edge_weights, delaunay_graph, erdos_renyi_gnm,
         grid_2d, planted_partition, power_law_node_weights, random_geometric_graph, rmat_graph,
         WeightScheme,
     };
     pub use oms_graph::{
-        CsrGraph, GraphBuilder, InMemoryStream, NodeBatch, NodeOrdering, NodeStream, PerNodeBatches,
+        CsrGraph, EdgeBatch, EdgeStream, EdgesOf, GraphBuilder, InMemoryStream, NodeBatch,
+        NodeOrdering, NodeStream, PerNodeBatches, StreamedEdge,
     };
     pub use oms_mapping::{mapping_cost, offline_block_mapping, remap_partition, Topology};
     pub use oms_metrics::{edge_cut, geometric_mean, improvement_percent};

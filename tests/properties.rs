@@ -246,6 +246,9 @@ fn arbitrary_jobspec(rng: &mut ChaCha8Rng) -> JobSpec {
         "nh-oms",
         "multilevel",
         "rms",
+        "e-hash",
+        "e-dbh",
+        "e-greedy",
     ];
     let algorithm = algorithms[rng.gen_range(0..algorithms.len())];
     let mut spec = if rng.gen_range(0..2usize) == 0 {
@@ -274,6 +277,9 @@ fn arbitrary_jobspec(rng: &mut ChaCha8Rng) -> JobSpec {
     }
     if rng.gen_range(0..3usize) == 0 {
         spec = spec.hashing_bottom_layers(rng.gen_range(1usize..4));
+    }
+    if rng.gen_range(0..3usize) == 0 {
+        spec = spec.lambda([0.0, 0.1, 0.5, 1.5, 4.0][rng.gen_range(0..5usize)]);
     }
     if rng.gen_range(0..3usize) == 0 {
         let levels = rng.gen_range(1usize..5);
