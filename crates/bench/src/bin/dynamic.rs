@@ -1,0 +1,120 @@
+//! Dynamic-maintenance throughput: how fast does the `oms-dynamic` service
+//! ingest deltas, and how much cheaper is local repair than restreaming?
+//!
+//! One long-lived [`PartitionState`] ingests a seeded uniform churn trace
+//! over an Erdős–Rényi graph. After every batch the same graph state is
+//! also partitioned from scratch by a cold restream — the quality/cost
+//! yardstick. Reported: sustained deltas/second, the repair-vs-restream
+//! cost ratio, the worst per-checkpoint cut ratio, and the end-to-end
+//! speedup. The JSON summary is committed as `BENCH_dynamic.json` so the
+//! performance trajectory of the dynamic layer is tracked in-repo.
+//!
+//! ```text
+//! cargo run --release -p oms-bench --bin dynamic -- [--quick] [--json FILE]
+//! ```
+
+use oms_core::JobSpec;
+use oms_dynamic::PartitionState;
+use oms_gen::{churn_trace, erdos_renyi_gnm, ChurnConfig, ChurnScheme};
+use oms_graph::InMemoryStream;
+use oms_metrics::{
+    checkpoint_table, max_cut_ratio, repair_vs_restream_speedup, CheckpointComparison,
+};
+use std::io::Write;
+
+const K: u32 = 32;
+
+fn main() {
+    let args = oms_bench::BenchArgs::from_env();
+    let quick = args.quick;
+    let n: usize = if quick { 20_000 } else { 200_000 };
+    let (batches, ops) = if quick { (4, 200) } else { (8, 1_000) };
+
+    let graph = erdos_renyi_gnm(n, n * 4, 31);
+    let trace = churn_trace(
+        &graph,
+        &ChurnConfig {
+            scheme: ChurnScheme::Uniform,
+            batches,
+            ops_per_batch: ops,
+            seed: 0xFA57,
+            ..ChurnConfig::default()
+        },
+    );
+    let total_deltas: usize = trace.iter().map(oms_graph::DeltaBatch::len).sum();
+
+    // A huge drift threshold keeps the run on the repair path, so the
+    // timings compare pure delta ingestion against full restreams.
+    let job: JobSpec = format!("fennel:{K}@drift=1000000000")
+        .parse()
+        .expect("bench spec parses");
+    let mut state =
+        PartitionState::new(&job, &mut InMemoryStream::new(&graph)).expect("initial run");
+    println!(
+        "graph: er n = {n}, m = {}; trace: {batches} batches x {ops} ops = {total_deltas} deltas",
+        graph.num_edges()
+    );
+    println!(
+        "initial: cut {} (imbalance {:.4})",
+        state.edge_cut(),
+        state.imbalance()
+    );
+
+    let mut checkpoints = Vec::with_capacity(trace.len());
+    for (i, batch) in trace.iter().enumerate() {
+        let stats = state.apply(batch).expect("churn traces are valid");
+        let (restream_cut, restream_imbalance, restream_seconds) = state
+            .cold_restream_reference()
+            .expect("reference restream runs");
+        checkpoints.push(CheckpointComparison {
+            checkpoint: i,
+            deltas: stats.deltas,
+            incremental_cut: state.edge_cut(),
+            incremental_imbalance: state.imbalance(),
+            incremental_seconds: stats.seconds,
+            restream_cut,
+            restream_imbalance,
+            restream_seconds,
+        });
+    }
+    print!(
+        "{}",
+        checkpoint_table("incremental vs cold restream", &checkpoints).to_text()
+    );
+
+    let apply_s: f64 = checkpoints.iter().map(|c| c.incremental_seconds).sum();
+    let restream_s: f64 = checkpoints.iter().map(|c| c.restream_seconds).sum();
+    let deltas_per_sec = if apply_s > 0.0 {
+        total_deltas as f64 / apply_s
+    } else {
+        f64::INFINITY
+    };
+    let cost_ratio = if restream_s > 0.0 {
+        apply_s / restream_s
+    } else {
+        0.0
+    };
+    let speedup = repair_vs_restream_speedup(&checkpoints);
+    let worst_ratio = max_cut_ratio(&checkpoints);
+    println!("\ndeltas/second      : {deltas_per_sec:.0}");
+    println!("repair cost ratio  : {cost_ratio:.4} of restreaming ({speedup:.1}x speedup)");
+    println!("max cut ratio      : {worst_ratio:.3}");
+
+    let out = args
+        .rest
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.rest.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_dynamic.json".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"dynamic\",\n  \"graph\": \"er_n{n}\",\n  \"nodes\": {n},\n  \"edges\": {m},\n  \"k\": {K},\n  \"batches\": {batches},\n  \"ops_per_batch\": {ops},\n  \"deltas\": {total_deltas},\n  \"apply_seconds\": {apply_s:.4},\n  \"deltas_per_sec\": {deltas_per_sec:.0},\n  \"restream_seconds\": {restream_s:.4},\n  \"repair_cost_ratio\": {cost_ratio:.4},\n  \"repair_speedup\": {speedup:.1},\n  \"max_cut_ratio\": {worst_ratio:.3},\n  \"final_cut\": {cut},\n  \"final_restream_cut\": {re_cut},\n  \"restream_fallbacks\": {fallbacks}\n}}\n",
+        m = graph.num_edges(),
+        cut = state.edge_cut(),
+        re_cut = checkpoints.last().map(|c| c.restream_cut).unwrap_or(0),
+        fallbacks = state.counters().restreams,
+    );
+    let mut file = std::fs::File::create(&out).expect("can create the JSON report");
+    file.write_all(json.as_bytes())
+        .expect("can write the JSON report");
+    println!("\nrecorded {out}");
+}

@@ -14,6 +14,9 @@
 //! oms convert   <graph.metis> <graph.oms>     # to/from the binary vertex-stream format
 //! oms generate  <family> <n> <out.metis>      # rgg | delaunay | ba | rmat | grid | er
 //!               [--weights unit|nodes|edges|full]   # weighted variants
+//! oms gen-deltas <graph> <out.deltas> [--scheme uniform|drift|burst] [--batches B] [--ops O]
+//! oms apply-deltas <graph> <trace.deltas> --k 8 [--algo fennel|ldg|...] [--drift 0.2]
+//!               [--repair off|local|boundary]  # incremental maintenance vs cold restream
 //! oms info      <graph.metis|graph.oms>
 //! ```
 //!
@@ -65,6 +68,8 @@ const USAGE: &str = "usage:
   oms algorithms
   oms convert    <in> <out>  (out format by extension: .oms = vertex stream, .txt/.edges/.el = edge list, else METIS) [--format F]
   oms generate   <rgg|delaunay|ba|rmat|grid|er> <n> <out.metis> [--seed S] [--weights unit|nodes|edges|full]
+  oms gen-deltas <graph> <out.deltas> [--scheme uniform|drift|burst] [--batches B] [--ops O] [--node-churn F] [--insert-frac F] [--seed S] [--format F]
+  oms apply-deltas <graph> <trace.deltas> --k <k> [--algo NAME] [--drift D] [--repair off|local|boundary] [--reference on|off] [usual job flags] [--output FILE]
   oms info       <graph> [--format F]
 
   --format F selects the input format (auto | metis | edgelist | stream); auto sniffs the extension.";
@@ -102,6 +107,8 @@ fn run(args: &[String]) -> Result<(), Error> {
         "algorithms" => algorithms_command(rest),
         "convert" => convert_command(rest),
         "generate" => generate_command(rest),
+        "gen-deltas" => gen_deltas_command(rest),
+        "apply-deltas" => apply_deltas_command(rest),
         "info" => info_command(rest),
         other => Err(Error::Usage(format!("unknown command '{other}'"))),
     }
@@ -521,8 +528,20 @@ fn algorithms_command(args: &[String]) -> Result<(), Error> {
         } else {
             format!(" (aliases: {})", algo.aliases.join(", "))
         };
-        println!("  {:<12} {}{}", algo.name, algo.description, aliases);
+        let repair = if algo.supports_repair {
+            " [repairable]"
+        } else {
+            ""
+        };
+        println!(
+            "  {:<12} {}{}{}",
+            algo.name, algo.description, aliases, repair
+        );
     }
+    println!(
+        "\n[repairable] algorithms support incremental repair under `oms apply-deltas` \
+         (drift=/repair= job options)."
+    );
     println!("\nedge (vertex-cut) algorithms — partition edges, report the replication factor:\n");
     for algo in oms_edgepart::registered_edge_algorithms() {
         let aliases = if algo.aliases.is_empty() {
@@ -532,7 +551,7 @@ fn algorithms_command(args: &[String]) -> Result<(), Error> {
         };
         println!("  {:<12} {}{}", algo.name, algo.description, aliases);
     }
-    println!("\njob spec grammar: <algo>:<k | a1:a2:...>[@eps=..,seed=..,threads=..,passes=..,conv=..,base=..,hybrid=..,buf=..,lambda=..,dist=d1:d2:...]");
+    println!("\njob spec grammar: <algo>:<k | a1:a2:...>[@eps=..,seed=..,threads=..,passes=..,conv=..,base=..,hybrid=..,buf=..,lambda=..,drift=..,repair=off|local|boundary,dist=d1:d2:...]");
     Ok(())
 }
 
@@ -611,6 +630,193 @@ fn generate_command(args: &[String]) -> Result<(), Error> {
         graph.num_edges(),
         graph.total_node_weight()
     );
+    Ok(())
+}
+
+/// Generates a seeded churn trace (`gen-deltas`) in the textual delta
+/// grammar (`+e u v [w]`, `-e u v`, `+n v [w]`, `-n v`, `!` checkpoints) so
+/// the result feeds straight into `apply-deltas` or the library's
+/// `read_delta_trace`.
+fn gen_deltas_command(args: &[String]) -> Result<(), Error> {
+    let (positional, options) = split_options(
+        args,
+        &[
+            "scheme",
+            "batches",
+            "ops",
+            "node-churn",
+            "insert-frac",
+            "seed",
+            "format",
+        ],
+    )?;
+    let (Some(path), Some(output)) = (positional.first(), positional.get(1)) else {
+        return Err(Error::Usage(
+            "gen-deltas: need <graph> and <out.deltas>".into(),
+        ));
+    };
+    let graph = load_graph_opt(path, &options)?;
+    let mut config = oms_gen::ChurnConfig {
+        seed: parse_option(&options, "seed", "an integer")?.unwrap_or(42),
+        ..oms_gen::ChurnConfig::default()
+    };
+    if let Some(batches) = parse_option(&options, "batches", "a positive integer")? {
+        config.batches = batches;
+    }
+    if let Some(ops) = parse_option(&options, "ops", "a positive integer")? {
+        config.ops_per_batch = ops;
+    }
+    if let Some(frac) = parse_option(&options, "node-churn", "a fraction in [0, 1]")? {
+        config.node_churn_fraction = frac;
+    }
+    if let Some(frac) = parse_option(&options, "insert-frac", "a fraction in [0, 1]")? {
+        config.insert_fraction = frac;
+    }
+    config.scheme = match options
+        .get("scheme")
+        .map(|s| s.as_str())
+        .unwrap_or("uniform")
+    {
+        "uniform" => oms_gen::ChurnScheme::Uniform,
+        "drift" => oms_gen::ChurnScheme::CommunityDrift { communities: 8 },
+        "burst" => oms_gen::ChurnScheme::Burst { window: 0.05 },
+        other => {
+            return Err(Error::Usage(format!(
+                "--scheme must be uniform, drift or burst, got '{other}'"
+            )))
+        }
+    };
+    let trace = oms_gen::churn_trace(&graph, &config);
+    oms_graph::write_delta_trace(output, &trace)?;
+    println!(
+        "wrote {output} ({} batches, {} deltas, scheme = {:?}, seed = {})",
+        trace.len(),
+        trace.iter().map(oms_graph::DeltaBatch::len).sum::<usize>(),
+        config.scheme,
+        config.seed
+    );
+    Ok(())
+}
+
+/// The dynamic-maintenance pipeline behind `apply-deltas`: builds a
+/// long-lived [`oms_dynamic::PartitionState`] over the graph, applies the
+/// trace batch by batch and prints one checkpoint row per batch comparing
+/// the incrementally maintained partition against a cold restream of the
+/// same graph state (unless `--reference off`).
+fn apply_deltas_command(args: &[String]) -> Result<(), Error> {
+    let (positional, options) = split_options(
+        args,
+        &[
+            "k",
+            "job",
+            "algo",
+            "epsilon",
+            "threads",
+            "passes",
+            "converge",
+            "seed",
+            "drift",
+            "repair",
+            "reference",
+            "format",
+            "output",
+        ],
+    )?;
+    let (Some(path), Some(trace_path)) = (positional.first(), positional.get(1)) else {
+        return Err(Error::Usage(
+            "apply-deltas: need <graph> and <trace.deltas>".into(),
+        ));
+    };
+    let shape = match parse_option::<u32>(&options, "k", "a positive integer")? {
+        Some(k) => oms_core::JobShape::Flat(k),
+        None if options.contains_key("job") => oms_core::JobShape::Flat(0), // replaced by --job
+        None => {
+            return Err(Error::Usage(
+                "apply-deltas: --k (or --job) is required".into(),
+            ))
+        }
+    };
+    let mut job = job_from_options(&options, shape, "fennel")?;
+    if let Some(drift) = parse_option(&options, "drift", "a positive number")? {
+        job = job.drift(drift);
+    }
+    if let Some(repair) = options.get("repair") {
+        job = job.repair(oms_core::RepairPolicy::parse(repair)?);
+    }
+    let reference = match options.get("reference").map(|s| s.as_str()).unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(Error::Usage(format!(
+                "--reference must be on or off, got '{other}'"
+            )))
+        }
+    };
+    let graph = load_graph_opt(path, &options)?;
+    let trace = oms_graph::read_delta_trace(trace_path)?;
+    let mut state = oms_dynamic::PartitionState::new(&job, &mut InMemoryStream::new(&graph))?;
+    println!(
+        "graph      : {path} (n = {}, m = {})",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    println!(
+        "trace      : {trace_path} ({} batches, {} deltas)",
+        trace.len(),
+        trace.iter().map(oms_graph::DeltaBatch::len).sum::<usize>()
+    );
+    println!("job        : {job}");
+    println!(
+        "initial    : cut {} (imbalance {:.4})",
+        state.edge_cut(),
+        state.imbalance()
+    );
+    let mut checkpoints = Vec::with_capacity(trace.len());
+    for (i, batch) in trace.iter().enumerate() {
+        let stats = state.apply(batch)?;
+        let (restream_cut, restream_imbalance, restream_seconds) = if reference {
+            state.cold_restream_reference()?
+        } else {
+            (state.edge_cut(), state.imbalance(), 0.0)
+        };
+        checkpoints.push(oms_metrics::CheckpointComparison {
+            checkpoint: i,
+            deltas: stats.deltas,
+            incremental_cut: state.edge_cut(),
+            incremental_imbalance: state.imbalance(),
+            incremental_seconds: stats.seconds,
+            restream_cut,
+            restream_imbalance,
+            restream_seconds,
+        });
+    }
+    println!();
+    print!(
+        "{}",
+        oms_metrics::checkpoint_table("incremental vs cold restream", &checkpoints).to_text()
+    );
+    if reference {
+        println!(
+            "\nmax cut ratio  : {:.3}",
+            oms_metrics::max_cut_ratio(&checkpoints)
+        );
+        println!(
+            "repair speedup : {:.1}x",
+            oms_metrics::repair_vs_restream_speedup(&checkpoints)
+        );
+    }
+    let counters = state.counters();
+    println!(
+        "drift          : {:.4} (threshold {}, {} full restreams, {} deltas applied)",
+        state.drift(),
+        job.drift,
+        counters.restreams,
+        counters.deltas_applied
+    );
+    if let Some(output) = options.get("output") {
+        write_assignments(output, state.assignments())?;
+        println!("partition written to {output}");
+    }
     Ok(())
 }
 

@@ -46,6 +46,12 @@
 //!                                 partitioners (the `e-*` algorithms of
 //!                                 `oms-edgepart`; HDRF's balance knob)
 //!                                 (default 1)
+//!             drift=<f64>         drift threshold of dynamic maintenance:
+//!                                 past it, the `oms-dynamic` layer falls
+//!                                 back to a full restream (default 0.2)
+//!             repair=<policy>     local-repair policy of dynamic
+//!                                 maintenance: off | local | boundary
+//!                                 (default boundary)
 //!             dist=d1:d2:...      PE distances; enables the mapping
 //!                                 objective J in the report
 //! ```
@@ -483,6 +489,55 @@ pub const DEFAULT_BASE_B: u32 = 4;
 /// Default balance weight λ of the vertex-cut edge partitioners (HDRF's
 /// recommended λ = 1: replica affinity and balance weighted equally).
 pub const DEFAULT_LAMBDA: f64 = 1.0;
+/// Default drift threshold of dynamic maintenance (`drift=`): a full
+/// restream triggers once moved mass plus cut regression exceed 20 % since
+/// the last full pass.
+pub const DEFAULT_DRIFT: f64 = 0.2;
+
+/// How dynamic maintenance (`oms-dynamic`) repairs a partition as deltas
+/// arrive — the `repair=` job option.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RepairPolicy {
+    /// Apply graph mutations and load bookkeeping only; no node is ever
+    /// re-scored (newly inserted nodes are still placed once).
+    Off,
+    /// Re-score exactly the nodes a delta touches (the endpoints of a
+    /// changed edge, the former neighbors of a deleted node).
+    Local,
+    /// Like `Local`, plus one cascade wave: when a touched node changes
+    /// blocks, its boundary neighbors are re-scored as well.
+    #[default]
+    Boundary,
+}
+
+impl RepairPolicy {
+    /// The canonical spelling used by the job grammar.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RepairPolicy::Off => "off",
+            RepairPolicy::Local => "local",
+            RepairPolicy::Boundary => "boundary",
+        }
+    }
+
+    /// Parses a `repair=` value.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" => Ok(RepairPolicy::Off),
+            "local" => Ok(RepairPolicy::Local),
+            "boundary" => Ok(RepairPolicy::Boundary),
+            other => Err(PartitionError::InvalidSpec(format!(
+                "unknown repair policy '{other}' (known: off, local, boundary)"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for RepairPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// The block structure a job asks for: flat `k`-way or hierarchical.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -557,6 +612,14 @@ pub struct JobSpec {
     /// algorithms); larger values trade replication factor for edge-count
     /// balance. Ignored by node partitioners.
     pub lambda: f64,
+    /// Drift threshold of dynamic maintenance: once cumulative moved mass
+    /// plus cut regression since the last full pass exceed this fraction,
+    /// the `oms-dynamic` layer falls back to a full restream. Ignored by
+    /// one-shot runs.
+    pub drift: f64,
+    /// Local-repair policy of dynamic maintenance. Ignored by one-shot
+    /// runs.
+    pub repair: RepairPolicy,
     /// PE distances; when present, [`Partitioner::run`] also reports the
     /// mapping objective `J`. Requires a hierarchical shape.
     pub distances: Option<DistanceSpec>,
@@ -577,6 +640,8 @@ impl JobSpec {
             hashing_bottom_layers: 0,
             buffer: 0,
             lambda: DEFAULT_LAMBDA,
+            drift: DEFAULT_DRIFT,
+            repair: RepairPolicy::default(),
             distances: None,
         }
     }
@@ -647,6 +712,18 @@ impl JobSpec {
     /// Sets the balance weight λ of the vertex-cut edge partitioners.
     pub fn lambda(mut self, lambda: f64) -> Self {
         self.lambda = lambda;
+        self
+    }
+
+    /// Sets the drift threshold of dynamic maintenance.
+    pub fn drift(mut self, drift: f64) -> Self {
+        self.drift = drift;
+        self
+    }
+
+    /// Sets the local-repair policy of dynamic maintenance.
+    pub fn repair(mut self, repair: RepairPolicy) -> Self {
+        self.repair = repair;
         self
     }
 
@@ -722,6 +799,11 @@ impl JobSpec {
                 "lambda must be non-negative".into(),
             ));
         }
+        if !self.drift.is_finite() || self.drift <= 0.0 {
+            return Err(PartitionError::InvalidConfig(
+                "drift must be positive".into(),
+            ));
+        }
         if self.convergence > 0.0 && self.passes <= 1 {
             return Err(PartitionError::InvalidConfig(
                 "conv= only applies to multi-pass runs; set passes=<N> (the pass budget) as well"
@@ -785,6 +867,12 @@ impl fmt::Display for JobSpec {
         }
         if self.lambda != DEFAULT_LAMBDA {
             options.push(format!("lambda={}", self.lambda));
+        }
+        if self.drift != DEFAULT_DRIFT {
+            options.push(format!("drift={}", self.drift));
+        }
+        if self.repair != RepairPolicy::default() {
+            options.push(format!("repair={}", self.repair));
         }
         if let Some(d) = &self.distances {
             let joined: Vec<String> = d.distances().iter().map(u64::to_string).collect();
@@ -897,12 +985,23 @@ impl FromStr for JobSpec {
                             return Err(parse_err("lambda must be non-negative"));
                         }
                     }
+                    "drift" => {
+                        spec.drift = value
+                            .parse()
+                            .map_err(|_| parse_err("expected a floating-point value"))?;
+                        if !spec.drift.is_finite() || spec.drift <= 0.0 {
+                            return Err(parse_err("drift must be positive"));
+                        }
+                    }
+                    "repair" => {
+                        spec.repair = RepairPolicy::parse(value)?;
+                    }
                     "dist" | "distances" => {
                         spec.distances = Some(DistanceSpec::parse(value)?);
                     }
                     _ => {
                         return Err(PartitionError::InvalidSpec(format!(
-                            "unknown job option '{key}' (known: eps, seed, threads, passes, conv, base, hybrid, buf, lambda, dist)"
+                            "unknown job option '{key}' (known: eps, seed, threads, passes, conv, base, hybrid, buf, lambda, drift, repair, dist)"
                         )))
                     }
                 }
@@ -926,6 +1025,11 @@ pub struct AlgorithmInfo {
     /// Whether the algorithm exploits a hierarchical shape (rather than just
     /// flattening it to `k`).
     pub supports_hierarchy: bool,
+    /// Whether the `oms-dynamic` layer can maintain this algorithm's
+    /// partitions incrementally (ReFennel-style local re-scoring of touched
+    /// nodes). Only the flat one-pass scorers qualify; hierarchical,
+    /// parallel-only and in-memory algorithms need a full re-run.
+    pub supports_repair: bool,
     /// Constructor turning a [`JobSpec`] into the boxed algorithm.
     pub build: fn(&JobSpec) -> Result<Box<dyn Partitioner>>,
 }
@@ -937,6 +1041,7 @@ impl fmt::Debug for AlgorithmInfo {
             .field("aliases", &self.aliases)
             .field("description", &self.description)
             .field("supports_hierarchy", &self.supports_hierarchy)
+            .field("supports_repair", &self.supports_repair)
             .finish()
     }
 }
@@ -1078,6 +1183,7 @@ fn builtin_algorithms() -> Vec<AlgorithmInfo> {
             aliases: &["hash"],
             description: "random hash assignment (fastest, worst quality)",
             supports_hierarchy: false,
+            supports_repair: false,
             build: build_hashing,
         },
         AlgorithmInfo {
@@ -1085,6 +1191,7 @@ fn builtin_algorithms() -> Vec<AlgorithmInfo> {
             aliases: &["reldg"],
             description: "linear deterministic greedy; passes>1 = ReLDG, threads>1 = parallel",
             supports_hierarchy: false,
+            supports_repair: true,
             build: build_ldg,
         },
         AlgorithmInfo {
@@ -1092,6 +1199,7 @@ fn builtin_algorithms() -> Vec<AlgorithmInfo> {
             aliases: &["refennel"],
             description: "Fennel one-pass; passes>1 = ReFennel, threads>1 = parallel",
             supports_hierarchy: false,
+            supports_repair: true,
             build: build_fennel,
         },
         AlgorithmInfo {
@@ -1099,6 +1207,7 @@ fn builtin_algorithms() -> Vec<AlgorithmInfo> {
             aliases: &["reoms"],
             description: "online recursive multi-section (hierarchy shape = OMS, flat k = nh-OMS)",
             supports_hierarchy: true,
+            supports_repair: false,
             build: build_oms,
         },
         AlgorithmInfo {
@@ -1106,6 +1215,7 @@ fn builtin_algorithms() -> Vec<AlgorithmInfo> {
             aliases: &["nhoms"],
             description: "nh-OMS: k-way partitioning through the artificial base-b tree",
             supports_hierarchy: false,
+            supports_repair: false,
             build: build_nh_oms,
         },
     ]
@@ -1174,6 +1284,10 @@ mod tests {
             "e-hash:8@seed=7",
             "e-dbh:16@passes=3",
             "e-greedy:8@seed=3,passes=3,lambda=0.5",
+            "fennel:8@drift=0.5",
+            "fennel:8@repair=local",
+            "ldg:16@seed=3,drift=0.05,repair=off",
+            "fennel:8@eps=0.05,passes=2,drift=0.4,repair=local",
         ] {
             let spec = JobSpec::parse(text).unwrap();
             assert_eq!(spec.to_string(), text, "canonical form");
@@ -1199,6 +1313,10 @@ mod tests {
             "oms:4:1:8",
             "e-greedy:8@lambda=-1",
             "e-greedy:8@lambda=abc",
+            "fennel:8@drift=0",
+            "fennel:8@drift=-0.5",
+            "fennel:8@drift=abc",
+            "fennel:8@repair=sometimes",
         ] {
             assert!(JobSpec::parse(bad).is_err(), "'{bad}' should not parse");
         }
@@ -1317,6 +1435,7 @@ mod tests {
             aliases: &[],
             description: "test-only",
             supports_hierarchy: false,
+            supports_repair: false,
             build: build_dummy,
         });
         assert!(find_algorithm("dummy-test-algo").is_some());
@@ -1331,6 +1450,7 @@ mod tests {
             aliases: &[],
             description: "replaced",
             supports_hierarchy: false,
+            supports_repair: false,
             build: build_dummy,
         });
         let count = registered_algorithms()

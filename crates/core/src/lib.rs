@@ -89,15 +89,17 @@ pub mod scorer;
 
 pub use api::{
     find_algorithm, materialize_stream, register_algorithm, registered_algorithms, stream_edge_cut,
-    AlgorithmInfo, JobShape, JobSpec, PartitionReport, Partitioner,
+    AlgorithmInfo, JobShape, JobSpec, PartitionReport, Partitioner, RepairPolicy,
 };
 pub use config::{AlphaMode, OmsConfig, OnePassConfig, ScorerKind};
-pub use executor::{BatchExecutor, NodeSink, PassStats, PassTrajectory, RestreamOptions};
+pub use executor::{
+    measure_pass, BatchExecutor, NodeSink, PassStats, PassTrajectory, RestreamOptions,
+};
 pub use hierarchy::{DistanceSpec, HierarchySpec};
 pub use mstree::MultisectionTree;
 pub use oms::OnlineMultiSection;
-pub use onepass::{Fennel, Hashing, Ldg, StreamingPartitioner};
-pub use partition::{BlockId, Partition};
+pub use onepass::{Fennel, FlatObjective, Hashing, Ldg, RepairSink, StreamingPartitioner};
+pub use partition::{BlockId, Partition, UNASSIGNED};
 pub use restream::{refine_partition, ReFennel, ReHashing, ReLdg, ReOms};
 
 /// Errors produced by the partitioning algorithms.

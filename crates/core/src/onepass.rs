@@ -162,6 +162,51 @@ impl StreamingPartitioner for Fennel {
     }
 }
 
+/// The scoring rule of a flat one-pass algorithm, as a value.
+///
+/// The flat algorithms ([`Fennel`], [`Ldg`]) share one state machine and
+/// differ only in how a candidate block is scored; this enum names the rule
+/// so dynamic maintenance ([`RepairSink`]) can be constructed for whichever
+/// flat algorithm a job selected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlatObjective {
+    /// Fennel's additive objective `conn − α·γ·c(Vᵢ)^{γ−1}`.
+    Fennel,
+    /// LDG's multiplicative objective `conn · (1 − c(Vᵢ)/L_max)`.
+    Ldg,
+}
+
+impl FlatObjective {
+    /// The objective of the *canonical* algorithm name (aliases must be
+    /// resolved first, e.g. through the registry), or `None` when the
+    /// algorithm is not a flat one-pass scorer and therefore supports no
+    /// incremental repair.
+    pub fn for_algorithm(name: &str) -> Option<FlatObjective> {
+        match name {
+            "fennel" | "refennel" => Some(FlatObjective::Fennel),
+            "ldg" | "reldg" => Some(FlatObjective::Ldg),
+            _ => None,
+        }
+    }
+
+    /// Scores one candidate block: `conn` is the connectivity towards the
+    /// block, `weight` its current load, `capacity` the balance limit
+    /// `L_max` and `alpha`/`gamma` the Fennel parameters.
+    pub fn score(
+        &self,
+        conn: u64,
+        weight: NodeWeight,
+        capacity: NodeWeight,
+        alpha: f64,
+        gamma: f64,
+    ) -> f64 {
+        match self {
+            FlatObjective::Fennel => fennel_objective(conn, weight, capacity, alpha, gamma),
+            FlatObjective::Ldg => ldg_objective(conn, weight, capacity, alpha, gamma),
+        }
+    }
+}
+
 /// Fennel's additive objective as a flat scoring function:
 /// `conn − α·γ·c(Vᵢ)^{γ−1}`.
 pub(crate) fn fennel_objective(
@@ -298,15 +343,32 @@ pub(crate) struct FlatState {
 
 impl FlatState {
     pub(crate) fn new<S: NodeStream>(k: u32, stream: &S, config: OnePassConfig) -> Self {
-        let n = stream.num_nodes();
+        Self::with_counts(
+            k,
+            stream.num_nodes(),
+            stream.num_edges(),
+            stream.total_node_weight(),
+            config,
+        )
+    }
+
+    /// [`FlatState::new`] from explicit counts instead of a stream (used by
+    /// the dynamic layer, whose counts change as deltas arrive).
+    pub(crate) fn with_counts(
+        k: u32,
+        n: usize,
+        m: usize,
+        total_weight: NodeWeight,
+        config: OnePassConfig,
+    ) -> Self {
         FlatState {
             assignments: vec![UNASSIGNED; n],
             node_weights: vec![0; n],
             block_weights: vec![0; k as usize],
             conn: vec![0; k as usize],
             touched: Vec::new(),
-            capacity: Partition::capacity(stream.total_node_weight(), k, config.epsilon),
-            alpha: fennel_alpha(k, stream.num_edges(), n),
+            capacity: Partition::capacity(total_weight, k, config.epsilon),
+            alpha: fennel_alpha(k, m, n),
             gamma: config.gamma,
         }
     }
@@ -405,6 +467,156 @@ impl FlatState {
 
     pub(crate) fn into_partition(self, k: u32) -> Partition {
         Partition::from_assignments(k, self.assignments, &self.node_weights)
+    }
+
+    /// Extends the id space to `n` nodes; new slots start unassigned with
+    /// weight 0. Never shrinks.
+    pub(crate) fn grow(&mut self, n: usize) {
+        if n > self.assignments.len() {
+            self.assignments.resize(n, UNASSIGNED);
+            self.node_weights.resize(n, 0);
+        }
+    }
+}
+
+/// The repair-capable face of a flat one-pass algorithm, for dynamic-graph
+/// maintenance: the same `O(k)` scoring state the streaming pass uses
+/// ([`Fennel`] / [`Ldg`]), exposed so single nodes can be re-scored in place
+/// under the balance constraint `L_max` as the graph changes.
+///
+/// Differences from the one-shot sinks:
+///
+/// * [`RepairSink::rescore`] unassigns and re-scores *one* node against the
+///   current assignment — the ReFennel step, applied locally.
+/// * [`RepairSink::retune`] re-derives `L_max` and Fennel's `α` when node or
+///   edge counts change (deltas shift both).
+/// * The [`NodeSink`] impl restreams on *every* pass (seeded semantics), so
+///   the multi-pass engine can run a full restream fallback over the live
+///   graph, guarded against worsening the maintained assignment.
+pub struct RepairSink {
+    state: FlatState,
+    objective: FlatObjective,
+    config: OnePassConfig,
+}
+
+impl RepairSink {
+    /// A repair sink for `k` blocks over an id space of `n` nodes with `m`
+    /// edges and total node weight `total_weight`. All nodes start
+    /// unassigned; use [`RepairSink::seed`] to adopt an existing partition.
+    pub fn new(
+        k: u32,
+        n: usize,
+        m: usize,
+        total_weight: NodeWeight,
+        config: OnePassConfig,
+        objective: FlatObjective,
+    ) -> Result<Self> {
+        check_k(k)?;
+        Ok(RepairSink {
+            state: FlatState::with_counts(k, n, m, total_weight, config),
+            objective,
+            config,
+        })
+    }
+
+    /// The scoring rule in use.
+    pub fn objective(&self) -> FlatObjective {
+        self.objective
+    }
+
+    /// Adopts an existing partition: per-block loads are rebuilt from the
+    /// assignments and `node_weights` (one entry per id-space slot; deleted
+    /// or unassigned nodes must carry [`UNASSIGNED`]).
+    pub fn seed(&mut self, assignments: &[BlockId], node_weights: &[NodeWeight]) {
+        self.state.assignments.copy_from_slice(assignments);
+        self.state.node_weights.copy_from_slice(node_weights);
+        self.state.rebuild_block_weights();
+    }
+
+    /// Extends the id space to `n` nodes (new slots unassigned). Never
+    /// shrinks: deleted ids stay allocated but unassigned.
+    pub fn grow(&mut self, n: usize) {
+        self.state.grow(n);
+    }
+
+    /// Re-derives the balance limit `L_max` and Fennel's `α` from the
+    /// current graph counts. Call after deltas changed `n`, `m` or the
+    /// total node weight.
+    pub fn retune(&mut self, n: usize, m: usize, total_weight: NodeWeight) {
+        let k = self.state.block_weights.len() as u32;
+        self.state.capacity = Partition::capacity(total_weight, k, self.config.epsilon);
+        self.state.alpha = fennel_alpha(k, m, n);
+    }
+
+    /// Unassigns `node` (if assigned) and re-scores it against the current
+    /// assignment, exactly like one restreaming step. Returns the block the
+    /// node ends up in.
+    pub fn rescore(&mut self, node: oms_graph::StreamedNode<'_>) -> BlockId {
+        self.state.unassign(node.node, node.weight);
+        let objective = self.objective;
+        self.state
+            .assign(node, move |conn, weight, capacity, alpha, gamma| {
+                objective.score(conn, weight, capacity, alpha, gamma)
+            });
+        self.state.assignments[node.node as usize]
+    }
+
+    /// Records a node that joined the graph with `weight` but has not been
+    /// scored yet (its slot must exist, see [`RepairSink::grow`]).
+    pub fn admit(&mut self, node: oms_graph::NodeId, weight: NodeWeight) {
+        self.state.node_weights[node as usize] = weight;
+    }
+
+    /// Removes `node` from its block (node deletion); its slot stays
+    /// allocated but unassigned.
+    pub fn forget(&mut self, node: oms_graph::NodeId, weight: NodeWeight) {
+        self.state.unassign(node, weight);
+        self.state.node_weights[node as usize] = 0;
+    }
+
+    /// The current assignment, one entry per id-space slot ([`UNASSIGNED`]
+    /// for deleted or not-yet-scored nodes).
+    pub fn assignments(&self) -> &[BlockId] {
+        &self.state.assignments
+    }
+
+    /// The block of one node.
+    pub fn assignment(&self, node: oms_graph::NodeId) -> BlockId {
+        self.state.assignments[node as usize]
+    }
+
+    /// Current per-block loads.
+    pub fn block_weights(&self) -> &[NodeWeight] {
+        &self.state.block_weights
+    }
+
+    /// The balance limit `L_max` currently enforced.
+    pub fn capacity(&self) -> NodeWeight {
+        self.state.capacity
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> u32 {
+        self.state.block_weights.len() as u32
+    }
+}
+
+impl NodeSink for RepairSink {
+    fn process(&mut self, node: oms_graph::StreamedNode<'_>) {
+        self.rescore(node);
+    }
+
+    fn assignments(&self) -> Option<&[BlockId]> {
+        Some(&self.state.assignments)
+    }
+
+    fn num_blocks(&self) -> u32 {
+        RepairSink::num_blocks(self)
+    }
+
+    fn restore(&mut self, assignments: &[BlockId]) -> bool {
+        self.state.restore(assignments);
+        true
     }
 }
 

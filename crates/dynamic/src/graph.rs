@@ -1,0 +1,340 @@
+//! The mutable adjacency structure behind a maintained partition.
+//!
+//! [`DynamicGraph`] is an adjacency-list graph that absorbs
+//! [`Delta`](oms_graph::Delta)s: edges and nodes come and go, the id space
+//! only ever grows (a deleted node's id stays allocated but *dead*), and the
+//! live counts `n`, `m` and `c(V)` are maintained incrementally. It
+//! implements [`NodeStream`] over the live nodes, so the restreaming engine
+//! of `oms-core` — and any registered streaming algorithm — can run over the
+//! current graph state at any time.
+//!
+//! Conventions:
+//!
+//! * [`NodeStream::num_nodes`] reports the *id-space* size (the length every
+//!   assignment array must have), while only live nodes are streamed. Dead
+//!   ids therefore keep the sentinel assignment and, per
+//!   [`measure_pass`](oms_core::measure_pass)'s contract, never contribute
+//!   to cut or balance because no live node is adjacent to them.
+//! * Every mutation validates its preconditions and fails with a typed
+//!   [`GraphError`] — a delta stream that inserts an existing edge or
+//!   touches a dead node is corrupt and must not be half-applied.
+
+use oms_graph::{
+    CsrGraph, EdgeWeight, GraphError, NodeId, NodeStream, NodeWeight, Result, StreamedNode,
+};
+
+/// A mutable graph under churn: adjacency lists plus live/dead marks.
+///
+/// See the [crate docs](crate) for the id-space conventions.
+#[derive(Clone, Debug, Default)]
+pub struct DynamicGraph {
+    nbrs: Vec<Vec<NodeId>>,
+    wts: Vec<Vec<EdgeWeight>>,
+    node_weights: Vec<NodeWeight>,
+    alive: Vec<bool>,
+    live_nodes: usize,
+    live_edges: usize,
+    total_weight: NodeWeight,
+}
+
+fn invalid(msg: impl Into<String>) -> GraphError {
+    GraphError::Invalid(msg.into())
+}
+
+impl DynamicGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        DynamicGraph::default()
+    }
+
+    /// Materialises the current state of `stream` (one full pass). Every
+    /// streamed node starts live.
+    pub fn from_stream(stream: &mut dyn NodeStream) -> Result<Self> {
+        let n = stream.num_nodes();
+        let mut g = DynamicGraph {
+            nbrs: vec![Vec::new(); n],
+            wts: vec![Vec::new(); n],
+            node_weights: vec![0; n],
+            alive: vec![true; n],
+            live_nodes: n,
+            live_edges: stream.num_edges(),
+            total_weight: stream.total_node_weight(),
+        };
+        stream.reset()?;
+        stream.for_each_node(&mut |node| {
+            let v = node.node as usize;
+            g.node_weights[v] = node.weight;
+            g.nbrs[v] = node.neighbors.to_vec();
+            g.wts[v] = node.edge_weights.to_vec();
+        })?;
+        Ok(g)
+    }
+
+    /// Materialises a [`CsrGraph`].
+    pub fn from_graph(graph: &CsrGraph) -> Self {
+        let mut stream = oms_graph::InMemoryStream::new(graph);
+        DynamicGraph::from_stream(&mut stream).expect("in-memory streams cannot fail")
+    }
+
+    /// Size of the id space (live and dead ids). Assignment arrays over this
+    /// graph must have exactly this length.
+    pub fn id_space(&self) -> usize {
+        self.nbrs.len()
+    }
+
+    /// Number of live nodes.
+    pub fn num_live_nodes(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Number of live undirected edges.
+    pub fn num_live_edges(&self) -> usize {
+        self.live_edges
+    }
+
+    /// Total weight of the live nodes.
+    pub fn live_weight(&self) -> NodeWeight {
+        self.total_weight
+    }
+
+    /// Whether `v` is inside the id space and live.
+    pub fn is_alive(&self, v: NodeId) -> bool {
+        self.alive.get(v as usize).copied().unwrap_or(false)
+    }
+
+    /// Weight of node `v` (0 for dead ids).
+    pub fn node_weight(&self, v: NodeId) -> NodeWeight {
+        self.node_weights.get(v as usize).copied().unwrap_or(0)
+    }
+
+    /// Degree of node `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.nbrs.get(v as usize).map_or(0, Vec::len)
+    }
+
+    /// Adjacency of `v`: neighbor ids and the aligned edge weights.
+    pub fn neighbors(&self, v: NodeId) -> (&[NodeId], &[EdgeWeight]) {
+        (&self.nbrs[v as usize], &self.wts[v as usize])
+    }
+
+    /// The [`StreamedNode`] view of live node `v`.
+    pub fn streamed(&self, v: NodeId) -> StreamedNode<'_> {
+        StreamedNode {
+            node: v,
+            weight: self.node_weights[v as usize],
+            neighbors: &self.nbrs[v as usize],
+            edge_weights: &self.wts[v as usize],
+        }
+    }
+
+    /// Whether the live edge `{u, v}` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.nbrs
+            .get(u as usize)
+            .is_some_and(|list| list.contains(&v))
+    }
+
+    fn require_alive(&self, v: NodeId) -> Result<()> {
+        if !self.is_alive(v) {
+            return Err(invalid(format!(
+                "node {v} is not alive (id space {})",
+                self.id_space()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Inserts the undirected edge `{u, v}` with weight `w`.
+    ///
+    /// Fails on self-loops, zero weights, dead endpoints and duplicate
+    /// edges.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId, w: EdgeWeight) -> Result<()> {
+        if u == v {
+            return Err(invalid(format!("self-loop insert on node {u}")));
+        }
+        if w == 0 {
+            return Err(invalid(format!("zero-weight edge {u}-{v}")));
+        }
+        self.require_alive(u)?;
+        self.require_alive(v)?;
+        if self.has_edge(u, v) {
+            return Err(invalid(format!("edge {u}-{v} already exists")));
+        }
+        self.nbrs[u as usize].push(v);
+        self.wts[u as usize].push(w);
+        self.nbrs[v as usize].push(u);
+        self.wts[v as usize].push(w);
+        self.live_edges += 1;
+        Ok(())
+    }
+
+    fn detach(&mut self, from: NodeId, to: NodeId) -> Option<EdgeWeight> {
+        let list = &mut self.nbrs[from as usize];
+        let pos = list.iter().position(|&x| x == to)?;
+        list.swap_remove(pos);
+        Some(self.wts[from as usize].swap_remove(pos))
+    }
+
+    /// Deletes the undirected edge `{u, v}`, returning its weight.
+    pub fn delete_edge(&mut self, u: NodeId, v: NodeId) -> Result<EdgeWeight> {
+        self.require_alive(u)?;
+        self.require_alive(v)?;
+        let Some(w) = self.detach(u, v) else {
+            return Err(invalid(format!("edge {u}-{v} does not exist")));
+        };
+        self.detach(v, u)
+            .expect("adjacency lists out of sync (edge present on one side only)");
+        self.live_edges -= 1;
+        Ok(w)
+    }
+
+    /// Inserts node `id` with `weight`, growing the id space if needed.
+    /// Ids skipped by the growth stay dead. Re-inserting a previously
+    /// deleted id revives it as a fresh isolated node.
+    pub fn insert_node(&mut self, id: NodeId, weight: NodeWeight) -> Result<()> {
+        if weight == 0 {
+            return Err(invalid(format!("zero-weight node {id}")));
+        }
+        let slot = id as usize;
+        if slot < self.alive.len() && self.alive[slot] {
+            return Err(invalid(format!("node {id} is already alive")));
+        }
+        if slot >= self.alive.len() {
+            self.nbrs.resize_with(slot + 1, Vec::new);
+            self.wts.resize_with(slot + 1, Vec::new);
+            self.node_weights.resize(slot + 1, 0);
+            self.alive.resize(slot + 1, false);
+        }
+        self.alive[slot] = true;
+        self.node_weights[slot] = weight;
+        self.total_weight += weight;
+        self.live_nodes += 1;
+        Ok(())
+    }
+
+    /// Deletes node `id` with all incident edges; returns the removed
+    /// `(neighbor, edge weight)` pairs so the caller can adjust derived
+    /// state (cut, boundary) before the adjacency is gone.
+    pub fn delete_node(&mut self, id: NodeId) -> Result<Vec<(NodeId, EdgeWeight)>> {
+        self.require_alive(id)?;
+        let slot = id as usize;
+        let removed: Vec<(NodeId, EdgeWeight)> = self.nbrs[slot]
+            .iter()
+            .copied()
+            .zip(self.wts[slot].iter().copied())
+            .collect();
+        for &(nbr, _) in &removed {
+            self.detach(nbr, id)
+                .expect("adjacency lists out of sync (edge present on one side only)");
+        }
+        self.nbrs[slot].clear();
+        self.wts[slot].clear();
+        self.live_edges -= removed.len();
+        self.total_weight -= self.node_weights[slot];
+        self.node_weights[slot] = 0;
+        self.alive[slot] = false;
+        self.live_nodes -= 1;
+        Ok(removed)
+    }
+}
+
+impl NodeStream for DynamicGraph {
+    /// The id-space size (see the [crate docs](crate); dead ids are counted
+    /// but never streamed).
+    fn num_nodes(&self) -> usize {
+        self.id_space()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.live_edges
+    }
+
+    fn total_node_weight(&self) -> NodeWeight {
+        self.total_weight
+    }
+
+    fn for_each_node(&mut self, f: &mut dyn FnMut(StreamedNode<'_>)) -> Result<()> {
+        for v in 0..self.nbrs.len() {
+            if self.alive[v] {
+                f(StreamedNode {
+                    node: v as NodeId,
+                    weight: self.node_weights[v],
+                    neighbors: &self.nbrs[v],
+                    edge_weights: &self.wts[v],
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> DynamicGraph {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        DynamicGraph::from_graph(&g)
+    }
+
+    #[test]
+    fn materialisation_matches_source_counts() {
+        let g = path3();
+        assert_eq!(g.id_space(), 3);
+        assert_eq!(g.num_live_nodes(), 3);
+        assert_eq!(g.num_live_edges(), 2);
+        assert_eq!(g.live_weight(), 3);
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn edge_churn_updates_counts_and_adjacency() {
+        let mut g = path3();
+        g.insert_edge(0, 2, 5).unwrap();
+        assert_eq!(g.num_live_edges(), 3);
+        assert!(g.has_edge(2, 0));
+        assert_eq!(g.delete_edge(0, 1).unwrap(), 1);
+        assert_eq!(g.num_live_edges(), 2);
+        assert!(!g.has_edge(1, 0));
+        // Typed errors, nothing half-applied.
+        assert!(g.insert_edge(0, 2, 1).is_err()); // duplicate
+        assert!(g.insert_edge(1, 1, 1).is_err()); // self-loop
+        assert!(g.delete_edge(0, 1).is_err()); // already gone
+        assert_eq!(g.num_live_edges(), 2);
+    }
+
+    #[test]
+    fn node_churn_grows_id_space_and_keeps_dead_ids() {
+        let mut g = path3();
+        g.insert_node(5, 4).unwrap();
+        assert_eq!(g.id_space(), 6);
+        assert_eq!(g.num_live_nodes(), 4);
+        assert!(!g.is_alive(4)); // skipped id stays dead
+        assert_eq!(g.live_weight(), 7);
+        g.insert_edge(5, 1, 2).unwrap();
+
+        let removed = g.delete_node(1).unwrap();
+        assert_eq!(removed.len(), 3); // edges to 0, 2, 5
+        assert_eq!(g.num_live_edges(), 0);
+        assert_eq!(g.num_live_nodes(), 3);
+        assert_eq!(g.id_space(), 6); // ids never disappear
+        assert!(g.insert_edge(0, 1, 1).is_err()); // dead endpoint
+        assert!(g.delete_node(1).is_err()); // already dead
+
+        // A deleted id can be revived as a fresh node.
+        g.insert_node(1, 9).unwrap();
+        assert_eq!(g.degree(1), 0);
+        assert_eq!(g.node_weight(1), 9);
+    }
+
+    #[test]
+    fn streaming_skips_dead_nodes() {
+        let mut g = path3();
+        g.delete_node(1).unwrap();
+        let mut seen = Vec::new();
+        g.for_each_node(&mut |node| seen.push(node.node)).unwrap();
+        assert_eq!(seen, vec![0, 2]);
+        assert_eq!(g.num_nodes(), 3); // id space, not live count
+    }
+}

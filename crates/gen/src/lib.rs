@@ -24,11 +24,14 @@
 //! * [`weights`] — deterministic reweighting schemes (power-law node
 //!   weights, degree-proportional edge weights) behind the `weights=` corpus
 //!   knob, opening the weighted workload axis on any generated graph.
+//! * [`churn`] — seeded, valid-by-construction delta traces (uniform,
+//!   community-drift, burst) feeding the `oms-dynamic` maintenance layer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ba;
+pub mod churn;
 pub mod corpus;
 pub mod delaunay;
 pub mod er;
@@ -39,6 +42,7 @@ pub mod sbm;
 pub mod weights;
 
 pub use ba::barabasi_albert;
+pub use churn::{churn_trace, ChurnConfig, ChurnScheme};
 pub use corpus::{
     corpus_graph, corpus_graph_weighted, scaled_corpus, scaled_corpus_weighted, CorpusClass,
     CorpusEntry,

@@ -12,10 +12,14 @@
 
 pub mod edgelist;
 pub mod metis;
+pub mod snapshot;
 pub mod stream_format;
 
 pub use edgelist::{read_edge_list, write_edge_list};
 pub use metis::{read_metis, read_metis_str, write_metis, write_metis_string};
+pub use snapshot::{
+    clear_snapshot, read_snapshot, write_snapshot, DriftCounters, PartitionSnapshot, SnapshotPass,
+};
 pub use stream_format::{
     read_stream_file, write_stream_file, write_stream_file_v1, write_stream_file_with, DiskStream,
     StreamFormatVersion, StreamWriteOptions,

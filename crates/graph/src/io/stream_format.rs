@@ -366,14 +366,20 @@ impl DiskStream {
         self
     }
 
-    /// Re-reads the file header and checks it against the counts announced
-    /// when the stream was opened.
+    /// Re-reads the file header and checks it against the counts this
+    /// stream was opened with — the same check [`NodeStream::reset`] runs
+    /// between restreaming passes, where a file swapped or rewritten
+    /// *between* passes would otherwise silently change the data under a
+    /// restreaming run.
     ///
-    /// Every pass starts from the top of the file anyway (see
-    /// [`PassReader::open`]), so a rewind can never resume mid-file — but a
-    /// file that was swapped or rewritten *between* passes would silently
-    /// change the data under a restreaming run. This check turns that into a
-    /// typed error before the next pass starts.
+    /// The [snapshot layer](crate::io::snapshot) calls this before touching
+    /// the trailer section, so a stream file that was truncated or swapped
+    /// between a warm resume and the next delta ingest surfaces as a typed
+    /// [`GraphError`] instead of silently reading a different graph.
+    pub fn revalidate(&self) -> Result<()> {
+        self.revalidate_header()
+    }
+
     fn revalidate_header(&self) -> Result<()> {
         let file = File::open(&self.path)?;
         let mut r = BufReader::new(file);
@@ -663,13 +669,13 @@ impl NodeStream for DiskStream {
     }
 }
 
-fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
+pub(crate) fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)?;
     Ok(u64::from_le_bytes(buf))
 }
 
-fn read_u32<R: Read>(r: &mut R) -> Result<u32> {
+pub(crate) fn read_u32<R: Read>(r: &mut R) -> Result<u32> {
     let mut buf = [0u8; 4];
     r.read_exact(&mut buf)?;
     Ok(u32::from_le_bytes(buf))

@@ -36,6 +36,7 @@
 pub mod batch;
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod edge_stream;
 pub mod io;
 pub mod ordering;
@@ -45,6 +46,10 @@ pub mod traversal;
 pub use batch::NodeBatch;
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
+pub use delta::{
+    format_delta_trace, parse_delta_trace, read_delta_trace, write_delta_trace, Delta, DeltaBatch,
+    DeltaKind,
+};
 pub use edge_stream::{EdgeBatch, EdgeStream, EdgesOf, StreamedEdge, DEFAULT_EDGE_BATCH_SIZE};
 pub use ordering::NodeOrdering;
 pub use stream::{

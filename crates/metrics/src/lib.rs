@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dynamic;
 pub mod memory;
 pub mod profile;
 pub mod quality;
@@ -32,6 +33,9 @@ pub mod timing;
 pub mod trajectory;
 pub mod vertex_cut;
 
+pub use dynamic::{
+    checkpoint_table, max_cut_ratio, repair_vs_restream_speedup, CheckpointComparison,
+};
 pub use memory::{graph_memory_bytes, streaming_memory_bytes, MemoryEstimate};
 pub use profile::PerformanceProfile;
 pub use quality::{block_weights, edge_cut, imbalance, max_block_weight};

@@ -191,6 +191,7 @@ pub fn register_algorithms() {
         aliases: &["ml", "kaminpar"],
         description: "in-memory multilevel k-way baseline; passes>1 adds restream refinement",
         supports_hierarchy: false,
+        supports_repair: false,
         build: build_multilevel,
     });
     register_algorithm(AlgorithmInfo {
@@ -198,6 +199,7 @@ pub fn register_algorithms() {
         aliases: &["offline-oms", "intmap"],
         description: "offline recursive multi-section along a hierarchy; passes>1 refines",
         supports_hierarchy: true,
+        supports_repair: false,
         build: build_rms,
     });
     register_algorithm(AlgorithmInfo {
@@ -206,6 +208,7 @@ pub fn register_algorithms() {
         description:
             "buffered streaming: per-batch multilevel solves (buf=<nodes>); passes>1 re-commits",
         supports_hierarchy: false,
+        supports_repair: false,
         build: build_buffered,
     });
 }

@@ -18,6 +18,9 @@
 //! * [`edgepart`] (`oms-edgepart`) — streaming **vertex-cut** edge
 //!   partitioning (`e-hash`, `e-dbh`, the HDRF-style `e-greedy`) with
 //!   replication-factor tracking and multi-pass re-streaming;
+//! * [`dynamic`] (`oms-dynamic`) — long-lived partition maintenance on
+//!   evolving graphs: delta ingestion, local repair, drift-triggered
+//!   restream fallback and warm restart from on-disk snapshots;
 //! * [`metrics`] (`oms-metrics`) — evaluation statistics, performance
 //!   profiles, memory accounting and reporting.
 //!
@@ -63,6 +66,7 @@
 #![warn(missing_docs)]
 
 pub use oms_core as core;
+pub use oms_dynamic as dynamic;
 pub use oms_edgepart as edgepart;
 pub use oms_gen as gen;
 pub use oms_graph as graph;
@@ -77,24 +81,29 @@ pub mod prelude {
         AlphaMode, BatchExecutor, BlockId, DistanceSpec, Fennel, Hashing, HierarchySpec, JobShape,
         JobSpec, Ldg, NodeSink, OmsConfig, OnePassConfig, OnlineMultiSection, Partition,
         PartitionReport, Partitioner, PassStats, PassTrajectory, ReFennel, ReHashing, ReLdg, ReOms,
-        RestreamOptions, ScorerKind, StreamingPartitioner,
+        RepairPolicy, RestreamOptions, ScorerKind, StreamingPartitioner,
     };
+    pub use oms_dynamic::{ApplyStats, DynamicGraph, PartitionState, TraceCursor};
     pub use oms_edgepart::{
         build_edge_partitioner, find_edge_algorithm, is_edge_algorithm, registered_edge_algorithms,
         EdgePartition, EdgePartitionReport, EdgePartitioner, EdgePassStats,
         StreamingEdgePartitioner,
     };
     pub use oms_gen::{
-        barabasi_albert, degree_proportional_edge_weights, delaunay_graph, erdos_renyi_gnm,
-        grid_2d, planted_partition, power_law_node_weights, random_geometric_graph, rmat_graph,
-        WeightScheme,
+        barabasi_albert, churn_trace, degree_proportional_edge_weights, delaunay_graph,
+        erdos_renyi_gnm, grid_2d, planted_partition, power_law_node_weights,
+        random_geometric_graph, rmat_graph, ChurnConfig, ChurnScheme, WeightScheme,
     };
     pub use oms_graph::{
-        CsrGraph, EdgeBatch, EdgeStream, EdgesOf, GraphBuilder, InMemoryStream, NodeBatch,
-        NodeOrdering, NodeStream, PerNodeBatches, StreamedEdge,
+        read_delta_trace, write_delta_trace, CsrGraph, Delta, DeltaBatch, EdgeBatch, EdgeStream,
+        EdgesOf, GraphBuilder, InMemoryStream, NodeBatch, NodeOrdering, NodeStream, PerNodeBatches,
+        StreamedEdge,
     };
     pub use oms_mapping::{mapping_cost, offline_block_mapping, remap_partition, Topology};
-    pub use oms_metrics::{edge_cut, geometric_mean, improvement_percent};
+    pub use oms_metrics::{
+        edge_cut, geometric_mean, improvement_percent, max_cut_ratio, repair_vs_restream_speedup,
+        CheckpointComparison,
+    };
     pub use oms_multilevel::{
         register_algorithms as register_multilevel_algorithms, BufferedMultilevel,
         MultilevelConfig, MultilevelPartitioner, RecursiveMultisection,

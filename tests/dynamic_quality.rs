@@ -1,0 +1,201 @@
+//! Churn suite for the dynamic maintenance layer (`oms-dynamic`): on
+//! er/ba/rmat graphs at fixed seeds, the incrementally maintained partition
+//! must stay within a committed factor of a cold restream of the same graph
+//! state at *every* checkpoint, a snapshotted service must resume
+//! byte-identically, and (in release builds, where timing means something)
+//! applying deltas must be at least 5× cheaper than restreaming at every
+//! checkpoint.
+
+use oms::gen::RmatParams;
+use oms::graph::io::{write_stream_file, DiskStream};
+use oms::prelude::*;
+
+/// The committed quality bound: incremental cut ≤ `CUT_FACTOR` × the
+/// cold-restream cut at every checkpoint.
+const CUT_FACTOR: f64 = 2.0;
+
+/// Committed cost bound (release builds): the whole churn trace applies at
+/// least this many times faster than restreaming at every checkpoint.
+const MIN_SPEEDUP: f64 = 5.0;
+
+fn corpus() -> Vec<(&'static str, CsrGraph, ChurnScheme, JobSpec)> {
+    vec![
+        (
+            "er",
+            erdos_renyi_gnm(600, 2400, 11),
+            ChurnScheme::Uniform,
+            "fennel:8".parse().unwrap(),
+        ),
+        (
+            "ba",
+            barabasi_albert(600, 4, 12),
+            ChurnScheme::CommunityDrift { communities: 6 },
+            "ldg:8".parse().unwrap(),
+        ),
+        (
+            "rmat",
+            rmat_graph(9, 2400, RmatParams::GRAPH500, 13),
+            ChurnScheme::Burst { window: 0.08 },
+            "fennel:8@repair=local".parse().unwrap(),
+        ),
+    ]
+}
+
+fn run_churn(
+    graph: &CsrGraph,
+    scheme: ChurnScheme,
+    job: &JobSpec,
+    batches: usize,
+    ops: usize,
+    seed: u64,
+) -> (PartitionState, Vec<CheckpointComparison>) {
+    let trace = churn_trace(
+        graph,
+        &ChurnConfig {
+            scheme,
+            batches,
+            ops_per_batch: ops,
+            seed,
+            ..ChurnConfig::default()
+        },
+    );
+    let mut state = PartitionState::new(job, &mut InMemoryStream::new(graph)).unwrap();
+    let mut checkpoints = Vec::new();
+    for (i, batch) in trace.iter().enumerate() {
+        let stats = state.apply(batch).unwrap();
+        let (restream_cut, restream_imbalance, restream_seconds) =
+            state.cold_restream_reference().unwrap();
+        checkpoints.push(CheckpointComparison {
+            checkpoint: i,
+            deltas: stats.deltas,
+            incremental_cut: state.edge_cut(),
+            incremental_imbalance: state.imbalance(),
+            incremental_seconds: stats.seconds,
+            restream_cut,
+            restream_imbalance,
+            restream_seconds,
+        });
+    }
+    (state, checkpoints)
+}
+
+/// At every checkpoint of every corpus entry, the incrementally maintained
+/// cut stays within [`CUT_FACTOR`] of a cold restream of the current graph,
+/// and the balance constraint does not silently erode.
+#[test]
+fn churn_quality_tracks_cold_restream() {
+    for (name, graph, scheme, job) in corpus() {
+        let (state, checkpoints) = run_churn(&graph, scheme, &job, 6, 60, 0xD1CE);
+        assert_eq!(checkpoints.len(), 6, "{name}: one checkpoint per batch");
+        for c in &checkpoints {
+            assert!(
+                c.cut_ratio() <= CUT_FACTOR,
+                "{name}: checkpoint {} cut {} exceeds {CUT_FACTOR}x the cold-restream cut {}",
+                c.checkpoint,
+                c.incremental_cut,
+                c.restream_cut
+            );
+            assert!(
+                c.incremental_imbalance <= 0.25,
+                "{name}: checkpoint {} imbalance {} out of bounds",
+                c.checkpoint,
+                c.incremental_imbalance
+            );
+        }
+        assert!(
+            state.counters().deltas_applied > 0,
+            "{name}: trace applied no deltas"
+        );
+    }
+}
+
+/// Exceeding the drift threshold falls back to a full restream, and the
+/// fallback resets the drift measure.
+#[test]
+fn drift_fallback_restreams_and_resets() {
+    let graph = erdos_renyi_gnm(600, 2400, 11);
+    let job: JobSpec = "fennel:8@drift=0.000001".parse().unwrap();
+    let (state, _) = run_churn(&graph, ChurnScheme::Uniform, &job, 3, 40, 0xD1CE);
+    assert!(
+        state.counters().restreams > 0,
+        "a near-zero drift threshold must trigger restream fallbacks"
+    );
+    assert!(
+        state.drift() <= 1.0,
+        "drift is reset by the fallback, got {}",
+        state.drift()
+    );
+}
+
+/// A service killed after a snapshot resumes byte-identically: same
+/// assignments, same cut, same counters as a service that never stopped.
+#[test]
+fn snapshot_resume_is_byte_identical_across_restarts() {
+    let graph = erdos_renyi_gnm(500, 2000, 21);
+    let job: JobSpec = "fennel:6".parse().unwrap();
+    let trace = churn_trace(
+        &graph,
+        &ChurnConfig {
+            scheme: ChurnScheme::CommunityDrift { communities: 5 },
+            batches: 4,
+            ops_per_batch: 50,
+            seed: 0xBEEF,
+            ..ChurnConfig::default()
+        },
+    );
+    let dir = std::env::temp_dir().join(format!("oms_dynamic_quality_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("service.oms");
+    write_stream_file(&graph, &path).unwrap();
+
+    // The control service never stops.
+    let mut control = PartitionState::new(&job, &mut InMemoryStream::new(&graph)).unwrap();
+    for batch in &trace {
+        control.apply(batch).unwrap();
+    }
+
+    // The disk-backed service applies half the trace, snapshots, dies, and
+    // a fresh process resumes it.
+    let mut disk = DiskStream::open(&path).unwrap();
+    let mut service = PartitionState::new(&job, &mut disk).unwrap();
+    for batch in &trace[..2] {
+        service.apply(batch).unwrap();
+    }
+    service.save(&disk).unwrap();
+    drop(service);
+    drop(disk);
+
+    let mut disk = DiskStream::open(&path).unwrap();
+    let (mut resumed, cursor) = PartitionState::resume(&job, &mut disk, &trace).unwrap();
+    assert_eq!((cursor.batch, cursor.op), (2, 0));
+    for batch in &trace[cursor.batch..] {
+        resumed.apply(batch).unwrap();
+    }
+
+    assert_eq!(resumed.assignments(), control.assignments());
+    assert_eq!(resumed.edge_cut(), control.edge_cut());
+    assert_eq!(resumed.counters(), control.counters());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Release-gated cost bound: applying the whole churn trace is at least
+/// [`MIN_SPEEDUP`]× faster than restreaming the graph at every checkpoint.
+/// Debug builds skip the assertion — unoptimised timings measure the build
+/// profile, not the algorithm.
+#[test]
+fn incremental_apply_is_at_least_5x_faster_than_restreaming() {
+    if cfg!(debug_assertions) {
+        return;
+    }
+    let graph = erdos_renyi_gnm(20_000, 80_000, 31);
+    // A huge drift threshold isolates the repair path: no fallbacks, so the
+    // timing compares pure delta ingestion against full restreams.
+    let job: JobSpec = "fennel:16@drift=1000000000".parse().unwrap();
+    let (state, checkpoints) = run_churn(&graph, ChurnScheme::Uniform, &job, 5, 200, 0xFA57);
+    assert_eq!(state.counters().restreams, 0);
+    let speedup = repair_vs_restream_speedup(&checkpoints);
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "delta ingestion is only {speedup:.1}x faster than restreaming"
+    );
+}

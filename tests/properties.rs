@@ -282,6 +282,18 @@ fn arbitrary_jobspec(rng: &mut ChaCha8Rng) -> JobSpec {
         spec = spec.lambda([0.0, 0.1, 0.5, 1.5, 4.0][rng.gen_range(0..5usize)]);
     }
     if rng.gen_range(0..3usize) == 0 {
+        spec = spec.drift([0.01, 0.05, 0.2, 0.5, 2.0][rng.gen_range(0..5usize)]);
+    }
+    if rng.gen_range(0..3usize) == 0 {
+        spec = spec.repair(
+            [
+                RepairPolicy::Off,
+                RepairPolicy::Local,
+                RepairPolicy::Boundary,
+            ][rng.gen_range(0..3usize)],
+        );
+    }
+    if rng.gen_range(0..3usize) == 0 {
         let levels = rng.gen_range(1usize..5);
         let distances: Vec<u64> = (0..levels).map(|_| rng.gen_range(1u64..1000)).collect();
         spec = spec.distances(DistanceSpec::new(distances).unwrap());
