@@ -12,6 +12,7 @@
 //!               [--algo oms|fennel|hashing|rms] [--threads T] [--output mapping.txt]
 //! oms algorithms                              # list the registered algorithms
 //! oms convert   <graph.metis> <graph.oms>     # to/from the binary vertex-stream format
+//!               [--stream-version 1|2|3]      # on-disk stream version (default 2; 3 = sectioned)
 //! oms generate  <family> <n> <out.metis>      # rgg | delaunay | ba | rmat | grid | er
 //!               [--weights unit|nodes|edges|full]   # weighted variants
 //! oms gen-deltas <graph> <out.deltas> [--scheme uniform|drift|burst] [--batches B] [--ops O]
@@ -66,7 +67,7 @@ const USAGE: &str = "usage:
   oms partition  <graph> --job <spec>  (e.g. \"oms:4:16:8@eps=0.03,threads=8\" or \"e-greedy:256@lambda=1.5\") [--output FILE]
   oms map        <graph> --hierarchy a1:a2:... [--distances d1:d2:...] [--algo NAME] [--threads T] [--seed S] [--format F] [--output FILE]
   oms algorithms
-  oms convert    <in> <out>  (out format by extension: .oms = vertex stream, .txt/.edges/.el = edge list, else METIS) [--format F]
+  oms convert    <in> <out>  (out format by extension: .oms = vertex stream, .txt/.edges/.el = edge list, else METIS) [--format F] [--stream-version 1|2|3]
   oms generate   <rgg|delaunay|ba|rmat|grid|er> <n> <out.metis> [--seed S] [--weights unit|nodes|edges|full]
   oms gen-deltas <graph> <out.deltas> [--scheme uniform|drift|burst] [--batches B] [--ops O] [--node-churn F] [--insert-frac F] [--seed S] [--format F]
   oms apply-deltas <graph> <trace.deltas> --k <k> [--algo NAME] [--drift D] [--repair off|local|boundary] [--reference on|off] [usual job flags] [--output FILE]
@@ -556,10 +557,23 @@ fn algorithms_command(args: &[String]) -> Result<(), Error> {
 }
 
 fn convert_command(args: &[String]) -> Result<(), Error> {
-    let (positional, options) = split_options(args, &["format"])?;
+    let (positional, options) = split_options(args, &["format", "stream-version"])?;
     let (Some(input), Some(output)) = (positional.first(), positional.get(1)) else {
         return Err(Error::Usage("convert: need <input> and <output>".into()));
     };
+    let stream_version = match options.get("stream-version") {
+        None => None,
+        Some(raw) => Some(
+            oms_graph::io::StreamFormatVersion::from_cli(raw).ok_or_else(|| {
+                Error::Usage(format!("--stream-version must be 1, 2 or 3, got '{raw}'"))
+            })?,
+        ),
+    };
+    if stream_version.is_some() && sniff_format(Path::new(output)) != "stream" {
+        return Err(Error::Usage(
+            "convert: --stream-version only applies to .oms outputs".into(),
+        ));
+    }
     let graph = load_graph_opt(input, &options)?;
     // The output format follows the same extension table as input
     // sniffing, so `convert a.metis b.edges && info b.edges` round-trips.
@@ -576,7 +590,28 @@ fn convert_command(args: &[String]) -> Result<(), Error> {
             }
             write_edge_list(&graph, output)?
         }
-        _ => write_stream_file(&graph, output)?,
+        _ => {
+            match stream_version {
+                None => write_stream_file(&graph, output)?,
+                Some(version) => {
+                    let options = oms_graph::io::StreamWriteOptions {
+                        version,
+                        ..Default::default()
+                    };
+                    oms_graph::io::write_stream_file_with(&graph, output, options)?;
+                }
+            }
+            // Round-trip validation: a stream file that does not decode
+            // back to the exact source graph must never leave `convert`.
+            let back = oms_graph::io::read_stream_file(output)?;
+            if back != graph {
+                return Err(Error::Internal(format!(
+                    "convert: round-trip validation failed — {output} does not decode \
+                     back to the source graph (this is a bug, the file was kept for \
+                     inspection)"
+                )));
+            }
+        }
     }
     println!(
         "wrote {output} (n = {}, m = {}, c(V) = {})",
@@ -848,5 +883,39 @@ fn info_command(args: &[String]) -> Result<(), Error> {
         "connected    : {}",
         oms_graph::traversal::is_connected(&graph)
     );
+    // For stream files, break the on-disk layout down by section so the
+    // effect of `convert --stream-version` is visible at a glance.
+    let is_stream = match options.get("format").map(|s| s.as_str()).unwrap_or("auto") {
+        "auto" => sniff_format(Path::new(path.as_str())) == "stream",
+        explicit => explicit == "stream",
+    };
+    if is_stream {
+        let info = oms_graph::io::stream_file_info(path)?;
+        println!("stream format: v{}", info.version.number());
+        println!("  header       : {:>12} B", info.header_bytes);
+        println!("  degrees      : {:>12} B", info.degree_bytes);
+        println!(
+            "  node weights : {:>12} B{}",
+            info.node_weight_bytes,
+            if info.has_node_weights {
+                ""
+            } else {
+                " (unit, omitted)"
+            }
+        );
+        println!("  neighbors    : {:>12} B", info.neighbor_bytes);
+        println!(
+            "  edge weights : {:>12} B{}",
+            info.edge_weight_bytes,
+            if info.has_edge_weights {
+                ""
+            } else {
+                " (unit, omitted)"
+            }
+        );
+        println!("  padding      : {:>12} B", info.padding_bytes);
+        println!("  trailer      : {:>12} B", info.trailer_bytes);
+        println!("  total        : {:>12} B", info.file_bytes);
+    }
     Ok(())
 }

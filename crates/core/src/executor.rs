@@ -146,6 +146,12 @@ pub struct RestreamOptions {
     /// stream per partitioning pass). Without tracking the engine runs the
     /// fixed number of passes and returns an empty trajectory.
     pub track_quality: bool,
+    /// Known `(edge_cut, imbalance)` of the seed baseline, for callers that
+    /// already maintain these incrementally (the dynamic layer). When set,
+    /// the seeded engine records them instead of recounting the cut with an
+    /// extra full metric pass; debug builds still walk the stream once and
+    /// assert agreement.
+    pub seed_stats: Option<(u64, f64)>,
 }
 
 impl RestreamOptions {
@@ -156,6 +162,7 @@ impl RestreamOptions {
             passes: passes.max(1),
             min_improvement: 0.0,
             track_quality: false,
+            seed_stats: None,
         }
     }
 
@@ -165,7 +172,15 @@ impl RestreamOptions {
             passes: passes.max(1),
             min_improvement: min_improvement.max(0.0),
             track_quality: true,
+            seed_stats: None,
         }
+    }
+
+    /// Declares the seed baseline's already-known `(edge_cut, imbalance)`,
+    /// eliminating the engine's seed-measurement pass.
+    pub fn with_seed_stats(mut self, edge_cut: u64, imbalance: f64) -> Self {
+        self.seed_stats = Some((edge_cut, imbalance));
+        self
     }
 }
 
@@ -411,8 +426,28 @@ impl BatchExecutor {
 
         if tracked {
             if let Some(seed) = baseline {
-                reset(stream, &mut needs_reset)?;
-                let (edge_cut, imbalance) = measure_pass(stream, seed, sink.num_blocks())?;
+                let (edge_cut, imbalance) = match opts.seed_stats {
+                    Some((cut, imbalance)) => {
+                        // The caller maintains the seed's cut incrementally;
+                        // trust it instead of recounting with a full walk —
+                        // but verify the bookkeeping in debug builds.
+                        #[cfg(debug_assertions)]
+                        {
+                            reset(stream, &mut needs_reset)?;
+                            let (measured, _) = measure_pass(stream, seed, sink.num_blocks())?;
+                            debug_assert_eq!(
+                                measured, cut,
+                                "incrementally maintained seed cut disagrees with a \
+                                 measured metric pass"
+                            );
+                        }
+                        (cut, imbalance)
+                    }
+                    None => {
+                        reset(stream, &mut needs_reset)?;
+                        measure_pass(stream, seed, sink.num_blocks())?
+                    }
+                };
                 if tracker.seed(edge_cut, imbalance, seed) {
                     return Ok(tracker.finish());
                 }

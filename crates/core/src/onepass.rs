@@ -113,7 +113,12 @@ impl Ldg {
 impl StreamingPartitioner for Ldg {
     fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition> {
         check_k(self.k)?;
-        let mut sink = FlatSink::new(FlatState::new(self.k, stream, self.config), ldg_objective);
+        let mut sink = FlatSink::new(FlatState::new(
+            self.k,
+            stream,
+            self.config,
+            FlatObjective::Ldg,
+        ));
         BatchExecutor::default().run(stream, &mut sink)?;
         Ok(sink.into_partition(self.k))
     }
@@ -145,10 +150,12 @@ impl Fennel {
 impl StreamingPartitioner for Fennel {
     fn partition_stream<S: NodeStream>(&self, stream: &mut S) -> Result<Partition> {
         check_k(self.k)?;
-        let mut sink = FlatSink::new(
-            FlatState::new(self.k, stream, self.config),
-            fennel_objective,
-        );
+        let mut sink = FlatSink::new(FlatState::new(
+            self.k,
+            stream,
+            self.config,
+            FlatObjective::Fennel,
+        ));
         BatchExecutor::default().run(stream, &mut sink)?;
         Ok(sink.into_partition(self.k))
     }
@@ -264,21 +271,16 @@ impl NodeSink for HashingSink {
 /// scoring objective. From the second pass on (restreaming), each node is
 /// unassigned before being re-scored; a *seeded* sink (refinement of an
 /// existing partition) restreams from the very first pass.
-pub(crate) struct FlatSink<F> {
+pub(crate) struct FlatSink {
     state: FlatState,
-    objective: F,
     restreaming: bool,
     seeded: bool,
 }
 
-impl<F> FlatSink<F>
-where
-    F: Fn(u64, NodeWeight, NodeWeight, f64, f64) -> f64,
-{
-    pub(crate) fn new(state: FlatState, objective: F) -> Self {
+impl FlatSink {
+    pub(crate) fn new(state: FlatState) -> Self {
         FlatSink {
             state,
-            objective,
             restreaming: false,
             seeded: false,
         }
@@ -286,10 +288,9 @@ where
 
     /// A sink whose state was seeded from an existing partition: every pass
     /// (including the first) unassigns each node before re-scoring it.
-    pub(crate) fn seeded(state: FlatState, objective: F) -> Self {
+    pub(crate) fn seeded(state: FlatState) -> Self {
         FlatSink {
             state,
-            objective,
             restreaming: true,
             seeded: true,
         }
@@ -300,10 +301,7 @@ where
     }
 }
 
-impl<F> NodeSink for FlatSink<F>
-where
-    F: Fn(u64, NodeWeight, NodeWeight, f64, f64) -> f64,
-{
+impl NodeSink for FlatSink {
     fn begin_pass(&mut self, pass: usize) {
         self.restreaming = self.seeded || pass > 0;
     }
@@ -312,7 +310,7 @@ where
         if self.restreaming {
             self.state.unassign(node.node, node.weight);
         }
-        self.state.assign(node, &self.objective);
+        self.state.assign(node);
     }
 
     fn assignments(&self) -> Option<&[BlockId]> {
@@ -330,10 +328,27 @@ where
 }
 
 /// Shared mutable state of the flat `O(m + nk)` partitioners.
+///
+/// The per-block penalty term of both objectives depends only on the block's
+/// current load (and the fixed parameters `α`, `γ`, `L_max`), and a node
+/// assignment changes the load of exactly one block — so the penalty is kept
+/// pre-evaluated in the dense `score_base` arena and refreshed incrementally.
+/// This turns Fennel's inner loop from `k` `powf` calls per node into one
+/// `powf` per assignment plus `k` adds, without changing a single bit of the
+/// scores:
+///
+/// * Fennel: `base[b] = −(α·γ·c(Vᵢ)^{γ−1})`, score `= conn + base[b]`
+///   (IEEE 754 guarantees `a − b ≡ a + (−b)`).
+/// * LDG: `base[b] = 1 − c(Vᵢ)/L_max`, score `= conn · base[b]`
+///   (the same operations in the same order as the direct form).
 pub(crate) struct FlatState {
     pub(crate) assignments: Vec<BlockId>,
     pub(crate) node_weights: Vec<NodeWeight>,
     pub(crate) block_weights: Vec<NodeWeight>,
+    objective: FlatObjective,
+    /// Pre-evaluated per-block penalty; `score_base[b]` is a pure function
+    /// of `block_weights[b]`, refreshed whenever that load changes.
+    score_base: Vec<f64>,
     conn: Vec<u64>,
     touched: Vec<BlockId>,
     capacity: NodeWeight,
@@ -342,13 +357,19 @@ pub(crate) struct FlatState {
 }
 
 impl FlatState {
-    pub(crate) fn new<S: NodeStream>(k: u32, stream: &S, config: OnePassConfig) -> Self {
+    pub(crate) fn new<S: NodeStream>(
+        k: u32,
+        stream: &S,
+        config: OnePassConfig,
+        objective: FlatObjective,
+    ) -> Self {
         Self::with_counts(
             k,
             stream.num_nodes(),
             stream.num_edges(),
             stream.total_node_weight(),
             config,
+            objective,
         )
     }
 
@@ -360,27 +381,86 @@ impl FlatState {
         m: usize,
         total_weight: NodeWeight,
         config: OnePassConfig,
+        objective: FlatObjective,
     ) -> Self {
-        FlatState {
+        let mut state = FlatState {
             assignments: vec![UNASSIGNED; n],
             node_weights: vec![0; n],
             block_weights: vec![0; k as usize],
+            objective,
+            score_base: vec![0.0; k as usize],
             conn: vec![0; k as usize],
             touched: Vec::new(),
             capacity: Partition::capacity(total_weight, k, config.epsilon),
             alpha: fennel_alpha(k, m, n),
             gamma: config.gamma,
+        };
+        state.refresh_all_bases();
+        state
+    }
+
+    pub(crate) fn objective(&self) -> FlatObjective {
+        self.objective
+    }
+
+    /// Re-evaluates the penalty of one block from its current load.
+    #[inline]
+    fn refresh_base(&mut self, b: usize) {
+        let w = self.block_weights[b];
+        self.score_base[b] = match self.objective {
+            FlatObjective::Fennel => -(self.alpha * self.gamma * (w as f64).powf(self.gamma - 1.0)),
+            FlatObjective::Ldg => 1.0 - w as f64 / self.capacity.max(1) as f64,
+        };
+    }
+
+    /// Re-evaluates every block's penalty (bulk load changes and parameter
+    /// retuning).
+    fn refresh_all_bases(&mut self) {
+        for b in 0..self.block_weights.len() {
+            self.refresh_base(b);
         }
     }
 
-    /// Scores all blocks for `node` with `score(conn, weight, capacity, alpha,
-    /// gamma)` and assigns it to the best feasible one (least loaded block if
-    /// every block is full).
-    pub(crate) fn assign<F>(&mut self, node: oms_graph::StreamedNode<'_>, score: F)
-    where
-        F: Fn(u64, NodeWeight, NodeWeight, f64, f64) -> f64,
-    {
-        // Connectivity towards already-assigned neighbors.
+    /// Scores all blocks for `node` under the state's objective and assigns
+    /// it to the best feasible one (least loaded block if every block is
+    /// full). Ties break towards the lighter block, then the lower index —
+    /// identical to evaluating the objective directly for every block.
+    pub(crate) fn assign(&mut self, node: oms_graph::StreamedNode<'_>) {
+        // Degree-bucketed fast path: with at most two assigned neighbors the
+        // connectivity fits in registers, skipping the dense gather arena and
+        // its dirty-list reset entirely.
+        if node.neighbors.len() <= 2 {
+            let mut b0 = UNASSIGNED;
+            let mut w0 = 0u64;
+            let mut b1 = UNASSIGNED;
+            let mut w1 = 0u64;
+            for (u, w) in node.neighbors_weighted() {
+                let b = self.assignments[u as usize];
+                if b == UNASSIGNED {
+                    continue;
+                }
+                if b == b0 {
+                    w0 += w;
+                } else if b0 == UNASSIGNED {
+                    b0 = b;
+                    w0 = w;
+                } else {
+                    b1 = b;
+                    w1 = w;
+                }
+            }
+            // `b` never equals UNASSIGNED inside the scan, so empty slots
+            // contribute zero connectivity.
+            let chosen = self.select_block(node.weight, |b| {
+                (b as BlockId == b0) as u64 * w0 + (b as BlockId == b1) as u64 * w1
+            });
+            self.commit(node, chosen);
+            return;
+        }
+
+        // General path: gather connectivity towards already-assigned
+        // neighbors into the dense arena, tracking touched blocks so the
+        // reset is O(distinct blocks), not O(k).
         for (u, w) in node.neighbors_weighted() {
             let b = self.assignments[u as usize];
             if b != UNASSIGNED {
@@ -391,41 +471,75 @@ impl FlatState {
             }
         }
 
-        let k = self.block_weights.len();
-        let mut best: Option<(usize, f64, NodeWeight)> = None;
-        let mut fallback = 0usize;
-        let mut fallback_load = f64::INFINITY;
-        for b in 0..k {
-            let weight = self.block_weights[b];
-            let load = weight as f64 / self.capacity.max(1) as f64;
-            if load < fallback_load {
-                fallback_load = load;
-                fallback = b;
-            }
-            if weight + node.weight > self.capacity {
-                continue;
-            }
-            let s = score(self.conn[b], weight, self.capacity, self.alpha, self.gamma);
-            match best {
-                None => best = Some((b, s, weight)),
-                Some((_, bs, bw)) => {
-                    if s > bs || (s == bs && weight < bw) {
-                        best = Some((b, s, weight));
-                    }
-                }
-            }
-        }
-        let chosen = best.map(|(b, _, _)| b).unwrap_or(fallback);
-
-        self.assignments[node.node as usize] = chosen as BlockId;
-        self.node_weights[node.node as usize] = node.weight;
-        self.block_weights[chosen] += node.weight;
+        let chosen = self.select_block(node.weight, |b| self.conn[b]);
+        self.commit(node, chosen);
 
         // Reset the connectivity scratchpad for the next node.
         for &b in &self.touched {
             self.conn[b as usize] = 0;
         }
         self.touched.clear();
+    }
+
+    /// The max-score feasible block (ties: lighter, then lower index), or
+    /// the least relatively loaded block when no block can take the node.
+    /// The select loop is branch-free in its hot comparisons: the score is
+    /// computed for infeasible blocks too (the value is never used) and the
+    /// running best is updated with conditional moves.
+    #[inline(always)]
+    fn select_block<C: Fn(usize) -> u64>(&self, node_weight: NodeWeight, conn_of: C) -> usize {
+        let k = self.block_weights.len();
+        let objective = self.objective;
+        let mut has_best = false;
+        let mut best_b = 0usize;
+        let mut best_s = 0.0f64;
+        let mut best_w: NodeWeight = 0;
+        for b in 0..k {
+            let weight = self.block_weights[b];
+            let conn = conn_of(b) as f64;
+            let s = match objective {
+                FlatObjective::Fennel => conn + self.score_base[b],
+                FlatObjective::Ldg => conn * self.score_base[b],
+            };
+            let feasible = weight + node_weight <= self.capacity;
+            let better = feasible && (!has_best || s > best_s || (s == best_s && weight < best_w));
+            best_b = if better { b } else { best_b };
+            best_s = if better { s } else { best_s };
+            best_w = if better { weight } else { best_w };
+            has_best |= better;
+        }
+        if has_best {
+            best_b
+        } else {
+            self.least_loaded_block()
+        }
+    }
+
+    /// The fallback target when every block is over capacity: the block with
+    /// the smallest relative load, compared in `f64` exactly like the
+    /// original inline scan (a `u64` weight compare could order differently
+    /// for loads that round to the same double).
+    fn least_loaded_block(&self) -> usize {
+        let cap = self.capacity.max(1) as f64;
+        let mut fallback = 0usize;
+        let mut fallback_load = f64::INFINITY;
+        for (b, &weight) in self.block_weights.iter().enumerate() {
+            let load = weight as f64 / cap;
+            if load < fallback_load {
+                fallback_load = load;
+                fallback = b;
+            }
+        }
+        fallback
+    }
+
+    /// Records the assignment and refreshes the chosen block's penalty.
+    #[inline]
+    fn commit(&mut self, node: oms_graph::StreamedNode<'_>, chosen: usize) {
+        self.assignments[node.node as usize] = chosen as BlockId;
+        self.node_weights[node.node as usize] = node.weight;
+        self.block_weights[chosen] += node.weight;
+        self.refresh_base(chosen);
     }
 
     /// Removes a node's previous assignment before it is re-scored (used
@@ -437,6 +551,7 @@ impl FlatState {
         if b != UNASSIGNED {
             self.block_weights[b as usize] -= weight;
             self.assignments[node as usize] = UNASSIGNED;
+            self.refresh_base(b as usize);
         }
     }
 
@@ -447,6 +562,7 @@ impl FlatState {
     pub(crate) fn seed_from(&mut self, assignments: &[BlockId], block_weights: &[NodeWeight]) {
         self.assignments.copy_from_slice(assignments);
         self.block_weights.copy_from_slice(block_weights);
+        self.refresh_all_bases();
     }
 
     /// Replaces the assignment array and rebuilds the block weights (the
@@ -463,6 +579,7 @@ impl FlatState {
                 self.block_weights[b as usize] += self.node_weights[v];
             }
         }
+        self.refresh_all_bases();
     }
 
     pub(crate) fn into_partition(self, k: u32) -> Partition {
@@ -495,7 +612,6 @@ impl FlatState {
 ///   graph, guarded against worsening the maintained assignment.
 pub struct RepairSink {
     state: FlatState,
-    objective: FlatObjective,
     config: OnePassConfig,
 }
 
@@ -513,15 +629,14 @@ impl RepairSink {
     ) -> Result<Self> {
         check_k(k)?;
         Ok(RepairSink {
-            state: FlatState::with_counts(k, n, m, total_weight, config),
-            objective,
+            state: FlatState::with_counts(k, n, m, total_weight, config, objective),
             config,
         })
     }
 
     /// The scoring rule in use.
     pub fn objective(&self) -> FlatObjective {
-        self.objective
+        self.state.objective()
     }
 
     /// Adopts an existing partition: per-block loads are rebuilt from the
@@ -546,6 +661,8 @@ impl RepairSink {
         let k = self.state.block_weights.len() as u32;
         self.state.capacity = Partition::capacity(total_weight, k, self.config.epsilon);
         self.state.alpha = fennel_alpha(k, m, n);
+        // Both parameters feed the pre-evaluated penalties.
+        self.state.refresh_all_bases();
     }
 
     /// Unassigns `node` (if assigned) and re-scores it against the current
@@ -553,11 +670,7 @@ impl RepairSink {
     /// node ends up in.
     pub fn rescore(&mut self, node: oms_graph::StreamedNode<'_>) -> BlockId {
         self.state.unassign(node.node, node.weight);
-        let objective = self.objective;
-        self.state
-            .assign(node, move |conn, weight, capacity, alpha, gamma| {
-                objective.score(conn, weight, capacity, alpha, gamma)
-            });
+        self.state.assign(node);
         self.state.assignments[node.node as usize]
     }
 

@@ -19,9 +19,7 @@
 use crate::config::{OmsConfig, OnePassConfig};
 use crate::executor::{BatchExecutor, PassTrajectory, RestreamOptions};
 use crate::oms::{OmsSink, OnlineMultiSection};
-use crate::onepass::{
-    fennel_objective, ldg_objective, FlatSink, FlatState, HashingSink, StreamingPartitioner,
-};
+use crate::onepass::{FlatObjective, FlatSink, FlatState, HashingSink, StreamingPartitioner};
 use crate::partition::{Partition, UNASSIGNED};
 use crate::{PartitionError, Result};
 use oms_graph::NodeStream;
@@ -85,10 +83,12 @@ impl ReFennel {
         if self.k == 0 {
             return Err(PartitionError::InvalidConfig("k must be positive".into()));
         }
-        let mut sink = FlatSink::new(
-            FlatState::new(self.k, stream, self.config),
-            fennel_objective,
-        );
+        let mut sink = FlatSink::new(FlatState::new(
+            self.k,
+            stream,
+            self.config,
+            FlatObjective::Fennel,
+        ));
         let trajectory = BatchExecutor::default().run_restream(
             stream,
             &mut sink,
@@ -154,7 +154,12 @@ impl ReLdg {
         if self.k == 0 {
             return Err(PartitionError::InvalidConfig("k must be positive".into()));
         }
-        let mut sink = FlatSink::new(FlatState::new(self.k, stream, self.config), ldg_objective);
+        let mut sink = FlatSink::new(FlatState::new(
+            self.k,
+            stream,
+            self.config,
+            FlatObjective::Ldg,
+        ));
         let trajectory = BatchExecutor::default().run_restream(
             stream,
             &mut sink,
@@ -356,9 +361,9 @@ pub fn refine_partition(
     if k == 0 {
         return Err(PartitionError::InvalidConfig("k must be positive".into()));
     }
-    let mut state = FlatState::new(k, &stream, config);
+    let mut state = FlatState::new(k, &stream, config, FlatObjective::Fennel);
     state.seed_from(seed.assignments(), seed.block_weights());
-    let mut sink = FlatSink::seeded(state, fennel_objective);
+    let mut sink = FlatSink::seeded(state);
     let trajectory = BatchExecutor::default().run_restream_seeded(
         stream,
         &mut sink,

@@ -457,7 +457,12 @@ impl PartitionState {
     /// so a service can force a full pass (e.g. before a planned shutdown).
     pub fn full_restream(&mut self) -> Result<()> {
         let baseline: Vec<BlockId> = self.sink.assignments().to_vec();
-        let opts = RestreamOptions::tracked(self.job.passes, self.job.convergence);
+        // The seed is the partition this service maintains: its cut and
+        // imbalance are already tracked delta by delta, so hand them to the
+        // engine instead of paying a second full metric walk (debug builds
+        // re-measure and assert agreement).
+        let opts = RestreamOptions::tracked(self.job.passes, self.job.convergence)
+            .with_seed_stats(self.cut, self.imbalance());
         let trajectory = BatchExecutor::default().run_restream_seeded(
             &mut self.graph,
             &mut self.sink,

@@ -110,6 +110,62 @@ impl NodeBatch {
         self.offsets.push(self.neighbors.len());
     }
 
+    /// Bulk-appends `count` nodes with consecutive ids starting at
+    /// `first_id`. Only the id column is filled; the caller must follow up
+    /// with matching weight / offset / adjacency appends (the sectioned
+    /// stream-format v3 decode path fills each column in one pass).
+    pub(crate) fn extend_ids_sequential(&mut self, first_id: NodeId, count: usize) {
+        self.ids.extend((0..count).map(|i| first_id + i as NodeId));
+    }
+
+    /// Appends `count` unit node weights.
+    pub(crate) fn extend_unit_weights(&mut self, count: usize) {
+        let new_len = self.weights.len() + count;
+        self.weights.resize(new_len, 1);
+    }
+
+    /// Extends the CSR offsets column from per-node degrees, continuing from
+    /// the current end of the adjacency arrays.
+    pub(crate) fn extend_offsets_from_degrees(&mut self, degrees: &[u32]) {
+        let mut end = *self.offsets.last().expect("offsets always non-empty");
+        self.offsets.reserve(degrees.len());
+        for &d in degrees {
+            end += d as usize;
+            self.offsets.push(end);
+        }
+    }
+
+    /// Pads the edge-weight column with unit weights up to the neighbor
+    /// column's length (sectioned decode of an unweighted-edge file).
+    pub(crate) fn unit_fill_edge_weights(&mut self) {
+        let n = self.neighbors.len();
+        self.edge_weights.resize(n, 1);
+    }
+
+    /// Direct append access to the node-weight column (bulk decode).
+    pub(crate) fn weights_vec_mut(&mut self) -> &mut Vec<NodeWeight> {
+        &mut self.weights
+    }
+
+    /// Direct append access to the neighbor column (bulk decode).
+    pub(crate) fn neighbors_vec_mut(&mut self) -> &mut Vec<NodeId> {
+        &mut self.neighbors
+    }
+
+    /// Direct append access to the edge-weight column (bulk decode).
+    pub(crate) fn edge_weights_vec_mut(&mut self) -> &mut Vec<EdgeWeight> {
+        &mut self.edge_weights
+    }
+
+    /// Cheap structural invariant check for the bulk-append paths: every
+    /// column consistent with the offsets table.
+    pub(crate) fn debug_validate(&self) {
+        debug_assert_eq!(self.offsets.len(), self.ids.len() + 1);
+        debug_assert_eq!(self.weights.len(), self.ids.len());
+        debug_assert_eq!(*self.offsets.last().unwrap(), self.neighbors.len());
+        debug_assert_eq!(self.edge_weights.len(), self.neighbors.len());
+    }
+
     /// The `i`-th node of the batch as a [`StreamedNode`] view.
     ///
     /// # Panics

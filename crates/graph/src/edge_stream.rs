@@ -214,14 +214,20 @@ impl<S: NodeStream> EdgeStream for EdgesOf<S> {
     }
 
     fn for_each_edge(&mut self, f: &mut dyn FnMut(StreamedEdge)) -> Result<()> {
-        self.0.for_each_node(&mut |node| {
-            let u = node.node;
-            for (v, w) in node.neighbors_weighted() {
-                if u < v {
-                    f(StreamedEdge { u, v, weight: w });
+        // Drive the batch-level reader rather than the per-node adapter, so
+        // disk sources decode whole batches (sectioned bulk copy on v3,
+        // double-buffered ingest on all versions) before edges are emitted.
+        self.0
+            .for_each_batch(crate::DEFAULT_BATCH_SIZE, &mut |nodes: &NodeBatch| {
+                for node in nodes.iter() {
+                    let u = node.node;
+                    for (v, w) in node.neighbors_weighted() {
+                        if u < v {
+                            f(StreamedEdge { u, v, weight: w });
+                        }
+                    }
                 }
-            }
-        })
+            })
     }
 
     fn for_each_edge_batch(

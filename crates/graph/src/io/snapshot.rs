@@ -218,17 +218,17 @@ pub fn read_snapshot(stream: &DiskStream) -> Result<Option<PartitionSnapshot>> {
 
 /// Writes (or replaces) the snapshot trailer of `stream`'s file.
 ///
-/// Runs [`DiskStream::revalidate`] first; requires the v2 format (v1 files
-/// predate the total-weight header the dynamic layer depends on) and at
-/// least one assignment per node announced by the header (the dynamic id
+/// Runs [`DiskStream::revalidate`] first; requires the v2 or v3 format (v1
+/// files predate the total-weight header the dynamic layer depends on) and
+/// at least one assignment per node announced by the header (the dynamic id
 /// space can only grow past the base graph). The node body
 /// is never modified: a previous trailer is truncated away and the new one
 /// appended in its place.
 pub fn write_snapshot(stream: &DiskStream, snapshot: &PartitionSnapshot) -> Result<()> {
     stream.revalidate()?;
-    if stream.version() != StreamFormatVersion::V2 {
+    if stream.version() == StreamFormatVersion::V1 {
         return Err(snap_err(
-            "snapshots require the v2 vertex-stream format (rewrite the file with \
+            "snapshots require the v2 or v3 vertex-stream format (rewrite the file with \
              write_stream_file)",
         ));
     }
@@ -348,6 +348,51 @@ mod tests {
                 },
             ],
         }
+    }
+
+    #[test]
+    fn snapshot_round_trips_on_a_v3_file() {
+        use crate::io::{StreamFormatVersion, StreamWriteOptions};
+        use crate::stream::NodeStream;
+        let path = temp_path("roundtrip-v3.oms");
+        let graph = ring(16);
+        crate::io::write_stream_file_with(
+            &graph,
+            &path,
+            StreamWriteOptions {
+                version: StreamFormatVersion::V3,
+                ..StreamWriteOptions::default()
+            },
+        )
+        .unwrap();
+        let stream = DiskStream::open(&path).unwrap();
+        assert_eq!(read_snapshot(&stream).unwrap(), None);
+
+        let snap = sample_snapshot(16);
+        write_snapshot(&stream, &snap).unwrap();
+        assert_eq!(read_snapshot(&stream).unwrap(), Some(snap.clone()));
+
+        // The trailer sits past the sectioned body and is invisible to the
+        // bulk reader; replacing it keeps the body byte-identical.
+        let back = read_stream_file(&path).unwrap();
+        assert_eq!(back, graph);
+        let mut reopened = DiskStream::open(&path).unwrap();
+        let mut nodes = 0usize;
+        reopened.stream_nodes(|_| nodes += 1).unwrap();
+        assert_eq!(nodes, 16);
+        write_snapshot(&reopened, &sample_snapshot(16)).unwrap();
+        assert_eq!(read_snapshot(&reopened).unwrap(), Some(snap));
+
+        // A trailer on a *truncated* v3 body still surfaces the truncation.
+        clear_snapshot(&reopened).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let mut broken = DiskStream::open(&path).unwrap();
+        assert!(matches!(
+            broken.stream_nodes(|_| {}).unwrap_err(),
+            crate::GraphError::Truncated { .. }
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

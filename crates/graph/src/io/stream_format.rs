@@ -2,10 +2,33 @@
 //!
 //! The paper converts every benchmark graph to a *vertex-stream* format so
 //! that one-pass algorithms can consume it either from memory or directly
-//! from disk with `O(Δ)` working memory. Two on-disk versions exist:
+//! from disk with `O(Δ)` working memory. Three on-disk versions exist:
 //!
 //! ```text
-//! v2 (current, magic "OMSSTRM2"):
+//! v3 (current, magic "OMSSTRM3") — sectioned / fixed-stride:
+//!   magic   : 8 bytes  "OMSSTRM3"
+//!   n       : u64 LE   number of nodes
+//!   m       : u64 LE   number of undirected edges
+//!   c(V)    : u64 LE   total node weight (n when node weights are absent)
+//!   flags   : u8       bit 0 = node weights present, bit 1 = edge weights present
+//!   pad     : 7 bytes  zero (header is 40 bytes, 8-byte aligned)
+//!   sections, each starting 8-byte aligned (zero padding between):
+//!     degrees      : n  × u32 LE
+//!     [node weights: n  × u64 LE]   (if flag bit 0)
+//!     neighbors    : 2m × u32 LE
+//!     [edge weights: 2m × u64 LE]   (if flag bit 1)
+//!   zero padding to the next 8-byte boundary (trailer alignment)
+//! ```
+//!
+//! v3 stores each field as its own fixed-stride section instead of
+//! interleaving them per node, so a pass fills [`NodeBatch`]'s
+//! structure-of-arrays columns by bulk byte reads — one `read_exact` per
+//! column per batch — instead of decoding every field through its own small
+//! read. The columns are exactly the sections; decode is a little-endian
+//! widening copy with no per-node branching.
+//!
+//! ```text
+//! v2 (magic "OMSSTRM2") — interleaved:
 //!   magic   : 8 bytes  "OMSSTRM2"
 //!   n       : u64 LE   number of nodes
 //!   m       : u64 LE   number of undirected edges
@@ -28,8 +51,10 @@
 //! [`DiskStream::open`] no longer needs a full decode pass over a weighted
 //! file just to learn the capacity input `c(V)`.
 //!
-//! v1 files remain fully readable (weights default to 1 when the flags are
-//! clear, exactly as before); [`write_stream_file`] writes v2. Zero weights
+//! v1 and v2 files remain fully readable (weights default to 1 when the
+//! flags are clear, exactly as before); [`write_stream_file`] writes v2 —
+//! the interchange default — and `oms convert --stream-version 3` (or
+//! [`StreamWriteOptions`]) upgrades a file to v3. Zero weights
 //! are invalid in both versions — reads and writes reject them with
 //! [`GraphError::WeightOutOfRange`] instead of letting a weight-0 node
 //! corrupt capacity math downstream.
@@ -41,23 +66,29 @@ use crate::batch::NodeBatch;
 use crate::stream::{NodeStream, StreamedNode, DEFAULT_BATCH_SIZE};
 use crate::{CsrGraph, EdgeWeight, GraphError, NodeId, NodeWeight, Result};
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 
 const MAGIC_V1: &[u8; 8] = b"OMSSTRM1";
 const MAGIC_V2: &[u8; 8] = b"OMSSTRM2";
+const MAGIC_V3: &[u8; 8] = b"OMSSTRM3";
 const FLAG_NODE_WEIGHTS: u8 = 0b01;
 const FLAG_EDGE_WEIGHTS: u8 = 0b10;
+/// Section alignment of the v3 layout.
+const V3_ALIGN: u64 = 8;
 
 /// On-disk version of the vertex-stream format.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum StreamFormatVersion {
     /// Legacy format: u32 weights, no total weight in the header.
     V1,
-    /// Current format: u64 weights, total node weight in the header.
+    /// Interleaved format: u64 weights, total node weight in the header.
     #[default]
     V2,
+    /// Sectioned format: v2's header (8-byte aligned) followed by
+    /// fixed-stride per-field sections decoded by bulk copy.
+    V3,
 }
 
 impl StreamFormatVersion {
@@ -65,6 +96,7 @@ impl StreamFormatVersion {
         match self {
             StreamFormatVersion::V1 => MAGIC_V1,
             StreamFormatVersion::V2 => MAGIC_V2,
+            StreamFormatVersion::V3 => MAGIC_V3,
         }
     }
 
@@ -72,6 +104,8 @@ impl StreamFormatVersion {
         match self {
             StreamFormatVersion::V1 => 8 + 8 + 8 + 1,
             StreamFormatVersion::V2 => 8 + 8 + 8 + 8 + 1,
+            // v2's fields plus zero padding to an 8-byte boundary.
+            StreamFormatVersion::V3 => 8 + 8 + 8 + 8 + 1 + 7,
         }
     }
 
@@ -79,8 +113,87 @@ impl StreamFormatVersion {
     fn max_weight(self) -> u64 {
         match self {
             StreamFormatVersion::V1 => u32::MAX as u64,
-            StreamFormatVersion::V2 => u64::MAX,
+            StreamFormatVersion::V2 | StreamFormatVersion::V3 => u64::MAX,
         }
+    }
+
+    /// Version selector as it appears on the `convert` command line.
+    pub fn from_cli(s: &str) -> Option<Self> {
+        match s {
+            "1" => Some(StreamFormatVersion::V1),
+            "2" => Some(StreamFormatVersion::V2),
+            "3" => Some(StreamFormatVersion::V3),
+            _ => None,
+        }
+    }
+
+    /// The version number as a small integer (for display).
+    pub fn number(self) -> u32 {
+        match self {
+            StreamFormatVersion::V1 => 1,
+            StreamFormatVersion::V2 => 2,
+            StreamFormatVersion::V3 => 3,
+        }
+    }
+}
+
+/// Byte layout of a v3 (sectioned) stream file, derived from the header
+/// counts alone — every section offset is computable without touching the
+/// body, which is what lets each column be read with one bulk cursor.
+#[derive(Clone, Copy, Debug)]
+struct V3Layout {
+    degrees_off: u64,
+    node_weights_off: u64,
+    node_weights_len: u64,
+    neighbors_off: u64,
+    edge_weights_off: u64,
+    edge_weights_len: u64,
+    /// End of the padded body; a snapshot trailer starts here.
+    body_len: u64,
+    /// Total zero padding between/after sections (excluding the header pad).
+    padding: u64,
+}
+
+fn align_up(x: u64, align: u64) -> u64 {
+    x.div_ceil(align) * align
+}
+
+fn v3_layout(n: u64, m: u64, flags: u8) -> V3Layout {
+    let mut padding = 0u64;
+    let mut cursor = StreamFormatVersion::V3.header_len() as u64;
+    let degrees_off = cursor;
+    cursor += 4 * n;
+    let aligned = align_up(cursor, V3_ALIGN);
+    padding += aligned - cursor;
+    cursor = aligned;
+    let node_weights_off = cursor;
+    let node_weights_len = if flags & FLAG_NODE_WEIGHTS != 0 {
+        8 * n
+    } else {
+        0
+    };
+    cursor += node_weights_len;
+    let neighbors_off = cursor;
+    cursor += 4 * 2 * m;
+    let aligned = align_up(cursor, V3_ALIGN);
+    padding += aligned - cursor;
+    cursor = aligned;
+    let edge_weights_off = cursor;
+    let edge_weights_len = if flags & FLAG_EDGE_WEIGHTS != 0 {
+        8 * 2 * m
+    } else {
+        0
+    };
+    cursor += edge_weights_len;
+    V3Layout {
+        degrees_off,
+        node_weights_off,
+        node_weights_len,
+        neighbors_off,
+        edge_weights_off,
+        edge_weights_len,
+        body_len: cursor,
+        padding,
     }
 }
 
@@ -168,14 +281,19 @@ pub fn write_stream_file_with<P: AsRef<Path>>(
     w.write_all(version.magic())?;
     w.write_all(&(graph.num_nodes() as u64).to_le_bytes())?;
     w.write_all(&(graph.num_edges() as u64).to_le_bytes())?;
-    if version == StreamFormatVersion::V2 {
+    if version != StreamFormatVersion::V1 {
         w.write_all(&graph.total_node_weight().to_le_bytes())?;
     }
     w.write_all(&[flags])?;
+
+    if version == StreamFormatVersion::V3 {
+        return write_v3_body(graph, w, flags);
+    }
+
     let write_weight = |w: &mut BufWriter<File>, value: u64| -> Result<()> {
         match version {
             StreamFormatVersion::V1 => w.write_all(&(value as u32).to_le_bytes())?,
-            StreamFormatVersion::V2 => w.write_all(&value.to_le_bytes())?,
+            _ => w.write_all(&value.to_le_bytes())?,
         }
         Ok(())
     };
@@ -194,6 +312,52 @@ pub fn write_stream_file_with<P: AsRef<Path>>(
             }
         }
     }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes the sectioned v3 body (the header, including its padding byte run
+/// up to the flags byte, has already been written).
+fn write_v3_body(graph: &CsrGraph, mut w: BufWriter<File>, flags: u8) -> Result<()> {
+    const PAD: [u8; 8] = [0u8; 8];
+    // Header padding: flags byte at offset 32, zero-fill up to 40.
+    w.write_all(&PAD[..7])?;
+    let layout = v3_layout(graph.num_nodes() as u64, graph.num_edges() as u64, flags);
+    let mut written = layout.degrees_off;
+    for v in graph.nodes() {
+        w.write_all(&(graph.neighbors(v).len() as u32).to_le_bytes())?;
+        written += 4;
+    }
+    let pad = align_up(written, V3_ALIGN) - written;
+    w.write_all(&PAD[..pad as usize])?;
+    written += pad;
+    debug_assert_eq!(written, layout.node_weights_off);
+    if flags & FLAG_NODE_WEIGHTS != 0 {
+        for &nw in graph.node_weights() {
+            w.write_all(&nw.to_le_bytes())?;
+        }
+        written += layout.node_weights_len;
+    }
+    debug_assert_eq!(written, layout.neighbors_off);
+    for v in graph.nodes() {
+        for &u in graph.neighbors(v) {
+            w.write_all(&u.to_le_bytes())?;
+        }
+        written += 4 * graph.neighbors(v).len() as u64;
+    }
+    let pad = align_up(written, V3_ALIGN) - written;
+    w.write_all(&PAD[..pad as usize])?;
+    written += pad;
+    debug_assert_eq!(written, layout.edge_weights_off);
+    if flags & FLAG_EDGE_WEIGHTS != 0 {
+        for v in graph.nodes() {
+            for &ew in graph.incident_edge_weights(v) {
+                w.write_all(&ew.to_le_bytes())?;
+            }
+        }
+        written += layout.edge_weights_len;
+    }
+    debug_assert_eq!(written, layout.body_len);
     w.flush()?;
     Ok(())
 }
@@ -217,6 +381,104 @@ pub fn read_stream_file<P: AsRef<Path>>(path: P) -> Result<CsrGraph> {
     Ok(CsrGraph::from_csr_unchecked(
         xadj, adjncy, eweights, nweights,
     ))
+}
+
+/// Per-section byte accounting of a vertex-stream file, as reported by
+/// `oms info`. For the interleaved v1/v2 layouts the "sections" are the
+/// logical byte totals of each field class; for v3 they are the physical
+/// sections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamFileInfo {
+    /// On-disk format version.
+    pub version: StreamFormatVersion,
+    /// Whether a node-weight section/field is present.
+    pub has_node_weights: bool,
+    /// Whether an edge-weight section/field is present.
+    pub has_edge_weights: bool,
+    /// Nodes announced by the header.
+    pub num_nodes: u64,
+    /// Undirected edges announced by the header.
+    pub num_edges: u64,
+    /// Header bytes (including the v3 header padding).
+    pub header_bytes: u64,
+    /// Bytes spent on degree fields (v1/v2) or the degree section (v3).
+    pub degree_bytes: u64,
+    /// Bytes spent on node weights.
+    pub node_weight_bytes: u64,
+    /// Bytes spent on adjacency entries.
+    pub neighbor_bytes: u64,
+    /// Bytes spent on edge weights.
+    pub edge_weight_bytes: u64,
+    /// Zero padding between sections (v3 only).
+    pub padding_bytes: u64,
+    /// Header + body size implied by the header counts.
+    pub body_bytes: u64,
+    /// Bytes past the body — a snapshot trailer, if any.
+    pub trailer_bytes: u64,
+    /// Actual file size.
+    pub file_bytes: u64,
+}
+
+/// Reads a vertex-stream file's header and reports its per-section byte
+/// layout without decoding the body.
+pub fn stream_file_info<P: AsRef<Path>>(path: P) -> Result<StreamFileInfo> {
+    let file = File::open(path.as_ref())?;
+    let file_bytes = file.metadata()?.len();
+    let mut r = BufReader::new(file);
+    let header = read_header(&mut r)?;
+    let (n, m) = (header.n as u64, header.m as u64);
+    let has_nw = header.flags & FLAG_NODE_WEIGHTS != 0;
+    let has_ew = header.flags & FLAG_EDGE_WEIGHTS != 0;
+    let header_bytes = header.version.header_len() as u64;
+    let info = match header.version {
+        StreamFormatVersion::V1 | StreamFormatVersion::V2 => {
+            let ww = if header.version == StreamFormatVersion::V1 {
+                4
+            } else {
+                8
+            };
+            let node_weight_bytes = if has_nw { n * ww } else { 0 };
+            let edge_weight_bytes = if has_ew { 2 * m * ww } else { 0 };
+            let body_bytes =
+                header_bytes + node_weight_bytes + 4 * n + 4 * 2 * m + edge_weight_bytes;
+            StreamFileInfo {
+                version: header.version,
+                has_node_weights: has_nw,
+                has_edge_weights: has_ew,
+                num_nodes: n,
+                num_edges: m,
+                header_bytes,
+                degree_bytes: 4 * n,
+                node_weight_bytes,
+                neighbor_bytes: 4 * 2 * m,
+                edge_weight_bytes,
+                padding_bytes: 0,
+                body_bytes,
+                trailer_bytes: file_bytes.saturating_sub(body_bytes),
+                file_bytes,
+            }
+        }
+        StreamFormatVersion::V3 => {
+            let layout = v3_layout(n, m, header.flags);
+            StreamFileInfo {
+                version: header.version,
+                has_node_weights: has_nw,
+                has_edge_weights: has_ew,
+                num_nodes: n,
+                num_edges: m,
+                header_bytes,
+                degree_bytes: 4 * n,
+                node_weight_bytes: layout.node_weights_len,
+                neighbor_bytes: 4 * 2 * m,
+                edge_weight_bytes: layout.edge_weights_len,
+                padding_bytes: layout.padding,
+                body_bytes: layout.body_len,
+                trailer_bytes: file_bytes.saturating_sub(layout.body_len),
+                file_bytes,
+            }
+        }
+    };
+    Ok(info)
 }
 
 /// A one-pass stream read from a vertex-stream file on disk.
@@ -260,7 +522,9 @@ struct Header {
 fn read_header<R: Read>(r: &mut R) -> Result<Header> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
-    let version = if &magic == MAGIC_V2 {
+    let version = if &magic == MAGIC_V3 {
+        StreamFormatVersion::V3
+    } else if &magic == MAGIC_V2 {
         StreamFormatVersion::V2
     } else if &magic == MAGIC_V1 {
         StreamFormatVersion::V1
@@ -269,18 +533,30 @@ fn read_header<R: Read>(r: &mut R) -> Result<Header> {
     };
     let n = read_u64(r)? as usize;
     let m = read_u64(r)? as usize;
-    let header_total = if version == StreamFormatVersion::V2 {
-        Some(read_u64(r)?)
-    } else {
+    let header_total = if version == StreamFormatVersion::V1 {
         None
+    } else {
+        Some(read_u64(r)?)
     };
     let mut flags = [0u8; 1];
     r.read_exact(&mut flags)?;
     let flags = flags[0];
+    if version == StreamFormatVersion::V3 {
+        // The sections of a v3 file are 8-byte aligned; non-zero header
+        // padding means the layout math would read misaligned garbage.
+        let mut pad = [0u8; 7];
+        r.read_exact(&mut pad)?;
+        if pad != [0u8; 7] {
+            return Err(GraphError::Parse(
+                "v3 header padding is not zero (misaligned or corrupt file)".into(),
+            ));
+        }
+    }
     let total_node_weight = match (version, flags & FLAG_NODE_WEIGHTS != 0) {
-        // v2 always states c(V); a header claiming unit weights must state n.
-        (StreamFormatVersion::V2, false) => {
-            let total = header_total.expect("v2 header carries a total");
+        // v2/v3 always state c(V); a header claiming unit weights must
+        // state n.
+        (StreamFormatVersion::V2 | StreamFormatVersion::V3, false) => {
+            let total = header_total.expect("v2/v3 headers carry a total");
             if total != n as u64 {
                 return Err(GraphError::CountMismatch {
                     what: "header total node weight (unit weights imply n)",
@@ -290,7 +566,7 @@ fn read_header<R: Read>(r: &mut R) -> Result<Header> {
             }
             Some(total)
         }
-        (StreamFormatVersion::V2, true) => header_total,
+        (StreamFormatVersion::V2 | StreamFormatVersion::V3, true) => header_total,
         (StreamFormatVersion::V1, false) => Some(n as u64),
         // v1 with node weights: the total is not in the header.
         (StreamFormatVersion::V1, true) => None,
@@ -305,9 +581,9 @@ fn read_header<R: Read>(r: &mut R) -> Result<Header> {
 }
 
 impl DiskStream {
-    /// Opens a vertex-stream file (v1 or v2) and reads its header.
+    /// Opens a vertex-stream file (any version) and reads its header.
     ///
-    /// v2 headers state the total node weight `c(V)` directly (streaming
+    /// v2/v3 headers state the total node weight `c(V)` directly (streaming
     /// algorithms need it up front to compute `L_max`); for legacy v1 files
     /// with node weights it is computed with one lightweight pass over the
     /// file.
@@ -333,7 +609,7 @@ impl DiskStream {
             let mut reader = PassReader::open(&stream)?;
             let mut batch = NodeBatch::new();
             while reader.fill(&mut batch, stream.read_batch_size)? {}
-            stream.total_node_weight = reader.weight_sum;
+            stream.total_node_weight = reader.weight_sum();
         }
         Ok(stream)
     }
@@ -429,8 +705,44 @@ impl DiskStream {
 /// The decode state of one pass over a vertex-stream file.
 ///
 /// Both ingest modes (synchronous and double-buffered) fill batches through
-/// this reader, so header validation happens exactly once, here.
-struct PassReader {
+/// this reader, so header validation happens exactly once, here. The two
+/// variants match the two body layouts: v1/v2 interleave fields per node and
+/// are decoded field by field; v3 stores each field as its own section and
+/// is decoded by bulk copy straight into the batch's SoA columns.
+enum PassReader {
+    Interleaved(InterleavedReader),
+    Sectioned(SectionedReader),
+}
+
+impl PassReader {
+    fn open(stream: &DiskStream) -> Result<Self> {
+        if stream.version == StreamFormatVersion::V3 {
+            Ok(PassReader::Sectioned(SectionedReader::open(stream)?))
+        } else {
+            Ok(PassReader::Interleaved(InterleavedReader::open(stream)?))
+        }
+    }
+
+    /// Clears `batch` and refills it with up to `max_nodes` decoded nodes.
+    /// Returns `true` while more nodes remain after this batch.
+    fn fill(&mut self, batch: &mut NodeBatch, max_nodes: usize) -> Result<bool> {
+        match self {
+            PassReader::Interleaved(r) => r.fill(batch, max_nodes),
+            PassReader::Sectioned(r) => r.fill(batch, max_nodes),
+        }
+    }
+
+    /// Checked sum of the node weights decoded so far.
+    fn weight_sum(&self) -> NodeWeight {
+        match self {
+            PassReader::Interleaved(r) => r.weight_sum,
+            PassReader::Sectioned(r) => r.weight_sum,
+        }
+    }
+}
+
+/// Field-by-field decoder for the interleaved v1/v2 body layouts.
+struct InterleavedReader {
     r: BufReader<File>,
     version: StreamFormatVersion,
     has_node_weights: bool,
@@ -446,7 +758,7 @@ struct PassReader {
     scratch_eweights: Vec<EdgeWeight>,
 }
 
-impl PassReader {
+impl InterleavedReader {
     fn open(stream: &DiskStream) -> Result<Self> {
         let file = File::open(&stream.path)?;
         // A deep read buffer keeps the kernel's readahead busy; the default
@@ -455,7 +767,7 @@ impl PassReader {
         let mut skip = vec![0u8; stream.version.header_len()];
         r.read_exact(&mut skip)?;
         let has_node_weights = stream.flags & FLAG_NODE_WEIGHTS != 0;
-        Ok(PassReader {
+        Ok(InterleavedReader {
             r,
             version: stream.version,
             has_node_weights,
@@ -490,7 +802,8 @@ impl PassReader {
     fn read_weight(&mut self) -> Result<u64> {
         match self.version {
             StreamFormatVersion::V1 => read_u32(&mut self.r).map(|w| w as u64),
-            StreamFormatVersion::V2 => read_u64(&mut self.r),
+            // v3 bodies never reach the interleaved decoder.
+            StreamFormatVersion::V2 | StreamFormatVersion::V3 => read_u64(&mut self.r),
         }
         .map_err(|e| self.truncated(e))
     }
@@ -580,6 +893,213 @@ impl PassReader {
                         found: self.weight_sum,
                     });
                 }
+            }
+        }
+        Ok(more)
+    }
+}
+
+/// Bulk decoder for the sectioned v3 layout: one independent sequential
+/// cursor per section, one `read_exact` per batch per column. Decode is a
+/// little-endian widening copy into the batch's SoA columns — no per-node
+/// field dispatch, no per-value reads.
+struct SectionedReader {
+    degrees: BufReader<File>,
+    node_weights: Option<BufReader<File>>,
+    neighbors: BufReader<File>,
+    edge_weights: Option<BufReader<File>>,
+    expected_nodes: usize,
+    expected_edge_entries: u64,
+    /// `c(V)` announced by the header; validated against the body sum.
+    expected_total_weight: NodeWeight,
+    next_node: usize,
+    edge_entries: u64,
+    weight_sum: NodeWeight,
+    scratch_bytes: Vec<u8>,
+    scratch_degrees: Vec<u32>,
+}
+
+/// Appends the little-endian `u32`s in `bytes` to `dst` (bulk decode; the
+/// compiler vectorises this into a straight widening copy).
+fn decode_u32s(bytes: &[u8], dst: &mut Vec<u32>) {
+    debug_assert_eq!(bytes.len() % 4, 0);
+    dst.reserve(bytes.len() / 4);
+    for c in bytes.chunks_exact(4) {
+        dst.push(u32::from_le_bytes(c.try_into().unwrap()));
+    }
+}
+
+/// Appends the little-endian `u64`s in `bytes` to `dst`.
+fn decode_u64s(bytes: &[u8], dst: &mut Vec<u64>) {
+    debug_assert_eq!(bytes.len() % 8, 0);
+    dst.reserve(bytes.len() / 8);
+    for c in bytes.chunks_exact(8) {
+        dst.push(u64::from_le_bytes(c.try_into().unwrap()));
+    }
+}
+
+impl SectionedReader {
+    fn open(stream: &DiskStream) -> Result<Self> {
+        let layout = v3_layout(
+            stream.num_nodes as u64,
+            stream.num_edges as u64,
+            stream.flags,
+        );
+        let cursor = |off: u64, cap: usize| -> Result<BufReader<File>> {
+            let mut f = File::open(&stream.path)?;
+            f.seek(SeekFrom::Start(off))?;
+            Ok(BufReader::with_capacity(cap, f))
+        };
+        let has_nw = stream.flags & FLAG_NODE_WEIGHTS != 0;
+        let has_ew = stream.flags & FLAG_EDGE_WEIGHTS != 0;
+        Ok(SectionedReader {
+            degrees: cursor(layout.degrees_off, 1 << 16)?,
+            node_weights: if has_nw {
+                Some(cursor(layout.node_weights_off, 1 << 17)?)
+            } else {
+                None
+            },
+            neighbors: cursor(layout.neighbors_off, 1 << 20)?,
+            edge_weights: if has_ew {
+                Some(cursor(layout.edge_weights_off, 1 << 20)?)
+            } else {
+                None
+            },
+            expected_nodes: stream.num_nodes,
+            expected_edge_entries: 2 * stream.num_edges as u64,
+            expected_total_weight: stream.total_node_weight,
+            next_node: 0,
+            edge_entries: 0,
+            weight_sum: 0,
+            scratch_bytes: Vec::new(),
+            scratch_degrees: Vec::new(),
+        })
+    }
+
+    /// Maps an early EOF to the typed truncation error.
+    fn truncated(&self, e: std::io::Error) -> GraphError {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            GraphError::Truncated {
+                expected_nodes: self.expected_nodes as u64,
+                read_nodes: self.next_node as u64,
+            }
+        } else {
+            GraphError::Io(e)
+        }
+    }
+
+    fn fill(&mut self, batch: &mut NodeBatch, max_nodes: usize) -> Result<bool> {
+        batch.clear();
+        let max_nodes = max_nodes.max(1);
+        let count = max_nodes.min(self.expected_nodes - self.next_node);
+        if count > 0 {
+            // Degrees column → ids + CSR offsets.
+            self.scratch_bytes.resize(4 * count, 0);
+            self.degrees
+                .read_exact(&mut self.scratch_bytes)
+                .map_err(|e| self.truncated(e))?;
+            self.scratch_degrees.clear();
+            decode_u32s(&self.scratch_bytes, &mut self.scratch_degrees);
+            let batch_entries: u64 = self.scratch_degrees.iter().map(|&d| d as u64).sum();
+            let total_entries = self.edge_entries.saturating_add(batch_entries);
+            if total_entries > self.expected_edge_entries {
+                // In a sectioned file an oversized degree would walk the
+                // neighbor cursor into padding or a later section; stop on
+                // the degrees column instead of decoding garbage.
+                return Err(GraphError::CountMismatch {
+                    what: "edge entries",
+                    expected: self.expected_edge_entries,
+                    found: total_entries,
+                });
+            }
+            batch.extend_ids_sequential(self.next_node as NodeId, count);
+            batch.extend_offsets_from_degrees(&self.scratch_degrees);
+
+            // Node-weight column.
+            if let Some(reader) = self.node_weights.as_mut() {
+                self.scratch_bytes.resize(8 * count, 0);
+                let read = reader.read_exact(&mut self.scratch_bytes);
+                read.map_err(|e| self.truncated(e))?;
+                decode_u64s(&self.scratch_bytes, batch.weights_vec_mut());
+                let weights = &batch.weights_vec_mut()[..];
+                let mut sum = self.weight_sum;
+                for (i, &w) in weights.iter().enumerate() {
+                    if w == 0 {
+                        return Err(GraphError::WeightOutOfRange {
+                            what: "node",
+                            node: (self.next_node + i) as u64,
+                            value: 0,
+                            max: StreamFormatVersion::V3.max_weight(),
+                        });
+                    }
+                    sum = sum.checked_add(w).ok_or_else(|| {
+                        GraphError::Parse(format!(
+                            "total node weight overflows u64 at node {}",
+                            self.next_node + i
+                        ))
+                    })?;
+                }
+                self.weight_sum = sum;
+            } else {
+                batch.extend_unit_weights(count);
+                self.weight_sum += count as u64;
+            }
+
+            // Neighbor column.
+            self.scratch_bytes.resize(4 * batch_entries as usize, 0);
+            self.neighbors
+                .read_exact(&mut self.scratch_bytes)
+                .map_err(|e| self.truncated(e))?;
+            decode_u32s(&self.scratch_bytes, batch.neighbors_vec_mut());
+
+            // Edge-weight column.
+            if let Some(reader) = self.edge_weights.as_mut() {
+                self.scratch_bytes.resize(8 * batch_entries as usize, 0);
+                let read = reader.read_exact(&mut self.scratch_bytes);
+                read.map_err(|e| self.truncated(e))?;
+                decode_u64s(&self.scratch_bytes, batch.edge_weights_vec_mut());
+                let ews = &batch.edge_weights_vec_mut()[..];
+                if let Some(j) = ews.iter().position(|&w| w == 0) {
+                    // Walk the degree prefix sums only on the error path to
+                    // name the owning node in the typed error.
+                    let mut node = self.next_node;
+                    let mut end = 0usize;
+                    for &d in &self.scratch_degrees {
+                        end += d as usize;
+                        if j < end {
+                            break;
+                        }
+                        node += 1;
+                    }
+                    return Err(GraphError::WeightOutOfRange {
+                        what: "edge",
+                        node: node as u64,
+                        value: 0,
+                        max: StreamFormatVersion::V3.max_weight(),
+                    });
+                }
+            } else {
+                batch.unit_fill_edge_weights();
+            }
+            batch.debug_validate();
+            self.edge_entries = total_entries;
+            self.next_node += count;
+        }
+        let more = self.next_node < self.expected_nodes;
+        if !more {
+            if self.edge_entries != self.expected_edge_entries {
+                return Err(GraphError::CountMismatch {
+                    what: "edge entries",
+                    expected: self.expected_edge_entries,
+                    found: self.edge_entries,
+                });
+            }
+            if self.node_weights.is_some() && self.weight_sum != self.expected_total_weight {
+                return Err(GraphError::CountMismatch {
+                    what: "total node weight",
+                    expected: self.expected_total_weight,
+                    found: self.weight_sum,
+                });
             }
         }
         Ok(more)
@@ -1180,6 +1700,259 @@ mod tests {
         let mut second = Vec::new();
         stream.stream_nodes(|n| second.push(n.node)).unwrap();
         assert_eq!(first, second);
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn write_v3(graph: &CsrGraph, path: &Path) {
+        write_stream_file_with(
+            graph,
+            path,
+            StreamWriteOptions {
+                version: StreamFormatVersion::V3,
+                ..StreamWriteOptions::default()
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn v3_roundtrip_unweighted() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        let path = temp_path("v3-unweighted.oms");
+        write_v3(&g, &path);
+        let stream = DiskStream::open(&path).unwrap();
+        assert_eq!(stream.version(), StreamFormatVersion::V3);
+        assert_eq!(stream.total_node_weight(), 6);
+        let back = read_stream_file(&path).unwrap();
+        assert_eq!(g, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v3_roundtrip_weighted() {
+        let g = weighted_sample();
+        let path = temp_path("v3-weighted.oms");
+        write_v3(&g, &path);
+        let stream = DiskStream::open(&path).unwrap();
+        assert_eq!(stream.version(), StreamFormatVersion::V3);
+        assert_eq!(stream.total_node_weight(), g.total_node_weight());
+        let back = read_stream_file(&path).unwrap();
+        assert_eq!(g, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v3_batches_match_per_node_pass_in_both_ingest_modes() {
+        let g = weighted_sample();
+        let path = temp_path("v3-batches.oms");
+        write_v3(&g, &path);
+        let mut reference = Vec::new();
+        let mut sync = DiskStream::open(&path).unwrap().double_buffered(false);
+        sync.stream_nodes(|n| {
+            reference.push((
+                n.node,
+                n.weight,
+                n.neighbors.to_vec(),
+                n.edge_weights.to_vec(),
+            ))
+        })
+        .unwrap();
+        assert_eq!(reference.len(), 4);
+        for batch_size in [1, 2, 3, 100] {
+            for double_buffered in [false, true] {
+                let mut stream = DiskStream::open(&path)
+                    .unwrap()
+                    .double_buffered(double_buffered);
+                let mut seen = Vec::new();
+                stream
+                    .for_each_batch(batch_size, &mut |batch| {
+                        for n in batch.iter() {
+                            seen.push((
+                                n.node,
+                                n.weight,
+                                n.neighbors.to_vec(),
+                                n.edge_weights.to_vec(),
+                            ));
+                        }
+                    })
+                    .unwrap();
+                assert_eq!(seen, reference, "batch={batch_size} dbuf={double_buffered}");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v3_truncated_file_is_a_typed_error() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let path = temp_path("v3-truncated.oms");
+        write_v3(&g, &path);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        for double_buffered in [false, true] {
+            let mut stream = DiskStream::open(&path)
+                .unwrap()
+                .double_buffered(double_buffered);
+            match stream.stream_nodes(|_| {}).unwrap_err() {
+                GraphError::Truncated { expected_nodes, .. } => assert_eq!(expected_nodes, 6),
+                other => panic!("expected Truncated, got: {other}"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v3_nonzero_header_padding_is_a_typed_error() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let path = temp_path("v3-misaligned.oms");
+        write_v3(&g, &path);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Byte 33 is the first of the 7 header padding bytes.
+        bytes[33] = 1;
+        std::fs::write(&path, &bytes).unwrap();
+        match DiskStream::open(&path).unwrap_err() {
+            GraphError::Parse(msg) => assert!(msg.contains("padding"), "{msg}"),
+            other => panic!("expected Parse, got: {other}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v3_oversized_degree_is_a_typed_error() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let path = temp_path("v3-degree.oms");
+        write_v3(&g, &path);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Node 0's degree is the first u32 of the degrees section (offset 40).
+        bytes[40..44].copy_from_slice(&1000u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let mut stream = DiskStream::open(&path).unwrap();
+        match stream.stream_nodes(|_| {}).unwrap_err() {
+            GraphError::CountMismatch { what, .. } => assert_eq!(what, "edge entries"),
+            other => panic!("expected CountMismatch, got: {other}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v3_zero_node_weight_is_a_typed_error() {
+        let g = weighted_sample();
+        let path = temp_path("v3-zero-weight.oms");
+        write_v3(&g, &path);
+        let info = stream_file_info(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // The node-weight section follows the padded degrees section.
+        let woff = (info.header_bytes + info.degree_bytes).div_ceil(8) * 8;
+        bytes[woff as usize..woff as usize + 8].copy_from_slice(&0u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let mut stream = DiskStream::open(&path).unwrap();
+        match stream.stream_nodes(|_| {}).unwrap_err() {
+            GraphError::WeightOutOfRange { what, node, .. } => {
+                assert_eq!(what, "node");
+                assert_eq!(node, 0);
+            }
+            other => panic!("expected WeightOutOfRange, got: {other}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v3_header_total_mismatch_is_a_typed_error() {
+        let g = weighted_sample();
+        let path = temp_path("v3-total.oms");
+        write_v3(&g, &path);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[24..32].copy_from_slice(&99u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let mut stream = DiskStream::open(&path).unwrap();
+        match stream.stream_nodes(|_| {}).unwrap_err() {
+            GraphError::CountMismatch { what, expected, .. } => {
+                assert_eq!(what, "total node weight");
+                assert_eq!(expected, 99);
+            }
+            other => panic!("expected CountMismatch, got: {other}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v3_streams_identically_to_v2() {
+        let g = weighted_sample();
+        let v2 = temp_path("ident-v2.oms");
+        let v3 = temp_path("ident-v3.oms");
+        write_stream_file(&g, &v2).unwrap();
+        write_v3(&g, &v3);
+        let collect = |path: &Path| {
+            let mut seen: Vec<(NodeId, NodeWeight, Vec<NodeId>, Vec<EdgeWeight>)> = Vec::new();
+            DiskStream::open(path)
+                .unwrap()
+                .stream_nodes(|n| {
+                    seen.push((
+                        n.node,
+                        n.weight,
+                        n.neighbors.to_vec(),
+                        n.edge_weights.to_vec(),
+                    ));
+                })
+                .unwrap();
+            seen
+        };
+        assert_eq!(collect(&v2), collect(&v3));
+        std::fs::remove_file(&v2).ok();
+        std::fs::remove_file(&v3).ok();
+    }
+
+    #[test]
+    fn v2_to_v3_to_v2_conversion_is_content_identical() {
+        for (name, g) in [
+            (
+                "conv-unweighted",
+                CsrGraph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6)]).unwrap(),
+            ),
+            ("conv-weighted", weighted_sample()),
+        ] {
+            let a = temp_path(&format!("{name}-a.oms"));
+            let b = temp_path(&format!("{name}-b.oms"));
+            let c = temp_path(&format!("{name}-c.oms"));
+            write_stream_file(&g, &a).unwrap();
+            write_v3(&read_stream_file(&a).unwrap(), &b);
+            write_stream_file(&read_stream_file(&b).unwrap(), &c).unwrap();
+            assert_eq!(
+                std::fs::read(&a).unwrap(),
+                std::fs::read(&c).unwrap(),
+                "{name}: v2→v3→v2 must be byte-identical"
+            );
+            for p in [&a, &b, &c] {
+                std::fs::remove_file(p).ok();
+            }
+        }
+    }
+
+    #[test]
+    fn v3_file_info_reports_sections() {
+        let g = weighted_sample();
+        let path = temp_path("v3-info.oms");
+        write_v3(&g, &path);
+        let info = stream_file_info(&path).unwrap();
+        assert_eq!(info.version, StreamFormatVersion::V3);
+        assert_eq!(info.num_nodes, 4);
+        assert_eq!(info.num_edges, 3);
+        assert_eq!(info.header_bytes, 40);
+        assert_eq!(info.degree_bytes, 16);
+        assert_eq!(info.node_weight_bytes, 32);
+        assert_eq!(info.neighbor_bytes, 24);
+        assert_eq!(info.edge_weight_bytes, 48);
+        assert_eq!(info.body_bytes, info.file_bytes);
+        assert_eq!(info.trailer_bytes, 0);
+        assert_eq!(
+            info.header_bytes
+                + info.degree_bytes
+                + info.node_weight_bytes
+                + info.neighbor_bytes
+                + info.edge_weight_bytes
+                + info.padding_bytes,
+            info.body_bytes
+        );
         std::fs::remove_file(&path).ok();
     }
 
