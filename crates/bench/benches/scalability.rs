@@ -2,7 +2,8 @@
 //! Table 2 / Fig. 3): parallel OMS and parallel Fennel at 1, 2 and 4 threads.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use oms_core::parallel::{onepass_parallel, FlatScorer};
+use oms_core::parallel::onepass_parallel;
+use oms_core::FlatObjective;
 use oms_core::{HierarchySpec, OmsConfig, OnePassConfig, OnlineMultiSection};
 use oms_gen::random_geometric_graph;
 use std::time::Duration;
@@ -33,8 +34,14 @@ fn bench_scalability(c: &mut Criterion) {
             &threads,
             |b, &t| {
                 b.iter(|| {
-                    onepass_parallel(&graph, k, FlatScorer::Fennel, OnePassConfig::default(), t)
-                        .unwrap()
+                    onepass_parallel(
+                        &graph,
+                        k,
+                        FlatObjective::Fennel,
+                        OnePassConfig::default(),
+                        t,
+                    )
+                    .unwrap()
                 })
             },
         );

@@ -63,7 +63,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  oms partition  <graph> --k <k> [--algo NAME] [--epsilon 0.03] [--threads T] [--passes P] [--converge EPS] [--seed S] [--buffer B] [--lambda L] [--format F] [--output FILE]
+  oms partition  <graph> --k <k> [--algo NAME] [--epsilon 0.03] [--threads T] [--shards S] [--passes P] [--converge EPS] [--seed S] [--buffer B] [--lambda L] [--format F] [--output FILE]
   oms partition  <graph> --job <spec>  (e.g. \"oms:4:16:8@eps=0.03,threads=8\" or \"e-greedy:256@lambda=1.5\") [--output FILE]
   oms map        <graph> --hierarchy a1:a2:... [--distances d1:d2:...] [--algo NAME] [--threads T] [--seed S] [--format F] [--output FILE]
   oms algorithms
@@ -253,6 +253,7 @@ fn job_from_options(
             "k",
             "epsilon",
             "threads",
+            "shards",
             "passes",
             "converge",
             "seed",
@@ -280,6 +281,9 @@ fn job_from_options(
     }
     if let Some(threads) = parse_option(options, "threads", "a positive integer")? {
         job = job.threads(threads);
+    }
+    if let Some(shards) = parse_option(options, "shards", "a positive integer")? {
+        job = job.shards(shards);
     }
     if let Some(passes) = parse_option(options, "passes", "a positive integer")? {
         job = job.passes(passes);
@@ -317,8 +321,8 @@ fn partition_command(args: &[String]) -> Result<(), Error> {
     let (positional, options) = split_options(
         args,
         &[
-            "k", "job", "algo", "epsilon", "threads", "passes", "converge", "seed", "buffer",
-            "lambda", "format", "output",
+            "k", "job", "algo", "epsilon", "threads", "shards", "passes", "converge", "seed",
+            "buffer", "lambda", "format", "output",
         ],
     )?;
     let Some(path) = positional.first() else {
@@ -363,6 +367,29 @@ fn partition_command(args: &[String]) -> Result<(), Error> {
     }
     println!("time       : {:.4} s", report.seconds);
     print_trajectory(&report.trajectory);
+    if let Some(stats) = &report.shard_stats {
+        println!(
+            "shards     : {} ({} rounds, {} messages: {} load, {} assignment, log hash {:016x})",
+            stats.shards,
+            stats.rounds,
+            stats.total_messages(),
+            stats.load_messages,
+            stats.assignment_messages,
+            stats.log_hash
+        );
+        for (shard, (sent, received)) in stats
+            .messages_sent
+            .iter()
+            .zip(&stats.messages_received)
+            .enumerate()
+        {
+            println!("  shard {shard:>2} : {sent} sent, {received} received");
+        }
+        println!(
+            "  send skew: {:.3} (max shard over mean; 1.000 = even)",
+            oms_metrics::message_skew(&stats.messages_sent)
+        );
+    }
     if let Some(output) = options.get("output") {
         write_assignments(output, report.partition.assignments())?;
         println!("partition written to {output}");
@@ -534,14 +561,23 @@ fn algorithms_command(args: &[String]) -> Result<(), Error> {
         } else {
             ""
         };
+        let shardable = if algo.supports_sharding {
+            " [shardable]"
+        } else {
+            ""
+        };
         println!(
-            "  {:<12} {}{}{}",
-            algo.name, algo.description, aliases, repair
+            "  {:<12} {}{}{}{}",
+            algo.name, algo.description, aliases, repair, shardable
         );
     }
     println!(
         "\n[repairable] algorithms support incremental repair under `oms apply-deltas` \
          (drift=/repair= job options)."
+    );
+    println!(
+        "[shardable] algorithms run under the deterministic sharded engine \
+         (shards=S job option; per-shard message counts in the report)."
     );
     println!("\nedge (vertex-cut) algorithms — partition edges, report the replication factor:\n");
     for algo in oms_edgepart::registered_edge_algorithms() {
@@ -552,7 +588,7 @@ fn algorithms_command(args: &[String]) -> Result<(), Error> {
         };
         println!("  {:<12} {}{}", algo.name, algo.description, aliases);
     }
-    println!("\njob spec grammar: <algo>:<k | a1:a2:...>[@eps=..,seed=..,threads=..,passes=..,conv=..,base=..,hybrid=..,buf=..,lambda=..,drift=..,repair=off|local|boundary,dist=d1:d2:...]");
+    println!("\njob spec grammar: <algo>:<k | a1:a2:...>[@eps=..,seed=..,threads=..,shards=..,passes=..,conv=..,base=..,hybrid=..,buf=..,lambda=..,drift=..,repair=off|local|boundary,dist=d1:d2:...]");
     Ok(())
 }
 

@@ -30,6 +30,12 @@
 //!             eps=<f64>           allowed imbalance ε          (default 0.03)
 //!             seed=<u64>          RNG seed                     (default 0)
 //!             threads=<usize>     shared-memory parallelism    (default 1)
+//!             shards=<usize>      shard workers of the deterministic
+//!                                 sharded engine (S-way bulk-synchronous
+//!                                 rounds with seeded message exchange;
+//!                                 only for algorithms marked shardable;
+//!                                 mutually exclusive with threads>1)
+//!                                                              (default 1)
 //!             passes=<usize>      restreaming passes (upper bound
 //!                                 when conv= is set)           (default 1)
 //!             conv=<f64>          relative edge-cut improvement below
@@ -87,10 +93,11 @@ use crate::config::{OmsConfig, OnePassConfig};
 use crate::executor::{PassStats, PassTrajectory};
 use crate::hierarchy::{DistanceSpec, HierarchySpec};
 use crate::oms::OnlineMultiSection;
-use crate::onepass::{Fennel, Hashing, Ldg, StreamingPartitioner};
-use crate::parallel::{hashing_parallel, onepass_parallel_restream, FlatScorer};
+use crate::onepass::{Fennel, FlatObjective, Hashing, Ldg, StreamingPartitioner};
+use crate::parallel::{hashing_parallel, onepass_parallel_restream};
 use crate::partition::Partition;
 use crate::restream::{ReFennel, ReHashing, ReLdg, ReOms};
+use crate::shard::{ShardStats, ShardedFlat};
 use crate::{BlockId, PartitionError, Result};
 use oms_graph::{CsrGraph, EdgeWeight, NodeId, NodeStream, NodeWeight};
 use std::fmt;
@@ -122,6 +129,10 @@ pub struct PartitionReport {
     /// Per-pass quality trajectory of a multi-pass (restreaming) run, in
     /// pass order. Empty for algorithms that do not track passes.
     pub trajectory: Vec<PassStats>,
+    /// Message statistics of runs driven by the sharded engine
+    /// (`shards=S` jobs): per-shard message counts, rounds, and the
+    /// seeded message-log hash. `None` for single-replica runs.
+    pub shard_stats: Option<ShardStats>,
     /// The partition itself.
     pub partition: Partition,
 }
@@ -187,6 +198,13 @@ pub trait Partitioner {
         None
     }
 
+    /// Message statistics of the most recent run, for partitioners driven
+    /// by the sharded engine ([`ShardedFlat`]).
+    /// `None` for the classic single-replica engines.
+    fn shard_stats(&self) -> Option<ShardStats> {
+        None
+    }
+
     /// Runs the partitioner and evaluates the result into a
     /// [`PartitionReport`] (edge-cut, imbalance, optional mapping cost `J`,
     /// wall time). The final edge-cut is taken from the engine's last
@@ -227,6 +245,7 @@ pub trait Partitioner {
             mapping_cost,
             seconds,
             trajectory: trajectory.stats,
+            shard_stats: self.shard_stats(),
             partition,
         })
     }
@@ -352,7 +371,7 @@ impl ParallelFlat {
             ParFlatKind::Fennel => onepass_parallel_restream(
                 &graph,
                 self.k,
-                FlatScorer::Fennel,
+                FlatObjective::Fennel,
                 self.config,
                 self.threads,
                 self.passes,
@@ -362,7 +381,7 @@ impl ParallelFlat {
             ParFlatKind::Ldg => onepass_parallel_restream(
                 &graph,
                 self.k,
-                FlatScorer::Ldg,
+                FlatObjective::Ldg,
                 self.config,
                 self.threads,
                 self.passes,
@@ -477,6 +496,10 @@ impl Partitioner for JobPartitioner {
 
     fn topology(&self) -> Option<(&HierarchySpec, &DistanceSpec)> {
         self.topology.as_ref().map(|(h, d)| (h, d))
+    }
+
+    fn shard_stats(&self) -> Option<ShardStats> {
+        self.inner.shard_stats()
     }
 }
 
@@ -593,6 +616,10 @@ pub struct JobSpec {
     pub seed: u64,
     /// Shared-memory threads (`> 1` selects the parallel drivers).
     pub threads: usize,
+    /// Shard workers (`> 1` selects the deterministic sharded engine for
+    /// algorithms whose registry entry supports it). Mutually exclusive
+    /// with `threads > 1`.
+    pub shards: usize,
     /// Stream passes (`> 1` selects the restreaming variants; an upper
     /// bound when `convergence` is set).
     pub passes: usize,
@@ -634,6 +661,7 @@ impl JobSpec {
             epsilon: DEFAULT_EPSILON,
             seed: 0,
             threads: 1,
+            shards: 1,
             passes: 1,
             convergence: 0.0,
             base_b: DEFAULT_BASE_B,
@@ -674,6 +702,13 @@ impl JobSpec {
     /// Sets the number of shared-memory threads.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the number of shard workers of the deterministic sharded
+    /// engine.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 
@@ -784,6 +819,24 @@ impl JobSpec {
                 "threads must be at least 1".into(),
             ));
         }
+        if self.shards == 0 {
+            return Err(PartitionError::InvalidConfig(
+                "shards must be at least 1".into(),
+            ));
+        }
+        if self.shards > 1 && !info.supports_sharding {
+            return Err(PartitionError::InvalidConfig(format!(
+                "algorithm '{}' does not support the sharded engine (shards=)",
+                info.name
+            )));
+        }
+        if self.shards > 1 && self.threads > 1 {
+            return Err(PartitionError::InvalidConfig(
+                "shards= and threads= are mutually exclusive: the sharded engine \
+                 owns its workers"
+                    .into(),
+            ));
+        }
         if !self.epsilon.is_finite() || self.epsilon < 0.0 {
             return Err(PartitionError::InvalidConfig(
                 "epsilon must be non-negative".into(),
@@ -849,6 +902,9 @@ impl fmt::Display for JobSpec {
         }
         if self.threads != 1 {
             options.push(format!("threads={}", self.threads));
+        }
+        if self.shards != 1 {
+            options.push(format!("shards={}", self.shards));
         }
         if self.passes != 1 {
             options.push(format!("passes={}", self.passes));
@@ -953,6 +1009,12 @@ impl FromStr for JobSpec {
                             return Err(parse_err("threads must be at least 1"));
                         }
                     }
+                    "shards" => {
+                        spec.shards = value.parse().map_err(|_| parse_err("expected an integer"))?;
+                        if spec.shards == 0 {
+                            return Err(parse_err("shards must be at least 1"));
+                        }
+                    }
                     "passes" => {
                         spec.passes = value.parse().map_err(|_| parse_err("expected an integer"))?;
                         if spec.passes == 0 {
@@ -1001,7 +1063,7 @@ impl FromStr for JobSpec {
                     }
                     _ => {
                         return Err(PartitionError::InvalidSpec(format!(
-                            "unknown job option '{key}' (known: eps, seed, threads, passes, conv, base, hybrid, buf, lambda, drift, repair, dist)"
+                            "unknown job option '{key}' (known: eps, seed, threads, shards, passes, conv, base, hybrid, buf, lambda, drift, repair, dist)"
                         )))
                     }
                 }
@@ -1030,6 +1092,11 @@ pub struct AlgorithmInfo {
     /// nodes). Only the flat one-pass scorers qualify; hierarchical,
     /// parallel-only and in-memory algorithms need a full re-run.
     pub supports_repair: bool,
+    /// Whether the deterministic sharded engine (`shards=S`) can drive this
+    /// algorithm. Only the flat one-pass scorers with a load-vector state
+    /// qualify; hashing is stateless and the hierarchical / in-memory
+    /// algorithms have no replicated sink state to reconcile.
+    pub supports_sharding: bool,
     /// Constructor turning a [`JobSpec`] into the boxed algorithm.
     pub build: fn(&JobSpec) -> Result<Box<dyn Partitioner>>,
 }
@@ -1042,6 +1109,7 @@ impl fmt::Debug for AlgorithmInfo {
             .field("description", &self.description)
             .field("supports_hierarchy", &self.supports_hierarchy)
             .field("supports_repair", &self.supports_repair)
+            .field("supports_sharding", &self.supports_sharding)
             .finish()
     }
 }
@@ -1106,7 +1174,13 @@ fn build_hashing(spec: &JobSpec) -> Result<Box<dyn Partitioner>> {
 fn build_ldg(spec: &JobSpec) -> Result<Box<dyn Partitioner>> {
     let k = spec.num_blocks();
     let config = spec.one_pass_config();
-    Ok(if spec.threads > 1 {
+    Ok(if spec.shards > 1 {
+        Box::new(
+            ShardedFlat::new(k, config, FlatObjective::Ldg, spec.shards)
+                .passes(spec.passes)
+                .convergence(spec.convergence),
+        )
+    } else if spec.threads > 1 {
         Box::new(ParallelFlat {
             k,
             kind: ParFlatKind::Ldg,
@@ -1125,7 +1199,13 @@ fn build_ldg(spec: &JobSpec) -> Result<Box<dyn Partitioner>> {
 fn build_fennel(spec: &JobSpec) -> Result<Box<dyn Partitioner>> {
     let k = spec.num_blocks();
     let config = spec.one_pass_config();
-    Ok(if spec.threads > 1 {
+    Ok(if spec.shards > 1 {
+        Box::new(
+            ShardedFlat::new(k, config, FlatObjective::Fennel, spec.shards)
+                .passes(spec.passes)
+                .convergence(spec.convergence),
+        )
+    } else if spec.threads > 1 {
         Box::new(ParallelFlat {
             k,
             kind: ParFlatKind::Fennel,
@@ -1184,6 +1264,7 @@ fn builtin_algorithms() -> Vec<AlgorithmInfo> {
             description: "random hash assignment (fastest, worst quality)",
             supports_hierarchy: false,
             supports_repair: false,
+            supports_sharding: false,
             build: build_hashing,
         },
         AlgorithmInfo {
@@ -1192,6 +1273,7 @@ fn builtin_algorithms() -> Vec<AlgorithmInfo> {
             description: "linear deterministic greedy; passes>1 = ReLDG, threads>1 = parallel",
             supports_hierarchy: false,
             supports_repair: true,
+            supports_sharding: true,
             build: build_ldg,
         },
         AlgorithmInfo {
@@ -1200,6 +1282,7 @@ fn builtin_algorithms() -> Vec<AlgorithmInfo> {
             description: "Fennel one-pass; passes>1 = ReFennel, threads>1 = parallel",
             supports_hierarchy: false,
             supports_repair: true,
+            supports_sharding: true,
             build: build_fennel,
         },
         AlgorithmInfo {
@@ -1208,6 +1291,7 @@ fn builtin_algorithms() -> Vec<AlgorithmInfo> {
             description: "online recursive multi-section (hierarchy shape = OMS, flat k = nh-OMS)",
             supports_hierarchy: true,
             supports_repair: false,
+            supports_sharding: false,
             build: build_oms,
         },
         AlgorithmInfo {
@@ -1216,6 +1300,7 @@ fn builtin_algorithms() -> Vec<AlgorithmInfo> {
             description: "nh-OMS: k-way partitioning through the artificial base-b tree",
             supports_hierarchy: false,
             supports_repair: false,
+            supports_sharding: false,
             build: build_nh_oms,
         },
     ]
@@ -1274,6 +1359,8 @@ mod tests {
             "oms:4:16:8",
             "oms:4:16:8@eps=0.05,threads=8",
             "ldg:16@passes=3",
+            "fennel:64@shards=4",
+            "ldg:16@seed=5,shards=2,passes=3",
             "nh-oms:10@seed=7,base=2",
             "ldg:16@passes=4,conv=0.02",
             "oms:2:2:2@dist=1:10:100",
@@ -1309,6 +1396,8 @@ mod tests {
             "fennel:16@threads",
             "fennel:16@threads=0",
             "fennel:16@passes=0",
+            "fennel:16@shards=0",
+            "fennel:16@shards=abc",
             "fennel:16@eps=-1",
             "oms:4:1:8",
             "e-greedy:8@lambda=-1",
@@ -1341,6 +1430,47 @@ mod tests {
     }
 
     #[test]
+    fn sharding_is_gated_at_build_time() {
+        // Only algorithms whose registry entry supports the sharded engine
+        // accept shards>1, and shards and threads are mutually exclusive.
+        for bad in [
+            "hashing:4@shards=2",
+            "oms:4@shards=2",
+            "nh-oms:4@shards=2",
+            "fennel:4@shards=2,threads=2",
+        ] {
+            assert!(
+                JobSpec::parse(bad).unwrap().build().is_err(),
+                "'{bad}' should not build"
+            );
+        }
+        assert!(JobSpec::parse("fennel:4@shards=2").unwrap().build().is_ok());
+        assert!(JobSpec::parse("ldg:4@shards=2").unwrap().build().is_ok());
+    }
+
+    #[test]
+    fn sharded_jobs_report_shard_stats() {
+        let graph = two_communities();
+        let report = JobSpec::parse("fennel:4@shards=2")
+            .unwrap()
+            .build()
+            .unwrap()
+            .run(&mut InMemoryStream::new(&graph))
+            .unwrap();
+        let stats = report.shard_stats.expect("sharded run reports stats");
+        assert_eq!(stats.shards, 2);
+        assert_eq!(stats.messages_sent.len(), 2);
+        // Classic runs report none.
+        let report = JobSpec::parse("fennel:4")
+            .unwrap()
+            .build()
+            .unwrap()
+            .run(&mut InMemoryStream::new(&graph))
+            .unwrap();
+        assert!(report.shard_stats.is_none());
+    }
+
+    #[test]
     fn dist_requires_hierarchy() {
         assert!(JobSpec::parse("fennel:8@dist=1:10")
             .unwrap()
@@ -1365,6 +1495,9 @@ mod tests {
             "oms:4@passes=2",
             "fennel:4@threads=2",
             "ldg:4@threads=2",
+            "fennel:4@shards=2",
+            "ldg:4@shards=2",
+            "fennel:4@shards=2,passes=2",
             "hashing:4@threads=2",
             "oms:2:2@threads=2",
         ] {
@@ -1436,6 +1569,7 @@ mod tests {
             description: "test-only",
             supports_hierarchy: false,
             supports_repair: false,
+            supports_sharding: false,
             build: build_dummy,
         });
         assert!(find_algorithm("dummy-test-algo").is_some());
@@ -1451,6 +1585,7 @@ mod tests {
             description: "replaced",
             supports_hierarchy: false,
             supports_repair: false,
+            supports_sharding: false,
             build: build_dummy,
         });
         let count = registered_algorithms()

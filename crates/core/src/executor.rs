@@ -54,6 +54,14 @@ pub trait NodeSink {
     /// Consumes the next node of the stream.
     fn process(&mut self, node: StreamedNode<'_>);
 
+    /// Called once after the last node of each pass, *before* the executor
+    /// reads [`NodeSink::assignments`] for the pass's statistics. Sinks that
+    /// buffer nodes internally (the sharded engine's round buffers) use this
+    /// to flush the partial final round; the default does nothing.
+    fn end_pass(&mut self, pass: usize) {
+        let _ = pass;
+    }
+
     /// The sink's current per-node assignment array, when it maintains one.
     ///
     /// Sinks that return `Some` opt into the multi-pass quality machinery of
@@ -468,6 +476,10 @@ impl BatchExecutor {
             // ingest (disk) implement it on top of their batched —
             // double-buffered — reader anyway.
             stream.for_each_node(&mut |node| sink.process(node))?;
+            // Flush before the timing stops: a buffering sink's flush is
+            // part of the pass's work, and `assignments` below must see the
+            // complete pass.
+            sink.end_pass(i);
             let seconds = start.elapsed().as_secs_f64();
 
             if !tracked {

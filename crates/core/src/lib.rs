@@ -86,6 +86,7 @@ pub mod parallel;
 pub mod partition;
 pub mod restream;
 pub mod scorer;
+pub mod shard;
 
 pub use api::{
     find_algorithm, materialize_stream, register_algorithm, registered_algorithms, stream_edge_cut,
@@ -101,6 +102,7 @@ pub use oms::OnlineMultiSection;
 pub use onepass::{Fennel, FlatObjective, Hashing, Ldg, RepairSink, StreamingPartitioner};
 pub use partition::{BlockId, Partition, UNASSIGNED};
 pub use restream::{refine_partition, ReFennel, ReHashing, ReLdg, ReOms};
+pub use shard::{ShardStats, ShardedFlat};
 
 /// Errors produced by the partitioning algorithms.
 #[derive(Debug)]

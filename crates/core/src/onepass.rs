@@ -207,35 +207,41 @@ impl FlatObjective {
         alpha: f64,
         gamma: f64,
     ) -> f64 {
+        self.combine(conn as f64, self.base(weight, capacity, alpha, gamma))
+    }
+
+    /// The pre-evaluated per-block penalty term of the objective: a pure
+    /// function of the block's current load `weight` (and the fixed
+    /// parameters), so callers only need to recompute it when that load
+    /// changes. Combining it with a connectivity via
+    /// [`FlatObjective::combine`] reproduces the direct objective bit for
+    /// bit:
+    ///
+    /// * Fennel: `base = −(α·γ·c(Vᵢ)^{γ−1})`, score `= conn + base`
+    ///   (IEEE 754 guarantees `a − b ≡ a + (−b)`);
+    /// * LDG: `base = 1 − c(Vᵢ)/L_max`, score `= conn · base`
+    ///   (the same operations in the same order as the direct form).
+    ///
+    /// This is the single definition of both objectives; the sequential
+    /// `score_base` arena and the parallel kernels' per-thread caches both
+    /// evaluate it.
+    #[inline]
+    pub fn base(&self, weight: NodeWeight, capacity: NodeWeight, alpha: f64, gamma: f64) -> f64 {
         match self {
-            FlatObjective::Fennel => fennel_objective(conn, weight, capacity, alpha, gamma),
-            FlatObjective::Ldg => ldg_objective(conn, weight, capacity, alpha, gamma),
+            FlatObjective::Fennel => -(alpha * gamma * (weight as f64).powf(gamma - 1.0)),
+            FlatObjective::Ldg => 1.0 - weight as f64 / capacity.max(1) as f64,
         }
     }
-}
 
-/// Fennel's additive objective as a flat scoring function:
-/// `conn − α·γ·c(Vᵢ)^{γ−1}`.
-pub(crate) fn fennel_objective(
-    conn: u64,
-    weight: NodeWeight,
-    _capacity: NodeWeight,
-    alpha: f64,
-    gamma: f64,
-) -> f64 {
-    conn as f64 - alpha * gamma * (weight as f64).powf(gamma - 1.0)
-}
-
-/// LDG's multiplicative objective as a flat scoring function:
-/// `conn · (1 − c(Vᵢ)/L_max)`.
-pub(crate) fn ldg_objective(
-    conn: u64,
-    weight: NodeWeight,
-    capacity: NodeWeight,
-    _alpha: f64,
-    _gamma: f64,
-) -> f64 {
-    conn as f64 * (1.0 - weight as f64 / capacity.max(1) as f64)
+    /// Combines a connectivity with a penalty base pre-evaluated by
+    /// [`FlatObjective::base`].
+    #[inline]
+    pub fn combine(&self, conn: f64, base: f64) -> f64 {
+        match self {
+            FlatObjective::Fennel => conn + base,
+            FlatObjective::Ldg => conn * base,
+        }
+    }
 }
 
 /// The Hashing algorithm as a [`NodeSink`]: stateless per node, no scoring.
@@ -407,10 +413,9 @@ impl FlatState {
     #[inline]
     fn refresh_base(&mut self, b: usize) {
         let w = self.block_weights[b];
-        self.score_base[b] = match self.objective {
-            FlatObjective::Fennel => -(self.alpha * self.gamma * (w as f64).powf(self.gamma - 1.0)),
-            FlatObjective::Ldg => 1.0 - w as f64 / self.capacity.max(1) as f64,
-        };
+        self.score_base[b] = self
+            .objective
+            .base(w, self.capacity, self.alpha, self.gamma);
     }
 
     /// Re-evaluates every block's penalty (bulk load changes and parameter
@@ -497,10 +502,7 @@ impl FlatState {
         for b in 0..k {
             let weight = self.block_weights[b];
             let conn = conn_of(b) as f64;
-            let s = match objective {
-                FlatObjective::Fennel => conn + self.score_base[b],
-                FlatObjective::Ldg => conn * self.score_base[b],
-            };
+            let s = objective.combine(conn, self.score_base[b]);
             let feasible = weight + node_weight <= self.capacity;
             let better = feasible && (!has_best || s > best_s || (s == best_s && weight < best_w));
             best_b = if better { b } else { best_b };
@@ -553,6 +555,13 @@ impl FlatState {
             self.assignments[node as usize] = UNASSIGNED;
             self.refresh_base(b as usize);
         }
+    }
+
+    /// Overwrites one block's load with an authoritative value (the sharded
+    /// engine's load-vector gossip) and refreshes its penalty.
+    pub(crate) fn set_block_weight(&mut self, b: usize, w: NodeWeight) {
+        self.block_weights[b] = w;
+        self.refresh_base(b);
     }
 
     /// Seeds the state from an existing partition (refinement mode). The

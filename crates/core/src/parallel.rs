@@ -24,7 +24,7 @@ use crate::executor::{
     measure_pass, BatchExecutor, PassOutcome, PassTracker, PassTrajectory, RestreamOptions,
 };
 use crate::oms::OnlineMultiSection;
-use crate::onepass::{fennel_objective, ldg_objective};
+use crate::onepass::FlatObjective;
 use crate::partition::{Partition, UNASSIGNED};
 use crate::scorer::{fennel_alpha, hash_node};
 use crate::{BlockId, Result};
@@ -98,13 +98,43 @@ pub fn hashing_parallel(
     ))
 }
 
-/// Which flat scorer a parallel one-pass run uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum FlatScorer {
-    /// Fennel's additive objective.
-    Fennel,
-    /// LDG's multiplicative objective.
-    Ldg,
+/// Per-thread cache of the pre-evaluated per-block penalty bases — the
+/// parallel counterpart of the sequential `score_base` arena. The penalty
+/// ([`FlatObjective::base`]) is a pure function of the block's load, so an
+/// entry is recomputed only when the atomically-read load differs from the
+/// cached one: one `powf` per observed load change instead of `k` per node,
+/// with bit-identical scores.
+struct CachedBases {
+    weights: Vec<NodeWeight>,
+    bases: Vec<f64>,
+}
+
+impl CachedBases {
+    fn new(len: usize) -> Self {
+        CachedBases {
+            // `NodeWeight::MAX` never matches a real load, so every entry is
+            // computed on first use.
+            weights: vec![NodeWeight::MAX; len],
+            bases: vec![0.0; len],
+        }
+    }
+
+    #[inline(always)]
+    fn get(
+        &mut self,
+        idx: usize,
+        weight: NodeWeight,
+        objective: FlatObjective,
+        capacity: NodeWeight,
+        alpha: f64,
+        gamma: f64,
+    ) -> f64 {
+        if self.weights[idx] != weight {
+            self.weights[idx] = weight;
+            self.bases[idx] = objective.base(weight, capacity, alpha, gamma);
+        }
+        self.bases[idx]
+    }
 }
 
 /// Parallel flat one-pass partitioning (Fennel or LDG) with the
@@ -112,7 +142,7 @@ pub enum FlatScorer {
 pub fn onepass_parallel(
     graph: &CsrGraph,
     k: u32,
-    scorer: FlatScorer,
+    scorer: FlatObjective,
     config: OnePassConfig,
     threads: usize,
 ) -> Result<Partition> {
@@ -134,7 +164,7 @@ pub fn onepass_parallel(
 pub fn onepass_parallel_restream(
     graph: &CsrGraph,
     k: u32,
-    scorer: FlatScorer,
+    scorer: FlatObjective,
     config: OnePassConfig,
     threads: usize,
     passes: usize,
@@ -158,18 +188,26 @@ pub fn onepass_parallel_restream(
         BatchExecutor::default().run_parallel(graph, threads, |lo, hi| {
             let mut conn: Vec<EdgeWeight> = vec![0; k as usize];
             let mut touched: Vec<BlockId> = Vec::new();
+            let mut bases = CachedBases::new(k as usize);
             let mut local_moved = 0usize;
             for v in lo..hi {
                 let node_weight = graph.node_weight(v);
-                let old = assignments[v as usize].load(Ordering::Relaxed);
-                if pass > 0 && old != UNASSIGNED {
-                    // Restreaming: remove the previous assignment before
-                    // re-scoring, exactly like the sequential sink.
-                    block_weights[old as usize].fetch_sub(node_weight, Ordering::Relaxed);
-                    assignments[v as usize].store(UNASSIGNED, Ordering::Relaxed);
-                }
+                let old = if pass > 0 {
+                    // Restreaming: *publish* the unassignment (an atomic swap
+                    // on the slot) before removing the weight, so a scoring
+                    // thread that still sees the node in its block also still
+                    // sees its weight in the load vector — the load may be
+                    // transiently overstated, never understated.
+                    let prev = assignments[v as usize].swap(UNASSIGNED, Ordering::AcqRel);
+                    if prev != UNASSIGNED {
+                        block_weights[prev as usize].fetch_sub(node_weight, Ordering::AcqRel);
+                    }
+                    prev
+                } else {
+                    assignments[v as usize].load(Ordering::Relaxed)
+                };
                 for (u, w) in graph.neighbors_weighted(v) {
-                    let b = assignments[u as usize].load(Ordering::Relaxed);
+                    let b = assignments[u as usize].load(Ordering::Acquire);
                     if b != UNASSIGNED {
                         if conn[b as usize] == 0 {
                             touched.push(b);
@@ -181,7 +219,7 @@ pub fn onepass_parallel_restream(
                 let mut fallback = 0usize;
                 let mut fallback_load = f64::INFINITY;
                 for b in 0..k as usize {
-                    let weight = block_weights[b].load(Ordering::Relaxed);
+                    let weight = block_weights[b].load(Ordering::Acquire);
                     let load = weight as f64 / capacity.max(1) as f64;
                     if load < fallback_load {
                         fallback_load = load;
@@ -190,12 +228,8 @@ pub fn onepass_parallel_restream(
                     if weight + node_weight > capacity {
                         continue;
                     }
-                    let s = match scorer {
-                        FlatScorer::Fennel => {
-                            fennel_objective(conn[b], weight, capacity, alpha, gamma)
-                        }
-                        FlatScorer::Ldg => ldg_objective(conn[b], weight, capacity, alpha, gamma),
-                    };
+                    let base = bases.get(b, weight, scorer, capacity, alpha, gamma);
+                    let s = scorer.combine(conn[b] as f64, base);
                     match best {
                         None => best = Some((b, s, weight)),
                         Some((_, bs, bw)) => {
@@ -206,8 +240,10 @@ pub fn onepass_parallel_restream(
                     }
                 }
                 let chosen = best.map(|(b, _, _)| b).unwrap_or(fallback);
-                block_weights[chosen].fetch_add(node_weight, Ordering::Relaxed);
-                assignments[v as usize].store(chosen as BlockId, Ordering::Relaxed);
+                // Mirror image of the unassignment: stage the weight first,
+                // then publish the assignment.
+                block_weights[chosen].fetch_add(node_weight, Ordering::AcqRel);
+                assignments[v as usize].store(chosen as BlockId, Ordering::Release);
                 if chosen as BlockId != old {
                     local_moved += 1;
                 }
@@ -371,18 +407,26 @@ impl OnlineMultiSection {
         let config: &OmsConfig = self.config();
         BatchExecutor::default().run_parallel(graph, threads, |lo, hi| {
             let mut conn: Vec<EdgeWeight> = vec![0; max_fan_out];
+            let mut bases = CachedBases::new(tree.num_nodes());
             let mut local_moved = 0usize;
             for v in lo..hi {
                 let node_weight = graph.node_weight(v);
-                let old = assignments[v as usize].load(Ordering::Relaxed);
-                if pass > 0 && old != UNASSIGNED {
-                    // Restreaming: remove the node along its whole previous
-                    // tree path before re-running the descent.
-                    for &tree_node in tree.path_of_block(old) {
-                        tree_weights[tree_node as usize].fetch_sub(node_weight, Ordering::Relaxed);
+                let old = if pass > 0 {
+                    // Restreaming: publish the unassignment (swap on the
+                    // slot) before removing the node along its previous tree
+                    // path, so concurrently-read tree weights are only ever
+                    // overstated mid-move, never understated.
+                    let prev = assignments[v as usize].swap(UNASSIGNED, Ordering::AcqRel);
+                    if prev != UNASSIGNED {
+                        for &tree_node in tree.path_of_block(prev) {
+                            tree_weights[tree_node as usize]
+                                .fetch_sub(node_weight, Ordering::AcqRel);
+                        }
                     }
-                    assignments[v as usize].store(UNASSIGNED, Ordering::Relaxed);
-                }
+                    prev
+                } else {
+                    assignments[v as usize].load(Ordering::Relaxed)
+                };
                 let mut cur = tree.root();
                 loop {
                     let children = tree.children(cur);
@@ -415,8 +459,13 @@ impl OnlineMultiSection {
                         let mut best: Option<(usize, f64, NodeWeight)> = None;
                         let mut fallback = 0usize;
                         let mut fallback_load = f64::INFINITY;
+                        let objective = match config.scorer {
+                            ScorerKind::Fennel => FlatObjective::Fennel,
+                            ScorerKind::Ldg => FlatObjective::Ldg,
+                            ScorerKind::Hashing => unreachable!(),
+                        };
                         for (i, &child) in children.iter().enumerate() {
-                            let weight = tree_weights[child as usize].load(Ordering::Relaxed);
+                            let weight = tree_weights[child as usize].load(Ordering::Acquire);
                             let capacity = capacities[child as usize];
                             let load = weight as f64 / capacity.max(1) as f64;
                             if load < fallback_load {
@@ -426,19 +475,22 @@ impl OnlineMultiSection {
                             if weight + node_weight > capacity {
                                 continue;
                             }
-                            let s = match config.scorer {
-                                ScorerKind::Fennel => fennel_objective(
-                                    conn[i],
-                                    weight,
-                                    capacity,
-                                    alphas[child as usize],
-                                    config.gamma,
-                                ),
-                                ScorerKind::Ldg => {
-                                    ldg_objective(conn[i], weight, capacity, 0.0, config.gamma)
-                                }
-                                ScorerKind::Hashing => unreachable!(),
+                            // Tree-node-indexed cache: each tree node has its
+                            // own fixed capacity and α, so the cached base is
+                            // a pure function of its observed load.
+                            let alpha = match objective {
+                                FlatObjective::Fennel => alphas[child as usize],
+                                FlatObjective::Ldg => 0.0,
                             };
+                            let base = bases.get(
+                                child as usize,
+                                weight,
+                                objective,
+                                capacity,
+                                alpha,
+                                config.gamma,
+                            );
+                            let s = objective.combine(conn[i] as f64, base);
                             match best {
                                 None => best = Some((i, s, weight)),
                                 Some((_, bs, bw)) => {
@@ -451,11 +503,13 @@ impl OnlineMultiSection {
                         best.map(|(i, _, _)| i).unwrap_or(fallback)
                     };
                     let chosen = children[chosen_idx];
-                    tree_weights[chosen as usize].fetch_add(node_weight, Ordering::Relaxed);
+                    // Stage the weight along the path before the assignment
+                    // is published below.
+                    tree_weights[chosen as usize].fetch_add(node_weight, Ordering::AcqRel);
                     cur = chosen;
                 }
                 let block = tree.leaf_block(cur).expect("descent ends at a leaf");
-                assignments[v as usize].store(block, Ordering::Relaxed);
+                assignments[v as usize].store(block, Ordering::Release);
                 if block != old {
                     local_moved += 1;
                 }
@@ -489,7 +543,8 @@ mod tests {
     #[test]
     fn parallel_fennel_produces_valid_balanced_partition() {
         let g = planted_partition(600, 8, 0.1, 0.005, 5);
-        let p = onepass_parallel(&g, 8, FlatScorer::Fennel, OnePassConfig::default(), 4).unwrap();
+        let p =
+            onepass_parallel(&g, 8, FlatObjective::Fennel, OnePassConfig::default(), 4).unwrap();
         assert_eq!(p.num_nodes(), 600);
         assert!(p.validate(&vec![1; 600]));
         assert!(p.imbalance() < 0.1, "imbalance {}", p.imbalance());
@@ -498,7 +553,7 @@ mod tests {
     #[test]
     fn parallel_ldg_produces_valid_partition() {
         let g = planted_partition(400, 8, 0.1, 0.01, 7);
-        let p = onepass_parallel(&g, 8, FlatScorer::Ldg, OnePassConfig::default(), 3).unwrap();
+        let p = onepass_parallel(&g, 8, FlatObjective::Ldg, OnePassConfig::default(), 3).unwrap();
         assert_eq!(p.num_nodes(), 400);
         assert!(p.imbalance() < 0.2);
     }
@@ -510,7 +565,7 @@ mod tests {
         let g = planted_partition(300, 8, 0.12, 0.01, 9);
         let cfg = OnePassConfig::default();
         let seq = Fennel::new(8, cfg).partition_graph(&g).unwrap();
-        let par = onepass_parallel(&g, 8, FlatScorer::Fennel, cfg, 1).unwrap();
+        let par = onepass_parallel(&g, 8, FlatObjective::Fennel, cfg, 1).unwrap();
         assert_eq!(seq, par);
     }
 
@@ -542,7 +597,8 @@ mod tests {
         // A graph with a few hubs: the edge-mass chunking must still produce
         // a valid, reasonably balanced partition.
         let g = oms_gen::barabasi_albert(800, 6, 11);
-        let p = onepass_parallel(&g, 8, FlatScorer::Fennel, OnePassConfig::default(), 4).unwrap();
+        let p =
+            onepass_parallel(&g, 8, FlatObjective::Fennel, OnePassConfig::default(), 4).unwrap();
         assert_eq!(p.num_nodes(), 800);
         assert!(p.validate(&vec![1; 800]));
         assert!(p.imbalance() < 0.25, "imbalance {}", p.imbalance());
@@ -554,5 +610,67 @@ mod tests {
         let oms = crate::OnlineMultiSection::flat(4, OmsConfig::default()).unwrap();
         let p = oms.partition_graph_parallel(&g, 4).unwrap();
         assert_eq!(p.num_nodes(), 0);
+    }
+
+    #[test]
+    fn move_protocol_never_understates_a_visible_assignment() {
+        // Regression for the unassign ordering bug: the kernels used to
+        // `fetch_sub` the weight *before* clearing the assignment slot,
+        // leaving a window where a concurrent scorer saw the node in its
+        // block but its weight already gone from the load vector. The fixed
+        // protocol is: swap the slot to UNASSIGNED, then subtract; add,
+        // then publish the new assignment. This walks every observation
+        // point of that four-step protocol and checks the invariant scoring
+        // threads rely on — whenever the slot points at a block, the
+        // block's weight includes the node (overstatement is allowed,
+        // understatement never).
+        let w = 5u64;
+        let slot = AtomicU32::new(0);
+        let weights = [AtomicU64::new(w), AtomicU64::new(0)];
+        let check = |step: &str| {
+            let b = slot.load(Ordering::Acquire);
+            if b != UNASSIGNED {
+                assert!(
+                    weights[b as usize].load(Ordering::Acquire) >= w,
+                    "block {b} visibly underweighted after {step}"
+                );
+            }
+        };
+        check("init");
+        // Step 1: publish the unassignment first (kernel: swap).
+        let old = slot.swap(UNASSIGNED, Ordering::AcqRel);
+        assert_eq!(old, 0);
+        check("swap");
+        // Step 2: only then retire the weight.
+        weights[old as usize].fetch_sub(w, Ordering::AcqRel);
+        check("fetch_sub");
+        // Step 3: stage the weight in the target block...
+        weights[1].fetch_add(w, Ordering::AcqRel);
+        check("fetch_add");
+        // Step 4: ...and only then publish the assignment.
+        slot.store(1, Ordering::Release);
+        check("store");
+    }
+
+    #[test]
+    fn parallel_restream_stress_stays_consistent() {
+        // Multi-threaded, multi-pass restreaming under contention: whatever
+        // interleaving the threads produce, the unassign/assign protocol
+        // must keep the shared load vector consistent enough that the final
+        // partition is complete and within the racy-capacity slack. An
+        // ordering bug here shows up as a u64 wrap-around (a block weight
+        // near 2^64 makes every block look full and the fallback path
+        // explodes the imbalance) or as systematic capacity overshoot.
+        let g = planted_partition(600, 8, 0.1, 0.01, 29);
+        for seed in 0..4 {
+            let cfg = OnePassConfig::default().seed(seed);
+            let (p, trajectory) =
+                onepass_parallel_restream(&g, 8, FlatObjective::Fennel, cfg, 4, 3, 0.0, true)
+                    .unwrap();
+            assert_eq!(p.num_nodes(), 600);
+            assert!(p.validate(&vec![1; 600]));
+            assert!(p.imbalance() < 0.25, "imbalance {}", p.imbalance());
+            assert!(trajectory.is_non_increasing(), "{trajectory:?}");
+        }
     }
 }

@@ -39,7 +39,7 @@ fn check_passes(passes: usize) -> Result<()> {
 /// early exit and the revert guard apply no matter how the caller obtains
 /// the partition; a single pass only pays for tracking when the caller asked
 /// for the trajectory.
-fn options(passes: usize, convergence: f64, tracked: bool) -> RestreamOptions {
+pub(crate) fn options(passes: usize, convergence: f64, tracked: bool) -> RestreamOptions {
     if passes > 1 || tracked {
         RestreamOptions::tracked(passes, convergence)
     } else {

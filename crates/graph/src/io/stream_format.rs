@@ -419,8 +419,26 @@ pub struct StreamFileInfo {
     pub file_bytes: u64,
 }
 
+/// The typed error for a file shorter than the body its header announces.
+/// The info path never decodes the body, so the number of complete node
+/// records is estimated from the byte position where the file ends —
+/// always strictly below `n`, matching the invariant of the read path's
+/// [`GraphError::Truncated`].
+fn truncated_info_error(n: u64, header_bytes: u64, body_bytes: u64, file_bytes: u64) -> GraphError {
+    let payload = body_bytes.saturating_sub(header_bytes).max(1);
+    let available = file_bytes.saturating_sub(header_bytes);
+    GraphError::Truncated {
+        expected_nodes: n,
+        read_nodes: n.saturating_mul(available) / payload,
+    }
+}
+
 /// Reads a vertex-stream file's header and reports its per-section byte
 /// layout without decoding the body.
+///
+/// A file *shorter* than the body implied by the header counts is reported
+/// as the same typed [`GraphError::Truncated`] the read path raises —
+/// never as a zero-byte trailer.
 pub fn stream_file_info<P: AsRef<Path>>(path: P) -> Result<StreamFileInfo> {
     let file = File::open(path.as_ref())?;
     let file_bytes = file.metadata()?.len();
@@ -441,6 +459,14 @@ pub fn stream_file_info<P: AsRef<Path>>(path: P) -> Result<StreamFileInfo> {
             let edge_weight_bytes = if has_ew { 2 * m * ww } else { 0 };
             let body_bytes =
                 header_bytes + node_weight_bytes + 4 * n + 4 * 2 * m + edge_weight_bytes;
+            if file_bytes < body_bytes {
+                return Err(truncated_info_error(
+                    n,
+                    header_bytes,
+                    body_bytes,
+                    file_bytes,
+                ));
+            }
             StreamFileInfo {
                 version: header.version,
                 has_node_weights: has_nw,
@@ -454,12 +480,20 @@ pub fn stream_file_info<P: AsRef<Path>>(path: P) -> Result<StreamFileInfo> {
                 edge_weight_bytes,
                 padding_bytes: 0,
                 body_bytes,
-                trailer_bytes: file_bytes.saturating_sub(body_bytes),
+                trailer_bytes: file_bytes - body_bytes,
                 file_bytes,
             }
         }
         StreamFormatVersion::V3 => {
             let layout = v3_layout(n, m, header.flags);
+            if file_bytes < layout.body_len {
+                return Err(truncated_info_error(
+                    n,
+                    header_bytes,
+                    layout.body_len,
+                    file_bytes,
+                ));
+            }
             StreamFileInfo {
                 version: header.version,
                 has_node_weights: has_nw,
@@ -473,7 +507,7 @@ pub fn stream_file_info<P: AsRef<Path>>(path: P) -> Result<StreamFileInfo> {
                 edge_weight_bytes: layout.edge_weights_len,
                 padding_bytes: layout.padding,
                 body_bytes: layout.body_len,
-                trailer_bytes: file_bytes.saturating_sub(layout.body_len),
+                trailer_bytes: file_bytes - layout.body_len,
                 file_bytes,
             }
         }
@@ -1799,6 +1833,41 @@ mod tests {
             }
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_info_is_a_typed_error() {
+        // Regression: `stream_file_info` used to compute the trailer with a
+        // saturating subtraction, silently reporting a 0-byte trailer for a
+        // file whose header announces a body longer than the file. It must
+        // raise the same typed error as the read path instead.
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        for (name, version) in [
+            ("info-truncated-v2.oms", StreamFormatVersion::V2),
+            ("info-truncated-v3.oms", StreamFormatVersion::V3),
+        ] {
+            let path = temp_path(name);
+            let options = StreamWriteOptions {
+                version,
+                ..StreamWriteOptions::default()
+            };
+            write_stream_file_with(&g, &path, options).unwrap();
+            let intact = stream_file_info(&path).unwrap();
+            assert_eq!(intact.trailer_bytes, 0, "{version:?}");
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+            match stream_file_info(&path).unwrap_err() {
+                GraphError::Truncated {
+                    expected_nodes,
+                    read_nodes,
+                } => {
+                    assert_eq!(expected_nodes, 6, "{version:?}");
+                    assert!(read_nodes < 6, "{version:?}: read {read_nodes} of 6");
+                }
+                other => panic!("{version:?}: expected Truncated, got: {other}"),
+            }
+            std::fs::remove_file(&path).ok();
+        }
     }
 
     #[test]

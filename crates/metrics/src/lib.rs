@@ -40,7 +40,7 @@ pub use memory::{graph_memory_bytes, streaming_memory_bytes, MemoryEstimate};
 pub use profile::PerformanceProfile;
 pub use quality::{block_weights, edge_cut, imbalance, max_block_weight};
 pub use report::Table;
-pub use stats::{arithmetic_mean, geometric_mean, improvement_percent, speedup};
+pub use stats::{arithmetic_mean, geometric_mean, improvement_percent, message_skew, speedup};
 pub use timing::{measure, measure_repeated};
 pub use trajectory::{cut_reduction_percent, effective_convergence_pass, trajectory_table};
 pub use vertex_cut::{replication_factor, vertex_cut_metrics, VertexCutMetrics};

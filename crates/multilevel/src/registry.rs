@@ -192,6 +192,7 @@ pub fn register_algorithms() {
         description: "in-memory multilevel k-way baseline; passes>1 adds restream refinement",
         supports_hierarchy: false,
         supports_repair: false,
+        supports_sharding: false,
         build: build_multilevel,
     });
     register_algorithm(AlgorithmInfo {
@@ -200,6 +201,7 @@ pub fn register_algorithms() {
         description: "offline recursive multi-section along a hierarchy; passes>1 refines",
         supports_hierarchy: true,
         supports_repair: false,
+        supports_sharding: false,
         build: build_rms,
     });
     register_algorithm(AlgorithmInfo {
@@ -209,6 +211,7 @@ pub fn register_algorithms() {
             "buffered streaming: per-batch multilevel solves (buf=<nodes>); passes>1 re-commits",
         supports_hierarchy: false,
         supports_repair: false,
+        supports_sharding: false,
         build: build_buffered,
     });
 }

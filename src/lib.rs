@@ -78,10 +78,11 @@ pub use oms_multilevel as multilevel;
 pub mod prelude {
     pub use oms_core::{
         find_algorithm, refine_partition, register_algorithm, registered_algorithms, AlgorithmInfo,
-        AlphaMode, BatchExecutor, BlockId, DistanceSpec, Fennel, Hashing, HierarchySpec, JobShape,
-        JobSpec, Ldg, NodeSink, OmsConfig, OnePassConfig, OnlineMultiSection, Partition,
-        PartitionReport, Partitioner, PassStats, PassTrajectory, ReFennel, ReHashing, ReLdg, ReOms,
-        RepairPolicy, RestreamOptions, ScorerKind, StreamingPartitioner,
+        AlphaMode, BatchExecutor, BlockId, DistanceSpec, Fennel, FlatObjective, Hashing,
+        HierarchySpec, JobShape, JobSpec, Ldg, NodeSink, OmsConfig, OnePassConfig,
+        OnlineMultiSection, Partition, PartitionReport, Partitioner, PassStats, PassTrajectory,
+        ReFennel, ReHashing, ReLdg, ReOms, RepairPolicy, RestreamOptions, ScorerKind, ShardStats,
+        ShardedFlat, StreamingPartitioner,
     };
     pub use oms_dynamic::{ApplyStats, DynamicGraph, PartitionState, TraceCursor};
     pub use oms_edgepart::{
@@ -101,8 +102,8 @@ pub mod prelude {
     };
     pub use oms_mapping::{mapping_cost, offline_block_mapping, remap_partition, Topology};
     pub use oms_metrics::{
-        edge_cut, geometric_mean, improvement_percent, max_cut_ratio, repair_vs_restream_speedup,
-        CheckpointComparison,
+        edge_cut, geometric_mean, improvement_percent, max_cut_ratio, message_skew,
+        repair_vs_restream_speedup, CheckpointComparison,
     };
     pub use oms_multilevel::{
         register_algorithms as register_multilevel_algorithms, BufferedMultilevel,

@@ -1,0 +1,243 @@
+//! Regression suite for the deterministic sharded engine.
+//!
+//! Three properties are gated here:
+//!
+//! 1. **S=1 byte-equivalence.** A one-shard run replays the buffered
+//!    stream in order against a single replica, so it must reproduce the
+//!    classic sequential engine bit for bit — for every registered
+//!    algorithm (via the `shards=1` job knob, which routes to the classic
+//!    engine) and for the sharded engine driven directly, across memory
+//!    and disk sources.
+//! 2. **S>1 quality.** Multi-shard runs assign against round-stale load
+//!    views; the committed golden bounds below pin their edge-cut and
+//!    imbalance exactly like `tests/quality.rs` does for the classic
+//!    engine. Regenerate with
+//!    `cargo test --test shard_equivalence print_actuals -- --nocapture --ignored`
+//!    and re-apply ~10 % cut headroom / +0.02 imbalance.
+//! 3. **Seeded message determinism.** Two runs with the same seed must
+//!    produce identical partitions *and* identical message logs (per-shard
+//!    counts and the delivery-ordered log hash); changing the seed must
+//!    change the delivery order hash.
+
+use oms::graph::io::{write_stream_file, DiskStream};
+use oms::prelude::*;
+use std::path::PathBuf;
+
+fn temp_stream_file(graph: &CsrGraph, name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("oms-shard-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    write_stream_file(graph, &path).unwrap();
+    path
+}
+
+fn assignments(partitioner: &dyn Partitioner, stream: &mut dyn NodeStream) -> Vec<BlockId> {
+    partitioner
+        .partition(stream)
+        .expect("partitioning succeeds")
+        .assignments()
+        .to_vec()
+}
+
+/// Every registered algorithm family, as in `tests/equivalence.rs`.
+fn all_algorithm_specs() -> Vec<&'static str> {
+    vec![
+        "fennel:8@seed=3",
+        "ldg:8@seed=3",
+        "hashing:8@seed=3",
+        "oms:2:2:2@seed=3",
+        "nh-oms:8@seed=3",
+        "fennel:8@seed=3,passes=3",
+        "ldg:8@seed=3,passes=2",
+        "multilevel:8@seed=3",
+        "rms:2:2:2@seed=3",
+        "buffered:8@seed=3,buf=100",
+    ]
+}
+
+/// `shards=1` must be a no-op for every registered algorithm: the knob
+/// routes to the classic engine, so assignments are byte-identical to the
+/// spec without it.
+#[test]
+fn one_shard_is_identity_for_every_registered_algorithm() {
+    register_multilevel_algorithms();
+    let graph = planted_partition(700, 8, 0.1, 0.005, 17);
+    for spec in all_algorithm_specs() {
+        let classic = JobSpec::parse(spec).unwrap().build().unwrap();
+        let sharded = JobSpec::parse(spec).unwrap().shards(1).build().unwrap();
+        assert_eq!(
+            assignments(&*classic, &mut InMemoryStream::new(&graph)),
+            assignments(&*sharded, &mut InMemoryStream::new(&graph)),
+            "{spec}: shards=1 must be byte-identical to the classic engine"
+        );
+    }
+}
+
+/// The sharded engine itself, driven with one shard, must reproduce the
+/// classic engine bit for bit — from memory and from disk.
+#[test]
+fn sharded_engine_with_one_shard_matches_classic_across_sources() {
+    let graph = planted_partition(700, 8, 0.1, 0.005, 17);
+    let path = temp_stream_file(&graph, "s1-sources.oms");
+    for (objective, spec) in [
+        (FlatObjective::Fennel, "fennel:8@seed=3,passes=3"),
+        (FlatObjective::Ldg, "ldg:8@seed=3,passes=2"),
+    ] {
+        let job = JobSpec::parse(spec).unwrap();
+        let classic = job.build().unwrap();
+        let sharded = ShardedFlat::new(8, job.one_pass_config(), objective, 1).passes(job.passes);
+        let reference = assignments(&*classic, &mut InMemoryStream::new(&graph));
+        assert_eq!(
+            reference,
+            assignments(&sharded, &mut InMemoryStream::new(&graph)),
+            "{spec}: S=1 from memory"
+        );
+        let mut disk = DiskStream::open(&path).unwrap();
+        assert_eq!(
+            reference,
+            assignments(&sharded, &mut disk),
+            "{spec}: S=1 from disk"
+        );
+    }
+}
+
+/// The S>1 corpus: one instance per generator family, as in
+/// `tests/quality.rs`.
+fn corpus() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("er", erdos_renyi_gnm(1200, 4800, 42)),
+        ("ba", barabasi_albert(1200, 4, 42)),
+        ("grid", grid_2d(35, 35)),
+        ("sbm", planted_partition(1200, 8, 0.1, 0.01, 42)),
+    ]
+}
+
+fn sharded_jobs() -> Vec<&'static str> {
+    vec![
+        "fennel:8@seed=3,shards=2",
+        "fennel:8@seed=3,shards=4",
+        "ldg:8@seed=3,shards=4",
+        "fennel:8@seed=3,shards=4,passes=3",
+    ]
+}
+
+/// Committed golden bounds: `(graph, job, max edge-cut, max imbalance)`.
+const BOUNDS: &[(&str, &str, u64, f64)] = &[
+    ("er", "fennel:8@seed=3,shards=2", 3243, 0.0333),
+    ("er", "fennel:8@seed=3,shards=4", 3246, 0.0400),
+    ("er", "ldg:8@seed=3,shards=4", 3247, 0.0400),
+    ("er", "fennel:8@seed=3,shards=4,passes=3", 2994, 0.0333),
+    ("ba", "fennel:8@seed=3,shards=2", 3162, 0.0600),
+    ("ba", "fennel:8@seed=3,shards=4", 3179, 0.0533),
+    ("ba", "ldg:8@seed=3,shards=4", 3422, 0.1133),
+    ("ba", "fennel:8@seed=3,shards=4,passes=3", 3065, 0.0600),
+    ("grid", "fennel:8@seed=3,shards=2", 499, 0.0976),
+    ("grid", "fennel:8@seed=3,shards=4", 488, 0.1237),
+    ("grid", "ldg:8@seed=3,shards=4", 235, 0.1955),
+    ("grid", "fennel:8@seed=3,shards=4,passes=3", 448, 0.1106),
+    ("sbm", "fennel:8@seed=3,shards=2", 12186, 0.0533),
+    ("sbm", "fennel:8@seed=3,shards=4", 12130, 0.1133),
+    ("sbm", "ldg:8@seed=3,shards=4", 11961, 0.0400),
+    ("sbm", "fennel:8@seed=3,shards=4,passes=3", 11847, 0.0733),
+];
+
+#[test]
+fn multi_shard_runs_stay_within_golden_bounds() {
+    for (name, graph) in corpus() {
+        for job in sharded_jobs() {
+            let (_, _, max_cut, max_imbalance) = BOUNDS
+                .iter()
+                .find(|(g, j, _, _)| *g == name && *j == job)
+                .unwrap_or_else(|| panic!("no committed bound for ({name}, {job})"));
+            let report = JobSpec::parse(job)
+                .unwrap()
+                .build()
+                .unwrap()
+                .run(&mut InMemoryStream::new(&graph))
+                .unwrap();
+            assert!(
+                report.edge_cut <= *max_cut,
+                "({name}, {job}): edge-cut {} exceeds bound {max_cut}",
+                report.edge_cut
+            );
+            assert!(
+                report.imbalance <= *max_imbalance + 1e-9,
+                "({name}, {job}): imbalance {:.4} exceeds bound {max_imbalance}",
+                report.imbalance
+            );
+            let stats = report.shard_stats.expect("sharded run reports stats");
+            assert!(stats.total_messages() > 0, "({name}, {job})");
+        }
+    }
+}
+
+/// Two same-seed runs must agree on the partition AND the entire message
+/// log (per-shard counts, totals, delivery-order hash); a different seed
+/// must change the delivery-order hash.
+#[test]
+fn message_log_is_a_pure_function_of_the_seed() {
+    let graph = barabasi_albert(1500, 5, 7);
+    let run = |seed: u64| {
+        let report = JobSpec::parse("fennel:8@shards=4,passes=2")
+            .unwrap()
+            .seed(seed)
+            .build()
+            .unwrap()
+            .run(&mut InMemoryStream::new(&graph))
+            .unwrap();
+        let stats = report.shard_stats.expect("sharded run reports stats");
+        (report.partition.assignments().to_vec(), stats)
+    };
+    let (p1, s1) = run(3);
+    let (p2, s2) = run(3);
+    assert_eq!(p1, p2, "same seed, same partition");
+    assert_eq!(s1, s2, "same seed, same message log");
+    assert_eq!(s1.shards, 4);
+    assert_eq!(s1.messages_sent.len(), 4);
+    assert_eq!(
+        s1.messages_sent.iter().sum::<u64>(),
+        s1.messages_received.iter().sum::<u64>(),
+        "every sent message is received"
+    );
+
+    let (_, other_seed) = run(4);
+    assert_ne!(
+        s1.log_hash, other_seed.log_hash,
+        "the delivery order is seeded"
+    );
+}
+
+/// Disk and memory sources must agree for S>1 too: the engine only sees
+/// the node sequence, not where it came from.
+#[test]
+fn sharded_runs_match_across_sources() {
+    let graph = planted_partition(900, 8, 0.08, 0.005, 23);
+    let path = temp_stream_file(&graph, "s4-sources.oms");
+    let job = JobSpec::parse("fennel:8@seed=3,shards=4").unwrap();
+    let partitioner = job.build().unwrap();
+    let memory = assignments(&*partitioner, &mut InMemoryStream::new(&graph));
+    let mut disk = DiskStream::open(&path).unwrap();
+    let from_disk = assignments(&*partitioner, &mut disk);
+    assert_eq!(memory, from_disk);
+}
+
+/// Prints the actual (cut, imbalance) table for the committed bounds;
+/// ignored by default.
+#[test]
+#[ignore]
+fn print_actuals() {
+    for (name, graph) in corpus() {
+        for job in sharded_jobs() {
+            let report = JobSpec::parse(job)
+                .unwrap()
+                .build()
+                .unwrap()
+                .run(&mut InMemoryStream::new(&graph))
+                .unwrap();
+            println!(
+                "(\"{name}\", \"{job}\", {}, {:.4}),",
+                report.edge_cut, report.imbalance
+            );
+        }
+    }
+}
