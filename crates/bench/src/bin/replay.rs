@@ -1,0 +1,199 @@
+//! Traffic-replay quality gap: does a better streaming partition actually
+//! serve simulated users faster?
+//!
+//! Hashing and multi-pass Fennel partition the same hub-heavy corpora
+//! (Barabási–Albert and RMAT), then the `oms-workload` simulator fires the
+//! identical Zipf-skewed request stream at both partitions. Reported per
+//! graph: edge cut, cross-block hop rate, p50/p99 simulated latency, and
+//! the headline *gaps* — how much lower Fennel's hop rate and p99 latency
+//! are than hashing's. The replay is integer-tick deterministic, so the
+//! gaps are exact, reproducible numbers rather than wall-clock samples.
+//! The JSON summary is committed as `BENCH_replay.json`.
+//!
+//! ```text
+//! cargo run --release -p oms-bench --bin replay -- [--quick] [--json FILE]
+//!     [--check-baseline FILE]
+//! ```
+//!
+//! `--check-baseline FILE` exits non-zero when the current p99 gap falls
+//! more than 20 % below the committed one (the quick-scale anchor field in
+//! quick mode); check mode never rewrites the committed report.
+
+use oms_core::JobSpec;
+use oms_gen::{barabasi_albert, rmat_graph, RmatParams};
+use oms_graph::{CsrGraph, InMemoryStream};
+use oms_metrics::replay_gap_percent;
+use oms_workload::{replay_graph, ReplayConfig, ReplayReport};
+use std::io::Write;
+
+const K: u32 = 32;
+
+/// Allowed relative drop of the p99 gap vs the committed baseline.
+const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// Extracts the number following `"key":` from a hand-formatted JSON report.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn flag_value(rest: &[String], flag: &str) -> Option<String> {
+    rest.iter()
+        .position(|a| a == flag)
+        .and_then(|i| rest.get(i + 1).cloned())
+}
+
+struct Outcome {
+    cut: u64,
+    report: ReplayReport,
+}
+
+/// Partitions `graph` with `spec` and replays the shared request stream.
+fn run_job(graph: &CsrGraph, spec: &str, config: &ReplayConfig) -> Outcome {
+    let job: JobSpec = spec.parse().expect("bench spec parses");
+    let report = job
+        .build()
+        .expect("bench job builds")
+        .run(&mut InMemoryStream::new(graph))
+        .expect("bench job runs");
+    let replay = replay_graph(graph, report.partition.assignments(), config);
+    Outcome {
+        cut: report.edge_cut,
+        report: replay,
+    }
+}
+
+/// Hashing vs multi-pass Fennel on one graph; returns (hop gap %, p99 gap %).
+fn compare(name: &str, graph: &CsrGraph, config: &ReplayConfig) -> (f64, f64) {
+    let hash = run_job(graph, &format!("hashing:{K}@seed=3"), config);
+    let fennel = run_job(graph, &format!("fennel:{K}@seed=3,passes=3"), config);
+    let hop_gap = replay_gap_percent(
+        hash.report.cross_block_hop_rate(),
+        fennel.report.cross_block_hop_rate(),
+    );
+    let p99_gap = replay_gap_percent(
+        hash.report.p99_latency as f64,
+        fennel.report.p99_latency as f64,
+    );
+    println!(
+        "{name}: n = {}, m = {}",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    for (algo, o) in [("hashing", &hash), ("fennel x3", &fennel)] {
+        println!(
+            "  {:<10} cut {:>8}  hop rate {:.4}  p50 {:>7}  p99 {:>7}  skew {:.3}",
+            algo,
+            o.cut,
+            o.report.cross_block_hop_rate(),
+            o.report.p50_latency,
+            o.report.p99_latency,
+            o.report.load_skew()
+        );
+    }
+    println!("  fennel gap: hop rate {hop_gap:+.1}%, p99 latency {p99_gap:+.1}%");
+    (hop_gap, p99_gap)
+}
+
+/// The quick-scale anchor measured in every run (quick and full), so the
+/// committed full-scale report also carries the number quick-mode CI
+/// compares against. Deterministic: same numbers on every host.
+fn quick_anchor() -> (f64, f64) {
+    let graph = barabasi_albert(5_000, 4, 42);
+    let config = ReplayConfig {
+        requests: 4_000,
+        ..ReplayConfig::default()
+    };
+    let hash = run_job(&graph, &format!("hashing:{K}@seed=3"), &config);
+    let fennel = run_job(&graph, &format!("fennel:{K}@seed=3,passes=3"), &config);
+    (
+        replay_gap_percent(
+            hash.report.cross_block_hop_rate(),
+            fennel.report.cross_block_hop_rate(),
+        ),
+        replay_gap_percent(
+            hash.report.p99_latency as f64,
+            fennel.report.p99_latency as f64,
+        ),
+    )
+}
+
+fn main() {
+    let args = oms_bench::BenchArgs::from_env();
+    let quick = args.quick;
+    let (ba_n, rmat_scale, requests) = if quick {
+        (5_000, 13, 4_000)
+    } else {
+        (50_000, 17, 20_000)
+    };
+    let config = ReplayConfig {
+        requests,
+        ..ReplayConfig::default()
+    };
+    println!(
+        "replay: {} requests x {} hops, zipf {:.2}, penalty {}, k = {K}\n",
+        config.requests, config.hops, config.zipf_exponent, config.hop_penalty
+    );
+
+    let ba = barabasi_albert(ba_n, 4, 42);
+    let (ba_hop_gap, ba_p99_gap) = compare("ba", &ba, &config);
+    let rmat = rmat_graph(
+        rmat_scale,
+        (1usize << rmat_scale) * 8,
+        RmatParams::GRAPH500,
+        42,
+    );
+    let (rmat_hop_gap, rmat_p99_gap) = compare("rmat", &rmat, &config);
+
+    let hop_gap = (ba_hop_gap + rmat_hop_gap) / 2.0;
+    let p99_gap = (ba_p99_gap + rmat_p99_gap) / 2.0;
+    println!("\nmean fennel gap over hashing: hop rate {hop_gap:+.1}%, p99 latency {p99_gap:+.1}%");
+
+    let (quick_hop_gap, quick_p99_gap) = quick_anchor();
+    println!("quick-scale ba anchor: hop rate {quick_hop_gap:+.1}%, p99 {quick_p99_gap:+.1}%");
+
+    if let Some(baseline_path) = flag_value(&args.rest, "--check-baseline") {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        let key = if quick {
+            "quick_p99_gap_percent"
+        } else {
+            "p99_gap_percent"
+        };
+        let baseline = json_number(&text, key)
+            .unwrap_or_else(|| panic!("baseline {baseline_path} has no {key} field"));
+        let current = if quick { quick_p99_gap } else { p99_gap };
+        let floor = baseline * (1.0 - REGRESSION_TOLERANCE);
+        println!(
+            "baseline check ({key}): current {current:.1}% vs committed {baseline:.1}% \
+             (floor {floor:.1}%)"
+        );
+        if current < floor {
+            eprintln!(
+                "REPLAY QUALITY REGRESSION: fennel's p99 advantage {current:.1}% is more \
+                 than {:.0}% below the committed {baseline:.1}%",
+                REGRESSION_TOLERANCE * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("baseline check passed");
+        return; // check mode never rewrites the committed report
+    }
+
+    let out = flag_value(&args.rest, "--json").unwrap_or_else(|| "BENCH_replay.json".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"replay\",\n  \"k\": {K},\n  \"requests\": {requests},\n  \"hops\": {hops},\n  \"zipf_exponent\": {zipf:.2},\n  \"hop_penalty\": {penalty},\n  \"ba_nodes\": {ba_n},\n  \"ba_hop_gap_percent\": {ba_hop_gap:.1},\n  \"ba_p99_gap_percent\": {ba_p99_gap:.1},\n  \"rmat_scale\": {rmat_scale},\n  \"rmat_hop_gap_percent\": {rmat_hop_gap:.1},\n  \"rmat_p99_gap_percent\": {rmat_p99_gap:.1},\n  \"hop_gap_percent\": {hop_gap:.1},\n  \"p99_gap_percent\": {p99_gap:.1},\n  \"quick_hop_gap_percent\": {quick_hop_gap:.1},\n  \"quick_p99_gap_percent\": {quick_p99_gap:.1}\n}}\n",
+        hops = config.hops,
+        zipf = config.zipf_exponent,
+        penalty = config.hop_penalty,
+    );
+    let mut file = std::fs::File::create(&out).expect("can create the JSON report");
+    file.write_all(json.as_bytes())
+        .expect("can write the JSON report");
+    println!("\nrecorded {out}");
+}

@@ -16,8 +16,11 @@
 //! oms generate  <family> <n> <out.metis>      # rgg | delaunay | ba | rmat | grid | er
 //!               [--weights unit|nodes|edges|full]   # weighted variants
 //! oms gen-deltas <graph> <out.deltas> [--scheme uniform|drift|burst] [--batches B] [--ops O]
+//!               [--temporal pa|drift|burst]    # timestamped temporal streams instead of churn
 //! oms apply-deltas <graph> <trace.deltas> --k 8 [--algo fennel|ldg|...] [--drift 0.2]
-//!               [--repair off|local|boundary]  # incremental maintenance vs cold restream
+//!               [--repair off|local|boundary] [--window W]  # incremental maintenance vs cold restream
+//! oms replay    <graph> --k 8 [--algo fennel|hashing|e-greedy|...] [--requests N] [--hops H]
+//!               [--zipf S] [--penalty P] [--replay-seed S]  # traffic replay: hop rate + latency
 //! oms info      <graph.metis|graph.oms>
 //! ```
 //!
@@ -69,8 +72,9 @@ const USAGE: &str = "usage:
   oms algorithms
   oms convert    <in> <out>  (out format by extension: .oms = vertex stream, .txt/.edges/.el = edge list, else METIS) [--format F] [--stream-version 1|2|3]
   oms generate   <rgg|delaunay|ba|rmat|grid|er> <n> <out.metis> [--seed S] [--weights unit|nodes|edges|full]
-  oms gen-deltas <graph> <out.deltas> [--scheme uniform|drift|burst] [--batches B] [--ops O] [--node-churn F] [--insert-frac F] [--seed S] [--format F]
-  oms apply-deltas <graph> <trace.deltas> --k <k> [--algo NAME] [--drift D] [--repair off|local|boundary] [--reference on|off] [usual job flags] [--output FILE]
+  oms gen-deltas <graph> <out.deltas> [--scheme uniform|drift|burst] [--temporal pa|drift|burst] [--batches B] [--ops O] [--node-churn F] [--insert-frac F] [--delete-frac F] [--seed S] [--format F]
+  oms apply-deltas <graph> <trace.deltas> --k <k> [--algo NAME] [--drift D] [--repair off|local|boundary] [--window W] [--reference on|off] [usual job flags] [--output FILE]
+  oms replay     <graph> --k <k> [--algo NAME | --job SPEC] [--requests N] [--hops H] [--zipf S] [--penalty P] [--arrival T] [--max-backlog B] [--replay-seed S] [usual job flags] [--format F]
   oms info       <graph> [--format F]
 
   --format F selects the input format (auto | metis | edgelist | stream); auto sniffs the extension.";
@@ -110,6 +114,7 @@ fn run(args: &[String]) -> Result<(), Error> {
         "generate" => generate_command(rest),
         "gen-deltas" => gen_deltas_command(rest),
         "apply-deltas" => apply_deltas_command(rest),
+        "replay" => replay_command(rest),
         "info" => info_command(rest),
         other => Err(Error::Usage(format!("unknown command '{other}'"))),
     }
@@ -588,7 +593,7 @@ fn algorithms_command(args: &[String]) -> Result<(), Error> {
         };
         println!("  {:<12} {}{}", algo.name, algo.description, aliases);
     }
-    println!("\njob spec grammar: <algo>:<k | a1:a2:...>[@eps=..,seed=..,threads=..,shards=..,passes=..,conv=..,base=..,hybrid=..,buf=..,lambda=..,drift=..,repair=off|local|boundary,dist=d1:d2:...]");
+    println!("\njob spec grammar: <algo>:<k | a1:a2:...>[@eps=..,seed=..,threads=..,shards=..,passes=..,conv=..,base=..,hybrid=..,buf=..,lambda=..,drift=..,repair=off|local|boundary,window=..,dist=d1:d2:...]");
     Ok(())
 }
 
@@ -704,19 +709,23 @@ fn generate_command(args: &[String]) -> Result<(), Error> {
     Ok(())
 }
 
-/// Generates a seeded churn trace (`gen-deltas`) in the textual delta
-/// grammar (`+e u v [w]`, `-e u v`, `+n v [w]`, `-n v`, `!` checkpoints) so
-/// the result feeds straight into `apply-deltas` or the library's
-/// `read_delta_trace`.
+/// Generates a seeded churn or temporal trace (`gen-deltas`) in the textual
+/// delta grammar (`+e u v [w]`, `-e u v`, `+n v [w]`, `-n v`, `!`
+/// checkpoints) so the result feeds straight into `apply-deltas` or the
+/// library's `read_delta_trace`. `--temporal pa|drift|burst` switches from
+/// churn noise to timestamped temporal streams (one batch per timestamp
+/// window).
 fn gen_deltas_command(args: &[String]) -> Result<(), Error> {
     let (positional, options) = split_options(
         args,
         &[
             "scheme",
+            "temporal",
             "batches",
             "ops",
             "node-churn",
             "insert-frac",
+            "delete-frac",
             "seed",
             "format",
         ],
@@ -727,6 +736,51 @@ fn gen_deltas_command(args: &[String]) -> Result<(), Error> {
         ));
     };
     let graph = load_graph_opt(path, &options)?;
+    if let Some(shape) = options.get("temporal") {
+        if options.contains_key("scheme") {
+            return Err(Error::Usage(
+                "--temporal replaces --scheme; drop one of them".into(),
+            ));
+        }
+        let mut config = oms_gen::TemporalConfig {
+            seed: parse_option(&options, "seed", "an integer")?.unwrap_or(42),
+            ..oms_gen::TemporalConfig::default()
+        };
+        config.scheme = match shape.as_str() {
+            "pa" => oms_gen::TemporalScheme::PreferentialAttachment { edges_per_node: 3 },
+            "drift" => oms_gen::TemporalScheme::CommunityDrift { communities: 8 },
+            "burst" => oms_gen::TemporalScheme::BurstArrivals { period: 4 },
+            other => {
+                return Err(Error::Usage(format!(
+                    "--temporal must be pa, drift or burst, got '{other}'"
+                )))
+            }
+        };
+        if let Some(batches) = parse_option(&options, "batches", "a positive integer")? {
+            config.batches = batches;
+        }
+        if let Some(ops) = parse_option(&options, "ops", "a positive integer")? {
+            config.ops_per_batch = ops;
+        }
+        if let Some(frac) = parse_option(&options, "delete-frac", "a fraction in [0, 1]")? {
+            config.delete_fraction = frac;
+        }
+        let trace = oms_gen::temporal_trace(&graph, &config);
+        oms_graph::write_delta_trace(output, &trace)?;
+        println!(
+            "wrote {output} ({} batches, {} deltas, temporal = {:?}, seed = {})",
+            trace.len(),
+            trace.iter().map(oms_graph::DeltaBatch::len).sum::<usize>(),
+            config.scheme,
+            config.seed
+        );
+        return Ok(());
+    }
+    if options.contains_key("delete-frac") {
+        return Err(Error::Usage(
+            "--delete-frac only applies to --temporal traces".into(),
+        ));
+    }
     let mut config = oms_gen::ChurnConfig {
         seed: parse_option(&options, "seed", "an integer")?.unwrap_or(42),
         ..oms_gen::ChurnConfig::default()
@@ -771,9 +825,10 @@ fn gen_deltas_command(args: &[String]) -> Result<(), Error> {
 
 /// The dynamic-maintenance pipeline behind `apply-deltas`: builds a
 /// long-lived [`oms_dynamic::PartitionState`] over the graph, applies the
-/// trace batch by batch and prints one checkpoint row per batch comparing
-/// the incrementally maintained partition against a cold restream of the
-/// same graph state (unless `--reference off`).
+/// trace batch by batch and prints one checkpoint row per `--window` batches
+/// (default 1; the final batch always checkpoints) comparing the
+/// incrementally maintained partition against a cold restream of the same
+/// graph state (unless `--reference off`).
 fn apply_deltas_command(args: &[String]) -> Result<(), Error> {
     let (positional, options) = split_options(
         args,
@@ -788,6 +843,7 @@ fn apply_deltas_command(args: &[String]) -> Result<(), Error> {
             "seed",
             "drift",
             "repair",
+            "window",
             "reference",
             "format",
             "output",
@@ -813,6 +869,9 @@ fn apply_deltas_command(args: &[String]) -> Result<(), Error> {
     }
     if let Some(repair) = options.get("repair") {
         job = job.repair(oms_core::RepairPolicy::parse(repair)?);
+    }
+    if let Some(window) = parse_option(&options, "window", "a positive integer")? {
+        job = job.window(window);
     }
     let reference = match options.get("reference").map(|s| s.as_str()).unwrap_or("on") {
         "on" => true,
@@ -842,24 +901,34 @@ fn apply_deltas_command(args: &[String]) -> Result<(), Error> {
         state.edge_cut(),
         state.imbalance()
     );
-    let mut checkpoints = Vec::with_capacity(trace.len());
+    let cadence = oms_dynamic::Checkpoints::every(job.window);
+    let mut checkpoints = Vec::with_capacity(cadence.count(trace.len()));
+    let mut window_deltas = 0usize;
+    let mut window_seconds = 0.0f64;
     for (i, batch) in trace.iter().enumerate() {
         let stats = state.apply(batch)?;
+        window_deltas += stats.deltas;
+        window_seconds += stats.seconds;
+        if !cadence.is_checkpoint(i, trace.len()) {
+            continue;
+        }
         let (restream_cut, restream_imbalance, restream_seconds) = if reference {
             state.cold_restream_reference()?
         } else {
             (state.edge_cut(), state.imbalance(), 0.0)
         };
         checkpoints.push(oms_metrics::CheckpointComparison {
-            checkpoint: i,
-            deltas: stats.deltas,
+            checkpoint: checkpoints.len(),
+            deltas: window_deltas,
             incremental_cut: state.edge_cut(),
             incremental_imbalance: state.imbalance(),
-            incremental_seconds: stats.seconds,
+            incremental_seconds: window_seconds,
             restream_cut,
             restream_imbalance,
             restream_seconds,
         });
+        window_deltas = 0;
+        window_seconds = 0.0;
     }
     println!();
     print!(
@@ -888,6 +957,136 @@ fn apply_deltas_command(args: &[String]) -> Result<(), Error> {
         write_assignments(output, state.assignments())?;
         println!("partition written to {output}");
     }
+    Ok(())
+}
+
+/// The traffic-replay pipeline behind `replay`: partitions the graph with
+/// the requested job, then fires a seeded stream of Zipf-skewed random-walk
+/// requests at the result and reports what simulated users would see —
+/// cross-block hop rate, queue-load skew and p50/p99 latency. Both
+/// node-partition algorithms and the vertex-cut `e-*` family are supported;
+/// the latter serves each hop at the block owning the traversed edge.
+fn replay_command(args: &[String]) -> Result<(), Error> {
+    let (positional, options) = split_options(
+        args,
+        &[
+            "k",
+            "job",
+            "algo",
+            "epsilon",
+            "threads",
+            "shards",
+            "passes",
+            "converge",
+            "seed",
+            "buffer",
+            "lambda",
+            "requests",
+            "hops",
+            "zipf",
+            "penalty",
+            "arrival",
+            "max-backlog",
+            "replay-seed",
+            "format",
+        ],
+    )?;
+    let Some(path) = positional.first() else {
+        return Err(Error::Usage("replay: missing graph file".into()));
+    };
+    let shape = match parse_option::<u32>(&options, "k", "a positive integer")? {
+        Some(k) => oms_core::JobShape::Flat(k),
+        None if options.contains_key("job") => oms_core::JobShape::Flat(0), // replaced by --job
+        None => return Err(Error::Usage("replay: --k (or --job) is required".into())),
+    };
+    let job = job_from_options(&options, shape, "fennel")?;
+
+    let mut config = oms_workload::ReplayConfig {
+        seed: parse_option(&options, "replay-seed", "an integer")?.unwrap_or(0),
+        ..oms_workload::ReplayConfig::default()
+    };
+    if let Some(requests) = parse_option(&options, "requests", "a positive integer")? {
+        config.requests = requests;
+    }
+    if let Some(hops) = parse_option(&options, "hops", "a non-negative integer")? {
+        config.hops = hops;
+    }
+    if let Some(zipf) = parse_option(&options, "zipf", "a non-negative number")? {
+        config.zipf_exponent = zipf;
+    }
+    if let Some(penalty) = parse_option(&options, "penalty", "a non-negative integer")? {
+        config.hop_penalty = penalty;
+    }
+    if let Some(arrival) = parse_option(&options, "arrival", "a non-negative integer")? {
+        config.arrival_every = arrival;
+    }
+    if let Some(backlog) = parse_option(&options, "max-backlog", "a non-negative integer")? {
+        config.max_backlog = backlog;
+    }
+
+    let graph = load_graph_opt(path, &options)?;
+    println!(
+        "graph      : {path} (n = {}, m = {})",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    println!("job        : {job}");
+    println!(
+        "workload   : {} requests x {} hops (zipf {:.2}, penalty {}, arrival {}, seed {})",
+        config.requests,
+        config.hops,
+        config.zipf_exponent,
+        config.hop_penalty,
+        config.arrival_every,
+        config.seed
+    );
+
+    let report = if oms_edgepart::is_edge_algorithm(&job.algorithm) {
+        let partitioner = oms_edgepart::build_edge_partitioner(&job)?;
+        let part = partitioner.run(&mut EdgesOf(InMemoryStream::new(&graph)))?;
+        println!(
+            "partition  : {} (vertex-cut, replication {:.4})",
+            part.algorithm, part.replication_factor
+        );
+        oms_workload::replay_edge_partition(
+            &graph,
+            part.partition.assignments(),
+            part.num_blocks(),
+            &config,
+        )
+    } else {
+        let partitioner = job.build()?;
+        let part = partitioner.run(&mut InMemoryStream::new(&graph))?;
+        println!(
+            "partition  : {} (cut {}, imbalance {:.4})",
+            part.algorithm, part.edge_cut, part.imbalance
+        );
+        oms_workload::replay_graph(&graph, part.partition.assignments(), &config)
+    };
+
+    println!(
+        "served     : {} of {} requests ({} rejected, {:.1}% shed)",
+        report.served,
+        report.requests,
+        report.rejected,
+        report.rejection_rate() * 100.0
+    );
+    println!(
+        "hop rate   : {:.4} cross-block ({} of {} hops)",
+        report.cross_block_hop_rate(),
+        report.cross_block_hops,
+        report.total_hops
+    );
+    println!(
+        "load skew  : {:.3} (max block over mean; 1.000 = even)",
+        report.load_skew()
+    );
+    println!("p50 latency: {} ticks", report.p50_latency);
+    println!("p99 latency: {} ticks", report.p99_latency);
+    println!(
+        "mean       : {:.1} ticks (makespan {}, log hash {:016x})",
+        report.mean_latency, report.makespan, report.request_log_hash
+    );
     Ok(())
 }
 

@@ -58,6 +58,11 @@
 //!             repair=<policy>     local-repair policy of dynamic
 //!                                 maintenance: off | local | boundary
 //!                                 (default boundary)
+//!             window=<usize>      sliding-window cadence of dynamic
+//!                                 maintenance: quality checkpoints are
+//!                                 taken every `window` delta batches (the
+//!                                 final batch always checkpoints)
+//!                                 (default 1)
 //!             dist=d1:d2:...      PE distances; enables the mapping
 //!                                 objective J in the report
 //! ```
@@ -647,6 +652,10 @@ pub struct JobSpec {
     /// Local-repair policy of dynamic maintenance. Ignored by one-shot
     /// runs.
     pub repair: RepairPolicy,
+    /// Sliding-window cadence of dynamic maintenance: quality checkpoints
+    /// are taken every `window` delta batches (the final batch of a trace
+    /// always checkpoints, whatever the cadence). Ignored by one-shot runs.
+    pub window: usize,
     /// PE distances; when present, [`Partitioner::run`] also reports the
     /// mapping objective `J`. Requires a hierarchical shape.
     pub distances: Option<DistanceSpec>,
@@ -670,6 +679,7 @@ impl JobSpec {
             lambda: DEFAULT_LAMBDA,
             drift: DEFAULT_DRIFT,
             repair: RepairPolicy::default(),
+            window: 1,
             distances: None,
         }
     }
@@ -759,6 +769,12 @@ impl JobSpec {
     /// Sets the local-repair policy of dynamic maintenance.
     pub fn repair(mut self, repair: RepairPolicy) -> Self {
         self.repair = repair;
+        self
+    }
+
+    /// Sets the sliding-window checkpoint cadence of dynamic maintenance.
+    pub fn window(mut self, window: usize) -> Self {
+        self.window = window;
         self
     }
 
@@ -857,6 +873,11 @@ impl JobSpec {
                 "drift must be positive".into(),
             ));
         }
+        if self.window == 0 {
+            return Err(PartitionError::InvalidConfig(
+                "window must be at least 1".into(),
+            ));
+        }
         if self.convergence > 0.0 && self.passes <= 1 {
             return Err(PartitionError::InvalidConfig(
                 "conv= only applies to multi-pass runs; set passes=<N> (the pass budget) as well"
@@ -929,6 +950,9 @@ impl fmt::Display for JobSpec {
         }
         if self.repair != RepairPolicy::default() {
             options.push(format!("repair={}", self.repair));
+        }
+        if self.window != 1 {
+            options.push(format!("window={}", self.window));
         }
         if let Some(d) = &self.distances {
             let joined: Vec<String> = d.distances().iter().map(u64::to_string).collect();
@@ -1058,12 +1082,18 @@ impl FromStr for JobSpec {
                     "repair" => {
                         spec.repair = RepairPolicy::parse(value)?;
                     }
+                    "window" => {
+                        spec.window = value.parse().map_err(|_| parse_err("expected an integer"))?;
+                        if spec.window == 0 {
+                            return Err(parse_err("window must be at least 1"));
+                        }
+                    }
                     "dist" | "distances" => {
                         spec.distances = Some(DistanceSpec::parse(value)?);
                     }
                     _ => {
                         return Err(PartitionError::InvalidSpec(format!(
-                            "unknown job option '{key}' (known: eps, seed, threads, shards, passes, conv, base, hybrid, buf, lambda, drift, repair, dist)"
+                            "unknown job option '{key}' (known: eps, seed, threads, shards, passes, conv, base, hybrid, buf, lambda, drift, repair, window, dist)"
                         )))
                     }
                 }
@@ -1375,6 +1405,8 @@ mod tests {
             "fennel:8@repair=local",
             "ldg:16@seed=3,drift=0.05,repair=off",
             "fennel:8@eps=0.05,passes=2,drift=0.4,repair=local",
+            "fennel:8@window=4",
+            "ldg:16@drift=0.05,repair=local,window=3",
         ] {
             let spec = JobSpec::parse(text).unwrap();
             assert_eq!(spec.to_string(), text, "canonical form");
@@ -1406,6 +1438,8 @@ mod tests {
             "fennel:8@drift=-0.5",
             "fennel:8@drift=abc",
             "fennel:8@repair=sometimes",
+            "fennel:8@window=0",
+            "fennel:8@window=abc",
         ] {
             assert!(JobSpec::parse(bad).is_err(), "'{bad}' should not parse");
         }

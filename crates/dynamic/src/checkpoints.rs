@@ -1,0 +1,192 @@
+//! Checkpoint cadence and sliding-window trace driving.
+//!
+//! Every consumer of a delta trace — the quality suites, the CLI's
+//! `apply-deltas`, the benches — needs the same answer to "after which
+//! batches do I take a quality checkpoint?". [`Checkpoints`] is that
+//! single answer: a cadence of `window` batches with the final batch
+//! always checkpointing, so a trace whose length is not a multiple of the
+//! cadence still ends on a measured state.
+//!
+//! [`PartitionState::drive_windows`] builds on it: ingest a whole trace
+//! under the job's `window=` knob and return one [`WindowStats`] row per
+//! checkpoint — the quality-over-time curve of the maintained partition.
+
+use crate::PartitionState;
+use oms_core::Result;
+use oms_graph::DeltaBatch;
+
+/// A checkpoint cadence over a delta trace: batch `i` (0-based) is a
+/// checkpoint when `i + 1` is a multiple of the cadence, and the final
+/// batch of a trace always checkpoints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Checkpoints {
+    cadence: usize,
+}
+
+impl Checkpoints {
+    /// A cadence of one checkpoint every `cadence` batches (clamped to
+    /// ≥ 1).
+    pub fn every(cadence: usize) -> Self {
+        Checkpoints {
+            cadence: cadence.max(1),
+        }
+    }
+
+    /// The cadence in batches.
+    pub fn cadence(&self) -> usize {
+        self.cadence
+    }
+
+    /// Whether batch `index` (0-based) of a trace of `len` batches is a
+    /// checkpoint.
+    pub fn is_checkpoint(&self, index: usize, len: usize) -> bool {
+        index + 1 == len || (index + 1).is_multiple_of(self.cadence)
+    }
+
+    /// Number of checkpoints a trace of `len` batches produces.
+    pub fn count(&self, len: usize) -> usize {
+        self.positions(len).len()
+    }
+
+    /// The 0-based batch indices that checkpoint, in order.
+    pub fn positions(&self, len: usize) -> Vec<usize> {
+        (0..len).filter(|&i| self.is_checkpoint(i, len)).collect()
+    }
+}
+
+/// One row of a quality-over-time curve: the maintained partition measured
+/// at a sliding-window checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowStats {
+    /// Checkpoint number (0-based, dense).
+    pub checkpoint: usize,
+    /// 0-based index of the trace batch this checkpoint measured after.
+    pub batch_index: usize,
+    /// Deltas ingested since the previous checkpoint.
+    pub deltas: usize,
+    /// Maintained edge cut at the checkpoint.
+    pub edge_cut: u64,
+    /// Maintained imbalance at the checkpoint.
+    pub imbalance: f64,
+    /// Wall-clock seconds spent ingesting this window's batches.
+    pub seconds: f64,
+    /// Drift metric at the checkpoint.
+    pub drift: f64,
+}
+
+impl PartitionState {
+    /// Ingests `trace` batch by batch under the job's `window=` cadence
+    /// and returns one [`WindowStats`] per checkpoint — the partition's
+    /// quality-over-time curve. The final batch always checkpoints; an
+    /// empty trace produces no rows.
+    pub fn drive_windows(&mut self, trace: &[DeltaBatch]) -> Result<Vec<WindowStats>> {
+        let checkpoints = Checkpoints::every(self.job().window);
+        let mut curve = Vec::with_capacity(checkpoints.count(trace.len()));
+        let mut window_deltas = 0usize;
+        let mut window_seconds = 0.0f64;
+        for (i, batch) in trace.iter().enumerate() {
+            let stats = self.apply(batch)?;
+            window_deltas += stats.deltas;
+            window_seconds += stats.seconds;
+            if checkpoints.is_checkpoint(i, trace.len()) {
+                curve.push(WindowStats {
+                    checkpoint: curve.len(),
+                    batch_index: i,
+                    deltas: window_deltas,
+                    edge_cut: self.edge_cut(),
+                    imbalance: self.imbalance(),
+                    seconds: window_seconds,
+                    drift: self.drift(),
+                });
+                window_deltas = 0;
+                window_seconds = 0.0;
+            }
+        }
+        Ok(curve)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn final_batch_always_checkpoints() {
+        // Regression: a trace whose length is not a multiple of the
+        // cadence must still checkpoint its last batch.
+        let c = Checkpoints::every(3);
+        assert_eq!(c.positions(7), vec![2, 5, 6]);
+        assert_eq!(c.count(7), 3);
+        assert!(c.is_checkpoint(6, 7));
+        assert!(!c.is_checkpoint(3, 7));
+    }
+
+    #[test]
+    fn cadence_one_checkpoints_every_batch() {
+        let c = Checkpoints::every(1);
+        assert_eq!(c.positions(4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_cadence_is_clamped() {
+        assert_eq!(Checkpoints::every(0), Checkpoints::every(1));
+        assert_eq!(Checkpoints::every(0).cadence(), 1);
+    }
+
+    #[test]
+    fn exact_multiple_has_no_duplicate_final() {
+        let c = Checkpoints::every(2);
+        assert_eq!(c.positions(6), vec![1, 3, 5]);
+        assert_eq!(c.count(6), 3);
+    }
+
+    #[test]
+    fn empty_trace_has_no_checkpoints() {
+        assert_eq!(Checkpoints::every(3).positions(0), Vec::<usize>::new());
+        assert_eq!(Checkpoints::every(3).count(0), 0);
+    }
+
+    #[test]
+    fn drive_windows_matches_manual_loop() {
+        use oms_core::JobSpec;
+        use oms_gen::{churn_trace, erdos_renyi_gnm, ChurnConfig};
+        use oms_graph::InMemoryStream;
+
+        let graph = erdos_renyi_gnm(120, 480, 3);
+        let trace = churn_trace(
+            &graph,
+            &ChurnConfig {
+                batches: 7,
+                ..ChurnConfig::default()
+            },
+        );
+        let job: JobSpec = "fennel:4@window=3".parse().unwrap();
+
+        let mut windowed = PartitionState::new(&job, &mut InMemoryStream::new(&graph)).unwrap();
+        let curve = windowed.drive_windows(&trace).unwrap();
+
+        let mut manual = PartitionState::new(&job, &mut InMemoryStream::new(&graph)).unwrap();
+        let mut cuts = Vec::new();
+        let checkpoints = Checkpoints::every(3);
+        for (i, batch) in trace.iter().enumerate() {
+            manual.apply(batch).unwrap();
+            if checkpoints.is_checkpoint(i, trace.len()) {
+                cuts.push((i, manual.edge_cut(), manual.imbalance()));
+            }
+        }
+
+        assert_eq!(curve.len(), 3);
+        assert_eq!(
+            curve
+                .iter()
+                .map(|w| (w.batch_index, w.edge_cut, w.imbalance))
+                .collect::<Vec<_>>(),
+            cuts
+        );
+        assert_eq!(
+            curve.iter().map(|w| w.deltas).sum::<usize>(),
+            trace.iter().map(DeltaBatch::len).sum::<usize>()
+        );
+        assert_eq!(curve.last().unwrap().batch_index, trace.len() - 1);
+    }
+}

@@ -42,9 +42,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoints;
 mod graph;
 mod state;
 
+pub use checkpoints::{Checkpoints, WindowStats};
 pub use graph::DynamicGraph;
 pub use state::{ApplyStats, PartitionState, TraceCursor};
 

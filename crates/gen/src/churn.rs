@@ -87,18 +87,19 @@ const MIN_LIVE_NODES: usize = 8;
 const RETRIES: usize = 64;
 
 /// The generator's mirror of the evolving graph: adjacency, liveness and an
-/// O(1)-sample list of live ids.
-struct Mirror {
-    nbrs: Vec<Vec<NodeId>>,
-    alive: Vec<bool>,
+/// O(1)-sample list of live ids. Shared with the temporal generators in
+/// [`crate::temporal`].
+pub(crate) struct Mirror {
+    pub(crate) nbrs: Vec<Vec<NodeId>>,
+    pub(crate) alive: Vec<bool>,
     /// Live ids, unordered; `pos[v]` is v's index in it (usize::MAX when
     /// dead).
-    live_ids: Vec<NodeId>,
+    pub(crate) live_ids: Vec<NodeId>,
     pos: Vec<usize>,
 }
 
 impl Mirror {
-    fn new(graph: &CsrGraph) -> Self {
+    pub(crate) fn new(graph: &CsrGraph) -> Self {
         let n = graph.num_nodes();
         Mirror {
             nbrs: (0..n)
@@ -110,27 +111,27 @@ impl Mirror {
         }
     }
 
-    fn id_space(&self) -> usize {
+    pub(crate) fn id_space(&self) -> usize {
         self.nbrs.len()
     }
 
-    fn sample_live(&self, rng: &mut ChaCha8Rng) -> Option<NodeId> {
+    pub(crate) fn sample_live(&self, rng: &mut ChaCha8Rng) -> Option<NodeId> {
         if self.live_ids.is_empty() {
             return None;
         }
         Some(self.live_ids[rng.gen_range(0..self.live_ids.len())])
     }
 
-    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+    pub(crate) fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         self.nbrs[u as usize].contains(&v)
     }
 
-    fn insert_edge(&mut self, u: NodeId, v: NodeId) {
+    pub(crate) fn insert_edge(&mut self, u: NodeId, v: NodeId) {
         self.nbrs[u as usize].push(v);
         self.nbrs[v as usize].push(u);
     }
 
-    fn delete_edge(&mut self, u: NodeId, v: NodeId) {
+    pub(crate) fn delete_edge(&mut self, u: NodeId, v: NodeId) {
         for (a, b) in [(u, v), (v, u)] {
             let list = &mut self.nbrs[a as usize];
             let i = list.iter().position(|&x| x == b).expect("mirror edge");
@@ -138,7 +139,7 @@ impl Mirror {
         }
     }
 
-    fn insert_node(&mut self) -> NodeId {
+    pub(crate) fn insert_node(&mut self) -> NodeId {
         let id = self.nbrs.len() as NodeId;
         self.nbrs.push(Vec::new());
         self.alive.push(true);
@@ -147,7 +148,7 @@ impl Mirror {
         id
     }
 
-    fn delete_node(&mut self, v: NodeId) -> Vec<NodeId> {
+    pub(crate) fn delete_node(&mut self, v: NodeId) -> Vec<NodeId> {
         let removed = std::mem::take(&mut self.nbrs[v as usize]);
         for &nbr in &removed {
             let list = &mut self.nbrs[nbr as usize];

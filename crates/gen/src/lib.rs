@@ -26,6 +26,9 @@
 //!   knob, opening the weighted workload axis on any generated graph.
 //! * [`churn`] — seeded, valid-by-construction delta traces (uniform,
 //!   community-drift, burst) feeding the `oms-dynamic` maintenance layer.
+//! * [`temporal`] — timestamped temporal edge streams (preferential
+//!   attachment over time, migrating communities, burst arrivals) emitted
+//!   as delta traces, one batch per timestamp window.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +42,7 @@ pub mod grid;
 pub mod rgg;
 pub mod rmat;
 pub mod sbm;
+pub mod temporal;
 pub mod weights;
 
 pub use ba::barabasi_albert;
@@ -53,4 +57,5 @@ pub use grid::{grid_2d, grid_3d, torus_2d};
 pub use rgg::random_geometric_graph;
 pub use rmat::{rmat_graph, RmatParams};
 pub use sbm::planted_partition;
+pub use temporal::{temporal_trace, TemporalConfig, TemporalScheme};
 pub use weights::{degree_proportional_edge_weights, power_law_node_weights, WeightScheme};

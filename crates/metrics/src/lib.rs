@@ -18,7 +18,9 @@
 //! * [`report`] — plain-text and CSV table output;
 //! * [`trajectory`] — per-pass quality trajectories of restreaming runs;
 //! * [`vertex_cut`] — replication factor and edge-balance of vertex-cut
-//!   (edge) partitions.
+//!   (edge) partitions;
+//! * [`replay`] — quality-over-time curves mixing maintained cut with
+//!   traffic-replay latency at sliding-window checkpoints.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +29,7 @@ pub mod dynamic;
 pub mod memory;
 pub mod profile;
 pub mod quality;
+pub mod replay;
 pub mod report;
 pub mod stats;
 pub mod timing;
@@ -39,6 +42,9 @@ pub use dynamic::{
 pub use memory::{graph_memory_bytes, streaming_memory_bytes, MemoryEstimate};
 pub use profile::PerformanceProfile;
 pub use quality::{block_weights, edge_cut, imbalance, max_block_weight};
+pub use replay::{
+    max_cut_ratio_over_time, max_p99, quality_over_time_table, replay_gap_percent, ReplayPoint,
+};
 pub use report::Table;
 pub use stats::{arithmetic_mean, geometric_mean, improvement_percent, message_skew, speedup};
 pub use timing::{measure, measure_repeated};

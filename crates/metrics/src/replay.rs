@@ -1,0 +1,151 @@
+//! Quality-over-time curves: replay and maintenance metrics sampled at
+//! sliding-window checkpoints.
+//!
+//! The temporal suites drive a maintained partition through a timestamped
+//! delta trace and, at every window checkpoint, measure both the
+//! structural quality (cut, imbalance, against a cold-restream yardstick)
+//! and the *served* quality (cross-block hop rate and latency percentiles
+//! from a traffic replay). One [`ReplayPoint`] records a checkpoint;
+//! [`quality_over_time_table`] renders the curve. This module holds plain
+//! records — it does not depend on the simulator (`oms-workload`); callers
+//! copy the numbers over.
+
+use crate::report::Table;
+
+/// One checkpoint of a quality-over-time curve: structural and replayed
+/// quality of the maintained partition at that moment of the trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReplayPoint {
+    /// Checkpoint index (0-based, dense).
+    pub checkpoint: usize,
+    /// Maintained edge cut at the checkpoint.
+    pub edge_cut: u64,
+    /// Cold-restream reference cut of the same graph state.
+    pub restream_cut: u64,
+    /// Maintained imbalance at the checkpoint.
+    pub imbalance: f64,
+    /// Cross-block hop rate of the replay at this checkpoint.
+    pub cross_block_hop_rate: f64,
+    /// Replayed p50 latency (ticks).
+    pub p50_latency: u64,
+    /// Replayed p99 latency (ticks).
+    pub p99_latency: u64,
+}
+
+impl ReplayPoint {
+    /// Maintained cut relative to the cold-restream yardstick (`1.0` when
+    /// both are zero, `+∞` when only the yardstick reached zero).
+    pub fn cut_ratio(&self) -> f64 {
+        match (self.edge_cut, self.restream_cut) {
+            (0, 0) => 1.0,
+            (_, 0) => f64::INFINITY,
+            (cut, re) => cut as f64 / re as f64,
+        }
+    }
+}
+
+/// The worst p99 latency across the curve (`0` for an empty curve).
+pub fn max_p99(curve: &[ReplayPoint]) -> u64 {
+    curve.iter().map(|p| p.p99_latency).max().unwrap_or(0)
+}
+
+/// The worst cut ratio across the curve (`1.0` for an empty curve).
+pub fn max_cut_ratio_over_time(curve: &[ReplayPoint]) -> f64 {
+    curve.iter().map(ReplayPoint::cut_ratio).fold(1.0, f64::max)
+}
+
+/// How much better (in percent) a candidate replay metric is than a
+/// baseline: `(baseline / candidate - 1) * 100`. Positive means the
+/// candidate improves on the baseline; `0.0` when the candidate is zero.
+pub fn replay_gap_percent(baseline: f64, candidate: f64) -> f64 {
+    if candidate == 0.0 {
+        0.0
+    } else {
+        (baseline / candidate - 1.0) * 100.0
+    }
+}
+
+/// Renders a quality-over-time curve as a table with one row per
+/// checkpoint (`checkpoint, cut, re_cut, ratio, imb, hop_rate, p50,
+/// p99`).
+pub fn quality_over_time_table(title: &str, curve: &[ReplayPoint]) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            "checkpoint",
+            "cut",
+            "re_cut",
+            "ratio",
+            "imb",
+            "hop_rate",
+            "p50",
+            "p99",
+        ],
+    );
+    for p in curve {
+        table.add_row(vec![
+            p.checkpoint.to_string(),
+            p.edge_cut.to_string(),
+            p.restream_cut.to_string(),
+            format!("{:.3}", p.cut_ratio()),
+            format!("{:.4}", p.imbalance),
+            format!("{:.4}", p.cross_block_hop_rate),
+            p.p50_latency.to_string(),
+            p.p99_latency.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(checkpoint: usize, cut: u64, re: u64, p99: u64) -> ReplayPoint {
+        ReplayPoint {
+            checkpoint,
+            edge_cut: cut,
+            restream_cut: re,
+            imbalance: 0.03,
+            cross_block_hop_rate: 0.4,
+            p50_latency: 10,
+            p99_latency: p99,
+        }
+    }
+
+    #[test]
+    fn cut_ratio_handles_zero_cuts() {
+        assert_eq!(point(0, 120, 100, 50).cut_ratio(), 1.2);
+        assert_eq!(point(0, 0, 0, 50).cut_ratio(), 1.0);
+        assert_eq!(point(0, 5, 0, 50).cut_ratio(), f64::INFINITY);
+    }
+
+    #[test]
+    fn aggregates_cover_the_curve() {
+        let curve = [
+            point(0, 110, 100, 40),
+            point(1, 150, 100, 90),
+            point(2, 90, 100, 60),
+        ];
+        assert_eq!(max_p99(&curve), 90);
+        assert_eq!(max_cut_ratio_over_time(&curve), 1.5);
+        assert_eq!(max_p99(&[]), 0);
+        assert_eq!(max_cut_ratio_over_time(&[]), 1.0);
+    }
+
+    #[test]
+    fn gap_percent_is_signed() {
+        assert!((replay_gap_percent(120.0, 100.0) - 20.0).abs() < 1e-12);
+        assert!(replay_gap_percent(80.0, 100.0) < 0.0);
+        assert_eq!(replay_gap_percent(80.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn table_has_one_row_per_checkpoint() {
+        let t = quality_over_time_table("temporal", &[point(0, 110, 100, 42)]);
+        assert_eq!(t.num_rows(), 1);
+        assert!(t.to_csv().contains("checkpoint,cut,re_cut,ratio"));
+        assert!(t.to_csv().contains("1.100"));
+        assert!(t.to_csv().contains("42"));
+    }
+}

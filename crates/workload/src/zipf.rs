@@ -1,0 +1,117 @@
+//! A seeded Zipf sampler over ranks `0..n`.
+//!
+//! The build environment has no crates.io access, so the `rand` shim has no
+//! distribution module; this is a small CDF-inversion sampler: weight
+//! `1/(rank+1)^s`, cumulative table built once, each draw is one uniform
+//! `f64` plus a binary search. Fixed summation order keeps the table — and
+//! therefore every sample stream — bit-reproducible across platforms.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Zipf-distributed rank sampler: rank `r` is drawn with probability
+/// proportional to `1/(r+1)^s`. `s = 0` degenerates to uniform; larger
+/// exponents concentrate mass on the first ranks (the hubs).
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    /// Cumulative (unnormalised) weights; `cdf[r]` = total weight of ranks
+    /// `0..=r`.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` ranks with exponent `exponent` (clamped
+    /// to be non-negative and finite).
+    ///
+    /// # Panics
+    /// Panics when `n == 0`: there is no rank to sample.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one rank");
+        let s = if exponent.is_finite() {
+            exponent.max(0.0)
+        } else {
+            0.0
+        };
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += ((rank + 1) as f64).powf(-s);
+            cdf.push(total);
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is over zero ranks (never true — `new` rejects
+    /// `n == 0` — but the conventional pair to [`ZipfSampler::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample(&self, rng: &mut ChaCha8Rng) -> usize {
+        let total = *self.cdf.last().expect("non-empty CDF");
+        let u: f64 = rng.gen::<f64>() * total;
+        // Rank r covers the half-open weight interval (cdf[r-1], cdf[r]].
+        match self
+            .cdf
+            .binary_search_by(|w| w.partial_cmp(&u).expect("finite weights"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn histogram(n: usize, s: f64, draws: usize, seed: u64) -> Vec<usize> {
+        let sampler = ZipfSampler::new(n, s);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut counts = vec![0usize; n];
+        for _ in 0..draws {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn samples_stay_in_range_and_reproduce() {
+        let a = histogram(37, 1.1, 5000, 9);
+        let b = histogram(37, 1.1, 5000, 9);
+        assert_eq!(a, b, "same seed must reproduce the sample stream");
+        assert_eq!(a.iter().sum::<usize>(), 5000);
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let counts = histogram(50, 1.2, 20_000, 3);
+        assert!(counts[0] > counts[49], "rank 0 must dominate the tail");
+        // With s = 1.2 over 50 ranks, rank 0 holds > 20 % of the mass.
+        assert!(counts[0] > 4000, "rank 0 too light: {}", counts[0]);
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let counts = histogram(10, 0.0, 50_000, 7);
+        for (rank, &c) in counts.iter().enumerate() {
+            assert!(
+                (3500..=6500).contains(&c),
+                "rank {rank} count {c} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_always_sampled() {
+        let counts = histogram(1, 2.0, 100, 1);
+        assert_eq!(counts[0], 100);
+    }
+}

@@ -22,7 +22,10 @@
 //!   evolving graphs: delta ingestion, local repair, drift-triggered
 //!   restream fallback and warm restart from on-disk snapshots;
 //! * [`metrics`] (`oms-metrics`) — evaluation statistics, performance
-//!   profiles, memory accounting and reporting.
+//!   profiles, memory accounting and reporting;
+//! * [`workload`] (`oms-workload`) — the seeded traffic-replay simulator:
+//!   Zipf-skewed random-walk requests with per-block queueing, measuring a
+//!   partition by the latency users would see.
 //!
 //! ## Quickstart
 //!
@@ -73,6 +76,7 @@ pub use oms_graph as graph;
 pub use oms_mapping as mapping;
 pub use oms_metrics as metrics;
 pub use oms_multilevel as multilevel;
+pub use oms_workload as workload;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -84,7 +88,9 @@ pub mod prelude {
         ReFennel, ReHashing, ReLdg, ReOms, RepairPolicy, RestreamOptions, ScorerKind, ShardStats,
         ShardedFlat, StreamingPartitioner,
     };
-    pub use oms_dynamic::{ApplyStats, DynamicGraph, PartitionState, TraceCursor};
+    pub use oms_dynamic::{
+        ApplyStats, Checkpoints, DynamicGraph, PartitionState, TraceCursor, WindowStats,
+    };
     pub use oms_edgepart::{
         build_edge_partitioner, find_edge_algorithm, is_edge_algorithm, registered_edge_algorithms,
         EdgePartition, EdgePartitionReport, EdgePartitioner, EdgePassStats,
@@ -93,7 +99,8 @@ pub mod prelude {
     pub use oms_gen::{
         barabasi_albert, churn_trace, degree_proportional_edge_weights, delaunay_graph,
         erdos_renyi_gnm, grid_2d, planted_partition, power_law_node_weights,
-        random_geometric_graph, rmat_graph, ChurnConfig, ChurnScheme, WeightScheme,
+        random_geometric_graph, rmat_graph, temporal_trace, ChurnConfig, ChurnScheme,
+        TemporalConfig, TemporalScheme, WeightScheme,
     };
     pub use oms_graph::{
         read_delta_trace, write_delta_trace, CsrGraph, Delta, DeltaBatch, EdgeBatch, EdgeStream,
@@ -103,10 +110,14 @@ pub mod prelude {
     pub use oms_mapping::{mapping_cost, offline_block_mapping, remap_partition, Topology};
     pub use oms_metrics::{
         edge_cut, geometric_mean, improvement_percent, max_cut_ratio, message_skew,
-        repair_vs_restream_speedup, CheckpointComparison,
+        repair_vs_restream_speedup, CheckpointComparison, ReplayPoint,
     };
     pub use oms_multilevel::{
         register_algorithms as register_multilevel_algorithms, BufferedMultilevel,
         MultilevelConfig, MultilevelPartitioner, RecursiveMultisection,
+    };
+    pub use oms_workload::{
+        replay_edge_partition, replay_graph, replay_stream, replica_sets, ReplayConfig,
+        ReplayReport, ZipfSampler,
     };
 }

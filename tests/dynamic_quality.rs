@@ -60,21 +60,34 @@ fn run_churn(
         },
     );
     let mut state = PartitionState::new(job, &mut InMemoryStream::new(graph)).unwrap();
+    // The job's `window=` knob drives the shared checkpoint cadence (the
+    // same helper the CLI and `drive_windows` use), so the final batch is
+    // always compared even when the trace length is not a multiple of it.
+    let cadence = Checkpoints::every(job.window);
     let mut checkpoints = Vec::new();
+    let mut window_deltas = 0usize;
+    let mut window_seconds = 0.0;
     for (i, batch) in trace.iter().enumerate() {
         let stats = state.apply(batch).unwrap();
+        window_deltas += stats.deltas;
+        window_seconds += stats.seconds;
+        if !cadence.is_checkpoint(i, trace.len()) {
+            continue;
+        }
         let (restream_cut, restream_imbalance, restream_seconds) =
             state.cold_restream_reference().unwrap();
         checkpoints.push(CheckpointComparison {
-            checkpoint: i,
-            deltas: stats.deltas,
+            checkpoint: checkpoints.len(),
+            deltas: window_deltas,
             incremental_cut: state.edge_cut(),
             incremental_imbalance: state.imbalance(),
-            incremental_seconds: stats.seconds,
+            incremental_seconds: window_seconds,
             restream_cut,
             restream_imbalance,
             restream_seconds,
         });
+        window_deltas = 0;
+        window_seconds = 0.0;
     }
     (state, checkpoints)
 }
@@ -107,6 +120,28 @@ fn churn_quality_tracks_cold_restream() {
             "{name}: trace applied no deltas"
         );
     }
+}
+
+/// Regression: when the trace length is not a multiple of the window
+/// cadence, the final partial window still closes with a checkpoint, so no
+/// trailing deltas escape the quality comparison. (The old hard-coded
+/// cadence compared after every batch and could not express this case at
+/// all; the shared [`Checkpoints`] helper pins the corrected rule.)
+#[test]
+fn partial_final_window_still_checkpoints() {
+    let graph = erdos_renyi_gnm(400, 1_600, 31);
+    let job: JobSpec = "fennel:8@window=4".parse().unwrap();
+    let (state, checkpoints) = run_churn(&graph, ChurnScheme::Uniform, &job, 6, 40, 0xACE5);
+    // 6 batches at window 4 close after batches 4 and 6 — the helper and
+    // the observed comparisons must agree.
+    assert_eq!(checkpoints.len(), Checkpoints::every(4).count(6));
+    assert_eq!(checkpoints.len(), 2);
+    let compared: usize = checkpoints.iter().map(|c| c.deltas).sum();
+    assert_eq!(
+        compared as u64,
+        state.counters().deltas_applied,
+        "every applied delta must fall inside some compared window"
+    );
 }
 
 /// Exceeding the drift threshold falls back to a full restream, and the

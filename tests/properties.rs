@@ -298,6 +298,9 @@ fn arbitrary_jobspec(rng: &mut ChaCha8Rng) -> JobSpec {
         let distances: Vec<u64> = (0..levels).map(|_| rng.gen_range(1u64..1000)).collect();
         spec = spec.distances(DistanceSpec::new(distances).unwrap());
     }
+    if rng.gen_range(0..3usize) == 0 {
+        spec = spec.window(rng.gen_range(2usize..12));
+    }
     spec
 }
 
@@ -418,6 +421,86 @@ fn multi_pass_balance_holds_and_cut_never_increases() {
                 "{spec}: final pass is the returned partition"
             );
             assert!(report.partition.max_block_weight() <= capacity, "{spec}");
+        }
+    });
+}
+
+/// Traffic replay conserves its accounting on arbitrary graphs,
+/// assignments and admission policies: every request is either served or
+/// rejected, the per-block queue totals sum to exactly the request-hop
+/// count, cross-block hops never exceed total hops, and the percentile
+/// ordering holds. A stress variant (all requests at tick 0 against a tiny
+/// backlog cap) forces the rejection path.
+#[test]
+fn replay_conservation_holds_for_arbitrary_workloads() {
+    run_cases(32, |rng| {
+        let graph = arbitrary_graph(rng, 2, 120);
+        let k = rng.gen_range(1u32..10);
+        let assignments: Vec<BlockId> = (0..graph.num_nodes())
+            .map(|_| rng.gen_range(0..k))
+            .collect();
+        let base = ReplayConfig {
+            requests: rng.gen_range(1usize..400),
+            hops: rng.gen_range(0usize..12),
+            zipf_exponent: [0.0, 0.8, 1.1, 1.6][rng.gen_range(0..4usize)],
+            hop_penalty: rng.gen_range(0u64..10),
+            arrival_every: rng.gen_range(0u64..4),
+            max_backlog: 0,
+            seed: rng.gen_range(0u64..1000),
+        };
+        let stress = ReplayConfig {
+            arrival_every: 0,
+            max_backlog: rng.gen_range(1u64..6),
+            ..base
+        };
+        for config in [base, stress] {
+            let report = replay_graph(&graph, &assignments, &config);
+            assert_eq!(report.requests, report.served + report.rejected);
+            assert_eq!(
+                report.block_load.iter().sum::<u64>(),
+                report.total_hops,
+                "per-block queue totals must sum to the request-hop count"
+            );
+            assert!(report.cross_block_hops <= report.total_hops);
+            assert!(report.p50_latency <= report.p99_latency);
+            if report.served > 0 {
+                assert!(report.total_hops >= report.served as u64);
+            } else {
+                assert_eq!(report.total_hops, 0);
+            }
+        }
+    });
+}
+
+/// The Zipf sampler is sane: samples stay in range, a skewed exponent
+/// prefers the top rank over the bottom rank, and a fixed seed reproduces
+/// the exact draw sequence.
+#[test]
+fn zipf_sampler_is_skewed_in_range_and_deterministic() {
+    run_cases(32, |rng| {
+        let n = rng.gen_range(2usize..200);
+        let exponent = [0.8, 1.1, 1.5][rng.gen_range(0..3usize)];
+        let sampler = ZipfSampler::new(n, exponent);
+        let seed = rng.gen_range(0u64..1000);
+        let mut counts = vec![0u64; n];
+        let mut draw_rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..2000 {
+            let rank = sampler.sample(&mut draw_rng);
+            assert!(rank < n, "sampled rank {rank} out of range 0..{n}");
+            counts[rank] += 1;
+        }
+        assert!(
+            counts[0] >= counts[n - 1],
+            "rank 0 ({}) must be drawn at least as often as rank {} ({})",
+            counts[0],
+            n - 1,
+            counts[n - 1]
+        );
+        // Reproducibility: the same seed replays the identical sequence.
+        let mut a = ChaCha8Rng::seed_from_u64(seed);
+        let mut b = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..100 {
+            assert_eq!(sampler.sample(&mut a), sampler.sample(&mut b));
         }
     });
 }
