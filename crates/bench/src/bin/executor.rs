@@ -28,8 +28,8 @@ use oms_bench::BenchArgs;
 use oms_core::{Fennel, OnePassConfig, StreamingPartitioner};
 use oms_graph::io::{write_stream_file, DiskStream};
 use oms_graph::{CsrGraph, InMemoryStream, PerNodeBatches};
+use oms_obs::Stopwatch;
 use std::io::Write;
-use std::time::Instant;
 
 const K: u32 = 64;
 
@@ -39,9 +39,9 @@ fn measure<F: FnMut() -> u64>(reps: usize, mut f: F) -> (f64, u64) {
     let mut best = f64::INFINITY;
     let mut cut = 0;
     for _ in 0..reps.max(1) {
-        let start = Instant::now();
+        let clock = Stopwatch::start();
         cut = f();
-        best = best.min(start.elapsed().as_secs_f64());
+        best = best.min(clock.seconds());
     }
     (best, cut)
 }
@@ -59,13 +59,13 @@ fn main() {
     let scale = if quick { 16 } else { 20 };
     let reps = args.reps.max(1);
 
-    let t0 = Instant::now();
+    let clock = Stopwatch::start();
     let graph: CsrGraph = oms_gen::rmat_graph(scale, nodes * 8, oms_gen::RmatParams::GRAPH500, 7);
     let n = graph.num_nodes();
     println!(
         "rmat scale {scale}: n = {n}, m = {}, k = {K}, reps = {reps} (generated in {:.1}s)\n",
         graph.num_edges(),
-        t0.elapsed().as_secs_f64()
+        clock.seconds()
     );
     let fennel = Fennel::new(K, OnePassConfig::default());
 
@@ -104,7 +104,7 @@ fn main() {
             if cold {
                 drop_page_cache();
             }
-            let start = Instant::now();
+            let clock = Stopwatch::start();
             let mut stream = DiskStream::open(&path)
                 .unwrap()
                 .double_buffered(double_buffered);
@@ -112,7 +112,7 @@ fn main() {
                 .partition_stream(&mut stream)
                 .unwrap()
                 .edge_cut(&graph);
-            let seconds = start.elapsed().as_secs_f64();
+            let seconds = clock.seconds();
             std::fs::remove_file(&path).ok();
             assert!(
                 disk_cut == 0 || disk_cut == cut,

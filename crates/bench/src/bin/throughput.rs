@@ -35,8 +35,8 @@ use oms_core::{
 };
 use oms_graph::io::{write_stream_file_with, DiskStream, StreamFormatVersion, StreamWriteOptions};
 use oms_graph::{CsrGraph, EdgeStream, EdgesOf, InMemoryStream};
+use oms_obs::Stopwatch;
 use std::io::Write;
-use std::time::Instant;
 
 const K: u32 = 64;
 /// Allowed relative drop of nodes/s vs the committed baseline.
@@ -48,9 +48,9 @@ fn measure<F: FnMut() -> Vec<u32>>(reps: usize, mut f: F) -> (f64, Vec<u32>) {
     let mut best = f64::INFINITY;
     let mut assignments = Vec::new();
     for _ in 0..reps.max(1) {
-        let start = Instant::now();
+        let clock = Stopwatch::start();
         assignments = f();
-        best = best.min(start.elapsed().as_secs_f64());
+        best = best.min(clock.seconds());
     }
     (best, assignments)
 }
@@ -128,13 +128,13 @@ fn run_algorithm<P: StreamingPartitioner>(
             if cold {
                 drop_page_cache();
             }
-            let start = Instant::now();
+            let clock = Stopwatch::start();
             let assign = algo
                 .partition_stream(&mut DiskStream::open(&path).unwrap())
                 .unwrap()
                 .assignments()
                 .to_vec();
-            best = best.min(start.elapsed().as_secs_f64());
+            best = best.min(clock.seconds());
             std::fs::remove_file(&path).ok();
             assert_eq!(
                 assign,
@@ -178,13 +178,13 @@ fn main() {
     let scale = if quick { 16 } else { 20 };
     let reps = args.reps.max(1);
 
-    let t0 = Instant::now();
+    let clock = Stopwatch::start();
     let graph: CsrGraph = oms_gen::rmat_graph(scale, nodes * 8, oms_gen::RmatParams::GRAPH500, 7);
     let n = graph.num_nodes();
     let m = graph.num_edges();
     println!(
         "rmat scale {scale}: n = {n}, m = {m}, k = {K}, reps = {reps} (generated in {:.1}s)\n",
-        t0.elapsed().as_secs_f64()
+        clock.seconds()
     );
 
     let cold = drop_page_cache();
@@ -248,13 +248,13 @@ fn main() {
             if cold {
                 drop_page_cache();
             }
-            let start = Instant::now();
+            let clock = Stopwatch::start();
             let mut edges = 0u64;
             EdgesOf(DiskStream::open(&path).unwrap())
                 .for_each_edge(&mut |_| edges += 1)
                 .unwrap();
             assert_eq!(edges as usize, m, "edge scan must visit every edge once");
-            best = best.min(start.elapsed().as_secs_f64());
+            best = best.min(clock.seconds());
         }
         std::fs::remove_file(&path).ok();
         rows.push(Row {

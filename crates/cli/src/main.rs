@@ -21,8 +21,13 @@
 //!               [--repair off|local|boundary] [--window W]  # incremental maintenance vs cold restream
 //! oms replay    <graph> --k 8 [--algo fennel|hashing|e-greedy|...] [--requests N] [--hops H]
 //!               [--zipf S] [--penalty P] [--replay-seed S]  # traffic replay: hop rate + latency
+//! oms trace     <trace.jsonl>                 # summarize a recorded trace, verify its hash
 //! oms info      <graph.metis|graph.oms>
 //! ```
+//!
+//! `partition`, `apply-deltas` and `replay` additionally accept
+//! `--trace FILE` (record the run's deterministic JSON-lines event trace)
+//! and `--metrics` (print a Prometheus-style exposition after the run).
 //!
 //! `--format` overrides the extension-based sniffing (`.oms` = binary
 //! vertex stream, `.txt`/`.edges`/`.el` = edge list, everything else =
@@ -75,9 +80,12 @@ const USAGE: &str = "usage:
   oms gen-deltas <graph> <out.deltas> [--scheme uniform|drift|burst] [--temporal pa|drift|burst] [--batches B] [--ops O] [--node-churn F] [--insert-frac F] [--delete-frac F] [--seed S] [--format F]
   oms apply-deltas <graph> <trace.deltas> --k <k> [--algo NAME] [--drift D] [--repair off|local|boundary] [--window W] [--reference on|off] [usual job flags] [--output FILE]
   oms replay     <graph> --k <k> [--algo NAME | --job SPEC] [--requests N] [--hops H] [--zipf S] [--penalty P] [--arrival T] [--max-backlog B] [--replay-seed S] [usual job flags] [--format F]
+  oms trace      <trace.jsonl>  (summarize a trace recorded with --trace and verify its event-log hash)
   oms info       <graph> [--format F]
 
-  --format F selects the input format (auto | metis | edgelist | stream); auto sniffs the extension.";
+  --format F selects the input format (auto | metis | edgelist | stream); auto sniffs the extension.
+  partition, apply-deltas and replay also accept --trace FILE (record a JSON-lines event trace)
+  and --metrics (print a Prometheus-style exposition of the run's counters and histograms).";
 
 enum Error {
     Usage(String),
@@ -115,6 +123,7 @@ fn run(args: &[String]) -> Result<(), Error> {
         "gen-deltas" => gen_deltas_command(rest),
         "apply-deltas" => apply_deltas_command(rest),
         "replay" => replay_command(rest),
+        "trace" => trace_command(rest),
         "info" => info_command(rest),
         other => Err(Error::Usage(format!("unknown command '{other}'"))),
     }
@@ -158,6 +167,67 @@ fn split_options(
         }
     }
     Ok((positional, options))
+}
+
+/// Strips a valueless `--flag` from the raw argument list before
+/// [`split_options`] (which requires every option to carry a value).
+fn take_flag(args: &[String], flag: &str) -> (Vec<String>, bool) {
+    let mut present = false;
+    let mut rest = Vec::with_capacity(args.len());
+    for arg in args {
+        if arg == flag {
+            present = true;
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    (rest, present)
+}
+
+/// Observability wiring behind `--trace FILE` / `--metrics`: installs a
+/// recording observer for the duration of the command; [`ObsSession::finish`]
+/// writes the JSON-lines trace and/or prints the Prometheus exposition.
+/// With neither flag set, nothing is installed and the engines run with the
+/// free no-op observer.
+struct ObsSession {
+    recording: Option<(std::sync::Arc<oms_obs::ObsCore>, oms_obs::ObsGuard)>,
+    trace_path: Option<String>,
+    metrics: bool,
+}
+
+impl ObsSession {
+    fn start(options: &HashMap<String, String>, metrics: bool) -> ObsSession {
+        let trace_path = options.get("trace").cloned();
+        let recording = (trace_path.is_some() || metrics)
+            .then(|| oms_obs::recording(oms_obs::DEFAULT_CAPACITY));
+        ObsSession {
+            recording,
+            trace_path,
+            metrics,
+        }
+    }
+
+    fn finish(self) -> Result<(), Error> {
+        let Some((core, guard)) = self.recording else {
+            return Ok(());
+        };
+        drop(guard);
+        if let Some(path) = &self.trace_path {
+            std::fs::write(path, oms_obs::trace_jsonl(&core))
+                .map_err(|e| Error::Internal(format!("cannot write {path}: {e}")))?;
+            println!(
+                "trace      : {path} ({} events, {} dropped, log hash {:016x})",
+                core.recorded(),
+                core.dropped(),
+                core.log_hash()
+            );
+        }
+        if self.metrics {
+            println!();
+            print!("{}", oms_obs::prometheus(&core));
+        }
+        Ok(())
+    }
 }
 
 /// Input formats accepted by `--format` (default `auto` sniffs the
@@ -323,11 +393,12 @@ fn print_trajectory(trajectory: &[oms_core::PassStats]) {
 }
 
 fn partition_command(args: &[String]) -> Result<(), Error> {
+    let (args, metrics) = take_flag(args, "--metrics");
     let (positional, options) = split_options(
-        args,
+        &args,
         &[
             "k", "job", "algo", "epsilon", "threads", "shards", "passes", "converge", "seed",
-            "buffer", "lambda", "format", "output",
+            "buffer", "lambda", "format", "output", "trace",
         ],
     )?;
     let Some(path) = positional.first() else {
@@ -339,10 +410,12 @@ fn partition_command(args: &[String]) -> Result<(), Error> {
         None => return Err(Error::Usage("partition: --k (or --job) is required".into())),
     };
     let job = job_from_options(&options, shape, "oms")?;
+    let obs = ObsSession::start(&options, metrics);
     if oms_edgepart::is_edge_algorithm(&job.algorithm) {
         // The e-* algorithms partition *edges* (vertex-cut objective);
         // they report the replication factor instead of the edge-cut.
-        return edge_partition_command(path, &options, &job);
+        edge_partition_command(path, &options, &job)?;
+        return obs.finish();
     }
     let partitioner = job.build()?;
 
@@ -399,7 +472,7 @@ fn partition_command(args: &[String]) -> Result<(), Error> {
         write_assignments(output, report.partition.assignments())?;
         println!("partition written to {output}");
     }
-    Ok(())
+    obs.finish()
 }
 
 /// The vertex-cut pipeline behind `partition --algo e-*`: runs an edge
@@ -830,8 +903,9 @@ fn gen_deltas_command(args: &[String]) -> Result<(), Error> {
 /// incrementally maintained partition against a cold restream of the same
 /// graph state (unless `--reference off`).
 fn apply_deltas_command(args: &[String]) -> Result<(), Error> {
+    let (args, metrics) = take_flag(args, "--metrics");
     let (positional, options) = split_options(
-        args,
+        &args,
         &[
             "k",
             "job",
@@ -847,6 +921,7 @@ fn apply_deltas_command(args: &[String]) -> Result<(), Error> {
             "reference",
             "format",
             "output",
+            "trace",
         ],
     )?;
     let (Some(path), Some(trace_path)) = (positional.first(), positional.get(1)) else {
@@ -884,6 +959,7 @@ fn apply_deltas_command(args: &[String]) -> Result<(), Error> {
     };
     let graph = load_graph_opt(path, &options)?;
     let trace = oms_graph::read_delta_trace(trace_path)?;
+    let obs = ObsSession::start(&options, metrics);
     let mut state = oms_dynamic::PartitionState::new(&job, &mut InMemoryStream::new(&graph))?;
     println!(
         "graph      : {path} (n = {}, m = {})",
@@ -957,7 +1033,7 @@ fn apply_deltas_command(args: &[String]) -> Result<(), Error> {
         write_assignments(output, state.assignments())?;
         println!("partition written to {output}");
     }
-    Ok(())
+    obs.finish()
 }
 
 /// The traffic-replay pipeline behind `replay`: partitions the graph with
@@ -967,8 +1043,9 @@ fn apply_deltas_command(args: &[String]) -> Result<(), Error> {
 /// node-partition algorithms and the vertex-cut `e-*` family are supported;
 /// the latter serves each hop at the block owning the traversed edge.
 fn replay_command(args: &[String]) -> Result<(), Error> {
+    let (args, metrics) = take_flag(args, "--metrics");
     let (positional, options) = split_options(
-        args,
+        &args,
         &[
             "k",
             "job",
@@ -989,6 +1066,7 @@ fn replay_command(args: &[String]) -> Result<(), Error> {
             "max-backlog",
             "replay-seed",
             "format",
+            "trace",
         ],
     )?;
     let Some(path) = positional.first() else {
@@ -1041,6 +1119,7 @@ fn replay_command(args: &[String]) -> Result<(), Error> {
         config.seed
     );
 
+    let obs = ObsSession::start(&options, metrics);
     let report = if oms_edgepart::is_edge_algorithm(&job.algorithm) {
         let partitioner = oms_edgepart::build_edge_partitioner(&job)?;
         let part = partitioner.run(&mut EdgesOf(InMemoryStream::new(&graph)))?;
@@ -1087,6 +1166,30 @@ fn replay_command(args: &[String]) -> Result<(), Error> {
         "mean       : {:.1} ticks (makespan {}, log hash {:016x})",
         report.mean_latency, report.makespan, report.request_log_hash
     );
+    obs.finish()
+}
+
+/// The `oms trace` subcommand: parses a JSON-lines trace recorded with
+/// `--trace`, prints the summary and verifies the event-log hash against
+/// the `trace_end` footer. A hash mismatch is an internal error (exit 2):
+/// the file does not describe the run it claims to.
+fn trace_command(args: &[String]) -> Result<(), Error> {
+    let (positional, _options) = split_options(args, &[])?;
+    let Some(path) = positional.first() else {
+        return Err(Error::Usage("trace: missing trace file".into()));
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| Error::Internal(format!("cannot read {path}: {e}")))?;
+    let summary = oms_obs::summarize(&text).map_err(Error::Usage)?;
+    println!("trace            {path}");
+    print!("{summary}");
+    if summary.hash_verified() == Some(false) {
+        return Err(Error::Internal(format!(
+            "event-log hash mismatch: footer {:#018x}, recomputed {:#018x}",
+            summary.footer.map(|f| f.log_hash).unwrap_or(0),
+            summary.recomputed_hash
+        )));
+    }
     Ok(())
 }
 

@@ -105,10 +105,10 @@ use crate::restream::{ReFennel, ReHashing, ReLdg, ReOms};
 use crate::shard::{ShardStats, ShardedFlat};
 use crate::{BlockId, PartitionError, Result};
 use oms_graph::{CsrGraph, EdgeWeight, NodeId, NodeStream, NodeWeight};
+use oms_obs::Stopwatch;
 use std::fmt;
 use std::str::FromStr;
 use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
 
 // ----------------------------------------------------------------- the trait
 
@@ -219,9 +219,9 @@ pub trait Partitioner {
     /// includes the engine's per-pass metric passes (the per-pass
     /// [`PassStats::seconds`] exclude them).
     fn run(&self, stream: &mut dyn NodeStream) -> Result<PartitionReport> {
-        let start = Instant::now();
+        let clock = Stopwatch::start();
         let (partition, trajectory) = self.partition_tracked(stream)?;
-        let seconds = start.elapsed().as_secs_f64();
+        let seconds = clock.seconds();
         let edge_cut = match trajectory.final_edge_cut() {
             // The trajectory's last accepted pass is the returned
             // partition; its cut was already measured stream-side.

@@ -32,8 +32,8 @@
 use crate::partition::UNASSIGNED;
 use crate::{BlockId, Result};
 use oms_graph::{CsrGraph, NodeBatch, NodeId, NodeStream, StreamedNode};
+use oms_obs::{CounterId, Event, HistId, Stopwatch};
 use rayon::prelude::*;
-use std::time::Instant;
 
 /// Default number of nodes the executor pulls per batch.
 pub const DEFAULT_BATCH_SIZE: usize = oms_graph::DEFAULT_BATCH_SIZE;
@@ -316,6 +316,12 @@ impl PassTracker {
         self.pass_no += 1;
     }
 
+    /// Edge cut of the best assignment seen so far (the one a revert
+    /// restores), when any pass or seed has been recorded.
+    pub fn best_cut(&self) -> Option<u64> {
+        self.best.as_ref().map(|(cut, _)| *cut)
+    }
+
     /// The recorded trajectory.
     pub fn finish(self) -> PassTrajectory {
         self.trajectory
@@ -470,19 +476,32 @@ impl BatchExecutor {
             }
 
             sink.begin_pass(i);
-            let start = Instant::now();
+            oms_obs::observe(Event::PassStart { pass: i as u32 });
+            let clock = Stopwatch::start();
             // for_each_node, not for_each_batch: in-memory sources serve
             // borrowed CSR slices with no copy, and sources with real
             // ingest (disk) implement it on top of their batched —
             // double-buffered — reader anyway.
-            stream.for_each_node(&mut |node| sink.process(node))?;
+            let mut pass_nodes = 0u64;
+            stream.for_each_node(&mut |node| {
+                pass_nodes += 1;
+                sink.process(node)
+            })?;
             // Flush before the timing stops: a buffering sink's flush is
             // part of the pass's work, and `assignments` below must see the
             // complete pass.
             sink.end_pass(i);
-            let seconds = start.elapsed().as_secs_f64();
+            let seconds = clock.seconds();
+            oms_obs::counter_add(CounterId::RestreamPasses, 1);
+            oms_obs::hist_record(HistId::PassMicros, (seconds * 1e6) as u64);
 
             if !tracked {
+                oms_obs::observe(Event::PassEnd {
+                    pass: i as u32,
+                    nodes: pass_nodes,
+                    edge_cut: 0,
+                    moved: 0,
+                });
                 continue;
             }
             let assignments = sink.assignments().expect("tracked");
@@ -493,6 +512,12 @@ impl BatchExecutor {
                 .count();
             reset(stream, &mut needs_reset)?;
             let (edge_cut, imbalance) = measure_pass(stream, assignments, sink.num_blocks())?;
+            let accepted = Event::PassEnd {
+                pass: i as u32,
+                nodes: pass_nodes,
+                edge_cut,
+                moved: moved as u64,
+            };
             match tracker.observe(
                 i + 1 == passes,
                 moved,
@@ -501,14 +526,28 @@ impl BatchExecutor {
                 imbalance,
                 assignments,
             ) {
-                PassOutcome::Continue => {}
-                PassOutcome::Stop => break,
+                PassOutcome::Continue => {
+                    oms_obs::observe(accepted);
+                    oms_obs::hist_record(HistId::PassMoved, moved as u64);
+                }
+                PassOutcome::Stop => {
+                    oms_obs::observe(accepted);
+                    oms_obs::hist_record(HistId::PassMoved, moved as u64);
+                    break;
+                }
                 PassOutcome::Revert(best) => {
                     // The pass overshot; put the best assignment back. A
                     // sink without restore support keeps the worse state —
                     // record it so the trajectory ends on what is returned.
                     if !sink.restore(&best) {
                         tracker.accept_unreverted(moved, seconds, edge_cut, imbalance);
+                        oms_obs::observe(accepted);
+                    } else {
+                        oms_obs::counter_add(CounterId::RestreamReverts, 1);
+                        oms_obs::observe(Event::PassReverted {
+                            pass: i as u32,
+                            kept_cut: tracker.best_cut().unwrap_or(edge_cut),
+                        });
                     }
                     break;
                 }
@@ -525,7 +564,15 @@ impl BatchExecutor {
         stream: &mut dyn NodeStream,
         f: &mut dyn FnMut(&NodeBatch),
     ) -> Result<()> {
-        stream.for_each_batch(self.batch_size, f)?;
+        let mut batch_index = 0u64;
+        stream.for_each_batch(self.batch_size, &mut |batch| {
+            f(batch);
+            oms_obs::observe(Event::BatchScored {
+                batch: batch_index,
+                nodes: batch.len() as u64,
+            });
+            batch_index += 1;
+        })?;
         Ok(())
     }
 

@@ -319,6 +319,10 @@ impl NodeSink for FlatSink {
         self.state.assign(node);
     }
 
+    fn end_pass(&mut self, _pass: usize) {
+        self.state.flush_hot_counters();
+    }
+
     fn assignments(&self) -> Option<&[BlockId]> {
         Some(&self.state.assignments)
     }
@@ -360,6 +364,12 @@ pub(crate) struct FlatState {
     capacity: NodeWeight,
     alpha: f64,
     gamma: f64,
+    /// Hot-path tallies: nodes scored and degree ≤ 2 fast-path hits. Plain
+    /// fields (one register add each on the scoring path) drained into the
+    /// `oms-obs` counter registry at pass boundaries, so per-node work
+    /// never touches the observer slot.
+    scored: u64,
+    fast_path: u64,
 }
 
 impl FlatState {
@@ -400,6 +410,8 @@ impl FlatState {
             capacity: Partition::capacity(total_weight, k, config.epsilon),
             alpha: fennel_alpha(k, m, n),
             gamma: config.gamma,
+            scored: 0,
+            fast_path: 0,
         };
         state.refresh_all_bases();
         state
@@ -431,10 +443,12 @@ impl FlatState {
     /// full). Ties break towards the lighter block, then the lower index —
     /// identical to evaluating the objective directly for every block.
     pub(crate) fn assign(&mut self, node: oms_graph::StreamedNode<'_>) {
+        self.scored += 1;
         // Degree-bucketed fast path: with at most two assigned neighbors the
         // connectivity fits in registers, skipping the dense gather arena and
         // its dirty-list reset entirely.
         if node.neighbors.len() <= 2 {
+            self.fast_path += 1;
             let mut b0 = UNASSIGNED;
             let mut w0 = 0u64;
             let mut b1 = UNASSIGNED;
@@ -595,6 +609,23 @@ impl FlatState {
         Partition::from_assignments(k, self.assignments, &self.node_weights)
     }
 
+    /// Drains the hot-path tallies (nodes scored, fast-path hits) for a
+    /// flush into the observer's counter registry.
+    pub(crate) fn take_hot_counters(&mut self) -> (u64, u64) {
+        let out = (self.scored, self.fast_path);
+        self.scored = 0;
+        self.fast_path = 0;
+        out
+    }
+
+    /// Drains the hot-path tallies into the installed observer's counters
+    /// (a no-op that still zeroes the tallies when none is installed).
+    pub(crate) fn flush_hot_counters(&mut self) {
+        let (scored, fast_path) = self.take_hot_counters();
+        oms_obs::counter_add(oms_obs::CounterId::NodesScored, scored);
+        oms_obs::counter_add(oms_obs::CounterId::DegLe2FastPath, fast_path);
+    }
+
     /// Extends the id space to `n` nodes; new slots start unassigned with
     /// weight 0. Never shrinks.
     pub(crate) fn grow(&mut self, n: usize) {
@@ -721,11 +752,22 @@ impl RepairSink {
     pub fn num_blocks(&self) -> u32 {
         self.state.block_weights.len() as u32
     }
+
+    /// Drains the hot-path scoring tallies into the installed observer's
+    /// counters. The dynamic layer calls this at batch boundaries, so
+    /// per-delta repair steps pay only register adds.
+    pub fn flush_hot_counters(&mut self) {
+        self.state.flush_hot_counters();
+    }
 }
 
 impl NodeSink for RepairSink {
     fn process(&mut self, node: oms_graph::StreamedNode<'_>) {
         self.rescore(node);
+    }
+
+    fn end_pass(&mut self, _pass: usize) {
+        self.state.flush_hot_counters();
     }
 
     fn assignments(&self) -> Option<&[BlockId]> {

@@ -29,8 +29,8 @@ use crate::partition::{Partition, UNASSIGNED};
 use crate::scorer::{fennel_alpha, hash_node};
 use crate::{BlockId, Result};
 use oms_graph::{CsrGraph, EdgeWeight, InMemoryStream, NodeWeight};
+use oms_obs::Stopwatch;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::time::Instant;
 
 fn collect_partition(
     k: u32,
@@ -184,7 +184,7 @@ pub fn onepass_parallel_restream(
 
     for pass in 0..passes {
         let moved = AtomicUsize::new(0);
-        let start = Instant::now();
+        let clock = Stopwatch::start();
         BatchExecutor::default().run_parallel(graph, threads, |lo, hi| {
             let mut conn: Vec<EdgeWeight> = vec![0; k as usize];
             let mut touched: Vec<BlockId> = Vec::new();
@@ -256,7 +256,7 @@ pub fn onepass_parallel_restream(
                 moved.fetch_add(local_moved, Ordering::Relaxed);
             }
         });
-        let seconds = start.elapsed().as_secs_f64();
+        let seconds = clock.seconds();
 
         if measure {
             let mut restore = |snapshot: &[BlockId]| {
@@ -338,7 +338,7 @@ impl OnlineMultiSection {
 
         for pass in 0..passes {
             let moved = AtomicUsize::new(0);
-            let start = Instant::now();
+            let clock = Stopwatch::start();
             self.parallel_pass(
                 graph,
                 threads,
@@ -350,7 +350,7 @@ impl OnlineMultiSection {
                 max_fan_out,
                 &moved,
             );
-            let seconds = start.elapsed().as_secs_f64();
+            let seconds = clock.seconds();
 
             if measure {
                 let mut restore = |snapshot: &[BlockId]| {

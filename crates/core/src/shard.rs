@@ -45,6 +45,7 @@ use std::ops::Range;
 use std::sync::Mutex;
 
 use oms_graph::{EdgeWeight, NodeId, NodeStream, NodeWeight, StreamedNode};
+use oms_obs::{CounterId, Event, HistId};
 use rayon::prelude::*;
 
 use crate::config::OnePassConfig;
@@ -407,7 +408,14 @@ impl ShardedSink {
                     });
             });
         }
+        let before = self.stats.total_messages();
         self.exchange();
+        let messages = self.stats.total_messages() - before;
+        oms_obs::observe(Event::ShardRound {
+            round: self.stats.rounds,
+            messages,
+        });
+        oms_obs::hist_record(HistId::ShardRoundMessages, messages);
         self.stats.rounds += 1;
         self.buffer.clear();
     }
@@ -464,7 +472,13 @@ impl ShardedSink {
                 }
             }
         }
+        let phase1_messages = envelopes.len() as u64;
         self.deliver(envelopes, 1);
+        oms_obs::observe(Event::ExchangePhase {
+            round: self.stats.rounds,
+            phase: 1,
+            messages: phase1_messages,
+        });
 
         // Phase 2: owners gossip their now-authoritative sub-vectors.
         let mut envelopes: Vec<Envelope> = Vec::new();
@@ -487,7 +501,13 @@ impl ShardedSink {
                 }
             }
         }
+        let phase2_messages = envelopes.len() as u64;
         self.deliver(envelopes, 2);
+        oms_obs::observe(Event::ExchangePhase {
+            round: self.stats.rounds,
+            phase: 2,
+            messages: phase2_messages,
+        });
 
         for worker in &mut self.workers {
             worker.moves.clear();
@@ -585,6 +605,17 @@ impl NodeSink for ShardedSink {
 
     fn end_pass(&mut self, _pass: usize) {
         self.flush_round();
+        // Worker replicas score on pool threads where no observer is
+        // installed, so their hot tallies are drained here on the driver
+        // thread instead of flushed in place.
+        let (mut scored, mut fast_path) = (0u64, 0u64);
+        for worker in &mut self.workers {
+            let (s, f) = worker.state.take_hot_counters();
+            scored += s;
+            fast_path += f;
+        }
+        oms_obs::counter_add(CounterId::NodesScored, scored);
+        oms_obs::counter_add(CounterId::DegLe2FastPath, fast_path);
     }
 
     fn assignments(&self) -> Option<&[BlockId]> {
@@ -696,6 +727,22 @@ impl ShardedFlat {
         let executor = BatchExecutor::default();
         let opts = crate::restream::options(self.passes, self.convergence, tracked);
         let trajectory = executor.run_restream(stream, &mut sink, &opts)?;
+        let stats = sink.stats();
+        oms_obs::observe(Event::ShardSummary {
+            shards: stats.shards as u32,
+            rounds: stats.rounds,
+            messages: stats.total_messages(),
+            load_messages: stats.load_messages,
+            assignment_messages: stats.assignment_messages,
+            log_hash: stats.log_hash,
+        });
+        oms_obs::counter_add(CounterId::ShardRounds, stats.rounds);
+        oms_obs::counter_add(CounterId::ShardMessages, stats.total_messages());
+        oms_obs::counter_add(CounterId::ShardLoadMessages, stats.load_messages);
+        oms_obs::counter_add(
+            CounterId::ShardAssignmentMessages,
+            stats.assignment_messages,
+        );
         *self.last_stats.lock().unwrap() = Some(sink.stats().clone());
         Ok((sink.into_partition(self.k), trajectory))
     }

@@ -89,6 +89,12 @@ impl PartitionState {
             window_deltas += stats.deltas;
             window_seconds += stats.seconds;
             if checkpoints.is_checkpoint(i, trace.len()) {
+                oms_obs::observe(oms_obs::Event::WindowClosed {
+                    checkpoint: curve.len() as u64,
+                    batch: i as u64,
+                    deltas: window_deltas as u64,
+                    edge_cut: self.edge_cut(),
+                });
                 curve.push(WindowStats {
                     checkpoint: curve.len(),
                     batch_index: i,

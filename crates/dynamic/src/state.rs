@@ -33,7 +33,7 @@ use oms_graph::io::{
     read_snapshot, write_snapshot, DiskStream, DriftCounters, PartitionSnapshot, SnapshotPass,
 };
 use oms_graph::{Delta, DeltaBatch, NodeId, NodeStream, NodeWeight};
-use std::time::Instant;
+use oms_obs::{CounterId, Event, HistId, Stopwatch};
 
 /// Bookkeeping of one [`PartitionState::apply`] call.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -266,7 +266,7 @@ impl PartitionState {
     /// for continuing a batch that was partially applied before a snapshot
     /// (see [`TraceCursor`]).
     pub fn apply_from(&mut self, batch: &DeltaBatch, start: usize) -> Result<ApplyStats> {
-        let clock = Instant::now();
+        let clock = Stopwatch::start();
         let mut stats = ApplyStats::default();
         for i in start..batch.len() {
             self.apply_delta(batch.get(i), &mut stats)?;
@@ -278,7 +278,19 @@ impl PartitionState {
             }
         }
         self.counters.current_cut = self.cut;
-        stats.seconds = clock.elapsed().as_secs_f64();
+        stats.seconds = clock.seconds();
+        self.sink.flush_hot_counters();
+        oms_obs::observe(Event::DeltaBatchApplied {
+            deltas: stats.deltas as u64,
+            rescored: stats.rescored as u64,
+            moved: stats.moved as u64,
+            restreams: stats.restreams as u64,
+            edge_cut: self.cut,
+        });
+        oms_obs::counter_add(CounterId::DeltasApplied, stats.deltas as u64);
+        oms_obs::counter_add(CounterId::RepairRescored, stats.rescored as u64);
+        oms_obs::counter_add(CounterId::RepairMoves, stats.moved as u64);
+        oms_obs::hist_record(HistId::DeltaBatchDeltas, stats.deltas as u64);
         Ok(stats)
     }
 
@@ -476,6 +488,11 @@ impl PartitionState {
         self.counters.baseline_cut = self.cut;
         self.counters.current_cut = self.cut;
         self.rebuild_boundary();
+        oms_obs::observe(Event::DriftFallback {
+            restreams: self.counters.restreams,
+            edge_cut: self.cut,
+        });
+        oms_obs::counter_add(CounterId::DriftFallbacks, 1);
         Ok(())
     }
 
@@ -496,10 +513,10 @@ impl PartitionState {
             objective,
         )?;
         let opts = RestreamOptions::tracked(self.job.passes, self.job.convergence);
-        let clock = Instant::now();
+        let clock = Stopwatch::start();
         let trajectory =
             BatchExecutor::default().run_restream(&mut self.graph, &mut sink, &opts)?;
-        let seconds = clock.elapsed().as_secs_f64();
+        let seconds = clock.seconds();
         let last = trajectory.stats.last().copied().unwrap_or(PassStats {
             pass: 0,
             edge_cut: 0,
@@ -536,6 +553,11 @@ impl PartitionState {
     /// [`oms_graph::io::write_snapshot`]).
     pub fn save(&self, stream: &DiskStream) -> Result<()> {
         write_snapshot(stream, &self.snapshot())?;
+        oms_obs::observe(Event::SnapshotWritten {
+            deltas_applied: self.counters.deltas_applied,
+            edge_cut: self.cut,
+        });
+        oms_obs::counter_add(CounterId::SnapshotsWritten, 1);
         Ok(())
     }
 
@@ -650,6 +672,11 @@ impl PartitionState {
                 state.cut
             )));
         }
+        oms_obs::observe(Event::SnapshotResumed {
+            deltas_applied: state.counters.deltas_applied,
+            edge_cut: state.cut,
+        });
+        oms_obs::counter_add(CounterId::SnapshotsResumed, 1);
         Ok((state, cursor))
     }
 

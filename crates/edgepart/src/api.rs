@@ -14,9 +14,9 @@ use crate::engine::EdgePassStats;
 use crate::partition::EdgePartition;
 use oms_core::{JobSpec, PartitionError, Result};
 use oms_graph::EdgeStream;
+use oms_obs::Stopwatch;
 use std::fmt;
 use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
 
 /// The unified result of one edge-partitioning run.
 #[derive(Clone, Debug)]
@@ -70,9 +70,9 @@ pub trait EdgePartitioner {
     /// [`EdgePartitionReport`]. All quality numbers come from the sink's
     /// incrementally maintained state — no extra metric pass is paid.
     fn run(&self, stream: &mut dyn EdgeStream) -> Result<EdgePartitionReport> {
-        let start = Instant::now();
+        let clock = Stopwatch::start();
         let (partition, trajectory) = self.partition_edges_tracked(stream)?;
-        let seconds = start.elapsed().as_secs_f64();
+        let seconds = clock.seconds();
         Ok(EdgePartitionReport {
             algorithm: self.name(),
             replication_factor: partition.replication_factor(),

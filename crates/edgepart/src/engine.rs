@@ -24,7 +24,7 @@
 use crate::partition::EdgePartition;
 use oms_core::{BlockId, PartitionError, RestreamOptions, Result};
 use oms_graph::{EdgeStream, StreamedEdge};
-use std::time::Instant;
+use oms_obs::{CounterId, Event, Stopwatch};
 
 /// Quality snapshot of an edge partition, maintained by the sink.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -160,9 +160,9 @@ pub fn run_edge_restream(
         needs_reset = true;
 
         sink.begin_pass(pass);
-        let start = Instant::now();
+        let clock = Stopwatch::start();
         drive_pass(stream, m, &mut |index, edge| sink.process(index, edge))?;
-        let seconds = start.elapsed().as_secs_f64();
+        let seconds = clock.seconds();
 
         let quality = sink.quality();
         let assignments = sink.assignments();
@@ -179,10 +179,20 @@ pub fn run_edge_restream(
                 drive_pass(stream, m, &mut |index, edge| {
                     sink.restore_edge(index, edge, best_assign[index]);
                 })?;
+                oms_obs::observe(Event::EdgePassReverted {
+                    pass: pass as u32,
+                    kept_replicas: *best_replicas,
+                });
                 break;
             }
         }
 
+        oms_obs::observe(Event::EdgePassEnd {
+            pass: pass as u32,
+            total_replicas: quality.total_replicas,
+            moved: moved as u64,
+        });
+        oms_obs::counter_add(CounterId::EdgePasses, 1);
         trajectory.push(EdgePassStats {
             pass,
             total_replicas: quality.total_replicas,

@@ -4,13 +4,12 @@
 //! the arithmetic mean of the measured running times. [`measure_repeated`]
 //! reproduces that protocol with a configurable repetition count.
 
-use std::time::Instant;
-
 /// Runs `f` once and returns `(result, seconds)`.
+///
+/// Delegates to [`oms_obs::time`] so every wall-clock measurement in the
+/// workspace flows through the one shared stopwatch.
 pub fn measure<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let start = Instant::now();
-    let result = f();
-    (result, start.elapsed().as_secs_f64())
+    oms_obs::time(f)
 }
 
 /// Runs `f` `repetitions` times and returns `(last_result, mean_seconds)`.

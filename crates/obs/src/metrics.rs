@@ -1,0 +1,375 @@
+//! The allocation-free metrics registry: named counters and log-bucketed
+//! histograms for hot-path signals.
+//!
+//! Counters and histogram cells are plain `AtomicU64`s in fixed arrays —
+//! recording never allocates, never locks, and costs one relaxed atomic
+//! add, so instrumented hot paths still pass the counting-allocator gate
+//! and the throughput regression gate. Histograms use power-of-two
+//! (HDR-style) buckets: value `v` lands in bucket `bit_length(v)`, so 65
+//! buckets cover the full `u64` range with ≤ 2× relative error.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifies one monotone counter in the registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CounterId {
+    /// Nodes scored by the flat scoring kernels (including repair
+    /// re-scoring).
+    NodesScored,
+    /// Nodes that took the degree ≤ 2 register fast path.
+    DegLe2FastPath,
+    /// Restream passes executed by the batch executor.
+    RestreamPasses,
+    /// Restream passes that were reverted.
+    RestreamReverts,
+    /// BSP rounds executed by the sharded engine.
+    ShardRounds,
+    /// Messages delivered by the sharded engine (all phases).
+    ShardMessages,
+    /// Load-delta / load-vector messages delivered.
+    ShardLoadMessages,
+    /// Assignment messages delivered.
+    ShardAssignmentMessages,
+    /// Deltas applied to maintained partitions.
+    DeltasApplied,
+    /// Local repair re-scoring steps.
+    RepairRescored,
+    /// Repair steps that moved a node between blocks.
+    RepairMoves,
+    /// Drift-triggered full restream fallbacks.
+    DriftFallbacks,
+    /// Partition snapshots written.
+    SnapshotsWritten,
+    /// Partition services resumed from snapshots.
+    SnapshotsResumed,
+    /// Replay requests issued.
+    ReplayRequests,
+    /// Replay requests served to completion.
+    ReplayServed,
+    /// Replay requests shed at admission.
+    ReplayRejected,
+    /// Replay vertex touches executed.
+    ReplayHops,
+    /// Replay touches that crossed a block boundary.
+    ReplayCrossBlockHops,
+    /// Edge-partitioning passes executed.
+    EdgePasses,
+    /// Events evicted from the flight recorder's ring buffer.
+    EventsDropped,
+}
+
+impl CounterId {
+    /// Every counter, in registry order.
+    pub const ALL: [CounterId; 21] = [
+        CounterId::NodesScored,
+        CounterId::DegLe2FastPath,
+        CounterId::RestreamPasses,
+        CounterId::RestreamReverts,
+        CounterId::ShardRounds,
+        CounterId::ShardMessages,
+        CounterId::ShardLoadMessages,
+        CounterId::ShardAssignmentMessages,
+        CounterId::DeltasApplied,
+        CounterId::RepairRescored,
+        CounterId::RepairMoves,
+        CounterId::DriftFallbacks,
+        CounterId::SnapshotsWritten,
+        CounterId::SnapshotsResumed,
+        CounterId::ReplayRequests,
+        CounterId::ReplayServed,
+        CounterId::ReplayRejected,
+        CounterId::ReplayHops,
+        CounterId::ReplayCrossBlockHops,
+        CounterId::EdgePasses,
+        CounterId::EventsDropped,
+    ];
+
+    /// The counter's snake_case name (also its Prometheus base name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CounterId::NodesScored => "nodes_scored",
+            CounterId::DegLe2FastPath => "deg_le2_fast_path",
+            CounterId::RestreamPasses => "restream_passes",
+            CounterId::RestreamReverts => "restream_reverts",
+            CounterId::ShardRounds => "shard_rounds",
+            CounterId::ShardMessages => "shard_messages",
+            CounterId::ShardLoadMessages => "shard_load_messages",
+            CounterId::ShardAssignmentMessages => "shard_assignment_messages",
+            CounterId::DeltasApplied => "deltas_applied",
+            CounterId::RepairRescored => "repair_rescored",
+            CounterId::RepairMoves => "repair_moves",
+            CounterId::DriftFallbacks => "drift_fallbacks",
+            CounterId::SnapshotsWritten => "snapshots_written",
+            CounterId::SnapshotsResumed => "snapshots_resumed",
+            CounterId::ReplayRequests => "replay_requests",
+            CounterId::ReplayServed => "replay_served",
+            CounterId::ReplayRejected => "replay_rejected",
+            CounterId::ReplayHops => "replay_hops",
+            CounterId::ReplayCrossBlockHops => "replay_cross_block_hops",
+            CounterId::EdgePasses => "edge_passes",
+            CounterId::EventsDropped => "events_dropped",
+        }
+    }
+}
+
+/// Identifies one histogram in the registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HistId {
+    /// Nodes moved per accepted restream pass.
+    PassMoved,
+    /// Messages delivered per sharded BSP round.
+    ShardRoundMessages,
+    /// Deltas per applied batch.
+    DeltaBatchDeltas,
+    /// Entry-block backlog (queue ticks ahead) per admitted replay
+    /// request.
+    ReplayQueueDepth,
+    /// Simulated latency (ticks) per served replay request.
+    ReplayLatencyTicks,
+    /// Wall microseconds per restream pass. The one non-deterministic
+    /// signal in the registry — it feeds `--metrics` exposition only and
+    /// never enters the event trace or its hash.
+    PassMicros,
+}
+
+impl HistId {
+    /// Every histogram, in registry order.
+    pub const ALL: [HistId; 6] = [
+        HistId::PassMoved,
+        HistId::ShardRoundMessages,
+        HistId::DeltaBatchDeltas,
+        HistId::ReplayQueueDepth,
+        HistId::ReplayLatencyTicks,
+        HistId::PassMicros,
+    ];
+
+    /// The histogram's snake_case name (also its Prometheus base name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            HistId::PassMoved => "pass_moved",
+            HistId::ShardRoundMessages => "shard_round_messages",
+            HistId::DeltaBatchDeltas => "delta_batch_deltas",
+            HistId::ReplayQueueDepth => "replay_queue_depth",
+            HistId::ReplayLatencyTicks => "replay_latency_ticks",
+            HistId::PassMicros => "pass_micros",
+        }
+    }
+}
+
+/// Number of log₂ buckets a histogram holds (`bit_length(u64)` + 1).
+pub const HIST_BUCKETS: usize = 65;
+
+/// The bucket index of `value`: 0 for 0, otherwise the value's bit
+/// length, so bucket `b ≥ 1` spans `[2^(b−1), 2^b)`.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The inclusive upper bound of bucket `index` (the Prometheus `le`
+/// label).
+pub fn bucket_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        64 => u64::MAX,
+        b => (1u64 << b) - 1,
+    }
+}
+
+/// One log-bucketed histogram of `u64` samples, recordable without
+/// allocation or locking.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample. The running sum saturates rather than wraps,
+    /// so extreme samples cannot corrupt the mean's sign.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(value))
+            })
+            .ok();
+    }
+
+    /// A plain-value copy of the histogram's current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value histogram state: per-bucket counts, total count and sum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Sample count per log₂ bucket (see [`bucket_index`]).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Folds `other` into `self`. Merging is commutative and associative
+    /// (sums saturate, and saturating addition stays associative), so
+    /// shard-local histograms can be combined in any order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// The smallest bucket upper bound at or above quantile `q` of the
+    /// recorded samples (0 when empty) — a ≤ 2× overestimate of the true
+    /// quantile, like any log-bucketed sketch.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(HIST_BUCKETS - 1)
+    }
+
+    /// Arithmetic mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The full metrics registry: one cell per [`CounterId`], one histogram
+/// per [`HistId`].
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: [AtomicU64; CounterId::ALL.len()],
+    hists: [Histogram; HistId::ALL.len()],
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `n` to a counter (relaxed; never allocates).
+    pub fn counter_add(&self, id: CounterId, n: u64) {
+        self.counters[id as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value of a counter.
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters[id as usize].load(Ordering::Relaxed)
+    }
+
+    /// Records one histogram sample (relaxed; never allocates).
+    pub fn hist_record(&self, id: HistId, value: u64) {
+        self.hists[id as usize].record(value);
+    }
+
+    /// A plain-value copy of one histogram.
+    pub fn hist(&self, id: HistId) -> HistogramSnapshot {
+        self.hists[id as usize].snapshot()
+    }
+
+    /// Every `(counter, value)` pair, in registry order.
+    pub fn counters(&self) -> Vec<(CounterId, u64)> {
+        CounterId::ALL
+            .iter()
+            .map(|&id| (id, self.counter(id)))
+            .collect()
+    }
+
+    /// Every `(histogram, snapshot)` pair, in registry order.
+    pub fn histograms(&self) -> Vec<(HistId, HistogramSnapshot)> {
+        HistId::ALL.iter().map(|&id| (id, self.hist(id))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_matches_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for b in 1..64usize {
+            let low = 1u64 << (b - 1);
+            assert_eq!(bucket_index(low), b);
+            assert_eq!(bucket_index(bucket_bound(b)), b);
+        }
+    }
+
+    #[test]
+    fn counter_names_are_unique() {
+        let mut names: Vec<_> = CounterId::ALL.iter().map(|c| c.name()).collect();
+        names.extend(HistId::ALL.iter().map(|h| h.name()));
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "metric names must not collide");
+    }
+
+    #[test]
+    fn quantile_bound_brackets_samples() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 1106);
+        assert!(snap.quantile_bound(0.5) >= 3);
+        assert!(snap.quantile_bound(1.0) >= 1000);
+        assert!(snap.quantile_bound(1.0) < 2048);
+    }
+}

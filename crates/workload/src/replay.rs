@@ -245,6 +245,7 @@ fn simulate(
         fnv1a(&mut hash, start as u64);
         let entry = serving.start_block(start);
         let backlog = block_free[entry as usize].saturating_sub(arrival);
+        oms_obs::hist_record(oms_obs::HistId::ReplayQueueDepth, backlog);
         if config.max_backlog > 0 && backlog > config.max_backlog {
             rejected += 1;
             fnv1a(&mut hash, u64::MAX); // admission refused
@@ -303,9 +304,24 @@ fn simulate(
         let latency = t - arrival;
         latencies.push(latency);
         fnv1a(&mut hash, latency);
+        oms_obs::hist_record(oms_obs::HistId::ReplayLatencyTicks, latency);
         makespan = makespan.max(t);
         served += 1;
     }
+
+    oms_obs::observe(oms_obs::Event::ReplaySummary {
+        requests: config.requests as u64,
+        served: served as u64,
+        rejected: rejected as u64,
+        total_hops,
+        cross_block_hops,
+        log_hash: hash,
+    });
+    oms_obs::counter_add(oms_obs::CounterId::ReplayRequests, config.requests as u64);
+    oms_obs::counter_add(oms_obs::CounterId::ReplayServed, served as u64);
+    oms_obs::counter_add(oms_obs::CounterId::ReplayRejected, rejected as u64);
+    oms_obs::counter_add(oms_obs::CounterId::ReplayHops, total_hops);
+    oms_obs::counter_add(oms_obs::CounterId::ReplayCrossBlockHops, cross_block_hops);
 
     latencies.sort_unstable();
     let percentile = |q: f64| -> u64 {

@@ -25,7 +25,11 @@
 //!   profiles, memory accounting and reporting;
 //! * [`workload`] (`oms-workload`) — the seeded traffic-replay simulator:
 //!   Zipf-skewed random-walk requests with per-block queueing, measuring a
-//!   partition by the latency users would see.
+//!   partition by the latency users would see;
+//! * [`obs`] (`oms-obs`) — the runtime observability layer: deterministic
+//!   event tracing with a bounded flight recorder and an event-log hash,
+//!   allocation-free counters and log-bucketed histograms, plus JSON-lines,
+//!   text-table and Prometheus-style exporters.
 //!
 //! ## Quickstart
 //!
@@ -76,6 +80,7 @@ pub use oms_graph as graph;
 pub use oms_mapping as mapping;
 pub use oms_metrics as metrics;
 pub use oms_multilevel as multilevel;
+pub use oms_obs as obs;
 pub use oms_workload as workload;
 
 /// The most common imports in one place.
@@ -115,6 +120,10 @@ pub mod prelude {
     pub use oms_multilevel::{
         register_algorithms as register_multilevel_algorithms, BufferedMultilevel,
         MultilevelConfig, MultilevelPartitioner, RecursiveMultisection,
+    };
+    pub use oms_obs::{
+        CounterId, Event, FlightRecorder, HistId, Histogram, HistogramSnapshot, Metrics,
+        NoopObserver, ObsCore, ObsGuard, Observer, Stopwatch, TraceSummary,
     };
     pub use oms_workload::{
         replay_edge_partition, replay_graph, replay_stream, replica_sets, ReplayConfig,
